@@ -1,0 +1,23 @@
+//! A2 — balancing policies over heterogeneous slaves.
+
+use amdb_bench::figure_banner;
+use amdb_experiments::{ablations, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("A2 (balancer policies)");
+    println!(
+        "{}",
+        ablations::balancers_table(&ablations::balancers(Fidelity::Quick)).render()
+    );
+
+    let mut g = c.benchmark_group("ablation_balancers");
+    g.sample_size(10);
+    g.bench_function("four_policies_quick", |b| {
+        b.iter(|| ablations::balancers(Fidelity::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

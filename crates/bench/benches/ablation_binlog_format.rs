@@ -1,0 +1,23 @@
+//! A3 — statement- vs row-based binlog under a write-heavy mix.
+
+use amdb_bench::figure_banner;
+use amdb_experiments::{ablations, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("A3 (binlog formats)");
+    println!(
+        "{}",
+        ablations::binlog_formats_table(&ablations::binlog_formats(Fidelity::Quick)).render()
+    );
+
+    let mut g = c.benchmark_group("ablation_binlog_format");
+    g.sample_size(10);
+    g.bench_function("two_formats_quick", |b| {
+        b.iter(|| ablations::binlog_formats(Fidelity::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! A1 — async vs semi-sync vs sync commit disciplines.
+
+use amdb_bench::figure_banner;
+use amdb_experiments::{ablations, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("A1 (sync modes)");
+    println!(
+        "{}",
+        ablations::sync_modes_table(&ablations::sync_modes(Fidelity::Quick)).render()
+    );
+
+    let mut g = c.benchmark_group("ablation_sync_modes");
+    g.sample_size(10);
+    g.bench_function("three_modes_quick", |b| {
+        b.iter(|| ablations::sync_modes(Fidelity::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 2 — end-to-end throughput, 50/50 mix, data size 300.
+//!
+//! Prints the regenerated quick-fidelity series, then times the saturation
+//! cell (2 slaves, 175 users, same zone).
+
+use amdb_bench::figure_banner;
+use amdb_core::Placement;
+use amdb_experiments::{sweep, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("Fig 2 (throughput, 50/50)");
+    let spec = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
+    for r in sweep::run_sweep(&spec, |_| {}) {
+        println!("{}", r.throughput.render());
+    }
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("cell_2slaves_175users", |b| {
+        b.iter(|| sweep::run_cell(&spec, Placement::SameZone, 2, 175))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 3 — end-to-end throughput, 80/20 mix, data size 600.
+
+use amdb_bench::figure_banner;
+use amdb_core::Placement;
+use amdb_experiments::{sweep, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("Fig 3 (throughput, 80/20)");
+    let spec = sweep::SweepSpec::fig3_fig6(Fidelity::Quick);
+    for r in sweep::run_sweep(&spec, |_| {}) {
+        println!("{}", r.throughput.render());
+    }
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("cell_5slaves_250users", |b| {
+        b.iter(|| sweep::run_cell(&spec, Placement::SameZone, 5, 250))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 4 — clock difference between two instances, NTP on/off.
+
+use amdb_bench::figure_banner;
+use amdb_experiments::fig4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("Fig 4 (clock sync)");
+    let r = fig4::run(&fig4::Fig4Spec::default());
+    println!("{}", fig4::summary_table(&r).render());
+
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("both_arms_20min", |b| {
+        b.iter(|| fig4::run(&fig4::Fig4Spec::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

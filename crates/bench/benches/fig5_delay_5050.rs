@@ -1,0 +1,24 @@
+//! Fig. 5 — average relative replication delay, 50/50 mix.
+
+use amdb_bench::figure_banner;
+use amdb_core::Placement;
+use amdb_experiments::{sweep, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("Fig 5 (relative replication delay, 50/50)");
+    let spec = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
+    for r in sweep::run_sweep(&spec, |_| {}) {
+        println!("{}", r.delay.render());
+    }
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("cell_1slave_175users", |b| {
+        b.iter(|| sweep::run_cell(&spec, Placement::SameZone, 1, 175))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 6 — average relative replication delay, 80/20 mix.
+
+use amdb_bench::figure_banner;
+use amdb_core::Placement;
+use amdb_experiments::{sweep, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("Fig 6 (relative replication delay, 80/20)");
+    let spec = sweep::SweepSpec::fig3_fig6(Fidelity::Quick);
+    for r in sweep::run_sweep(&spec, |_| {}) {
+        println!("{}", r.delay.render());
+    }
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("cell_11slaves_450users", |b| {
+        b.iter(|| sweep::run_cell(&spec, Placement::SameZone, 11, 450))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

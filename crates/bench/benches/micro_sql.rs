@@ -1,0 +1,136 @@
+//! Micro-benchmarks over the SQL engine: parse, point reads, index reads,
+//! joins, inserts, and replica apply.
+
+use amdb_cloudstone::{build_template, DataSize};
+use amdb_sim::Rng;
+use amdb_sql::{BinlogFormat, Engine, ForkRole, Lsn, Session, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn loaded_engine() -> Engine {
+    let mut rng = Rng::new(1);
+    let (template, _) = build_template(DataSize { scale: 50 }, &mut rng);
+    template.fork(ForkRole::Master(BinlogFormat::Statement))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut engine = loaded_engine();
+    let mut session = Session::new();
+
+    c.bench_function("sql/parse_select_join", |b| {
+        b.iter(|| {
+            amdb_sql::parser::parse(
+                "SELECT e.id, e.title, u.username FROM event_tags et \
+                 INNER JOIN events e ON et.event_id = e.id \
+                 INNER JOIN users u ON e.created_by = u.id \
+                 WHERE et.tag_id = 7 LIMIT 20",
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("sql/pk_point_select", |b| {
+        b.iter(|| {
+            engine
+                .execute(
+                    &mut session,
+                    "SELECT id, title FROM events WHERE id = ?",
+                    &[Value::Int(123)],
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("sql/index_range_order_limit", |b| {
+        b.iter(|| {
+            engine
+                .execute(
+                    &mut session,
+                    "SELECT id, title FROM events WHERE zip = 7 ORDER BY event_ts DESC LIMIT 10",
+                    &[],
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("sql/two_way_indexed_join", |b| {
+        b.iter(|| {
+            engine
+                .execute(
+                    &mut session,
+                    "SELECT e.title, u.username FROM event_tags et \
+                     INNER JOIN events e ON et.event_id = e.id \
+                     INNER JOIN users u ON e.created_by = u.id \
+                     WHERE et.tag_id = 9 LIMIT 20",
+                    &[],
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("sql/aggregate_group_by", |b| {
+        b.iter(|| {
+            engine
+                .execute(
+                    &mut session,
+                    "SELECT tag_id, COUNT(*) FROM event_tags GROUP BY tag_id",
+                    &[],
+                )
+                .unwrap()
+        })
+    });
+
+    let mut next_id = 10_000_000i64;
+    c.bench_function("sql/insert_single_row", |b| {
+        b.iter(|| {
+            next_id += 1;
+            engine
+                .execute(
+                    &mut session,
+                    "INSERT INTO comments (id, event_id, user_id, rating, body, created_at) \
+                     VALUES (?, 1, 1, 5, 'bench', 0)",
+                    &[Value::Int(next_id)],
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("sql/statement_apply_on_replica", |b| {
+        let mut master = loaded_engine();
+        let mut ms = Session::new();
+        master
+            .execute(
+                &mut ms,
+                "INSERT INTO comments (id, event_id, user_id, rating, body, created_at) \
+                 VALUES (99999999, 1, 1, 5, 'x', NOW_MICROS())",
+                &[],
+            )
+            .unwrap();
+        let ev = master.binlog_from(Lsn(0))[0].clone();
+        b.iter_batched(
+            || loaded_engine().fork(ForkRole::Slave),
+            |mut slave| slave.apply_event(&ev, 42).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("sql/binlog_encode_decode", |b| {
+        let mut master = loaded_engine();
+        let mut ms = Session::new();
+        master
+            .execute(
+                &mut ms,
+                "INSERT INTO comments (id, event_id, user_id, rating, body, created_at) \
+                 VALUES (88888888, 1, 1, 5, 'roundtrip', 0)",
+                &[],
+            )
+            .unwrap();
+        let ev = master.binlog_from(Lsn(0))[0].clone();
+        b.iter(|| {
+            let bytes = ev.encode();
+            amdb_sql::BinlogEvent::decode(bytes).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks over the substrates: DES kernel, CPU model, connection
+//! pool, metrics, RNG.
+
+use amdb_metrics::trimmed_mean;
+use amdb_pool::{Pool, PoolConfig, SimPool};
+use amdb_sim::{FifoCpu, Rng, Sim, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("kernel/100k_chained_events", |b| {
+        b.iter(|| {
+            struct W {
+                n: u64,
+            }
+            let mut sim: Sim<W> = Sim::new();
+            let mut w = W { n: 0 };
+            fn tick(w: &mut W, sim: &mut Sim<W>) {
+                w.n += 1;
+                if w.n < 100_000 {
+                    sim.schedule_in(SimDuration::from_micros(10), tick);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, tick);
+            sim.run(&mut w);
+            w.n
+        })
+    });
+
+    c.bench_function("kernel/fifo_cpu_submit", |b| {
+        let mut cpu = FifoCpu::new(1.0);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(7);
+            cpu.submit(t, SimDuration::from_micros(5))
+        })
+    });
+
+    c.bench_function("pool/sim_acquire_release", |b| {
+        let mut pool = SimPool::new(PoolConfig { max_active: 64 });
+        b.iter(|| {
+            let a = pool.acquire(SimTime::ZERO);
+            pool.release(SimTime::ZERO);
+            a
+        })
+    });
+
+    c.bench_function("pool/threadsafe_get_drop", |b| {
+        let pool = Pool::new(8, || 0u64);
+        b.iter(|| {
+            let g = pool.get();
+            *g
+        })
+    });
+
+    c.bench_function("metrics/trimmed_mean_10k", |b| {
+        let mut rng = Rng::new(3);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.f64()).collect();
+        b.iter(|| trimmed_mean(&xs, 0.05).unwrap())
+    });
+
+    c.bench_function("rng/lognormal_mean_cov", |b| {
+        let mut rng = Rng::new(5);
+        b.iter(|| rng.lognormal_mean_cov(1.0, 0.21))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

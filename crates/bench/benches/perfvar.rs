@@ -1,0 +1,19 @@
+//! §IV-A instance performance variation.
+
+use amdb_bench::figure_banner;
+use amdb_experiments::{perfvar, Fidelity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("instance performance variation (§IV-A)");
+    println!("{}", perfvar::table(Fidelity::Quick).render());
+
+    let mut g = c.benchmark_group("perfvar");
+    g.bench_function("fleet_speed_cov_2000", |b| {
+        b.iter(|| perfvar::fleet_speed_cov(2000, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

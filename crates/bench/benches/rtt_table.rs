@@ -1,0 +1,17 @@
+//! §IV-B.2 in-text ½-RTT table.
+
+use amdb_bench::figure_banner;
+use amdb_experiments::rtt;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    figure_banner("½-RTT table (§IV-B.2)");
+    println!("{}", rtt::table(&rtt::run(1200, 7)).render());
+
+    let mut g = c.benchmark_group("rtt");
+    g.bench_function("ping_20min_3placements", |b| b.iter(|| rtt::run(1200, 7)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

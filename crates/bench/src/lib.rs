@@ -1,0 +1,16 @@
+//! # amdb-bench — benchmark harnesses
+//!
+//! One Criterion bench per paper table/figure (`benches/fig*.rs`,
+//! `benches/rtt_table.rs`, `benches/perfvar.rs`), three ablation benches,
+//! and two micro-benchmark suites over the substrates.
+//!
+//! Every figure bench first *regenerates the figure's rows* at quick
+//! fidelity (printed to stdout, so `cargo bench` output contains the same
+//! series the paper plots), then times a representative grid cell. The
+//! paper-fidelity grids are produced by the `amdb-experiments` binaries
+//! (`cargo run --release -p amdb-experiments --bin fig2 -- --full`).
+
+/// Shared helper: print a header line for a regenerated figure.
+pub fn figure_banner(name: &str) {
+    println!("\n===== regenerating {name} (quick fidelity) =====");
+}

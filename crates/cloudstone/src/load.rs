@@ -1,0 +1,297 @@
+//! Deterministic database pre-loading.
+//!
+//! The paper requires every run to "start with a pre-loaded,
+//! fully-synchronized database" (§III-B). [`build_template`] loads one
+//! template engine for a given [`DataSize`]; the experiment harness then
+//! forks it (`Engine::fork`) into the master and each slave of every run —
+//! loaded once, forked many times.
+
+use crate::schema::{DataSize, SCHEMA_SQL};
+use amdb_sim::Rng;
+use amdb_sql::{BinlogFormat, Engine, Session};
+
+/// Client-side id counters for every entity the generator can create.
+/// Seed data occupies `1..=n`; operation-generated rows continue above.
+#[derive(Debug, Clone)]
+pub struct DataCounters {
+    pub next_user: i64,
+    pub next_event: i64,
+    pub next_tag: i64,
+    pub next_event_tag: i64,
+    pub next_attendee: i64,
+    pub next_comment: i64,
+    pub zips: u32,
+}
+
+impl DataCounters {
+    /// Counters immediately after seeding `size`.
+    pub fn after_load(size: DataSize) -> Self {
+        let e = size.events() as i64;
+        let u = size.users() as i64;
+        Self {
+            next_user: u + 1,
+            next_event: e + 1,
+            next_tag: size.tags() as i64 + 1,
+            next_event_tag: e * size.tags_per_event() as i64 + 1,
+            next_attendee: u * size.attendances_per_user() as i64 + 1,
+            next_comment: e * size.comments_per_event() as i64 + 1,
+            zips: size.zips(),
+        }
+    }
+}
+
+/// Insert batch size (rows per multi-row INSERT during loading).
+const BATCH: usize = 500;
+
+/// Build a fully-loaded template engine for `size`. Deterministic in the
+/// RNG seed. Returns the engine and the post-load id counters.
+pub fn build_template(size: DataSize, rng: &mut Rng) -> (Engine, DataCounters) {
+    let mut engine = Engine::new_master(BinlogFormat::Statement);
+    let mut session = Session::new();
+    engine
+        .execute_batch(&mut session, SCHEMA_SQL)
+        .expect("schema loads");
+
+    let now_us: i64 = 0; // seed rows predate the run; exact value irrelevant
+
+    // users
+    let mut rows: Vec<String> = Vec::with_capacity(BATCH);
+    let flush = |engine: &mut Engine,
+                 session: &mut Session,
+                 table: &str,
+                 cols: &str,
+                 rows: &mut Vec<String>| {
+        if rows.is_empty() {
+            return;
+        }
+        let sql = format!("INSERT INTO {table} ({cols}) VALUES {}", rows.join(", "));
+        engine.execute(session, &sql, &[]).expect("seed insert");
+        rows.clear();
+    };
+
+    for uid in 1..=size.users() as i64 {
+        rows.push(format!(
+            "({uid}, 'user{uid}', 'user{uid}@example.com', {now_us})"
+        ));
+        if rows.len() == BATCH {
+            flush(
+                &mut engine,
+                &mut session,
+                "users",
+                "id, username, email, created_at",
+                &mut rows,
+            );
+        }
+    }
+    flush(
+        &mut engine,
+        &mut session,
+        "users",
+        "id, username, email, created_at",
+        &mut rows,
+    );
+
+    // tags
+    for tid in 1..=size.tags() as i64 {
+        rows.push(format!("({tid}, 'tag{tid}')"));
+        if rows.len() == BATCH {
+            flush(&mut engine, &mut session, "tags", "id, name", &mut rows);
+        }
+    }
+    flush(&mut engine, &mut session, "tags", "id, name", &mut rows);
+
+    // events
+    for eid in 1..=size.events() as i64 {
+        let creator = rng.int_range(1, size.users() as i64);
+        let zip = rng.int_range(0, size.zips() as i64 - 1);
+        let ts = rng.int_range(0, 30 * 86_400) * 1_000_000;
+        rows.push(format!(
+            "({eid}, 'event {eid}', 'a social event', {creator}, {ts}, {zip}, {now_us})"
+        ));
+        if rows.len() == BATCH {
+            flush(
+                &mut engine,
+                &mut session,
+                "events",
+                "id, title, description, created_by, event_ts, zip, created_at",
+                &mut rows,
+            );
+        }
+    }
+    flush(
+        &mut engine,
+        &mut session,
+        "events",
+        "id, title, description, created_by, event_ts, zip, created_at",
+        &mut rows,
+    );
+
+    // event_tags: tags_per_event random tags per event
+    let mut etid: i64 = 1;
+    for eid in 1..=size.events() as i64 {
+        for _ in 0..size.tags_per_event() {
+            let tid = rng.int_range(1, size.tags() as i64);
+            rows.push(format!("({etid}, {eid}, {tid})"));
+            etid += 1;
+            if rows.len() == BATCH {
+                flush(
+                    &mut engine,
+                    &mut session,
+                    "event_tags",
+                    "id, event_id, tag_id",
+                    &mut rows,
+                );
+            }
+        }
+    }
+    flush(
+        &mut engine,
+        &mut session,
+        "event_tags",
+        "id, event_id, tag_id",
+        &mut rows,
+    );
+
+    // attendees: attendances_per_user per user
+    let mut aid: i64 = 1;
+    for uid in 1..=size.users() as i64 {
+        for _ in 0..size.attendances_per_user() {
+            let eid = rng.int_range(1, size.events() as i64);
+            rows.push(format!("({aid}, {eid}, {uid}, {now_us})"));
+            aid += 1;
+            if rows.len() == BATCH {
+                flush(
+                    &mut engine,
+                    &mut session,
+                    "attendees",
+                    "id, event_id, user_id, created_at",
+                    &mut rows,
+                );
+            }
+        }
+    }
+    flush(
+        &mut engine,
+        &mut session,
+        "attendees",
+        "id, event_id, user_id, created_at",
+        &mut rows,
+    );
+
+    // comments
+    let mut cid: i64 = 1;
+    for eid in 1..=size.events() as i64 {
+        for _ in 0..size.comments_per_event() {
+            let uid = rng.int_range(1, size.users() as i64);
+            let rating = rng.int_range(1, 5);
+            rows.push(format!("({cid}, {eid}, {uid}, {rating}, 'nice event', {now_us})"));
+            cid += 1;
+            if rows.len() == BATCH {
+                flush(
+                    &mut engine,
+                    &mut session,
+                    "comments",
+                    "id, event_id, user_id, rating, body, created_at",
+                    &mut rows,
+                );
+            }
+        }
+    }
+    flush(
+        &mut engine,
+        &mut session,
+        "comments",
+        "id, event_id, user_id, rating, body, created_at",
+        &mut rows,
+    );
+
+    (engine, DataCounters::after_load(size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdb_sql::{ForkRole, Value};
+
+    fn tiny() -> DataSize {
+        DataSize { scale: 10 }
+    }
+
+    #[test]
+    fn loads_expected_row_counts() {
+        let mut rng = Rng::new(1);
+        let (engine, counters) = build_template(tiny(), &mut rng);
+        let s = tiny();
+        assert_eq!(engine.table_rows("users"), Some(s.users() as usize));
+        assert_eq!(engine.table_rows("events"), Some(s.events() as usize));
+        assert_eq!(engine.table_rows("tags"), Some(s.tags() as usize));
+        assert_eq!(
+            engine.table_rows("event_tags"),
+            Some((s.events() * s.tags_per_event()) as usize)
+        );
+        assert_eq!(
+            engine.table_rows("attendees"),
+            Some((s.users() * s.attendances_per_user()) as usize)
+        );
+        assert_eq!(
+            engine.table_rows("comments"),
+            Some((s.events() * s.comments_per_event()) as usize)
+        );
+        assert_eq!(engine.table_rows("heartbeat"), Some(0));
+        assert_eq!(counters.next_user, s.users() as i64 + 1);
+        assert_eq!(counters.next_event, s.events() as i64 + 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (e1, _) = build_template(tiny(), &mut Rng::new(9));
+        let (e2, _) = build_template(tiny(), &mut Rng::new(9));
+        let mut s1 = Session::new();
+        let mut s2 = Session::new();
+        let mut e1 = e1;
+        let mut e2 = e2;
+        let q = "SELECT created_by, zip FROM events ORDER BY id LIMIT 20";
+        let r1 = e1.execute(&mut s1, q, &[]).unwrap();
+        let r2 = e2.execute(&mut s2, q, &[]).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+    }
+
+    #[test]
+    fn fork_shares_data_but_not_future_writes() {
+        let (template, _) = build_template(tiny(), &mut Rng::new(2));
+        let mut master = template.fork(ForkRole::Master(BinlogFormat::Statement));
+        let mut slave = template.fork(ForkRole::Slave);
+        assert_eq!(master.table_rows("users"), slave.table_rows("users"));
+        assert_eq!(master.binlog().len(), 0, "fork starts a fresh binlog");
+
+        let mut ms = Session::new();
+        master
+            .execute(
+                &mut ms,
+                "INSERT INTO users (id, username, created_at) VALUES (900001, 'late', 0)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(master.binlog().len(), 1);
+        assert_ne!(master.table_rows("users"), slave.table_rows("users"));
+        let _ = &mut slave;
+    }
+
+    #[test]
+    fn seed_referential_integrity() {
+        let (mut engine, _) = build_template(tiny(), &mut Rng::new(3));
+        let mut s = Session::new();
+        // No event_tags row may reference a missing event or tag.
+        let r = engine
+            .execute(
+                &mut s,
+                "SELECT COUNT(*) FROM event_tags et \
+                 LEFT JOIN events e ON et.event_id = e.id \
+                 LEFT JOIN tags t ON et.tag_id = t.id \
+                 WHERE e.id IS NULL OR t.id IS NULL",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+    }
+}

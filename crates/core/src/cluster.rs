@@ -1,0 +1,1261 @@
+//! The timed cluster simulation: users → pool → proxy → replicas, with
+//! binlog shipping, apply threads, heartbeats, and NTP, all over the
+//! discrete-event kernel.
+//!
+//! # Event flow
+//!
+//! Each emulated user loops: think → generate operation → acquire pooled
+//! connection → proxy routes (write→master, read→slave) → request travels
+//! the network → the target VM executes the operation's statements when its
+//! FIFO CPU reaches the job → response travels back → stats → next think.
+//!
+//! Master writes append binlog events; at the write's *commit* (job
+//! completion) new events ship to every slave over the network (FIFO per
+//! slave). A slave's relay queue feeds one apply job per event into the same
+//! FIFO CPU that serves reads — the shared-resource contention that produces
+//! the paper's replication-delay surge.
+//!
+//! Statements execute *functionally* at CPU-service start: replica tables
+//! genuinely diverge until applies run, so staleness is measured from real
+//! heartbeat rows, not a model. (Timestamps are therefore stamped at service
+//! start rather than commit — a bounded error of one service time, identical
+//! in the idle baseline and thus cancelled by the paper's relative-delay
+//! metric.)
+
+use crate::config::{BalancerKind, ClusterConfig};
+use crate::report::{DelayReport, RunReport};
+use amdb_clock::WALL_EPOCH_MICROS;
+use amdb_cloud::{Instance, InstanceType, Provider};
+use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases};
+use amdb_metrics::{trimmed_mean, Summary};
+use amdb_net::{NetModel, Zone};
+use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
+use amdb_proxy::{
+    Balancer, LatencyAware, LeastOutstanding, OpClass as ProxyClass, Proxy, RandomPick,
+    RoundRobin, Route,
+};
+use amdb_repl::{collect_samples, HeartbeatPlugin, RelayQueue, ReplMode};
+use amdb_sim::{Rng, Sim, SimDuration, SimTime};
+use amdb_sql::binlog::{BinlogEvent, Lsn};
+use amdb_sql::cost::CostModel;
+use amdb_sql::{Engine, ForkRole, Session};
+use std::collections::HashMap;
+
+type S = Sim<Cluster>;
+
+/// The active operation generator (the two workload classes).
+enum WorkGen {
+    Cloudstone(OpGenerator),
+    Web10(amdb_cloudstone::Web10Generator),
+}
+
+impl WorkGen {
+    fn generate(&mut self, mix: amdb_cloudstone::MixConfig) -> Operation {
+        match self {
+            WorkGen::Cloudstone(g) => g.generate(mix),
+            WorkGen::Web10(g) => g.generate(),
+        }
+    }
+}
+
+/// One database VM: instance (CPU/clock/NTP), engine, serial job queue.
+struct Node {
+    inst: Instance,
+    engine: Engine,
+    session: Session,
+    queue: std::collections::VecDeque<Job>,
+    busy: bool,
+    /// True when the VM has failed: it serves nothing until replaced.
+    failed: bool,
+    /// Slot generation: bumped whenever the node occupying this slot is
+    /// replaced or swapped (failover), so completion events scheduled
+    /// against the old occupant can detect they are stale.
+    gen: u64,
+}
+
+impl Node {
+    fn new(inst: Instance, engine: Engine) -> Self {
+        Self {
+            inst,
+            engine,
+            session: Session::new(),
+            queue: std::collections::VecDeque::new(),
+            busy: false,
+            failed: false,
+            gen: 0,
+        }
+    }
+}
+
+/// Work items served by a node's FIFO CPU.
+enum Job {
+    ClientOp {
+        user: u32,
+        op: Operation,
+        issued: SimTime,
+        /// Slave index the proxy routed a read to (for feedback), if any.
+        routed_slave: Option<usize>,
+    },
+    /// Apply the next relay-queue event on slave `slave`.
+    Apply { slave: usize },
+    /// Master heartbeat insert.
+    Heartbeat,
+}
+
+/// A write waiting for synchronous acknowledgements (Sync mode).
+struct SyncWait {
+    user: u32,
+    issued: SimTime,
+    routed_slave: Option<usize>,
+    class: OpClass,
+    /// The last LSN this write appended; a slave acks once applied past it.
+    last_lsn: Lsn,
+    acked: Vec<bool>,
+    latest_ack: SimTime,
+}
+
+#[derive(Default)]
+struct Stats {
+    steady_ops: u64,
+    steady_reads: u64,
+    steady_writes: u64,
+    latencies_ms: Vec<f64>,
+    peak_relay_backlog: u64,
+    master_util: f64,
+    slave_utils: Vec<f64>,
+    /// (heartbeat id, emission sim-time) pairs.
+    hb_emitted: Vec<(i64, SimTime)>,
+}
+
+/// The simulation world for one benchmark run.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    phases: Phases,
+    net: NetModel,
+    cost: CostModel,
+    client_zone: Zone,
+    /// Node 0 is the master; nodes 1..=n are slaves.
+    nodes: Vec<Node>,
+    relays: Vec<RelayQueue>,
+    /// Master-side shipping cursor.
+    shipped_upto: Lsn,
+    /// Per-slave FIFO channel clearance (preserves shipping order under
+    /// jitter, like a TCP connection).
+    chan_clear: Vec<SimTime>,
+    proxy: Proxy,
+    pool: SimPool,
+    gen: WorkGen,
+    hb: HeartbeatPlugin,
+    mode: ReplMode,
+    pending_sync: Vec<SyncWait>,
+    parked: HashMap<Ticket, (u32, Operation, SimTime)>,
+    rng_think: Rng,
+    rng_ntp: Rng,
+    /// Provider handle kept for dynamic slave launches (failover/autoscale).
+    provider: Provider,
+    /// Timeline of membership events: (time, description).
+    events_log: Vec<(SimTime, String)>,
+    last_scale_action: SimTime,
+    /// Replication epoch: bumped on failover so deliveries from a deposed
+    /// master's binlog are discarded (its LSNs would collide with the new
+    /// master's fresh log).
+    repl_epoch: u64,
+    /// Write ops parked while the master is down (failover in progress).
+    awaiting_master: Vec<(u32, Operation, SimTime)>,
+    /// Committed-but-unreplicated writes lost in failovers (§II data loss).
+    lost_writes: u64,
+    stats: Stats,
+}
+
+impl Cluster {
+    /// Build the world: launch instances, load + fork the database, wire the
+    /// proxy and pool, but schedule nothing yet.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let root = Rng::new(cfg.seed);
+        let mut load_rng = root.derive("load");
+        let (template, counters) = build_template(cfg.data_size, &mut load_rng);
+        Self::with_template(cfg, &template, counters)
+    }
+
+    /// Like [`Cluster::new`], but forks the replicas off a pre-built template
+    /// database (see `amdb_cloudstone::build_template`). Sweeps load the
+    /// template once per data size and reuse it across all of their runs.
+    pub fn with_template(
+        cfg: ClusterConfig,
+        template: &Engine,
+        counters: amdb_cloudstone::DataCounters,
+    ) -> Self {
+        let root = Rng::new(cfg.seed);
+        let mut provider = Provider::new(cfg.provider.clone(), root.derive("provider"));
+        let net = NetModel::new(cfg.net.clone(), root.derive("net"));
+
+        let master_zone = cfg.master_zone;
+        let slave_zone = cfg.placement.slave_zone(master_zone);
+
+        let master_inst = match cfg.pin_master_host {
+            Some(m) => provider.launch_on_host(master_zone, InstanceType::Small, m),
+            None => provider.launch(master_zone, InstanceType::Small),
+        };
+        let mut nodes = vec![Node::new(
+            master_inst,
+            template.fork(ForkRole::Master(cfg.format)),
+        )];
+        for _ in 0..cfg.n_slaves {
+            let inst = match cfg.pin_slave_host {
+                Some(m) => provider.launch_on_host(slave_zone, InstanceType::Small, m),
+                None => provider.launch(slave_zone, InstanceType::Small),
+            };
+            nodes.push(Node::new(inst, template.fork(ForkRole::Slave)));
+        }
+
+        let balancer: Box<dyn Balancer> = match cfg.balancer {
+            BalancerKind::RoundRobin => Box::new(RoundRobin::default()),
+            BalancerKind::Random => Box::new(RandomPick::new(root.derive("balancer"))),
+            BalancerKind::LeastOutstanding => Box::new(LeastOutstanding),
+            BalancerKind::LatencyAware => Box::new(LatencyAware),
+        };
+        let proxy = Proxy::new(cfg.n_slaves, balancer);
+
+        let pool_size = if cfg.pool_max_active == 0 {
+            cfg.workload.concurrent_users as usize
+        } else {
+            cfg.pool_max_active
+        };
+        let pool = SimPool::new(PoolConfig {
+            max_active: pool_size,
+        });
+
+        let mut shipped0 = Lsn(0);
+        let gen = match cfg.workload_kind {
+            crate::config::WorkloadKind::Cloudstone => {
+                WorkGen::Cloudstone(OpGenerator::new(counters, root.derive("ops")))
+            }
+            crate::config::WorkloadKind::Web10 => {
+                // Load the bookstore catalog identically on every replica
+                // (same seed ⇒ identical content ⇒ "pre-loaded,
+                // fully-synchronized"), then position the shipping cursor
+                // past the loader's binlog events so they are not re-shipped.
+                let items = 20 * cfg.data_size.scale;
+                for node in &mut nodes {
+                    let mut load_rng = root.derive("web10-load");
+                    let mut session = Session::new();
+                    amdb_cloudstone::load_web10(
+                        &mut node.engine,
+                        &mut session,
+                        items,
+                        &mut load_rng,
+                    )
+                    .expect("web10 catalog loads");
+                }
+                shipped0 = nodes[0].engine.binlog().head();
+                WorkGen::Web10(amdb_cloudstone::Web10Generator::new(
+                    items,
+                    root.derive("web10-ops"),
+                ))
+            }
+        };
+        let phases = cfg.workload.phases;
+        let n = cfg.n_slaves;
+        Self {
+            provider,
+            events_log: Vec::new(),
+            last_scale_action: SimTime::ZERO,
+            repl_epoch: 0,
+            awaiting_master: Vec::new(),
+            lost_writes: 0,
+            cost: cfg.cost.clone(),
+            client_zone: master_zone,
+            mode: cfg.mode,
+            cfg,
+            phases,
+            net,
+            nodes,
+            relays: (0..n).map(|_| RelayQueue::starting_at(shipped0)).collect(),
+            shipped_upto: shipped0,
+            chan_clear: vec![SimTime::ZERO; n],
+            proxy,
+            pool,
+            gen,
+            hb: HeartbeatPlugin::new(),
+            pending_sync: Vec::new(),
+            parked: HashMap::new(),
+            rng_think: root.derive("think"),
+            rng_ntp: root.derive("ntp"),
+            stats: Stats::default(),
+        }
+    }
+
+    fn slave_node(&self, slave: usize) -> usize {
+        slave + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Timeline setup
+    // ------------------------------------------------------------------
+
+    /// Schedule the full timeline: NTP, heartbeats, users, window markers.
+    pub fn schedule_timeline(&mut self, sim: &mut S) {
+        // Initial NTP sync for everyone (instances boot disciplined once),
+        // then the periodic chain if configured.
+        for i in 0..self.nodes.len() {
+            let node = &mut self.nodes[i];
+            let (clock, ntp) = (&mut node.inst.clock, &mut node.inst.ntp);
+            ntp.sync(clock, SimTime::ZERO, &mut self.rng_ntp);
+        }
+        if let Some(interval) = self.cfg.ntp_interval {
+            sim.schedule_in(interval, move |w: &mut Cluster, sim| w.ntp_tick(sim, interval));
+        }
+
+        // Heartbeats from t=0 (idle baseline needs them).
+        sim.schedule_at(SimTime::ZERO, |w: &mut Cluster, sim| w.heartbeat_tick(sim));
+
+        // Users, staggered linearly over the ramp-up.
+        let users = self.cfg.workload.concurrent_users;
+        let ramp = self.phases.ramp_up;
+        let start = self.phases.load_start();
+        for u in 0..users {
+            let at = start + SimDuration::from_micros(ramp.as_micros() * u as u64 / users as u64);
+            sim.schedule_at(at, move |w: &mut Cluster, sim| w.user_next_op(sim, u));
+        }
+
+        // Planned slave failures (availability experiments).
+        for fault in self.cfg.faults.clone() {
+            let fail_at = SimTime::ZERO + fault.fail_at;
+            let slave = fault.slave;
+            sim.schedule_at(fail_at, move |w: &mut Cluster, sim| {
+                w.fail_slave(sim, slave);
+            });
+            if let Some(after) = fault.recover_after {
+                sim.schedule_at(fail_at + after, move |w: &mut Cluster, sim| {
+                    w.replace_slave(sim, slave);
+                });
+            }
+        }
+
+        // Planned master failure with automatic failover.
+        if let Some(mf) = self.cfg.master_fault.clone() {
+            let fail_at = SimTime::ZERO + mf.fail_at;
+            sim.schedule_at(fail_at, move |w: &mut Cluster, sim| {
+                w.fail_master(sim);
+            });
+            sim.schedule_at(fail_at + mf.detection_delay, |w: &mut Cluster, sim| {
+                w.promote_best_slave(sim);
+            });
+        }
+
+        // Staleness-driven autoscaling controller.
+        if let Some(auto) = self.cfg.autoscale.clone() {
+            let interval = auto.check_interval;
+            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
+                w.autoscale_tick(sim, auto.clone());
+            });
+        }
+
+        // Measurement window markers.
+        sim.schedule_at(self.phases.steady_start(), |w: &mut Cluster, sim| {
+            let now = sim.now();
+            for node in &mut w.nodes {
+                node.inst.cpu.reset_window(now);
+            }
+        });
+        sim.schedule_at(self.phases.steady_end(), |w: &mut Cluster, sim| {
+            let now = sim.now();
+            w.stats.master_util = w.nodes[0].inst.cpu.utilization(now);
+            w.stats.slave_utils = w.nodes[1..]
+                .iter()
+                .map(|n| n.inst.cpu.utilization(now))
+                .collect();
+        });
+    }
+
+    fn ntp_tick(&mut self, sim: &mut S, interval: SimDuration) {
+        let now = sim.now();
+        for node in &mut self.nodes {
+            let (clock, ntp) = (&mut node.inst.clock, &mut node.inst.ntp);
+            ntp.sync(clock, now, &mut self.rng_ntp);
+        }
+        if now + interval <= self.phases.hard_end() {
+            sim.schedule_in(interval, move |w: &mut Cluster, sim| w.ntp_tick(sim, interval));
+        }
+    }
+
+    fn heartbeat_tick(&mut self, sim: &mut S) {
+        self.enqueue_job(sim, 0, Job::Heartbeat);
+        let interval = self.cfg.heartbeat_interval;
+        if sim.now() + interval <= self.phases.hard_end() {
+            sim.schedule_in(interval, |w: &mut Cluster, sim| w.heartbeat_tick(sim));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Users
+    // ------------------------------------------------------------------
+
+    fn user_next_op(&mut self, sim: &mut S, user: u32) {
+        if sim.now() >= self.phases.load_end() {
+            return; // ramp-down: user retires
+        }
+        let op = self.gen.generate(self.cfg.mix);
+        let issued = sim.now();
+        match self.pool.acquire(issued) {
+            Acquire::Ready => self.dispatch(sim, user, op, issued),
+            Acquire::Queued(t) => {
+                self.parked.insert(t, (user, op, issued));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, sim: &mut S, user: u32, op: Operation, issued: SimTime) {
+        let class = match op.class {
+            OpClass::Read => ProxyClass::Read,
+            OpClass::Write => ProxyClass::Write,
+        };
+        let (node_idx, routed_slave) = match self.proxy.route(class) {
+            Route::Master => {
+                if self.nodes[0].failed {
+                    // Failover in progress: park until promotion completes.
+                    self.awaiting_master.push((user, op, issued));
+                    return;
+                }
+                (0, None)
+            }
+            Route::Slave(s) => (self.slave_node(s), Some(s)),
+        };
+        let delay = self.net.delay(self.client_zone, self.nodes[node_idx].inst.zone());
+        sim.schedule_in(delay, move |w: &mut Cluster, sim| {
+            w.enqueue_job(
+                sim,
+                node_idx,
+                Job::ClientOp {
+                    user,
+                    op,
+                    issued,
+                    routed_slave,
+                },
+            );
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Node job queue
+    // ------------------------------------------------------------------
+
+    fn enqueue_job(&mut self, sim: &mut S, node: usize, job: Job) {
+        self.nodes[node].queue.push_back(job);
+        self.try_start(sim, node);
+    }
+
+    fn try_start(&mut self, sim: &mut S, node_idx: usize) {
+        if self.nodes[node_idx].busy {
+            return;
+        }
+        if self.nodes[node_idx].failed {
+            // A failed VM serves nothing; drop queued work. Client ops get
+            // an immediate error response so their users retry elsewhere.
+            let dropped: Vec<Job> = self.nodes[node_idx].queue.drain(..).collect();
+            for job in dropped {
+                if let Job::ClientOp { user, op, issued, .. } = job {
+                    self.retry_elsewhere(sim, user, op, issued);
+                }
+            }
+            return;
+        }
+        let Some(job) = self.nodes[node_idx].queue.pop_front() else {
+            return;
+        };
+        self.nodes[node_idx].busy = true;
+        let now = sim.now();
+        let gen = self.nodes[node_idx].gen;
+
+        match job {
+            Job::ClientOp {
+                user,
+                op,
+                issued,
+                routed_slave,
+            } => {
+                let demand_us = self.exec_client_op(node_idx, &op, now);
+                let done = self.nodes[node_idx]
+                    .inst
+                    .cpu
+                    .submit(now, SimDuration::from_micros(demand_us.round() as u64));
+                let class = op.class;
+                sim.schedule_at(done, move |w: &mut Cluster, sim| {
+                    w.client_op_done(sim, node_idx, gen, user, class, issued, routed_slave);
+                });
+            }
+            Job::Apply { slave } => {
+                let ev = self.relays[slave]
+                    .pop_next()
+                    .expect("apply job implies a queued relay event");
+                let node = &mut self.nodes[node_idx];
+                let now_micros = node.inst.clock.read(now).0;
+                let res = node
+                    .engine
+                    .apply_event(&ev, now_micros)
+                    .unwrap_or_else(|e| panic!("slave {slave} apply of {:?} failed: {e}", ev.lsn));
+                self.relays[slave].mark_applied(ev.lsn);
+                let demand_us = self.cost.apply_demand_us(&res);
+                let done = node
+                    .inst
+                    .cpu
+                    .submit(now, SimDuration::from_micros(demand_us.round() as u64));
+                let lsn = ev.lsn;
+                sim.schedule_at(done, move |w: &mut Cluster, sim| {
+                    w.apply_done(sim, node_idx, gen, slave, lsn);
+                });
+            }
+            Job::Heartbeat => {
+                let (sql, params) = self.hb.next_insert();
+                let id = match params[0] {
+                    amdb_sql::Value::Int(i) => i,
+                    _ => unreachable!(),
+                };
+                self.stats.hb_emitted.push((id, now));
+                let node = &mut self.nodes[node_idx];
+                node.session.now_micros = node.inst.clock.read(now).0;
+                let res = node
+                    .engine
+                    .execute(&mut node.session, &sql, &params)
+                    .unwrap_or_else(|e| panic!("heartbeat insert failed: {e}"));
+                let mut demand_us = self.cost.statement_demand_us(&res, true) + self.cost.commit_us;
+                demand_us += self.cost.ship_demand_us() * self.relays.len() as f64;
+                let done = node
+                    .inst
+                    .cpu
+                    .submit(now, SimDuration::from_micros(demand_us.round() as u64));
+                sim.schedule_at(done, move |w: &mut Cluster, sim| {
+                    w.master_job_done(sim, node_idx, gen);
+                });
+            }
+        }
+    }
+
+    /// Execute an operation's statements functionally and return the total
+    /// CPU demand in µs (statements + per-op commit + shipping for writes).
+    fn exec_client_op(&mut self, node_idx: usize, op: &Operation, now: SimTime) -> f64 {
+        let node = &mut self.nodes[node_idx];
+        node.session.now_micros = node.inst.clock.read(now).0;
+        let mut demand_us = 0.0;
+        for (sql, params) in &op.statements {
+            let res = node
+                .engine
+                .execute(&mut node.session, sql, params)
+                .unwrap_or_else(|e| panic!("op '{}' failed: {e}\nSQL: {sql}", op.name));
+            demand_us += self
+                .cost
+                .statement_demand_us(&res, res.rows_affected > 0);
+        }
+        if op.class == OpClass::Write {
+            demand_us += self.cost.commit_us;
+            // Binlog dump threads consume master CPU per slave per event.
+            let new_events = node.engine.binlog().head().0 - self.shipped_upto.0;
+            let live = self.relays.len(); // dump threads, one per attached slave
+            demand_us += self.cost.ship_demand_us() * new_events as f64 * live as f64;
+        }
+        demand_us
+    }
+
+    // ------------------------------------------------------------------
+    // Completions
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn client_op_done(
+        &mut self,
+        sim: &mut S,
+        node_idx: usize,
+        gen: u64,
+        user: u32,
+        class: OpClass,
+        issued: SimTime,
+        routed_slave: Option<usize>,
+    ) {
+        if self.nodes[node_idx].gen != gen {
+            // The node at this slot was swapped/replaced mid-service
+            // (failover). The op's functional work already happened; just
+            // deliver the response so the user's loop continues.
+            let now = sim.now();
+            self.schedule_response(sim, now, user, class, issued, routed_slave);
+            return;
+        }
+        self.nodes[node_idx].busy = false;
+        let now = sim.now();
+
+        if node_idx == 0 {
+            // Master job: commit point — ship new binlog events.
+            let deliveries = self.ship_new(sim);
+            match (class, self.mode) {
+                (OpClass::Write, ReplMode::SemiSync) if !deliveries.is_empty() => {
+                    // Respond when the first receipt ack returns.
+                    let mut first_ack = SimTime::from_micros(u64::MAX);
+                    for &(s, d) in &deliveries {
+                        let back = self
+                            .net
+                            .delay(self.nodes[self.slave_node(s)].inst.zone(), self.client_zone);
+                        first_ack = first_ack.min(d + back);
+                    }
+                    let at = first_ack.max(now);
+                    sim.schedule_at(at, move |w: &mut Cluster, sim| {
+                        w.respond(sim, user, class, issued, routed_slave);
+                    });
+                    self.try_start(sim, node_idx);
+                    return;
+                }
+                (OpClass::Write, ReplMode::Sync) if !self.relays.is_empty() => {
+                    // Respond when every live slave has applied this write.
+                    let last_lsn = Lsn(self.shipped_upto.0.saturating_sub(1));
+                    let mut acked = vec![false; self.relays.len()];
+                    // Slaves that have already applied past it (possible for
+                    // read-only ops that logged nothing) ack immediately;
+                    // failed slaves cannot be waited on.
+                    for (s, r) in self.relays.iter().enumerate() {
+                        if r.applied_upto() > last_lsn || self.nodes[s + 1].failed {
+                            acked[s] = true;
+                        }
+                    }
+                    if acked.iter().all(|&a| a) {
+                        self.schedule_response(sim, now, user, class, issued, routed_slave);
+                    } else {
+                        self.pending_sync.push(SyncWait {
+                            user,
+                            issued,
+                            routed_slave,
+                            class,
+                            last_lsn,
+                            acked,
+                            latest_ack: now,
+                        });
+                    }
+                    self.try_start(sim, node_idx);
+                    return;
+                }
+                _ => {}
+            }
+        }
+
+        self.schedule_response(sim, now, user, class, issued, routed_slave);
+        self.try_start(sim, node_idx);
+    }
+
+    fn schedule_response(
+        &mut self,
+        sim: &mut S,
+        at: SimTime,
+        user: u32,
+        class: OpClass,
+        issued: SimTime,
+        routed_slave: Option<usize>,
+    ) {
+        let from = match routed_slave {
+            Some(s) => self.nodes[self.slave_node(s)].inst.zone(),
+            None => self.nodes[0].inst.zone(),
+        };
+        let back = self.net.delay(from, self.client_zone);
+        let respond_at = at.max(sim.now()) + back;
+        sim.schedule_at(respond_at, move |w: &mut Cluster, sim| {
+            w.respond(sim, user, class, issued, routed_slave);
+        });
+    }
+
+    fn respond(
+        &mut self,
+        sim: &mut S,
+        user: u32,
+        class: OpClass,
+        issued: SimTime,
+        routed_slave: Option<usize>,
+    ) {
+        let now = sim.now();
+        let latency_ms = (now - issued).as_millis_f64();
+        if let Some(s) = routed_slave {
+            self.proxy.read_done(s, latency_ms);
+        }
+        if self.phases.in_steady(now) {
+            self.stats.steady_ops += 1;
+            match class {
+                OpClass::Read => self.stats.steady_reads += 1,
+                OpClass::Write => self.stats.steady_writes += 1,
+            }
+            self.stats.latencies_ms.push(latency_ms);
+        }
+        // Return the connection; hand it straight to a parked user if any.
+        if let Some(ticket) = self.pool.release(now) {
+            if let Some((u2, op2, issued2)) = self.parked.remove(&ticket) {
+                self.dispatch(sim, u2, op2, issued2);
+            }
+        }
+        // Think, then next op.
+        let think = SimDuration::from_secs_f64(
+            self.rng_think
+                .exp(self.cfg.workload.think_time.as_secs_f64()),
+        );
+        sim.schedule_in(think, move |w: &mut Cluster, sim| w.user_next_op(sim, user));
+    }
+
+    fn master_job_done(&mut self, sim: &mut S, node_idx: usize, gen: u64) {
+        if self.nodes[node_idx].gen != gen {
+            return; // deposed master's heartbeat: nothing to ship
+        }
+        self.nodes[node_idx].busy = false;
+        self.ship_new(sim);
+        self.try_start(sim, node_idx);
+    }
+
+    fn apply_done(&mut self, sim: &mut S, node_idx: usize, gen: u64, slave: usize, lsn: Lsn) {
+        if self.nodes[node_idx].gen != gen {
+            return; // slot re-occupied since this apply started
+        }
+        self.nodes[node_idx].busy = false;
+        // Sync-mode acks.
+        if self.mode == ReplMode::Sync && !self.pending_sync.is_empty() {
+            let now = sim.now();
+            let back = self
+                .net
+                .delay(self.nodes[node_idx].inst.zone(), self.client_zone);
+            let mut completed = Vec::new();
+            for (i, wait) in self.pending_sync.iter_mut().enumerate() {
+                if !wait.acked[slave] && lsn >= wait.last_lsn {
+                    wait.acked[slave] = true;
+                    wait.latest_ack = wait.latest_ack.max(now + back);
+                    if wait.acked.iter().all(|&a| a) {
+                        completed.push(i);
+                    }
+                }
+            }
+            for i in completed.into_iter().rev() {
+                let wait = self.pending_sync.swap_remove(i);
+                let at = wait.latest_ack;
+                let (user, class, issued, routed) =
+                    (wait.user, wait.class, wait.issued, wait.routed_slave);
+                sim.schedule_at(at.max(now), move |w: &mut Cluster, sim| {
+                    w.respond(sim, user, class, issued, routed);
+                });
+            }
+        }
+        self.try_start(sim, node_idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Shipping
+    // ------------------------------------------------------------------
+
+    /// Ship all unshipped binlog events to every slave. Returns the
+    /// per-slave delivery times of this batch.
+    fn ship_new(&mut self, sim: &mut S) -> Vec<(usize, SimTime)> {
+        let head = self.nodes[0].engine.binlog().head();
+        if head == self.shipped_upto || self.relays.is_empty() {
+            self.shipped_upto = head;
+            return Vec::new();
+        }
+        let events: Vec<BinlogEvent> = self.nodes[0]
+            .engine
+            .binlog_from(self.shipped_upto)
+            .to_vec();
+        self.shipped_upto = head;
+        let master_zone = self.nodes[0].inst.zone();
+        let mut deliveries = Vec::with_capacity(self.relays.len());
+        for s in 0..self.relays.len() {
+            if self.nodes[self.slave_node(s)].failed {
+                continue; // no I/O thread to ship to; resync happens on replace
+            }
+            let zone = self.nodes[self.slave_node(s)].inst.zone();
+            let mut at = sim.now() + self.net.delay(master_zone, zone);
+            // FIFO channel: batches may not overtake each other.
+            if at < self.chan_clear[s] {
+                at = self.chan_clear[s];
+            }
+            self.chan_clear[s] = at;
+            deliveries.push((s, at));
+            let evs = events.clone();
+            let epoch = self.repl_epoch;
+            sim.schedule_at(at, move |w: &mut Cluster, sim| {
+                w.deliver(sim, s, epoch, evs)
+            });
+        }
+        deliveries
+    }
+
+    fn deliver(&mut self, sim: &mut S, slave: usize, epoch: u64, events: Vec<BinlogEvent>) {
+        if epoch != self.repl_epoch {
+            return; // shipped by a master deposed since; its log is void
+        }
+        // A replaced slave's relay silently discards duplicates from
+        // deliveries that were in flight before the failure; apply jobs are
+        // enqueued only for events actually accepted.
+        let before = self.relays[slave].queued();
+        self.relays[slave].receive(events);
+        let n = self.relays[slave].queued() - before;
+        self.stats.peak_relay_backlog = self
+            .stats
+            .peak_relay_backlog
+            .max(self.relays[slave].backlog());
+        let node_idx = self.slave_node(slave);
+        for _ in 0..n {
+            self.enqueue_job(sim, node_idx, Job::Apply { slave });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership: failures, replacement, autoscaling
+    // ------------------------------------------------------------------
+
+    /// A client op was aimed at a node that failed before serving it; the
+    /// driver reroutes it through the proxy (counting it as a retry).
+    fn retry_elsewhere(&mut self, sim: &mut S, user: u32, op: Operation, issued: SimTime) {
+        // The original routing decremented nothing; outstanding counts for
+        // the dead slave are reset by fail_slave. Re-dispatch afresh.
+        self.dispatch(sim, user, op, issued);
+    }
+
+    /// Kill slave `s`: it stops serving reads and applying writesets.
+    pub fn fail_slave(&mut self, sim: &mut S, s: usize) {
+        let node_idx = self.slave_node(s);
+        if self.nodes[node_idx].failed {
+            return;
+        }
+        self.nodes[node_idx].failed = true;
+        self.proxy.set_alive(s, false);
+        self.events_log
+            .push((sim.now(), format!("slave {s} failed")));
+        // Drain its queue now (in-flight CPU job, if any, still completes —
+        // modelling responses already on the wire).
+        self.try_start(sim, node_idx);
+    }
+
+    /// Replace a failed slave: launch a fresh VM in the same zone, seed it
+    /// from a master snapshot, and re-enter rotation after the initial sync.
+    pub fn replace_slave(&mut self, sim: &mut S, s: usize) {
+        let node_idx = self.slave_node(s);
+        let zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
+        let inst = match self.cfg.pin_slave_host {
+            Some(m) => self
+                .provider
+                .launch_on_host(zone, InstanceType::Small, m),
+            None => self.provider.launch(zone, InstanceType::Small),
+        };
+        // Snapshot of the master's current state; replication resumes from
+        // the current binlog head.
+        let engine = self.nodes[0].engine.fork(ForkRole::Slave);
+        let head = self.nodes[0].engine.binlog().head();
+        let gen = self.nodes[node_idx].gen + 1;
+        self.nodes[node_idx] = Node::new(inst, engine);
+        self.nodes[node_idx].gen = gen;
+        self.relays[s] = RelayQueue::starting_at(head);
+        self.chan_clear[s] = sim.now();
+        self.events_log
+            .push((sim.now(), format!("slave {s} replaced (resync from {head})")));
+        // It can serve reads immediately: the snapshot is current as of now.
+        self.proxy.set_alive(s, true);
+    }
+
+    /// Kill the master. Writes start parking; reads keep flowing to slaves
+    /// (stale, as async replication promises). Sync/semi-sync writes still
+    /// waiting for acks are answered immediately (their commit outcome on
+    /// the dead master is already fixed; clients observe an error-and-retry
+    /// as a completed interaction here).
+    pub fn fail_master(&mut self, sim: &mut S) {
+        if self.nodes[0].failed {
+            return;
+        }
+        self.nodes[0].failed = true;
+        self.events_log.push((sim.now(), "master failed".into()));
+        for wait in std::mem::take(&mut self.pending_sync) {
+            let (user, class, issued, routed) =
+                (wait.user, wait.class, wait.issued, wait.routed_slave);
+            let now = sim.now();
+            sim.schedule_at(now, move |w: &mut Cluster, sim| {
+                w.respond(sim, user, class, issued, routed);
+            });
+        }
+        // Drop queued master work (heartbeats pause; client writes that were
+        // already queued re-enter dispatch and park).
+        self.try_start(sim, 0);
+    }
+
+    /// Automatic failover: promote the most up-to-date slave to master,
+    /// count the lost writes, resynchronize every other slave from the new
+    /// master's snapshot, and release parked writes.
+    pub fn promote_best_slave(&mut self, sim: &mut S) {
+        debug_assert!(self.nodes[0].failed, "promotion without a dead master");
+        let Some(best) = (0..self.relays.len())
+            .filter(|&s| !self.nodes[self.slave_node(s)].failed)
+            .max_by_key(|&s| self.relays[s].applied_upto())
+        else {
+            return; // no live slave to promote; writes stay parked
+        };
+
+
+        // §II data loss: everything the old master logged beyond what the
+        // promoted slave had applied is gone.
+        let old_head = self.nodes[0].engine.binlog().head();
+        self.lost_writes += old_head.0.saturating_sub(self.relays[best].applied_upto().0);
+
+        // Swap the promoted node into slot 0; the dead master takes its
+        // slave slot (and stays failed until/unless replaced). Both slots'
+        // generations bump so completion events for jobs that were in
+        // flight across the swap detect they are stale; the promotion
+        // restarts service on both slots (busy flags reset, queues
+        // re-dispatched below).
+        let best_node = self.slave_node(best);
+        self.nodes.swap(0, best_node);
+        self.nodes[0].gen += 1;
+        self.nodes[0].failed = false;
+        self.nodes[0].busy = false;
+        self.nodes[best_node].gen += 1;
+        self.nodes[best_node].busy = false;
+        self.nodes[0]
+            .engine
+            .promote_to_master(self.cfg.format);
+        self.proxy.set_alive(best, false); // that slot now holds the corpse
+
+        // The promoted node's queued work (it was serving reads) and the
+        // corpse's queued work both re-enter dispatch.
+        for node in [0usize, best_node] {
+            let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
+            for job in orphans {
+                if let Job::ClientOp {
+                    user, op, issued, routed_slave,
+                } = job
+                {
+                    if let Some(rs) = routed_slave {
+                        self.proxy.read_done(rs, 1.0);
+                    }
+                    self.dispatch(sim, user, op, issued);
+                }
+            }
+        }
+
+        // New replication stream: fresh binlog, fresh epoch; every live
+        // slave resyncs from a snapshot of the new master.
+        self.repl_epoch += 1;
+        self.shipped_upto = Lsn(0);
+        for s in 0..self.relays.len() {
+            self.relays[s] = RelayQueue::starting_at(Lsn(0));
+            self.chan_clear[s] = sim.now();
+            let node = self.slave_node(s);
+            if !self.nodes[node].failed {
+                let snapshot = self.nodes[0].engine.fork(ForkRole::Slave);
+                self.nodes[node].engine = snapshot;
+                // Queued reads must not be dropped silently — their users
+                // would hang; push them back through the proxy.
+                let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
+                for job in orphans {
+                    if let Job::ClientOp {
+                        user, op, issued, routed_slave,
+                    } = job
+                    {
+                        if let Some(rs) = routed_slave {
+                            self.proxy.read_done(rs, 1.0);
+                        }
+                        self.dispatch(sim, user, op, issued);
+                    }
+                }
+            }
+        }
+        self.events_log.push((
+            sim.now(),
+            format!(
+                "slave {best} promoted to master ({} write event(s) lost)",
+                self.lost_writes
+            ),
+        ));
+
+        // Release parked writes.
+        for (user, op, issued) in std::mem::take(&mut self.awaiting_master) {
+            self.dispatch(sim, user, op, issued);
+        }
+    }
+
+    /// Launch an additional slave (scale-out). Returns its index.
+    pub fn add_slave(&mut self, sim: &mut S, sync_duration: SimDuration) -> usize {
+        let zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
+        let inst = match self.cfg.pin_slave_host {
+            Some(m) => self
+                .provider
+                .launch_on_host(zone, InstanceType::Small, m),
+            None => self.provider.launch(zone, InstanceType::Small),
+        };
+        let engine = self.nodes[0].engine.fork(ForkRole::Slave);
+        let head = self.nodes[0].engine.binlog().head();
+        self.nodes.push(Node::new(inst, engine));
+        self.relays.push(RelayQueue::starting_at(head));
+        self.chan_clear.push(sim.now());
+        let s = self.proxy.add_slave();
+        debug_assert_eq!(s + 2, self.nodes.len(), "proxy and node lists in step");
+        self.events_log
+            .push((sim.now(), format!("slave {s} launched (autoscale)")));
+        // Serve reads once the initial sync window elapses.
+        sim.schedule_in(sync_duration, move |w: &mut Cluster, sim| {
+            w.proxy.set_alive(s, true);
+            w.events_log
+                .push((sim.now(), format!("slave {s} in rotation")));
+        });
+        s
+    }
+
+    /// Observed staleness of slave `s` in milliseconds, estimated from the
+    /// heartbeat stream: how far behind the newest issued heartbeat its
+    /// applied heartbeats are. This is exactly the signal an
+    /// application-managed controller can compute from its own tables.
+    fn observed_staleness_ms(&self, s: usize) -> f64 {
+        let issued = self.hb.issued();
+        if issued == 0 {
+            return 0.0;
+        }
+        // Applied heartbeats = rows in the slave's heartbeat table.
+        let applied = self.nodes[self.slave_node(s)]
+            .engine
+            .table_rows("heartbeat")
+            .unwrap_or(0) as i64;
+        let behind = (issued - applied).max(0) as f64;
+        behind * self.cfg.heartbeat_interval.as_millis_f64()
+    }
+
+    fn autoscale_tick(&mut self, sim: &mut S, auto: crate::config::AutoscaleConfig) {
+        let now = sim.now();
+        if now < self.phases.load_end() {
+            let worst = (0..self.relays.len())
+                .filter(|&s| !self.nodes[self.slave_node(s)].failed)
+                .map(|s| self.observed_staleness_ms(s))
+                .fold(0.0f64, f64::max);
+            let cooled = now >= self.last_scale_action + auto.cooldown;
+            if worst > auto.staleness_slo_ms && self.relays.len() < auto.max_slaves && cooled {
+                self.last_scale_action = now;
+                self.add_slave(sim, auto.sync_duration);
+            }
+            sim.schedule_in(auto.check_interval, move |w: &mut Cluster, sim| {
+                w.autoscale_tick(sim, auto.clone());
+            });
+        }
+    }
+
+    /// Membership timeline (failures, replacements, scale-outs).
+    pub fn events_log(&self) -> &[(SimTime, String)] {
+        &self.events_log
+    }
+
+    /// Current number of attached slaves (grows under autoscaling).
+    pub fn current_slaves(&self) -> usize {
+        self.relays.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Final measurement
+    // ------------------------------------------------------------------
+
+    /// Assemble the run report (after the simulation has drained).
+    pub fn report(&mut self, sim_events: u64) -> RunReport {
+        let phases = self.phases;
+        let steady_secs = (phases.steady_end() - phases.steady_start()).as_secs_f64();
+
+        // Replication delay per slave, via the heartbeat tables.
+        let n_slaves_now = self.relays.len();
+        let mut delays = Vec::with_capacity(n_slaves_now);
+        let hb_emitted = self.stats.hb_emitted.clone();
+        let steady_emitted: Vec<i64> = hb_emitted
+            .iter()
+            .filter(|(_, t)| phases.in_steady(*t))
+            .map(|&(id, _)| id)
+            .collect();
+        for s in 0..n_slaves_now {
+            if self.nodes[s + 1].failed {
+                // A dead (or deposed-master) slot measures nothing.
+                delays.push(DelayReport {
+                    baseline_ms: None,
+                    loaded_ms: None,
+                    relative_ms: None,
+                    loaded_samples: 0,
+                    missing_samples: steady_emitted.len(),
+                });
+                continue;
+            }
+            let (master, rest) = self.nodes.split_at_mut(1);
+            let samples = collect_samples(&mut master[0].engine, &mut rest[s].engine)
+                .expect("heartbeat tables exist on every replica");
+            let mut idle = Vec::new();
+            let mut loaded = Vec::new();
+            for sample in &samples {
+                // Map the master-local commit timestamp back to sim time;
+                // clock offsets are tens of ms against minute-scale windows.
+                let sim_us = (sample.master_ts_micros - WALL_EPOCH_MICROS).max(0) as u64;
+                let t = SimTime::from_micros(sim_us);
+                if phases.in_idle(t) {
+                    idle.push(sample.delay_ms());
+                } else if phases.in_steady(t) {
+                    loaded.push(sample.delay_ms());
+                }
+            }
+            let baseline = trimmed_mean(&idle, 0.05);
+            let loaded_mean = trimmed_mean(&loaded, 0.05);
+            delays.push(DelayReport {
+                baseline_ms: baseline,
+                loaded_ms: loaded_mean,
+                relative_ms: match (loaded_mean, baseline) {
+                    (Some(l), Some(b)) => Some(l - b),
+                    _ => None,
+                },
+                loaded_samples: loaded.len(),
+                missing_samples: steady_emitted.len().saturating_sub(loaded.len()),
+            });
+        }
+
+        RunReport {
+            users: self.cfg.workload.concurrent_users,
+            n_slaves: self.cfg.n_slaves,
+            final_slaves: n_slaves_now,
+            membership_events: self
+                .events_log
+                .iter()
+                .map(|(t, e)| (t.as_secs_f64(), e.clone()))
+                .collect(),
+            lost_writes: self.lost_writes,
+            steady_ops: self.stats.steady_ops,
+            steady_reads: self.stats.steady_reads,
+            steady_writes: self.stats.steady_writes,
+            throughput_ops_s: self.stats.steady_ops as f64 / steady_secs,
+            latency_ms: Summary::of(&self.stats.latencies_ms),
+            master_utilization: self.stats.master_util,
+            slave_utilizations: self.stats.slave_utils.clone(),
+            delays,
+            reads_per_slave: self.proxy.reads_per_slave().to_vec(),
+            peak_relay_backlog: self.stats.peak_relay_backlog,
+            pool_stats: (self.pool.total_acquired(), self.pool.total_waited()),
+            sim_events,
+        }
+    }
+
+    /// Direct engine access (node 0 is the master) for tests and examples.
+    pub fn engine_mut(&mut self, node: usize) -> &mut Engine {
+        &mut self.nodes[node].engine
+    }
+
+    /// The relay queue of slave `s`.
+    pub fn relay(&self, s: usize) -> &RelayQueue {
+        &self.relays[s]
+    }
+}
+
+/// Execute one full benchmark run for `cfg` and return its report.
+pub fn run_cluster(cfg: ClusterConfig) -> RunReport {
+    let mut sim: S = Sim::new();
+    let mut world = Cluster::new(cfg);
+    world.schedule_timeline(&mut sim);
+    sim.run(&mut world);
+    let events = sim.events_executed();
+    world.report(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdb_cloudstone::{DataSize, WorkloadConfig};
+
+    fn quick_cfg(users: u32, slaves: usize) -> ClusterConfig {
+        ClusterConfig::builder()
+            .slaves(slaves)
+            .workload(WorkloadConfig::quick(users))
+            .data_size(DataSize { scale: 30 })
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn small_run_completes_and_reports() {
+        let r = run_cluster(quick_cfg(10, 2));
+        assert!(r.steady_ops > 0, "ops completed in steady window");
+        assert!(r.throughput_ops_s > 0.5, "got {}", r.throughput_ops_s);
+        assert_eq!(r.delays.len(), 2);
+        assert_eq!(r.n_slaves, 2);
+        assert!(r.latency_ms.is_some());
+        for d in &r.delays {
+            assert!(d.baseline_ms.is_some(), "idle heartbeats measured");
+            assert!(d.loaded_ms.is_some(), "steady heartbeats measured");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_cluster(quick_cfg(8, 1));
+        let b = run_cluster(quick_cfg(8, 1));
+        assert_eq!(a.steady_ops, b.steady_ops);
+        assert_eq!(a.sim_events, b.sim_events);
+        assert_eq!(
+            a.delays[0].loaded_ms.unwrap(),
+            b.delays[0].loaded_ms.unwrap()
+        );
+    }
+
+    #[test]
+    fn reads_are_distributed_and_writes_hit_master() {
+        let r = run_cluster(quick_cfg(12, 3));
+        let total_reads: u64 = r.reads_per_slave.iter().sum();
+        assert!(total_reads > 0);
+        assert!(
+            r.reads_per_slave.iter().all(|&c| c > 0),
+            "round-robin spreads reads: {:?}",
+            r.reads_per_slave
+        );
+        assert!(r.steady_writes > 0);
+    }
+
+    #[test]
+    fn replicas_converge_after_drain() {
+        let cfg = quick_cfg(10, 2);
+        let mut sim: S = Sim::new();
+        let mut world = Cluster::new(cfg);
+        world.schedule_timeline(&mut sim);
+        sim.run(&mut world);
+        // After drain every relay must be empty and replica row counts match
+        // the master exactly (eventual consistency reached).
+        for s in 0..2 {
+            assert_eq!(world.relay(s).backlog(), 0, "slave {s} drained");
+        }
+        for table in ["users", "events", "comments", "attendees", "heartbeat"] {
+            let m = world.engine_mut(0).table_rows(table);
+            for node in 1..=2 {
+                assert_eq!(
+                    m,
+                    world.engine_mut(node).table_rows(table),
+                    "table {table} diverged on node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_users_more_throughput_below_saturation() {
+        let lo = run_cluster(quick_cfg(5, 2));
+        let hi = run_cluster(quick_cfg(15, 2));
+        assert!(
+            hi.throughput_ops_s > lo.throughput_ops_s * 1.5,
+            "closed loop scales below saturation: {} vs {}",
+            lo.throughput_ops_s,
+            hi.throughput_ops_s
+        );
+    }
+
+    #[test]
+    fn sync_mode_still_converges() {
+        let mut cfg = quick_cfg(6, 2);
+        cfg.mode = ReplMode::Sync;
+        let r = run_cluster(cfg);
+        assert!(r.steady_ops > 0);
+        assert!(r.steady_writes > 0, "sync writes completed");
+    }
+
+    #[test]
+    fn semisync_mode_completes() {
+        let mut cfg = quick_cfg(6, 2);
+        cfg.mode = ReplMode::SemiSync;
+        let r = run_cluster(cfg);
+        assert!(r.steady_writes > 0);
+    }
+
+    #[test]
+    fn zero_slaves_runs_reads_on_master() {
+        let r = run_cluster(quick_cfg(5, 0));
+        assert!(r.steady_ops > 0);
+        assert!(r.delays.is_empty());
+    }
+}

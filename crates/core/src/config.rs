@@ -1,0 +1,415 @@
+//! Cluster configuration and builder.
+
+use amdb_cloud::{CpuModel, ProviderConfig};
+use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
+use amdb_net::{NetConfig, Region, Zone};
+use amdb_repl::ReplMode;
+use amdb_sim::SimDuration;
+use amdb_sql::binlog::BinlogFormat;
+use amdb_sql::cost::CostModel;
+
+/// Geographic placement of the slaves relative to the master, matching the
+/// paper's three configurations (§III-A): *"same zone, all slaves are
+/// deployed in the same Availability Zone ... of the master; different
+/// zones, the slaves are in the same Region ... but in different
+/// Availability Zones; different regions, all slaves are geographically
+/// distributed in a different Region"*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    SameZone,
+    DifferentZone,
+    /// All slaves in the given foreign region (the paper shows eu-west).
+    DifferentRegion(Region),
+}
+
+impl Placement {
+    /// The figures' standard three configurations.
+    pub const PAPER_SET: [Placement; 3] = [
+        Placement::SameZone,
+        Placement::DifferentZone,
+        Placement::DifferentRegion(Region::EuWest1),
+    ];
+
+    /// Zone slaves are launched in, given the master's zone.
+    pub fn slave_zone(self, master: Zone) -> Zone {
+        match self {
+            Placement::SameZone => master,
+            Placement::DifferentZone => Zone::new(master.region, next_letter(master.letter)),
+            Placement::DifferentRegion(r) => Zone::new(r, 'a'),
+        }
+    }
+
+    /// Label used in reports ("same zone (us-west-1a)").
+    pub fn label(self, master: Zone) -> String {
+        match self {
+            Placement::SameZone => format!("same zone ({})", master),
+            Placement::DifferentZone => {
+                format!("different zone ({})", self.slave_zone(master))
+            }
+            Placement::DifferentRegion(_) => {
+                format!("different region ({})", self.slave_zone(master))
+            }
+        }
+    }
+}
+
+fn next_letter(c: char) -> char {
+    if c == 'a' {
+        'b'
+    } else {
+        'a'
+    }
+}
+
+/// Which application workload drives the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The paper's modified Cloudstone (Web 2.0 events calendar); the
+    /// read/write ratio comes from `ClusterConfig::mix`.
+    Cloudstone,
+    /// The TPC-W-flavoured read-mostly bookstore (Web 1.0 contrast,
+    /// 95/5 fixed mix). `ClusterConfig::mix` is ignored.
+    Web10,
+}
+
+/// Which balancing policy the proxy uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerKind {
+    RoundRobin,
+    Random,
+    LeastOutstanding,
+    /// The paper's suggested "smart load balancer ... based on estimated
+    /// processing time".
+    LatencyAware,
+}
+
+/// A planned slave failure (fault injection), for availability experiments.
+/// The paper notes that replication architectures exist precisely "to enable
+/// automatic failover management and ensure high availability" (§I); this
+/// exercises that path.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Which slave fails (index into the initial slave list).
+    pub slave: usize,
+    /// When it fails (absolute simulated time).
+    pub fail_at: SimDuration,
+    /// If set, the slave is replaced after this much downtime: a fresh VM is
+    /// launched, seeded from a master snapshot, and re-enters rotation.
+    pub recover_after: Option<SimDuration>,
+}
+
+/// A planned master failure with automatic failover: the middleware detects
+/// the dead master, promotes the most up-to-date slave, resynchronizes the
+/// remaining slaves from the new master, and resumes writes. Writes the old
+/// master committed but never replicated are lost — §II's asynchronous
+/// data-loss window, which the run report counts.
+#[derive(Debug, Clone)]
+pub struct MasterFaultPlan {
+    /// When the master fails (absolute simulated time).
+    pub fail_at: SimDuration,
+    /// How long detection takes before promotion starts (health-check
+    /// timeouts; writes park during this window).
+    pub detection_delay: SimDuration,
+}
+
+/// Application-managed autoscaling: monitor replica staleness and launch
+/// additional slaves when it violates the SLO. This implements the
+/// "application can have the full control in dynamically allocating ...
+/// the database tier" promise of §I (and the authors' CloudDB AutoAdmin
+/// companion work).
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// How often the controller evaluates the staleness SLO.
+    pub check_interval: SimDuration,
+    /// Scale out when any slave's observed staleness exceeds this (ms).
+    pub staleness_slo_ms: f64,
+    /// Hard cap on the slave count.
+    pub max_slaves: usize,
+    /// Time for a new replica's initial data sync before it serves reads.
+    pub sync_duration: SimDuration,
+    /// Minimum spacing between scale-out actions (cooldown).
+    pub cooldown: SimDuration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            check_interval: SimDuration::from_secs(10),
+            staleness_slo_ms: 5_000.0,
+            max_slaves: 8,
+            sync_duration: SimDuration::from_secs(60),
+            cooldown: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// Full description of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub n_slaves: usize,
+    pub placement: Placement,
+    pub master_zone: Zone,
+    pub mix: MixConfig,
+    pub workload_kind: WorkloadKind,
+    pub data_size: DataSize,
+    pub workload: WorkloadConfig,
+    pub mode: ReplMode,
+    pub format: BinlogFormat,
+    pub balancer: BalancerKind,
+    /// Pool size; defaults to one connection per emulated user.
+    pub pool_max_active: usize,
+    pub cost: CostModel,
+    pub net: NetConfig,
+    pub provider: ProviderConfig,
+    /// Pin every slave to a specific physical host model (the §IV-A
+    /// performance-variation experiment); `None` samples the fleet mix.
+    pub pin_slave_host: Option<CpuModel>,
+    /// Pin the master's host too (keeps master capacity constant across a
+    /// sweep so throughput differences are attributable to the swept knob).
+    pub pin_master_host: Option<CpuModel>,
+    /// NTP discipline interval; `None` disables periodic sync (Fig. 4's
+    /// "sync once at beginning" arm).
+    pub ntp_interval: Option<SimDuration>,
+    /// Heartbeat insertion interval (paper: periodic; we default 1 s).
+    pub heartbeat_interval: SimDuration,
+    /// Planned slave failures.
+    pub faults: Vec<FaultPlan>,
+    /// Planned master failure with automatic failover, if any.
+    pub master_fault: Option<MasterFaultPlan>,
+    /// Staleness-driven autoscaling, if enabled.
+    pub autoscale: Option<AutoscaleConfig>,
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Start building a config with paper defaults.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+}
+
+/// Builder for [`ClusterConfig`] with the paper's defaults.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        let master_zone = Zone::new(Region::UsWest1, 'a');
+        Self {
+            cfg: ClusterConfig {
+                n_slaves: 1,
+                placement: Placement::SameZone,
+                master_zone,
+                mix: MixConfig::RW_50_50,
+                workload_kind: WorkloadKind::Cloudstone,
+                data_size: DataSize::SMALL,
+                workload: WorkloadConfig::paper(50),
+                mode: ReplMode::Async,
+                format: BinlogFormat::Statement,
+                balancer: BalancerKind::RoundRobin,
+                pool_max_active: 0, // 0 = one per user
+                cost: CostModel::default(),
+                net: NetConfig::default(),
+                provider: ProviderConfig::default(),
+                pin_slave_host: Some(CpuModel::XeonE5430),
+                pin_master_host: Some(CpuModel::XeonE5430),
+                ntp_interval: Some(SimDuration::from_secs(1)),
+                heartbeat_interval: SimDuration::from_secs(1),
+                faults: Vec::new(),
+                master_fault: None,
+                autoscale: None,
+                seed: 42,
+            },
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of slave replicas.
+    pub fn slaves(mut self, n: usize) -> Self {
+        self.cfg.n_slaves = n;
+        self
+    }
+
+    /// Geographic placement of the slaves.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.cfg.placement = p;
+        self
+    }
+
+    /// Read/write mix.
+    pub fn mix(mut self, m: MixConfig) -> Self {
+        self.cfg.mix = m;
+        self
+    }
+
+    /// Application workload class (Cloudstone Web 2.0 vs Web 1.0 bookstore).
+    pub fn workload_kind(mut self, k: WorkloadKind) -> Self {
+        self.cfg.workload_kind = k;
+        self
+    }
+
+    /// Initial data size.
+    pub fn data_size(mut self, s: DataSize) -> Self {
+        self.cfg.data_size = s;
+        self
+    }
+
+    /// Workload (users, think time, phases).
+    pub fn workload(mut self, w: WorkloadConfig) -> Self {
+        self.cfg.workload = w;
+        self
+    }
+
+    /// Replication mode (async is the paper's setup).
+    pub fn mode(mut self, m: ReplMode) -> Self {
+        self.cfg.mode = m;
+        self
+    }
+
+    /// Binlog format (statement is the paper's setup).
+    pub fn format(mut self, f: BinlogFormat) -> Self {
+        self.cfg.format = f;
+        self
+    }
+
+    /// Proxy balancing policy.
+    pub fn balancer(mut self, b: BalancerKind) -> Self {
+        self.cfg.balancer = b;
+        self
+    }
+
+    /// Connection-pool size (0 = one per user).
+    pub fn pool_max_active(mut self, n: usize) -> Self {
+        self.cfg.pool_max_active = n;
+        self
+    }
+
+    /// Cost-model override.
+    pub fn cost(mut self, c: CostModel) -> Self {
+        self.cfg.cost = c;
+        self
+    }
+
+    /// Network-latency override.
+    pub fn net(mut self, n: NetConfig) -> Self {
+        self.cfg.net = n;
+        self
+    }
+
+    /// Provider override (perf variation, clock parameters).
+    pub fn provider(mut self, p: ProviderConfig) -> Self {
+        self.cfg.provider = p;
+        self
+    }
+
+    /// Pin slaves to a host model (None = sample the fleet; the default
+    /// pins to the E5430 so sweeps are noise-free).
+    pub fn pin_slave_host(mut self, m: Option<CpuModel>) -> Self {
+        self.cfg.pin_slave_host = m;
+        self
+    }
+
+    /// Pin the master's host model.
+    pub fn pin_master_host(mut self, m: Option<CpuModel>) -> Self {
+        self.cfg.pin_master_host = m;
+        self
+    }
+
+    /// NTP sync interval (None = sync only at launch).
+    pub fn ntp_interval(mut self, i: Option<SimDuration>) -> Self {
+        self.cfg.ntp_interval = i;
+        self
+    }
+
+    /// Heartbeat interval.
+    pub fn heartbeat_interval(mut self, i: SimDuration) -> Self {
+        self.cfg.heartbeat_interval = i;
+        self
+    }
+
+    /// Inject a planned slave failure.
+    pub fn fault(mut self, f: FaultPlan) -> Self {
+        self.cfg.faults.push(f);
+        self
+    }
+
+    /// Inject a master failure with automatic failover.
+    pub fn master_fault(mut self, f: MasterFaultPlan) -> Self {
+        self.cfg.master_fault = Some(f);
+        self
+    }
+
+    /// Enable staleness-driven autoscaling.
+    pub fn autoscale(mut self, a: AutoscaleConfig) -> Self {
+        self.cfg.autoscale = Some(a);
+        self
+    }
+
+    /// Master experiment seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_zones() {
+        let m = Zone::new(Region::UsWest1, 'a');
+        assert_eq!(Placement::SameZone.slave_zone(m), m);
+        let dz = Placement::DifferentZone.slave_zone(m);
+        assert_eq!(dz.region, m.region);
+        assert_ne!(dz.letter, m.letter);
+        let dr = Placement::DifferentRegion(Region::EuWest1).slave_zone(m);
+        assert_eq!(dr.region, Region::EuWest1);
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = ClusterConfig::builder().build();
+        assert_eq!(c.mode, ReplMode::Async);
+        assert_eq!(c.format, BinlogFormat::Statement);
+        assert_eq!(c.master_zone.name(), "us-west-1a");
+        assert_eq!(c.heartbeat_interval, SimDuration::from_secs(1));
+        assert!(c.ntp_interval.is_some());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = ClusterConfig::builder()
+            .slaves(7)
+            .placement(Placement::DifferentRegion(Region::ApNortheast1))
+            .mode(ReplMode::Sync)
+            .balancer(BalancerKind::LatencyAware)
+            .seed(7)
+            .build();
+        assert_eq!(c.n_slaves, 7);
+        assert_eq!(c.mode, ReplMode::Sync);
+        assert_eq!(c.balancer, BalancerKind::LatencyAware);
+        assert_eq!(
+            c.placement.slave_zone(c.master_zone).region,
+            Region::ApNortheast1
+        );
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let m = Zone::new(Region::UsWest1, 'a');
+        assert!(Placement::SameZone.label(m).contains("us-west-1a"));
+        assert!(Placement::DifferentZone.label(m).contains("us-west-1b"));
+        assert!(Placement::DifferentRegion(Region::EuWest1)
+            .label(m)
+            .contains("eu-west-1a"));
+    }
+}

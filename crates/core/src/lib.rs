@@ -1,0 +1,31 @@
+//! # amdb-core — the application-managed replicated database tier
+//!
+//! This crate is the paper's *system*: a master-slave replicated database
+//! tier whose replicas run in virtual machines of a (simulated) public
+//! cloud, fronted by a connection pool and a read/write-splitting proxy, and
+//! driven by the modified Cloudstone workload — the full three-layer
+//! experiment setup of §III-B, as a library.
+//!
+//! The main entry points:
+//!
+//! * [`ClusterConfig`] / [`ClusterBuilder`] — describe a deployment: number
+//!   of slaves, their geographic placement, read/write mix, data size,
+//!   workload, replication mode/format, balancing policy, and all
+//!   calibration knobs;
+//! * [`run_cluster`] — execute one full benchmark run (idle baseline →
+//!   ramp-up → measured steady stage → ramp-down → drain) in simulated time
+//!   and return a [`RunReport`] with end-to-end throughput, latency,
+//!   per-slave replication delay (absolute and *relative*, the paper's
+//!   headline staleness metric), utilizations and routing statistics;
+//! * [`Cluster`] — the simulation world itself, for callers who want to
+//!   script custom timelines.
+//!
+//! Everything is deterministic in `ClusterConfig::seed`.
+
+pub mod cluster;
+pub mod config;
+pub mod report;
+
+pub use cluster::{run_cluster, Cluster};
+pub use config::{AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, MasterFaultPlan, Placement, WorkloadKind};
+pub use report::{DelayReport, RunReport};

@@ -1,0 +1,126 @@
+//! Run results.
+
+use amdb_metrics::Summary;
+
+/// Replication-delay measurements for one slave.
+#[derive(Debug, Clone)]
+pub struct DelayReport {
+    /// Trimmed-mean measured delay with no load (idle window), ms. Includes
+    /// the master↔slave clock offset — the paper's baseline term.
+    pub baseline_ms: Option<f64>,
+    /// Trimmed-mean measured delay in the steady window, ms.
+    pub loaded_ms: Option<f64>,
+    /// The paper's *average relative replication delay*: loaded − baseline,
+    /// which cancels the clock offset (§IV-B.1).
+    pub relative_ms: Option<f64>,
+    /// Heartbeats matched in the loaded window.
+    pub loaded_samples: usize,
+    /// Heartbeats emitted in the steady window that never applied before the
+    /// drain cap (their delay exceeds the measured values).
+    pub missing_samples: usize,
+}
+
+/// The outcome of one full benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Concurrent users configured.
+    pub users: u32,
+    /// Number of slaves configured at launch.
+    pub n_slaves: usize,
+    /// Number of slaves attached at the end of the run (autoscaling may have
+    /// grown it).
+    pub final_slaves: usize,
+    /// Membership timeline: `(t_seconds, event)` for failures, replacements
+    /// and scale-outs.
+    pub membership_events: Vec<(f64, String)>,
+    /// Writes committed on a failed master that no surviving replica had
+    /// applied — the asynchronous-replication data-loss window of §II.
+    pub lost_writes: u64,
+    /// Operations completed inside the steady window.
+    pub steady_ops: u64,
+    /// ... of which reads.
+    pub steady_reads: u64,
+    /// ... of which writes.
+    pub steady_writes: u64,
+    /// End-to-end throughput over the steady window (operations/second) —
+    /// the y-axis of Figs 2 and 3.
+    pub throughput_ops_s: f64,
+    /// End-to-end operation latency summary over the steady window (ms).
+    pub latency_ms: Option<Summary>,
+    /// Master CPU utilization over the steady window (can exceed 1.0 when
+    /// offered demand outstrips capacity).
+    pub master_utilization: f64,
+    /// Per-slave CPU utilization over the steady window.
+    pub slave_utilizations: Vec<f64>,
+    /// Per-slave replication delay (Figs 5 and 6).
+    pub delays: Vec<DelayReport>,
+    /// Reads routed per slave by the proxy.
+    pub reads_per_slave: Vec<u64>,
+    /// Peak relay backlog (events) observed across slaves.
+    pub peak_relay_backlog: u64,
+    /// Pool statistics: (total acquired, total that had to wait).
+    pub pool_stats: (u64, u64),
+    /// Events executed by the simulation kernel (diagnostics).
+    pub sim_events: u64,
+}
+
+impl RunReport {
+    /// Mean relative replication delay across slaves (ms) — each sub-figure
+    /// of Figs 5/6 plots this per slave count.
+    pub fn avg_relative_delay_ms(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.delays.iter().filter_map(|d| d.relative_ms).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Highest slave utilization (the saturation indicator for slaves).
+    pub fn max_slave_utilization(&self) -> f64 {
+        self.slave_utilizations
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delay(rel: Option<f64>) -> DelayReport {
+        DelayReport {
+            baseline_ms: Some(3.0),
+            loaded_ms: rel.map(|r| r + 3.0),
+            relative_ms: rel,
+            loaded_samples: 10,
+            missing_samples: 0,
+        }
+    }
+
+    #[test]
+    fn avg_relative_delay_skips_missing() {
+        let r = RunReport {
+            users: 100,
+            n_slaves: 3,
+            final_slaves: 3,
+            membership_events: vec![],
+            lost_writes: 0,
+            steady_ops: 0,
+            steady_reads: 0,
+            steady_writes: 0,
+            throughput_ops_s: 0.0,
+            latency_ms: None,
+            master_utilization: 0.0,
+            slave_utilizations: vec![0.5, 0.9, 0.2],
+            delays: vec![delay(Some(10.0)), delay(None), delay(Some(20.0))],
+            reads_per_slave: vec![],
+            peak_relay_backlog: 0,
+            pool_stats: (0, 0),
+            sim_events: 0,
+        };
+        assert_eq!(r.avg_relative_delay_ms(), Some(15.0));
+        assert_eq!(r.max_slave_utilization(), 0.9);
+    }
+}

@@ -1,0 +1,15 @@
+//! Run the three ablations (sync modes, balancers, binlog formats).
+use amdb_experiments::{ablations, Fidelity};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let a1 = ablations::sync_modes_table(&ablations::sync_modes(f));
+    println!("{}", a1.render());
+    amdb_experiments::write_results_csv("ablations", "a1_sync_modes", &a1);
+    let a2 = ablations::balancers_table(&ablations::balancers(f));
+    println!("{}", a2.render());
+    amdb_experiments::write_results_csv("ablations", "a2_balancers", &a2);
+    let a3 = ablations::binlog_formats_table(&ablations::binlog_formats(f));
+    println!("{}", a3.render());
+    amdb_experiments::write_results_csv("ablations", "a3_binlog_formats", &a3);
+}

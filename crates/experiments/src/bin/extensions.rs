@@ -1,0 +1,25 @@
+//! Run the extension experiments: failover (E-F) and autoscaling (E-A).
+use amdb_experiments::{extensions, write_results_csv, Fidelity};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let fo = extensions::failover(f);
+    let t = extensions::failover_table(&fo);
+    println!("{}", t.render());
+    write_results_csv("extensions", "failover", &t);
+
+    let (st, auto) = extensions::autoscale(f);
+    let t = extensions::autoscale_table(&st, &auto);
+    println!("{}", t.render());
+    write_results_csv("extensions", "autoscale", &t);
+
+    let (mf_healthy, mf_lagging) = extensions::master_failover(f);
+    let t = extensions::master_failover_table(&mf_healthy, &mf_lagging);
+    println!("{}", t.render());
+    write_results_csv("extensions", "master_failover", &t);
+
+    let wc = extensions::workload_classes(f);
+    let t = extensions::workload_classes_table(&wc);
+    println!("{}", t.render());
+    write_results_csv("extensions", "workload_classes", &t);
+}

@@ -1,0 +1,13 @@
+//! Regenerate Fig. 2: end-to-end throughput, 50/50 mix, data size 300.
+//! Default runs a thinned quick grid; pass `--full` for the paper grid.
+use amdb_experiments::{sweep, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let spec = sweep::SweepSpec::fig2_fig5(fidelity);
+    let results = sweep::run_sweep(&spec, |line| eprintln!("[fig2] {line}"));
+    for r in &results {
+        println!("{}", r.throughput.render());
+        amdb_experiments::write_results_csv("fig2", &r.label, &r.throughput);
+    }
+}

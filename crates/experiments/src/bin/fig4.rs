@@ -1,0 +1,24 @@
+//! Regenerate Fig. 4: two-instance clock difference with and without
+//! per-second NTP over a 20-minute window.
+use amdb_experiments::fig4;
+
+fn main() {
+    let r = fig4::run(&fig4::Fig4Spec::default());
+    println!("{}", fig4::summary_table(&r).render());
+    // Emit both series for plotting.
+    let mut t = amdb_metrics::Table::new(
+        "fig4 series (downsampled to 10 s)",
+        vec!["t (s)".into(), "sync once (ms)".into(), "sync 1s (ms)".into()],
+    );
+    let once = r.sync_once.series.downsample(10);
+    let every = r.sync_every_second.series.downsample(10);
+    for (a, b) in once.points().iter().zip(every.points()) {
+        t.push_row(vec![
+            format!("{:.0}", a.0),
+            format!("{:.2}", a.1),
+            format!("{:.2}", b.1),
+        ]);
+    }
+    amdb_experiments::write_results_csv("fig4", "series", &t);
+    println!("(series CSV written to results/)");
+}

@@ -1,0 +1,61 @@
+//! Regenerate every figure and table of the paper at full fidelity, writing
+//! CSVs to `results/`. Figs 2+5 and 3+6 share their sweeps (throughput and
+//! delay come from the same runs, as in the paper).
+//!
+//! ```text
+//! cargo run --release -p amdb-experiments --bin paper
+//! ```
+use amdb_experiments::{ablations, fig4, perfvar, rtt, sweep, write_results_csv, Fidelity};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    // Fig 4 + RTT + perfvar are cheap; do them first.
+    let f4 = fig4::run(&fig4::Fig4Spec::default());
+    let f4t = fig4::summary_table(&f4);
+    println!("{}", f4t.render());
+    write_results_csv("fig4", "summary", &f4t);
+
+    let rt = rtt::table(&rtt::run(1200, 7));
+    println!("{}", rt.render());
+    write_results_csv("rtt", "half_rtt", &rt);
+
+    let pv = perfvar::table(Fidelity::Full);
+    println!("{}", pv.render());
+    write_results_csv("perfvar", "summary", &pv);
+
+    // Figs 2 & 5.
+    let spec25 = sweep::SweepSpec::fig2_fig5(Fidelity::Full);
+    let res25 = sweep::run_sweep(&spec25, |line| eprintln!("[fig2/5] {line}"));
+    for r in &res25 {
+        println!("{}", r.throughput.render());
+        println!("{}", r.delay.render());
+        write_results_csv("fig2", &r.label, &r.throughput);
+        write_results_csv("fig5", &r.label, &r.delay);
+    }
+    eprintln!("figs 2/5 done at {:?}", t0.elapsed());
+
+    // Figs 3 & 6 (the big grid).
+    let spec36 = sweep::SweepSpec::fig3_fig6(Fidelity::Full);
+    let res36 = sweep::run_sweep(&spec36, |line| eprintln!("[fig3/6] {line}"));
+    for r in &res36 {
+        println!("{}", r.throughput.render());
+        println!("{}", r.delay.render());
+        write_results_csv("fig3", &r.label, &r.throughput);
+        write_results_csv("fig6", &r.label, &r.delay);
+    }
+    eprintln!("figs 3/6 done at {:?}", t0.elapsed());
+
+    // Ablations at full fidelity.
+    let a1 = ablations::sync_modes_table(&ablations::sync_modes(Fidelity::Full));
+    println!("{}", a1.render());
+    write_results_csv("ablations", "a1_sync_modes", &a1);
+    let a2 = ablations::balancers_table(&ablations::balancers(Fidelity::Full));
+    println!("{}", a2.render());
+    write_results_csv("ablations", "a2_balancers", &a2);
+    let a3 = ablations::binlog_formats_table(&ablations::binlog_formats(Fidelity::Full));
+    println!("{}", a3.render());
+    write_results_csv("ablations", "a3_binlog_formats", &a3);
+
+    eprintln!("all figures regenerated in {:?}", t0.elapsed());
+}

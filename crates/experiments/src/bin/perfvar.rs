@@ -1,0 +1,8 @@
+//! Regenerate the §IV-A instance performance-variation measurements.
+use amdb_experiments::{perfvar, Fidelity};
+
+fn main() {
+    let t = perfvar::table(Fidelity::from_args());
+    println!("{}", t.render());
+    amdb_experiments::write_results_csv("perfvar", "summary", &t);
+}

@@ -1,0 +1,9 @@
+//! Regenerate the §IV-B.2 in-text ½-RTT table (ping every second, 20 min).
+use amdb_experiments::rtt;
+
+fn main() {
+    let results = rtt::run(1200, 7);
+    let t = rtt::table(&results);
+    println!("{}", t.render());
+    amdb_experiments::write_results_csv("rtt", "half_rtt", &t);
+}

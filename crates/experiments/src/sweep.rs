@@ -1,0 +1,224 @@
+//! The main sweep: Figs 2/3 (end-to-end throughput) and 5/6 (average
+//! relative replication delay).
+//!
+//! One sweep runs the full grid of {placement × slave count × concurrent
+//! users} for a given read/write mix and data size. Every grid cell is one
+//! complete benchmark run (idle → ramp-up → steady → ramp-down → drain);
+//! throughput and replication delay come from the *same* run, as in the
+//! paper, so Fig 2 pairs with Fig 5 and Fig 3 with Fig 6.
+
+use crate::calib::paper_cost_model;
+use crate::Fidelity;
+use amdb_cloudstone::{build_template, DataSize, MixConfig, Phases, WorkloadConfig};
+use amdb_core::{run_cluster, Cluster, ClusterConfig, Placement, RunReport};
+use amdb_metrics::Table;
+use amdb_sim::Sim;
+
+/// Grid specification for one figure pair.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    pub name: &'static str,
+    pub mix: MixConfig,
+    pub data_size: DataSize,
+    pub users: Vec<u32>,
+    pub slaves: Vec<usize>,
+    pub placements: Vec<Placement>,
+    pub phases: Phases,
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Figs 2 & 5: 50/50 mix, data size 300, 50–200 users, 1–4 slaves,
+    /// three placements.
+    pub fn fig2_fig5(f: Fidelity) -> SweepSpec {
+        match f {
+            Fidelity::Full => SweepSpec {
+                name: "fig2/fig5 (50/50, size 300)",
+                mix: MixConfig::RW_50_50,
+                data_size: DataSize::SMALL,
+                users: (50..=200).step_by(25).collect(),
+                slaves: (1..=4).collect(),
+                placements: Placement::PAPER_SET.to_vec(),
+                phases: Phases::paper(),
+                seed: 42,
+            },
+            Fidelity::Quick => SweepSpec {
+                name: "fig2/fig5 quick (50/50, size 300)",
+                mix: MixConfig::RW_50_50,
+                data_size: DataSize::SMALL,
+                users: vec![50, 100, 175],
+                slaves: vec![1, 2, 4],
+                placements: vec![Placement::SameZone],
+                phases: Phases::quick(),
+                seed: 42,
+            },
+        }
+    }
+
+    /// Figs 3 & 6: 80/20 mix, data size 600, 50–450 users, 1–11 slaves.
+    pub fn fig3_fig6(f: Fidelity) -> SweepSpec {
+        match f {
+            Fidelity::Full => SweepSpec {
+                name: "fig3/fig6 (80/20, size 600)",
+                mix: MixConfig::RW_80_20,
+                data_size: DataSize::LARGE,
+                users: (50..=450).step_by(50).collect(),
+                slaves: (1..=11).collect(),
+                placements: Placement::PAPER_SET.to_vec(),
+                phases: Phases::paper(),
+                seed: 43,
+            },
+            Fidelity::Quick => SweepSpec {
+                name: "fig3/fig6 quick (80/20, size 600)",
+                mix: MixConfig::RW_80_20,
+                data_size: DataSize::LARGE,
+                users: vec![50, 250, 450],
+                slaves: vec![1, 5, 11],
+                placements: vec![Placement::SameZone],
+                phases: Phases::quick(),
+                seed: 43,
+            },
+        }
+    }
+
+    /// The cluster config for one grid cell.
+    pub fn cell_config(&self, placement: Placement, slaves: usize, users: u32) -> ClusterConfig {
+        let mut workload = WorkloadConfig::paper(users);
+        workload.phases = self.phases;
+        ClusterConfig::builder()
+            .slaves(slaves)
+            .placement(placement)
+            .mix(self.mix)
+            .data_size(self.data_size)
+            .workload(workload)
+            .cost(paper_cost_model())
+            .seed(self.seed)
+            .build()
+    }
+}
+
+/// Results for one placement: the two tables plus every raw report.
+pub struct PlacementResult {
+    pub placement: Placement,
+    pub label: String,
+    /// rows = users, cols = slave counts; cells = ops/s (Fig 2/3).
+    pub throughput: Table,
+    /// rows = users, cols = slave counts; cells = avg relative delay, ms
+    /// (Fig 5/6).
+    pub delay: Table,
+    /// `reports[slave_idx][user_idx]`.
+    pub reports: Vec<Vec<RunReport>>,
+}
+
+/// Run the full sweep. `progress` is called after each cell with a short
+/// status line (use `|_| {}` to silence).
+pub fn run_sweep(spec: &SweepSpec, mut progress: impl FnMut(&str)) -> Vec<PlacementResult> {
+    // Load the template database once; fork it per run.
+    let mut load_rng = amdb_sim::Rng::new(spec.seed).derive("load");
+    let (template, counters) = build_template(spec.data_size, &mut load_rng);
+
+    let mut out = Vec::with_capacity(spec.placements.len());
+    for &placement in &spec.placements {
+        let label = placement.label(spec.cell_config(placement, 1, 1).master_zone);
+        let mut header = vec!["users".to_string()];
+        for &s in &spec.slaves {
+            header.push(format!("{s} slave{}", if s == 1 { "" } else { "s" }));
+        }
+        let mut throughput = Table::new(
+            format!("{} — end-to-end throughput (ops/s) — {label}", spec.name),
+            header.clone(),
+        );
+        let mut delay = Table::new(
+            format!(
+                "{} — avg relative replication delay (ms) — {label}",
+                spec.name
+            ),
+            header,
+        );
+
+        let mut reports: Vec<Vec<RunReport>> = Vec::with_capacity(spec.slaves.len());
+        for &slaves in &spec.slaves {
+            let mut row = Vec::with_capacity(spec.users.len());
+            for &users in &spec.users {
+                let cfg = spec.cell_config(placement, slaves, users);
+                let mut sim = Sim::new();
+                let mut world = Cluster::with_template(cfg, &template, counters.clone());
+                world.schedule_timeline(&mut sim);
+                sim.run(&mut world);
+                let events = sim.events_executed();
+                let report = world.report(events);
+                progress(&format!(
+                    "{label} slaves={slaves} users={users}: {:.1} ops/s, delay {:?} ms",
+                    report.throughput_ops_s,
+                    report.avg_relative_delay_ms().map(|d| d.round())
+                ));
+                row.push(report);
+            }
+            reports.push(row);
+        }
+
+        for (ui, &users) in spec.users.iter().enumerate() {
+            let t_cells: Vec<Option<f64>> = spec
+                .slaves
+                .iter()
+                .enumerate()
+                .map(|(si, _)| Some(reports[si][ui].throughput_ops_s))
+                .collect();
+            throughput.push_float_row(users.to_string(), &t_cells, 1);
+            let d_cells: Vec<Option<f64>> = spec
+                .slaves
+                .iter()
+                .enumerate()
+                .map(|(si, _)| reports[si][ui].avg_relative_delay_ms())
+                .collect();
+            delay.push_float_row(users.to_string(), &d_cells, 1);
+        }
+
+        out.push(PlacementResult {
+            placement,
+            label,
+            throughput,
+            delay,
+            reports,
+        });
+    }
+    out
+}
+
+/// Convenience used by tests: run a single cell at quick fidelity.
+pub fn run_cell(
+    spec: &SweepSpec,
+    placement: Placement,
+    slaves: usize,
+    users: u32,
+) -> RunReport {
+    run_cluster(spec.cell_config(placement, slaves, users))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_specs_are_thinned() {
+        let q2 = SweepSpec::fig2_fig5(Fidelity::Quick);
+        let f2 = SweepSpec::fig2_fig5(Fidelity::Full);
+        assert!(q2.users.len() < f2.users.len());
+        assert_eq!(f2.users, vec![50, 75, 100, 125, 150, 175, 200]);
+        assert_eq!(f2.slaves, vec![1, 2, 3, 4]);
+        let f3 = SweepSpec::fig3_fig6(Fidelity::Full);
+        assert_eq!(f3.slaves.len(), 11);
+        assert_eq!(f3.users.last(), Some(&450));
+        assert_eq!(f3.placements.len(), 3);
+    }
+
+    #[test]
+    fn cell_config_respects_spec() {
+        let spec = SweepSpec::fig3_fig6(Fidelity::Quick);
+        let cfg = spec.cell_config(Placement::SameZone, 5, 250);
+        assert_eq!(cfg.n_slaves, 5);
+        assert_eq!(cfg.workload.concurrent_users, 250);
+        assert!((cfg.mix.read_fraction - 0.8).abs() < 1e-9);
+        assert_eq!(cfg.data_size.scale, 600);
+    }
+}

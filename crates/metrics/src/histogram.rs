@@ -1,0 +1,158 @@
+//! Fixed-bucket linear histogram with overflow/underflow buckets.
+
+/// A simple linear histogram over `[lo, hi)` with `n` equal buckets plus
+/// explicit underflow and overflow counters. Used by the experiment harness
+/// to sanity-check delay distributions without storing every sample.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `buckets` equal-width buckets.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `buckets == 0` (programmer error, not data).
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against FP rounding right at the upper edge.
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// `(bucket_lo, bucket_hi, count)` triples for rendering.
+    pub fn iter_bounds(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            let lo = self.lo + width * i as f64;
+            (lo, lo + width, c)
+        })
+    }
+
+    /// Approximate quantile from bucket midpoints (`q` in 0..=1), ignoring
+    /// under/overflow mass. Returns `None` when no in-range samples exist.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        let in_range: u64 = self.buckets.iter().sum();
+        if in_range == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + width * (i as f64 + 0.5));
+            }
+        }
+        unreachable!("target <= total in-range count");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi edge is exclusive -> overflow
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert!(h.buckets().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn quantile_midpoint() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.approx_quantile(0.5).unwrap();
+        assert!((med - 49.5).abs() <= 1.0, "got {med}");
+        assert_eq!(h.approx_quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn iter_bounds_cover_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let bounds: Vec<_> = h.iter_bounds().collect();
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(bounds[0].0, 0.0);
+        assert!((bounds[4].1 - 10.0).abs() < 1e-12);
+    }
+}

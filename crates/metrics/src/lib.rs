@@ -1,0 +1,187 @@
+//! # amdb-metrics — measurement and summary statistics
+//!
+//! Statistics utilities used throughout the reproduction: trimmed means (the
+//! paper cuts the top and bottom 5 % of replication-delay samples as outliers,
+//! §IV-B.1), medians, standard deviations, percentiles, online (Welford)
+//! accumulation, fixed-bucket histograms, time series, and simple table /
+//! CSV rendering for the experiment harnesses.
+//!
+//! All functions are deterministic and allocation-conscious: the sorting
+//! helpers sort *copies* only when the caller cannot give up its data, and the
+//! online accumulators never allocate after construction.
+
+pub mod histogram;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use series::TimeSeries;
+pub use summary::{OnlineStats, Summary};
+pub use table::{write_csv, Table};
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (n-1 denominator). Returns `None` when fewer
+/// than two samples are present.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Coefficient of variation (stddev / mean); `None` when undefined.
+///
+/// Schad et al. report a CoV of 21 % for small-instance CPU performance; the
+/// cloud substrate's calibration test uses this helper to verify it matches.
+pub fn coefficient_of_variation(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(stddev(xs)? / m)
+}
+
+/// Median via sorting a copy. Returns `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolation percentile (`p` in 0..=100) over a copy of the data.
+///
+/// Uses the common "exclusive rank, linear interpolation" definition: the
+/// percentile of a single-element slice is that element for every `p`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_sorted(&v, p))
+}
+
+/// Percentile over data the caller has already sorted ascending.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Mean after discarding the lowest and highest `trim_fraction` of samples.
+///
+/// This is the paper's outlier treatment: *"Both average is sampled with the
+/// top 5 % and the bottom 5 % data cut out as outliers, because of network
+/// fluctuation"* (§IV-B.1). `trim_fraction` is per-tail, so the paper's
+/// treatment is `trimmed_mean(xs, 0.05)`.
+///
+/// Returns `None` when trimming would discard everything or the input is
+/// empty. A `trim_fraction` of `0.0` degenerates to the plain mean.
+pub fn trimmed_mean(xs: &[f64], trim_fraction: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..0.5).contains(&trim_fraction) {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    let cut = (v.len() as f64 * trim_fraction).floor() as usize;
+    let kept = &v[cut..v.len() - cut];
+    if kept.is_empty() {
+        return None;
+    }
+    mean(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn stddev_needs_two_samples() {
+        assert_eq!(stddev(&[1.0]), None);
+        assert!(stddev(&[1.0, 1.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138 (population is 2.0).
+        let s = stddev(&[2., 4., 4., 4., 5., 5., 7., 9.]).unwrap();
+        assert!((s - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+        assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn trimmed_mean_cuts_tails() {
+        // 20 samples: one huge outlier at each end; 5% per-tail trim drops both.
+        let mut xs: Vec<f64> = (0..18).map(|i| 10.0 + i as f64 * 0.1).collect();
+        xs.push(-1e9);
+        xs.push(1e9);
+        let tm = trimmed_mean(&xs, 0.05).unwrap();
+        assert!((tm - 10.85).abs() < 1e-9, "got {tm}");
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(trimmed_mean(&xs, 0.0), mean(&xs));
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_bad_fraction() {
+        assert_eq!(trimmed_mean(&[1.0, 2.0], 0.5), None);
+        assert_eq!(trimmed_mean(&[1.0, 2.0], -0.1), None);
+    }
+
+    #[test]
+    fn cov_matches_hand_computation() {
+        let xs = [8.0, 10.0, 12.0];
+        let cov = coefficient_of_variation(&xs).unwrap();
+        assert!((cov - 2.0 / 10.0).abs() < 1e-12);
+    }
+}

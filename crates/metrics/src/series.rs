@@ -1,0 +1,154 @@
+//! Timestamped sample series (e.g. clock offset over a 20-minute run, Fig. 4).
+
+/// A time series of `(t_seconds, value)` samples, kept in insertion order.
+/// The experiment harness records simulated-time samples and later summarizes
+/// or windows them.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample taken at `t` seconds.
+    pub fn push(&mut self, t: f64, value: f64) {
+        self.points.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Values only (drops timestamps).
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Samples with `lo <= t < hi`.
+    pub fn window(&self, lo: f64, hi: f64) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t >= lo && t < hi)
+                .collect(),
+        }
+    }
+
+    /// Least-squares linear fit `value ≈ a + b·t`; returns `(a, b)`.
+    ///
+    /// Used to verify the linear clock-drift trend in the Fig. 4 reproduction
+    /// ("the time difference ... surges linearly from 7 ms up to 50 ms").
+    /// Returns `None` with fewer than two points or zero time variance.
+    pub fn linear_fit(&self) -> Option<(f64, f64)> {
+        let n = self.points.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let (st, sv): (f64, f64) = self
+            .points
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(t, v)| (a + t, b + v));
+        let (mt, mv) = (st / nf, sv / nf);
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for &(t, v) in &self.points {
+            cov += (t - mt) * (v - mv);
+            var += (t - mt) * (t - mt);
+        }
+        if var == 0.0 {
+            return None;
+        }
+        let b = cov / var;
+        Some((mv - b * mt, b))
+    }
+
+    /// Downsample by averaging consecutive groups of `k` samples
+    /// (timestamp = group mean). `k == 0` is treated as 1.
+    pub fn downsample(&self, k: usize) -> TimeSeries {
+        let k = k.max(1);
+        let mut out = TimeSeries::new();
+        for chunk in self.points.chunks(k) {
+            let n = chunk.len() as f64;
+            let (st, sv) = chunk
+                .iter()
+                .fold((0.0, 0.0), |(a, b), &(t, v)| (a + t, b + v));
+            out.push(st / n, sv / n);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(i as f64, 5.0 + 2.0 * i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn window_filters_half_open() {
+        let s = ramp();
+        let w = s.window(10.0, 20.0);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.points()[0].0, 10.0);
+        assert_eq!(w.points()[9].0, 19.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_slope_and_intercept() {
+        let (a, b) = ramp().linear_fit().unwrap();
+        assert!((a - 5.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.linear_fit(), None);
+        s.push(1.0, 1.0);
+        assert_eq!(s.linear_fit(), None);
+        s.push(1.0, 2.0); // zero time variance
+        assert_eq!(s.linear_fit(), None);
+    }
+
+    #[test]
+    fn downsample_averages_groups() {
+        let s = ramp();
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        // first group: t = 0..9 -> mean 4.5; v = 5 + 2t -> mean 14.0
+        assert!((d.points()[0].0 - 4.5).abs() < 1e-12);
+        assert!((d.points()[0].1 - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_extracts_in_order() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 3.0);
+        s.push(1.0, 1.0);
+        assert_eq!(s.values(), vec![3.0, 1.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the simulation connection pool: accounting invariants
+//! under arbitrary acquire/release/cancel sequences.
+
+use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
+use amdb_sim::SimTime;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    Acquire,
+    Release,
+    CancelOldest,
+}
+
+fn arb_act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        3 => Just(Act::Acquire),
+        2 => Just(Act::Release),
+        1 => Just(Act::CancelOldest),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn accounting_invariants(
+        max_active in 1usize..16,
+        acts in prop::collection::vec(arb_act(), 0..300),
+    ) {
+        let mut pool = SimPool::new(PoolConfig { max_active });
+        let t = SimTime::ZERO;
+        // Model state.
+        let mut held = 0usize;                 // connections we believe are out
+        let mut queue: VecDeque<Ticket> = VecDeque::new();
+
+        for act in acts {
+            match act {
+                Act::Acquire => match pool.acquire(t) {
+                    Acquire::Ready => {
+                        held += 1;
+                        prop_assert!(held <= max_active, "never exceed max_active");
+                        prop_assert!(queue.is_empty(),
+                            "immediate grant only when no one is waiting");
+                    }
+                    Acquire::Queued(ticket) => {
+                        queue.push_back(ticket);
+                    }
+                },
+                Act::Release => {
+                    if held == 0 { continue; }
+                    match pool.release(t) {
+                        Some(woken) => {
+                            // FIFO handoff to the oldest waiter; held count
+                            // unchanged (the connection moved, not freed).
+                            let expect = queue.pop_front();
+                            prop_assert_eq!(Some(woken), expect, "FIFO wakeups");
+                        }
+                        None => {
+                            prop_assert!(queue.is_empty());
+                            held -= 1;
+                        }
+                    }
+                }
+                Act::CancelOldest => {
+                    if let Some(ticket) = queue.pop_front() {
+                        prop_assert!(pool.cancel(ticket), "queued ticket cancels");
+                        prop_assert!(!pool.cancel(ticket), "double-cancel is a no-op");
+                    }
+                }
+            }
+            prop_assert_eq!(pool.active(), held, "active tracks model");
+            prop_assert_eq!(pool.waiting(), queue.len(), "waiting tracks model");
+            let (peak_active, _) = pool.peaks();
+            prop_assert!(peak_active <= max_active);
+        }
+    }
+
+    /// Draining all holders always leaves a clean pool.
+    #[test]
+    fn full_drain_resets(max_active in 1usize..8, n in 0usize..40) {
+        let mut pool = SimPool::new(PoolConfig { max_active });
+        let t = SimTime::ZERO;
+        let mut held = 0usize;
+        let mut queued = 0usize;
+        for _ in 0..n {
+            match pool.acquire(t) {
+                Acquire::Ready => held += 1,
+                Acquire::Queued(_) => queued += 1,
+            }
+        }
+        // Release everything; waiters become holders and are then released.
+        let mut remaining = held + queued;
+        while remaining > 0 && pool.active() > 0 {
+            if pool.release(t).is_none() {
+                // freed outright
+            }
+            remaining -= 1;
+        }
+        prop_assert_eq!(pool.active(), 0);
+        prop_assert_eq!(pool.waiting(), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! # amdb-proxy — read/write splitting and slave load balancing
+//!
+//! The paper's customized Cloudstone interposes a proxy (MySQL Connector/J's
+//! replication driver) that "works as a load balancer among the available
+//! database replicas where all write operations are sent to the master while
+//! all read operations are distributed among slaves" (§III-A).
+//!
+//! This crate implements that router with pluggable balancing policies. The
+//! paper's conclusion suggests geographic replication is viable "as long as
+//! workload characteristics can be well managed (e.g. having a smart load
+//! balancer which is able of balancing the operations based on estimated
+//! processing time)" — the [`LatencyAware`] policy implements exactly that
+//! suggestion and is compared against the baselines in ablation A2.
+
+use amdb_sim::Rng;
+
+/// Statement class for routing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    Read,
+    Write,
+}
+
+/// Routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    Master,
+    /// Index into the slave list.
+    Slave(usize),
+}
+
+/// Live per-slave state the balancer can consult.
+#[derive(Debug, Clone)]
+pub struct SlaveStatus {
+    /// Reads currently in flight to this slave.
+    pub outstanding: u32,
+    /// Exponentially-weighted moving average of observed read latency (ms).
+    pub ewma_latency_ms: f64,
+    /// False when the slave is marked down.
+    pub alive: bool,
+}
+
+impl Default for SlaveStatus {
+    fn default() -> Self {
+        Self {
+            outstanding: 0,
+            ewma_latency_ms: 0.0,
+            alive: true,
+        }
+    }
+}
+
+/// A slave-selection policy.
+pub trait Balancer {
+    /// Pick a slave index among `slaves`; `None` when none is eligible
+    /// (caller then falls back to the master, as Connector/J does).
+    fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin over live slaves (Connector/J's default).
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Balancer for RoundRobin {
+    fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
+        if slaves.is_empty() {
+            return None;
+        }
+        for off in 0..slaves.len() {
+            let i = (self.next + off) % slaves.len();
+            if slaves[i].alive {
+                self.next = i + 1;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random over live slaves.
+#[derive(Debug)]
+pub struct RandomPick {
+    rng: Rng,
+}
+
+impl RandomPick {
+    /// Policy with its own RNG stream.
+    pub fn new(rng: Rng) -> Self {
+        Self { rng }
+    }
+}
+
+impl Balancer for RandomPick {
+    fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
+        let live: Vec<usize> = (0..slaves.len()).filter(|&i| slaves[i].alive).collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[self.rng.below(live.len() as u64) as usize])
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Fewest outstanding reads wins (join-the-shortest-queue).
+#[derive(Debug, Default)]
+pub struct LeastOutstanding;
+
+impl Balancer for LeastOutstanding {
+    fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
+        slaves
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .min_by_key(|(_, s)| s.outstanding)
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+}
+
+/// The paper's "smart load balancer ... based on estimated processing time":
+/// picks the slave minimizing `ewma_latency × (outstanding + 1)` — an
+/// estimate of the completion time of the next read if sent there. Slower or
+/// farther slaves naturally receive proportionally less traffic.
+#[derive(Debug, Default)]
+pub struct LatencyAware;
+
+impl Balancer for LatencyAware {
+    fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
+        slaves
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .min_by(|(_, a), (_, b)| {
+                let ka = a.ewma_latency_ms.max(0.1) * (a.outstanding + 1) as f64;
+                let kb = b.ewma_latency_ms.max(0.1) * (b.outstanding + 1) as f64;
+                ka.partial_cmp(&kb).expect("latencies are finite")
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "latency-aware"
+    }
+}
+
+/// EWMA smoothing factor for latency feedback.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// The read/write splitting proxy.
+pub struct Proxy {
+    balancer: Box<dyn Balancer>,
+    slaves: Vec<SlaveStatus>,
+    reads_routed: Vec<u64>,
+    writes_routed: u64,
+    reads_fallback_master: u64,
+}
+
+impl Proxy {
+    /// Proxy over `n_slaves` replicas with the given policy.
+    pub fn new(n_slaves: usize, balancer: Box<dyn Balancer>) -> Self {
+        Self {
+            balancer,
+            slaves: vec![SlaveStatus::default(); n_slaves],
+            reads_routed: vec![0; n_slaves],
+            writes_routed: 0,
+            reads_fallback_master: 0,
+        }
+    }
+
+    /// Number of slaves behind the proxy.
+    pub fn n_slaves(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.balancer.name()
+    }
+
+    /// Route one operation. Reads go to a slave chosen by the policy (master
+    /// as a last resort); writes always go to the master.
+    pub fn route(&mut self, class: OpClass) -> Route {
+        match class {
+            OpClass::Write => {
+                self.writes_routed += 1;
+                Route::Master
+            }
+            OpClass::Read => match self.balancer.pick(&self.slaves) {
+                Some(i) => {
+                    self.reads_routed[i] += 1;
+                    self.slaves[i].outstanding += 1;
+                    Route::Slave(i)
+                }
+                None => {
+                    self.reads_fallback_master += 1;
+                    Route::Master
+                }
+            },
+        }
+    }
+
+    /// Report a read completion so outstanding counts and EWMA latencies stay
+    /// current.
+    pub fn read_done(&mut self, slave: usize, latency_ms: f64) {
+        let s = &mut self.slaves[slave];
+        debug_assert!(s.outstanding > 0, "read_done without route");
+        s.outstanding = s.outstanding.saturating_sub(1);
+        s.ewma_latency_ms = if s.ewma_latency_ms == 0.0 {
+            latency_ms
+        } else {
+            EWMA_ALPHA * latency_ms + (1.0 - EWMA_ALPHA) * s.ewma_latency_ms
+        };
+    }
+
+    /// Mark a slave up/down.
+    pub fn set_alive(&mut self, slave: usize, alive: bool) {
+        self.slaves[slave].alive = alive;
+    }
+
+    /// Attach a new slave (application-managed elasticity: a freshly
+    /// launched replica joins the rotation). It starts *down*; call
+    /// [`Self::set_alive`] once its initial sync completes. Returns its
+    /// index.
+    pub fn add_slave(&mut self) -> usize {
+        self.slaves.push(SlaveStatus {
+            alive: false,
+            ..SlaveStatus::default()
+        });
+        self.reads_routed.push(0);
+        self.slaves.len() - 1
+    }
+
+    /// Current status snapshot of a slave.
+    pub fn slave_status(&self, slave: usize) -> &SlaveStatus {
+        &self.slaves[slave]
+    }
+
+    /// Reads routed per slave.
+    pub fn reads_per_slave(&self) -> &[u64] {
+        &self.reads_routed
+    }
+
+    /// Total writes routed (all to the master).
+    pub fn writes_routed(&self) -> u64 {
+        self.writes_routed
+    }
+
+    /// Reads that fell back to the master because no slave was eligible.
+    pub fn reads_fallback_master(&self) -> u64 {
+        self.reads_fallback_master
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_always_master() {
+        let mut p = Proxy::new(3, Box::new(RoundRobin::default()));
+        for _ in 0..10 {
+            assert_eq!(p.route(OpClass::Write), Route::Master);
+        }
+        assert_eq!(p.writes_routed(), 10);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = Proxy::new(3, Box::new(RoundRobin::default()));
+        let picks: Vec<Route> = (0..6).map(|_| p.route(OpClass::Read)).collect();
+        assert_eq!(
+            picks,
+            vec![
+                Route::Slave(0),
+                Route::Slave(1),
+                Route::Slave(2),
+                Route::Slave(0),
+                Route::Slave(1),
+                Route::Slave(2)
+            ]
+        );
+        assert_eq!(p.reads_per_slave(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_dead() {
+        let mut p = Proxy::new(3, Box::new(RoundRobin::default()));
+        p.set_alive(1, false);
+        let picks: Vec<Route> = (0..4).map(|_| p.route(OpClass::Read)).collect();
+        assert!(picks.iter().all(|r| *r != Route::Slave(1)));
+    }
+
+    #[test]
+    fn no_slaves_falls_back_to_master() {
+        let mut p = Proxy::new(0, Box::new(RoundRobin::default()));
+        assert_eq!(p.route(OpClass::Read), Route::Master);
+        assert_eq!(p.reads_fallback_master(), 1);
+        let mut p = Proxy::new(2, Box::new(LeastOutstanding));
+        p.set_alive(0, false);
+        p.set_alive(1, false);
+        assert_eq!(p.route(OpClass::Read), Route::Master);
+    }
+
+    #[test]
+    fn least_outstanding_balances_inflight() {
+        let mut p = Proxy::new(2, Box::new(LeastOutstanding));
+        let r1 = p.route(OpClass::Read);
+        let r2 = p.route(OpClass::Read);
+        assert_ne!(r1, r2, "second read avoids the busy slave");
+        // Complete slave 0's read: next read goes there.
+        if let Route::Slave(i) = r1 {
+            p.read_done(i, 10.0);
+            assert_eq!(p.route(OpClass::Read), Route::Slave(i));
+        }
+    }
+
+    #[test]
+    fn latency_aware_prefers_fast_slave() {
+        let mut p = Proxy::new(2, Box::new(LatencyAware));
+        // Warm EWMAs: slave 0 fast (20ms), slave 1 slow (350ms, "different
+        // region").
+        let Route::Slave(a) = p.route(OpClass::Read) else {
+            panic!()
+        };
+        p.read_done(a, if a == 0 { 20.0 } else { 350.0 });
+        let Route::Slave(b) = p.route(OpClass::Read) else {
+            panic!()
+        };
+        p.read_done(b, if b == 0 { 20.0 } else { 350.0 });
+        // Now both have data; the fast one must win repeatedly when idle.
+        let mut wins = [0u32; 2];
+        for _ in 0..10 {
+            let Route::Slave(i) = p.route(OpClass::Read) else {
+                panic!()
+            };
+            wins[i] += 1;
+            p.read_done(i, if i == 0 { 20.0 } else { 350.0 });
+        }
+        assert!(wins[0] > wins[1], "fast slave preferred: {wins:?}");
+    }
+
+    #[test]
+    fn latency_aware_sheds_to_idle_slow_slave_under_pressure() {
+        let mut p = Proxy::new(2, Box::new(LatencyAware));
+        // Prime EWMAs.
+        for i in 0..2 {
+            p.slaves_mut_for_test(i, if i == 0 { 20.0 } else { 60.0 });
+        }
+        // Pile outstanding reads onto the fast slave without completion;
+        // eventually 20 * (k+1) > 60 * 1 and the slow slave is chosen.
+        let mut saw_slow = false;
+        for _ in 0..8 {
+            if let Route::Slave(1) = p.route(OpClass::Read) {
+                saw_slow = true;
+                break;
+            }
+        }
+        assert!(saw_slow, "queue pressure shifts load to the slower slave");
+    }
+
+    #[test]
+    fn random_covers_all_slaves() {
+        let mut p = Proxy::new(4, Box::new(RandomPick::new(Rng::new(5))));
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            if let Route::Slave(i) = p.route(OpClass::Read) {
+                seen[i] = true;
+                p.read_done(i, 1.0);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn add_slave_joins_after_going_alive() {
+        let mut p = Proxy::new(1, Box::new(RoundRobin::default()));
+        let s = p.add_slave();
+        assert_eq!(s, 1);
+        // Still syncing: no reads reach it.
+        for _ in 0..4 {
+            assert_eq!(p.route(OpClass::Read), Route::Slave(0));
+        }
+        p.set_alive(s, true);
+        let picks: Vec<Route> = (0..4).map(|_| p.route(OpClass::Read)).collect();
+        assert!(picks.contains(&Route::Slave(1)), "new slave takes reads");
+    }
+
+    #[test]
+    fn ewma_converges_toward_latency() {
+        let mut p = Proxy::new(1, Box::new(RoundRobin::default()));
+        for _ in 0..60 {
+            p.route(OpClass::Read);
+            p.read_done(0, 100.0);
+        }
+        let e = p.slave_status(0).ewma_latency_ms;
+        assert!((e - 100.0).abs() < 1.0, "ewma {e}");
+    }
+
+    impl Proxy {
+        /// Test helper: set a slave's EWMA directly.
+        fn slaves_mut_for_test(&mut self, i: usize, ewma: f64) {
+            self.slaves[i].ewma_latency_ms = ewma;
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! # amdb-repl — master-slave replication middleware
+//!
+//! The paper's database tier is MySQL master-slave replication: "read
+//! transactions are served by slaves while all the write transactions are
+//! only served by the master. The replication middleware is in charge of
+//! passing writesets from the master to slaves in order to keep the database
+//! replicas up-to-date" (§II).
+//!
+//! This crate provides:
+//!
+//! * [`ReplMode`] — asynchronous (the paper's configuration), semi-
+//!   synchronous and synchronous commit disciplines (§II discusses the
+//!   trade-off; ablation A1 measures it);
+//! * [`RelayQueue`] — the slave-side relay log fed by the I/O thread and
+//!   drained in order by the single SQL apply thread;
+//! * [`heartbeat`] — the paper's replication-delay instrumentation: a
+//!   heartbeat table written on the master once per second with a global id
+//!   and a microsecond local timestamp; statement-based replication
+//!   re-executes the insert on each slave with the slave's own clock, and
+//!   the delay is the difference of the two timestamps (§III-A);
+//! * [`ReplicatedDb`] — an untimed master+slaves bundle for direct library
+//!   use (ship/apply immediately); the *timed* cluster lives in `amdb-core`.
+
+pub mod heartbeat;
+pub mod relay;
+
+pub use heartbeat::{
+    collect_samples, HeartbeatPlugin, HeartbeatSample, HEARTBEAT_SCHEMA, HEARTBEAT_TABLE,
+};
+pub use relay::RelayQueue;
+
+use amdb_sql::{BinlogFormat, Engine, QueryResult, Session, SqlError, Value};
+
+/// Commit discipline for replicated writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplMode {
+    /// Return to the client as soon as the master commits; writesets
+    /// propagate later (the paper's setup — "avoids high write latency over
+    /// networks in exchange of stale data", §II).
+    Async,
+    /// Return once at least one slave has *received* the writeset.
+    SemiSync,
+    /// Return once every slave has *applied* the writeset ("makes sure that
+    /// all replicas are consistent ... however traversing all replicas
+    /// potentially incurs high latency on write transactions", §II).
+    Sync,
+}
+
+impl ReplMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplMode::Async => "async",
+            ReplMode::SemiSync => "semi-sync",
+            ReplMode::Sync => "sync",
+        }
+    }
+}
+
+/// An untimed replicated database: one master, N slaves, manual pump.
+///
+/// Useful as a plain library ("give me MySQL-style replication in memory"):
+/// writes go to the master, reads to a slave of the caller's choice, and
+/// [`ReplicatedDb::pump`] ships and applies all outstanding writesets. The
+/// cloud-timed version (network delays, CPU queueing, clock skew) is
+/// `amdb_core::Cluster`.
+pub struct ReplicatedDb {
+    master: Engine,
+    master_session: Session,
+    slaves: Vec<(Engine, RelayQueue)>,
+    /// Logical clock fed to `NOW_MICROS()`; bump via [`Self::set_now_micros`].
+    now_micros: i64,
+}
+
+impl ReplicatedDb {
+    /// Build a replicated database with `n_slaves` empty slaves.
+    pub fn new(format: BinlogFormat, n_slaves: usize) -> Self {
+        Self {
+            master: Engine::new_master(format),
+            master_session: Session::new(),
+            slaves: (0..n_slaves)
+                .map(|_| (Engine::new_slave(), RelayQueue::new()))
+                .collect(),
+            now_micros: 0,
+        }
+    }
+
+    /// Number of slaves.
+    pub fn n_slaves(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// Set the logical wall clock used for `NOW_MICROS()` and commit stamps.
+    pub fn set_now_micros(&mut self, micros: i64) {
+        self.now_micros = micros;
+    }
+
+    /// Execute a write (or any statement) on the master.
+    pub fn execute_master(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryResult, SqlError> {
+        self.master_session.now_micros = self.now_micros;
+        self.master.execute(&mut self.master_session, sql, params)
+    }
+
+    /// Execute a read on slave `i` (sees only applied writesets — reads are
+    /// stale until [`Self::pump`] runs, exactly like async replication).
+    pub fn execute_slave(
+        &mut self,
+        i: usize,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryResult, SqlError> {
+        let (engine, _) = &mut self.slaves[i];
+        let mut session = Session::new();
+        session.now_micros = self.now_micros;
+        engine.execute(&mut session, sql, params)
+    }
+
+    /// Ship all new binlog events into every slave's relay queue (the I/O
+    /// threads catching up), without applying.
+    pub fn ship(&mut self) {
+        for (_, relay) in &mut self.slaves {
+            let new = self.master.binlog_from(relay.received_upto());
+            relay.receive(new.iter().cloned());
+        }
+    }
+
+    /// Apply everything queued on every slave. Returns events applied.
+    pub fn apply_all(&mut self) -> Result<usize, SqlError> {
+        let mut applied = 0;
+        for (engine, relay) in &mut self.slaves {
+            while let Some(ev) = relay.pop_next() {
+                engine.apply_event(&ev, self.now_micros)?;
+                relay.mark_applied(ev.lsn);
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Ship then apply: brings every slave fully up to date.
+    pub fn pump(&mut self) -> Result<usize, SqlError> {
+        self.ship();
+        self.apply_all()
+    }
+
+    /// Direct access to the master engine (e.g. for schema checks).
+    pub fn master(&self) -> &Engine {
+        &self.master
+    }
+
+    /// Direct access to a slave engine.
+    pub fn slave(&self, i: usize) -> &Engine {
+        &self.slaves[i].0
+    }
+
+    /// The relay queue of slave `i` (for staleness inspection).
+    pub fn relay(&self, i: usize) -> &RelayQueue {
+        &self.slaves[i].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> ReplicatedDb {
+        let mut db = ReplicatedDb::new(BinlogFormat::Statement, n);
+        db.execute_master(
+            "CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(32) NOT NULL)",
+            &[],
+        )
+        .unwrap();
+        db.pump().unwrap();
+        db
+    }
+
+    #[test]
+    fn writes_replicate_to_all_slaves() {
+        let mut db = setup(3);
+        db.execute_master("INSERT INTO users VALUES (1, 'a'), (2, 'b')", &[])
+            .unwrap();
+        db.pump().unwrap();
+        for i in 0..3 {
+            let r = db
+                .execute_slave(i, "SELECT COUNT(*) FROM users", &[])
+                .unwrap();
+            assert_eq!(r.rows[0][0], Value::Int(2), "slave {i}");
+        }
+    }
+
+    #[test]
+    fn reads_are_stale_until_pumped() {
+        let mut db = setup(1);
+        db.execute_master("INSERT INTO users VALUES (1, 'a')", &[])
+            .unwrap();
+        let r = db
+            .execute_slave(0, "SELECT COUNT(*) FROM users", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0), "asynchronous: not yet applied");
+        db.pump().unwrap();
+        let r = db
+            .execute_slave(0, "SELECT COUNT(*) FROM users", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1), "eventually consistent");
+    }
+
+    #[test]
+    fn ship_without_apply_fills_relay_only() {
+        let mut db = setup(1);
+        db.execute_master("INSERT INTO users VALUES (1, 'a')", &[])
+            .unwrap();
+        db.ship();
+        assert_eq!(db.relay(0).queued(), 1);
+        let r = db
+            .execute_slave(0, "SELECT COUNT(*) FROM users", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0), "relay received but not applied");
+        db.apply_all().unwrap();
+        assert_eq!(db.relay(0).queued(), 0);
+    }
+
+    #[test]
+    fn incremental_shipping_is_idempotent() {
+        let mut db = setup(2);
+        db.execute_master("INSERT INTO users VALUES (1, 'a')", &[])
+            .unwrap();
+        db.ship();
+        db.ship(); // second ship must not duplicate events
+        assert_eq!(db.relay(0).queued(), 1);
+        db.apply_all().unwrap();
+        db.execute_master("INSERT INTO users VALUES (2, 'b')", &[])
+            .unwrap();
+        db.pump().unwrap();
+        let r = db
+            .execute_slave(1, "SELECT COUNT(*) FROM users", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn updates_and_deletes_replicate() {
+        let mut db = setup(1);
+        db.execute_master("INSERT INTO users VALUES (1, 'a'), (2, 'b')", &[])
+            .unwrap();
+        db.execute_master("UPDATE users SET name = 'z' WHERE id = 1", &[])
+            .unwrap();
+        db.execute_master("DELETE FROM users WHERE id = 2", &[])
+            .unwrap();
+        db.pump().unwrap();
+        let r = db
+            .execute_slave(0, "SELECT name FROM users ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::from("z")]]);
+    }
+
+    #[test]
+    fn row_format_replicates_identically() {
+        let mut db = ReplicatedDb::new(BinlogFormat::Row, 2);
+        db.execute_master("CREATE TABLE t (id INT PRIMARY KEY, v DOUBLE)", &[])
+            .unwrap();
+        db.execute_master("INSERT INTO t VALUES (1, 0.5)", &[])
+            .unwrap();
+        db.execute_master("UPDATE t SET v = v * 4 WHERE id = 1", &[])
+            .unwrap();
+        db.pump().unwrap();
+        for i in 0..2 {
+            let r = db.execute_slave(i, "SELECT v FROM t", &[]).unwrap();
+            assert_eq!(r.rows[0][0], Value::Double(2.0));
+        }
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(ReplMode::Async.name(), "async");
+        assert_eq!(ReplMode::SemiSync.name(), "semi-sync");
+        assert_eq!(ReplMode::Sync.name(), "sync");
+    }
+}

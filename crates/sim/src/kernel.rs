@@ -1,0 +1,263 @@
+//! The event loop: a time-ordered agenda of closures over a world `W`.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// An event: a one-shot closure receiving the world and the kernel (so it can
+/// schedule follow-ups).
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+// Order by (time, seq); the heap is a max-heap so invert the comparison.
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: earliest (at, seq) is the heap maximum.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event simulation kernel.
+///
+/// The kernel owns *only* the agenda and the clock; all domain state lives in
+/// the caller's world `W`. Events at the same instant run in scheduling order
+/// (FIFO tie-break via a monotonically increasing sequence number), which
+/// keeps runs deterministic.
+///
+/// ```
+/// use amdb_sim::{Sim, SimDuration, SimTime};
+///
+/// struct World { ticks: u32 }
+/// let mut sim = Sim::new();
+/// let mut world = World { ticks: 0 };
+/// sim.schedule_in(SimDuration::from_secs(1), |w: &mut World, sim| {
+///     w.ticks += 1;
+///     assert_eq!(sim.now(), SimTime::from_secs(1));
+/// });
+/// sim.run(&mut world);
+/// assert_eq!(world.ticks, 1);
+/// ```
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    agenda: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A kernel at time zero with an empty agenda.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            agenda: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.agenda.len()
+    }
+
+    /// Schedule an event at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics when `at` is in the past — scheduling into the past would make
+    /// the run order undefined.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.agenda.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule an event after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Run one event if any is pending; returns whether one ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.agenda.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the agenda is empty.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run events with timestamps `<= end`, then set the clock to `end`.
+    /// Events scheduled beyond `end` remain pending.
+    pub fn run_until(&mut self, world: &mut W, end: SimTime) {
+        loop {
+            match self.agenda.peek() {
+                Some(ev) if ev.at <= end => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if end > self.now {
+            self.now = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(2), |w: &mut W, s| {
+            w.log.push((s.now().as_micros(), "b"))
+        });
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut W, s| {
+            w.log.push((s.now().as_micros(), "a"))
+        });
+        sim.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(1_000_000, "a"), (2_000_000, "b")],
+            "time order respected"
+        );
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn same_time_fifo_order() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        for name in ["first", "second", "third"] {
+            sim.schedule_at(SimTime::from_secs(1), move |w: &mut W, _| {
+                w.log.push((0, name))
+            });
+        }
+        sim.run(&mut w);
+        let names: Vec<_> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_in(SimDuration::from_secs(1), |_: &mut W, s| {
+            s.schedule_in(SimDuration::from_secs(1), |w: &mut W, s| {
+                w.log.push((s.now().as_micros(), "nested"));
+            });
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(2_000_000, "nested")]);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut W, _| w.log.push((0, "in")));
+        sim.schedule_at(SimTime::from_secs(10), |w: &mut W, _| {
+            w.log.push((0, "out"))
+        });
+        sim.run_until(&mut w, SimTime::from_secs(5));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(1), |_: &mut W, s| {
+            s.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run(&mut w);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        assert!(!sim.step(&mut w));
+    }
+
+    #[test]
+    fn heavy_interleaving_is_deterministic() {
+        // Two identical runs produce identical logs.
+        fn run_once() -> Vec<(u64, &'static str)> {
+            let mut sim: Sim<W> = Sim::new();
+            let mut w = W::default();
+            for i in 0..100u64 {
+                let at = SimTime::from_micros((i * 37) % 500);
+                sim.schedule_at(at, move |w: &mut W, s| {
+                    w.log.push((s.now().as_micros(), "e"));
+                    if s.now() < SimTime::from_micros(400) {
+                        s.schedule_in(SimDuration::from_micros(13), |w: &mut W, s| {
+                            w.log.push((s.now().as_micros(), "n"));
+                        });
+                    }
+                });
+            }
+            sim.run(&mut w);
+            w.log
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

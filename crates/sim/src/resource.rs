@@ -1,0 +1,187 @@
+//! Non-preemptive FIFO single-server CPU model.
+//!
+//! Every virtual machine in the cloud substrate owns one [`FifoCpu`]. Work is
+//! submitted as a CPU *demand* (the time the job would take on a speed-1.0
+//! reference core); the server scales it by the instance's speed factor and
+//! serves jobs in arrival order. Because completion times are fully
+//! determined at submission for a FIFO non-preemptive queue, `submit` simply
+//! *returns* the completion instant and the caller schedules its own
+//! completion event — no callback plumbing required.
+//!
+//! Saturation behaviour — the paper's central observation ("the observed
+//! saturation point … appearing in slaves at the beginning, moves along with
+//! an increasing workload … eventually the saturation will transit from
+//! slaves to the master", §IV-A) — emerges directly from this queue: once
+//! offered demand exceeds capacity, the backlog and thus response times grow
+//! without bound.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A FIFO, non-preemptive, single-server queue with a speed factor.
+#[derive(Debug, Clone)]
+pub struct FifoCpu {
+    speed: f64,
+    busy_until: SimTime,
+    busy_accum: SimDuration,
+    window_start: SimTime,
+    jobs: u64,
+}
+
+impl FifoCpu {
+    /// Create a CPU with the given speed factor (reference core = 1.0).
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite speeds.
+    pub fn new(speed: f64) -> Self {
+        assert!(speed.is_finite() && speed > 0.0, "invalid CPU speed {speed}");
+        Self {
+            speed,
+            busy_until: SimTime::ZERO,
+            busy_accum: SimDuration::ZERO,
+            window_start: SimTime::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// The speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Submit a job of `demand` reference-CPU time at instant `now`; returns
+    /// when the job will complete. Jobs are served in submission order.
+    pub fn submit(&mut self, now: SimTime, demand: SimDuration) -> SimTime {
+        let service = demand.mul_f64(1.0 / self.speed);
+        let start = self.busy_until.max(now);
+        self.busy_until = start + service;
+        self.busy_accum += service;
+        self.jobs += 1;
+        self.busy_until
+    }
+
+    /// Instant at which the server drains, given no further arrivals.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Backlog: how much queued-plus-in-service time remains at `now`.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        if self.busy_until > now {
+            self.busy_until - now
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// True if a job submitted at `now` would have to wait.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        self.busy_until > now
+    }
+
+    /// Jobs submitted since construction (or the last [`Self::reset_window`]).
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the accounting window ending at `now`: served time /
+    /// wall time. May exceed 1.0 while a backlog is still queued (offered
+    /// load above capacity) — exactly the saturated-master signature.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let wall = now - self.window_start;
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.busy_accum.as_secs_f64() / wall.as_secs_f64()
+    }
+
+    /// Start a fresh accounting window at `now` (e.g. at the beginning of the
+    /// measured steady stage). The queue itself is untouched.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.busy_accum = SimDuration::ZERO;
+        self.jobs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut cpu = FifoCpu::new(1.0);
+        let done = cpu.submit(SimTime::from_millis(10), SimDuration::from_millis(5));
+        assert_eq!(done, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut cpu = FifoCpu::new(1.0);
+        let t0 = SimTime::ZERO;
+        let d1 = cpu.submit(t0, SimDuration::from_millis(10));
+        let d2 = cpu.submit(t0, SimDuration::from_millis(10));
+        assert_eq!(d1, SimTime::from_millis(10));
+        assert_eq!(d2, SimTime::from_millis(20), "second job waits");
+    }
+
+    #[test]
+    fn speed_scales_service_time() {
+        let mut fast = FifoCpu::new(2.0);
+        let done = fast.submit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(done, SimTime::from_millis(5));
+        let mut slow = FifoCpu::new(0.5);
+        let done = slow.submit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(done, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn backlog_and_busy() {
+        let mut cpu = FifoCpu::new(1.0);
+        cpu.submit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert!(cpu.is_busy(SimTime::from_millis(5)));
+        assert_eq!(
+            cpu.backlog(SimTime::from_millis(4)),
+            SimDuration::from_micros(6 * MS)
+        );
+        assert!(!cpu.is_busy(SimTime::from_millis(10)));
+        assert_eq!(cpu.backlog(SimTime::from_millis(12)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gap_between_jobs_leaves_server_idle() {
+        let mut cpu = FifoCpu::new(1.0);
+        cpu.submit(SimTime::ZERO, SimDuration::from_millis(1));
+        let done = cpu.submit(SimTime::from_millis(100), SimDuration::from_millis(1));
+        assert_eq!(done, SimTime::from_millis(101), "no phantom queueing");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut cpu = FifoCpu::new(1.0);
+        cpu.submit(SimTime::ZERO, SimDuration::from_millis(250));
+        let u = cpu.utilization(SimTime::from_millis(1000));
+        assert!((u - 0.25).abs() < 1e-9, "{u}");
+        // Saturated: 2s of demand in a 1s window reads as 2.0.
+        cpu.reset_window(SimTime::from_secs(1));
+        cpu.submit(SimTime::from_secs(1), SimDuration::from_secs(2));
+        let u = cpu.utilization(SimTime::from_secs(2));
+        assert!((u - 2.0).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn window_reset_clears_accum_not_queue() {
+        let mut cpu = FifoCpu::new(1.0);
+        cpu.submit(SimTime::ZERO, SimDuration::from_secs(10));
+        cpu.reset_window(SimTime::from_secs(1));
+        assert_eq!(cpu.jobs(), 0);
+        assert!(cpu.is_busy(SimTime::from_secs(5)), "backlog survives reset");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        let _ = FifoCpu::new(0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Self-contained deterministic PRNG and the distributions the experiments
+//! draw from.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a well-studied,
+//! fast, portable combination. Each experiment derives independent named
+//! streams from one master seed so that, e.g., network jitter draws never
+//! perturb workload arrival draws when a parameter changes (common random
+//! numbers across configurations, which sharpens the figure comparisons).
+
+/// xoshiro256++ PRNG with SplitMix64 seeding and distribution helpers.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second normal variate from the Box-Muller pair.
+    spare_normal: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed a generator. Any seed (including 0) is valid: seeds pass through
+    /// SplitMix64 so the xoshiro state is never all-zero.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent named stream. The label keeps stream derivation
+    /// self-documenting and stable across refactors ("net-jitter",
+    /// "think-time", ...).
+    pub fn derive(&self, label: &str) -> Rng {
+        // FNV-1a over the label, mixed with fresh output from a clone so the
+        // parent's state is not consumed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut probe = self.clone();
+        Rng::new(h ^ probe.next_u64())
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53-bit precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift rejection.
+    /// `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        // Unbiased: rejection-sample the low range.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty int_range");
+        let span = (hi - lo) as u64 + 1;
+        lo + self.below(span) as i64
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // 1 - f64() is in (0, 1], so ln() is finite.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal via Box-Muller (pairs cached).
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        self.spare_normal = Some(r * s);
+        r * c
+    }
+
+    /// Normal variate with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.std_normal()
+    }
+
+    /// Lognormal variate parameterized by the *underlying* normal's mu/sigma.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Lognormal variate parameterized by its own mean and coefficient of
+    /// variation — convenient for "multiplier around 1.0 with CoV c" noise
+    /// (the paper's instance-performance variation, CoV ≈ 21 %).
+    pub fn lognormal_mean_cov(&mut self, mean: f64, cov: f64) -> f64 {
+        debug_assert!(mean > 0.0 && cov >= 0.0);
+        if cov == 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cov * cov).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        self.lognormal(mu, sigma2.sqrt())
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "Rng::pick on empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Weighted choice: returns an index with probability proportional to
+    /// `weights[i]`. Weights must be non-negative with a positive sum.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "pick_weighted needs positive total weight");
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0);
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1 // FP slack lands on the last positive-weight entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn derived_streams_are_independent_and_stable() {
+        let root = Rng::new(7);
+        let mut x1 = root.derive("net");
+        let mut x2 = root.derive("net");
+        let mut y = root.derive("workload");
+        assert_eq!(x1.next_u64(), x2.next_u64(), "same label, same stream");
+        assert_ne!(x1.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_bounds_and_coverage() {
+        let mut r = Rng::new(4);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn int_range_inclusive() {
+        let mut r = Rng::new(5);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2_000 {
+            let v = r.int_range(-2, 2);
+            assert!((-2..=2).contains(&v));
+            lo_seen |= v == -2;
+            hi_seen |= v == 2;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = Rng::new(6);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "got {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = Rng::new(8);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_mean_cov_moments() {
+        let mut r = Rng::new(9);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.lognormal_mean_cov(1.0, 0.21)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cov = var.sqrt() / mean;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((cov - 0.21).abs() < 0.01, "cov {cov}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pick_weighted_respects_zero_weight() {
+        let mut r = Rng::new(10);
+        for _ in 0..1_000 {
+            let i = r.pick_weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn pick_weighted_rough_proportions() {
+        let mut r = Rng::new(11);
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            counts[r.pick_weighted(&[1.0, 3.0])] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(12);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

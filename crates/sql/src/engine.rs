@@ -1,0 +1,782 @@
+//! The engine facade: sessions, transactions, autocommit, binlogging, and
+//! replica apply.
+
+use crate::ast::Statement;
+use crate::binlog::{Binlog, BinlogEvent, BinlogFormat, EventPayload, Lsn};
+use crate::error::SqlError;
+use crate::exec::{
+    exec_delete, exec_insert, exec_select, exec_update, Catalog, QueryResult, RowChange,
+    RowChangeKind, Undo, UndoEntry, WriteOutcome,
+};
+use crate::expr::EvalCtx;
+use crate::parser::parse;
+use crate::storage::Table;
+use crate::value::Value;
+
+/// A client session: clock context, transaction state, pending binlog
+/// payloads. The *caller* supplies `now_micros` (ultimately from the owning
+/// VM's drifting clock) before each statement — the engine never reads host
+/// time.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// Local wall-clock microseconds used by `NOW_MICROS()` and as the
+    /// commit timestamp of binlog events.
+    pub now_micros: i64,
+    in_txn: bool,
+    undo: Vec<UndoEntry>,
+    pending: Vec<EventPayload>,
+    last_insert_id: Option<i64>,
+}
+
+impl Session {
+    /// Fresh autocommit session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// The auto-increment id assigned by the most recent INSERT.
+    pub fn last_insert_id(&self) -> Option<i64> {
+        self.last_insert_id
+    }
+}
+
+/// Role for [`Engine::fork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForkRole {
+    /// Fork into a master logging with the given format.
+    Master(BinlogFormat),
+    /// Fork into a slave (no binlogging).
+    Slave,
+}
+
+/// The database engine: catalog + binary log.
+///
+/// One engine instance models one MySQL server (master or slave). Masters
+/// are constructed with [`Engine::new_master`] and log writes; slaves use
+/// [`Engine::new_slave`] and apply shipped events without re-logging
+/// (MySQL's default `log_slave_updates = OFF`).
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Catalog,
+    binlog: Binlog,
+    format: BinlogFormat,
+    log_writes: bool,
+}
+
+impl Engine {
+    /// A master engine with the given binlog format.
+    pub fn new_master(format: BinlogFormat) -> Self {
+        Self {
+            catalog: Catalog::new(),
+            binlog: Binlog::new(),
+            format,
+            log_writes: true,
+        }
+    }
+
+    /// A slave engine (does not produce binlog events).
+    pub fn new_slave() -> Self {
+        Self {
+            catalog: Catalog::new(),
+            binlog: Binlog::new(),
+            format: BinlogFormat::Statement,
+            log_writes: false,
+        }
+    }
+
+    /// The binlog (master side).
+    pub fn binlog(&self) -> &Binlog {
+        &self.binlog
+    }
+
+    /// Fork a copy of this engine's *data* (catalog incl. indexes and
+    /// auto-increment state) with a fresh, empty binlog.
+    ///
+    /// This is how the experiments realize the paper's requirement that
+    /// "both the master and slaves should start with a pre-loaded,
+    /// fully-synchronized database" (§III-B): one template engine is loaded
+    /// once, then forked into the master and every slave of each run.
+    pub fn fork(&self, role: ForkRole) -> Engine {
+        match role {
+            ForkRole::Master(format) => Engine {
+                catalog: self.catalog.clone(),
+                binlog: Binlog::new(),
+                format,
+                log_writes: true,
+            },
+            ForkRole::Slave => Engine {
+                catalog: self.catalog.clone(),
+                binlog: Binlog::new(),
+                format: BinlogFormat::Statement,
+                log_writes: false,
+            },
+        }
+    }
+
+    /// Promote a slave engine to master in place (failover): it keeps its
+    /// data, starts logging writes, and opens a fresh binlog. Writes on the
+    /// failed old master that this replica never applied are *lost* — the
+    /// asynchronous-replication data-loss window of §II ("once the updated
+    /// replica goes offline before duplicating data, data loss may occur").
+    pub fn promote_to_master(&mut self, format: BinlogFormat) {
+        self.format = format;
+        self.log_writes = true;
+        self.binlog = Binlog::new();
+    }
+
+    /// Whether this engine logs writes (true for masters).
+    pub fn is_master(&self) -> bool {
+        self.log_writes
+    }
+
+    /// Binlog format in use.
+    pub fn binlog_format(&self) -> BinlogFormat {
+        self.format
+    }
+
+    /// Does a table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Row count of a table (testing/monitoring aid).
+    pub fn table_rows(&self, name: &str) -> Option<usize> {
+        self.catalog.get(&name.to_ascii_lowercase()).map(Table::row_count)
+    }
+
+    /// Execute one statement with positional parameters.
+    pub fn execute(
+        &mut self,
+        session: &mut Session,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryResult, SqlError> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(session, &stmt, sql, params)
+    }
+
+    /// Execute a semicolon-separated batch (DDL scripts, loaders). Returns
+    /// the last statement's result. Parameters are not allowed in batches.
+    pub fn execute_batch(
+        &mut self,
+        session: &mut Session,
+        sql: &str,
+    ) -> Result<QueryResult, SqlError> {
+        let mut last = QueryResult::default();
+        for piece in split_statements(sql) {
+            let trimmed = piece.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            last = self.execute(session, trimmed, &[])?;
+        }
+        Ok(last)
+    }
+
+    fn execute_stmt(
+        &mut self,
+        session: &mut Session,
+        stmt: &Statement,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryResult, SqlError> {
+        let ctx = EvalCtx {
+            params,
+            now_micros: session.now_micros,
+        };
+        match stmt {
+            Statement::Select(sel) => exec_select(&self.catalog, sel, &ctx),
+            Statement::Explain(sel) => crate::exec::explain_select(&self.catalog, sel),
+            Statement::Begin => {
+                if session.in_txn {
+                    return Err(SqlError::Transaction("transaction already open".into()));
+                }
+                session.in_txn = true;
+                Ok(QueryResult::default())
+            }
+            Statement::Commit => {
+                if !session.in_txn {
+                    return Err(SqlError::Transaction("COMMIT without BEGIN".into()));
+                }
+                session.in_txn = false;
+                session.undo.clear();
+                self.flush_pending(session);
+                Ok(QueryResult::default())
+            }
+            Statement::Rollback => {
+                if !session.in_txn {
+                    return Err(SqlError::Transaction("ROLLBACK without BEGIN".into()));
+                }
+                session.in_txn = false;
+                session.pending.clear();
+                let undo = std::mem::take(&mut session.undo);
+                self.apply_undo(undo);
+                Ok(QueryResult::default())
+            }
+            Statement::CreateTable {
+                schema,
+                if_not_exists,
+            } => {
+                let key = schema.name.to_ascii_lowercase();
+                if self.catalog.contains_key(&key) {
+                    if *if_not_exists {
+                        return Ok(QueryResult::default());
+                    }
+                    return Err(SqlError::DuplicateTable(schema.name.clone()));
+                }
+                self.catalog.insert(key, Table::new(schema.clone()));
+                self.log_ddl(session, sql, params)?;
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            } => {
+                let t = crate::exec::get_table_mut(&mut self.catalog, table)?;
+                let col = t
+                    .schema()
+                    .column_index(column)
+                    .ok_or_else(|| SqlError::UnknownColumn(column.clone()))?;
+                t.create_index(name.clone(), col, *unique)?;
+                self.log_ddl(session, sql, params)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropTable { name, if_exists } => {
+                let key = name.to_ascii_lowercase();
+                if self.catalog.remove(&key).is_none() && !*if_exists {
+                    return Err(SqlError::UnknownTable(name.clone()));
+                }
+                self.log_ddl(session, sql, params)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let out = exec_insert(&mut self.catalog, table, columns, rows, &ctx)?;
+                self.finish_write(session, sql, params, out)
+            }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                let out = exec_update(&mut self.catalog, table, sets, filter.as_ref(), &ctx)?;
+                self.finish_write(session, sql, params, out)
+            }
+            Statement::Delete { table, filter } => {
+                let out = exec_delete(&mut self.catalog, table, filter.as_ref(), &ctx)?;
+                self.finish_write(session, sql, params, out)
+            }
+        }
+    }
+
+    /// Record a write's binlog payload and undo, honoring autocommit.
+    fn finish_write(
+        &mut self,
+        session: &mut Session,
+        sql: &str,
+        params: &[Value],
+        out: WriteOutcome,
+    ) -> Result<QueryResult, SqlError> {
+        if out.result.last_insert_id.is_some() {
+            session.last_insert_id = out.result.last_insert_id;
+        }
+        if self.log_writes && out.result.rows_affected > 0 {
+            let payload = match self.format {
+                BinlogFormat::Statement => EventPayload::Statement {
+                    sql: substitute_params(sql, params)?,
+                },
+                BinlogFormat::Row => EventPayload::Rows {
+                    changes: out.changes,
+                },
+            };
+            session.pending.push(payload);
+        }
+        if session.in_txn {
+            session.undo.extend(out.undo);
+        } else {
+            self.flush_pending(session);
+        }
+        Ok(out.result)
+    }
+
+    /// DDL is always statement-logged and implicitly commits (as in MySQL).
+    fn log_ddl(
+        &mut self,
+        session: &mut Session,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<(), SqlError> {
+        if self.log_writes {
+            session.pending.push(EventPayload::Statement {
+                sql: substitute_params(sql, params)?,
+            });
+        }
+        session.undo.clear();
+        session.in_txn = false;
+        self.flush_pending(session);
+        Ok(())
+    }
+
+    fn flush_pending(&mut self, session: &mut Session) {
+        for payload in session.pending.drain(..) {
+            self.binlog.append(session.now_micros, payload);
+        }
+        session.undo.clear();
+    }
+
+    fn apply_undo(&mut self, undo: Vec<UndoEntry>) {
+        for entry in undo.into_iter().rev() {
+            let Some(table) = self.catalog.get_mut(&entry.table) else {
+                continue; // table dropped by DDL after the write; nothing to undo
+            };
+            match entry.undo {
+                Undo::Inserted(rid) => {
+                    table.delete(rid);
+                }
+                Undo::Updated(rid, old) => {
+                    let _ = table.update(rid, old);
+                }
+                Undo::Deleted(rid, old) => {
+                    table.restore(rid, old);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replica apply
+    // ------------------------------------------------------------------
+
+    /// Apply one shipped binlog event on a replica. `now_micros` is the
+    /// *replica's* local clock — for statement events this re-evaluates
+    /// `NOW_MICROS()` against the slave clock, producing the paper's
+    /// measurable heartbeat skew.
+    pub fn apply_event(
+        &mut self,
+        event: &BinlogEvent,
+        now_micros: i64,
+    ) -> Result<QueryResult, SqlError> {
+        match &event.payload {
+            EventPayload::Statement { sql } => {
+                let mut session = Session {
+                    now_micros,
+                    ..Session::default()
+                };
+                self.execute(&mut session, sql, &[])
+            }
+            EventPayload::Rows { changes } => {
+                let mut res = QueryResult::default();
+                for change in changes {
+                    self.apply_row_change(change)?;
+                    res.rows_affected += 1;
+                    res.rows_examined += 1;
+                }
+                Ok(res)
+            }
+        }
+    }
+
+    fn apply_row_change(&mut self, change: &RowChange) -> Result<(), SqlError> {
+        let table = crate::exec::get_table_mut(&mut self.catalog, &change.table)?;
+        let pk = table.schema().pk_index();
+        let find = |table: &Table, image: &[Value]| -> Option<crate::storage::RowId> {
+            match pk {
+                Some(pk_idx) => table.pk_lookup(&image[pk_idx]),
+                None => table
+                    .scan()
+                    .find(|(_, row)| row.as_slice() == image)
+                    .map(|(rid, _)| rid),
+            }
+        };
+        match &change.kind {
+            RowChangeKind::Insert { row } => {
+                table.insert(row.clone())?;
+            }
+            RowChangeKind::Update { before, after } => {
+                let rid = find(table, before).ok_or_else(|| {
+                    SqlError::Constraint(format!(
+                        "row-apply update: no matching row in '{}'",
+                        change.table
+                    ))
+                })?;
+                table.update(rid, after.clone())?;
+            }
+            RowChangeKind::Delete { row } => {
+                let rid = find(table, row).ok_or_else(|| {
+                    SqlError::Constraint(format!(
+                        "row-apply delete: no matching row in '{}'",
+                        change.table
+                    ))
+                })?;
+                table.delete(rid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read binlog events at or after `from` (the slave I/O thread's fetch).
+    pub fn binlog_from(&self, from: Lsn) -> &[BinlogEvent] {
+        self.binlog.read_from(from)
+    }
+}
+
+/// Substitute `?` placeholders with literal values (for statement-based
+/// binlogging). Quoted strings are respected.
+pub fn substitute_params(sql: &str, params: &[Value]) -> Result<String, SqlError> {
+    let mut out = String::with_capacity(sql.len() + params.len() * 8);
+    let mut idx = 0usize;
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                out.push(c);
+                // copy until closing quote, handling '' escapes
+                while let Some(sc) = chars.next() {
+                    out.push(sc);
+                    if sc == '\'' {
+                        if chars.peek() == Some(&'\'') {
+                            out.push(chars.next().expect("peeked"));
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            '?' => {
+                let v = params.get(idx).ok_or_else(|| {
+                    SqlError::BadParameter(format!("placeholder {} not bound", idx + 1))
+                })?;
+                out.push_str(&v.to_literal());
+                idx += 1;
+            }
+            other => out.push(other),
+        }
+    }
+    if idx != params.len() {
+        return Err(SqlError::BadParameter(format!(
+            "{} parameters bound, {} placeholders found",
+            params.len(),
+            idx
+        )));
+    }
+    Ok(out)
+}
+
+/// Split a batch on top-level semicolons (string literals respected).
+pub fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                cur.push(c);
+                while let Some(sc) = chars.next() {
+                    cur.push(sc);
+                    if sc == '\'' {
+                        if chars.peek() == Some(&'\'') {
+                            cur.push(chars.next().expect("peeked"));
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            ';' => {
+                out.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master() -> (Engine, Session) {
+        let mut e = Engine::new_master(BinlogFormat::Statement);
+        let mut s = Session::new();
+        e.execute_batch(
+            &mut s,
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(64) NOT NULL, score DOUBLE);
+             CREATE INDEX idx_name ON users (name);",
+        )
+        .unwrap();
+        (e, s)
+    }
+
+    #[test]
+    fn end_to_end_crud() {
+        let (mut e, mut s) = master();
+        let r = e
+            .execute(
+                &mut s,
+                "INSERT INTO users (name, score) VALUES (?, ?)",
+                &[Value::from("alice"), Value::from(1.5)],
+            )
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        assert_eq!(r.last_insert_id, Some(1));
+
+        e.execute(
+            &mut s,
+            "INSERT INTO users (name, score) VALUES ('bob', 2.0), ('carol', 3.0)",
+            &[],
+        )
+        .unwrap();
+
+        let r = e
+            .execute(&mut s, "SELECT name FROM users WHERE score >= 2 ORDER BY name", &[])
+            .unwrap();
+        assert_eq!(r.columns, vec!["name"]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::from("bob")], vec![Value::from("carol")]]
+        );
+
+        let r = e
+            .execute(&mut s, "UPDATE users SET score = score + 1 WHERE name = 'bob'", &[])
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+
+        let r = e.execute(&mut s, "DELETE FROM users WHERE id = 1", &[]).unwrap();
+        assert_eq!(r.rows_affected, 1);
+        assert_eq!(e.table_rows("users"), Some(2));
+    }
+
+    #[test]
+    fn select_with_join_and_aggregate() {
+        let (mut e, mut s) = master();
+        e.execute_batch(
+            &mut s,
+            "CREATE TABLE orders (id INT PRIMARY KEY, user_id INT, total DOUBLE);
+             CREATE INDEX idx_user ON orders (user_id);
+             INSERT INTO users (name, score) VALUES ('a', 0.0), ('b', 0.0);
+             INSERT INTO orders VALUES (1, 1, 10.0), (2, 1, 20.0), (3, 2, 5.0)",
+        )
+        .unwrap();
+        let r = e
+            .execute(
+                &mut s,
+                "SELECT u.name, COUNT(*) AS n, SUM(o.total) AS total \
+                 FROM users u INNER JOIN orders o ON o.user_id = u.id \
+                 GROUP BY u.id ORDER BY total DESC",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::from("a"));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[0][2], Value::Double(30.0));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let (mut e, mut s) = master();
+        e.execute_batch(
+            &mut s,
+            "CREATE TABLE orders (id INT PRIMARY KEY, user_id INT);
+             INSERT INTO users (name) VALUES ('a'), ('b');
+             INSERT INTO orders VALUES (1, 1)",
+        )
+        .unwrap();
+        let r = e
+            .execute(
+                &mut s,
+                "SELECT u.name, o.id FROM users u LEFT JOIN orders o ON o.user_id = u.id ORDER BY u.name",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[1], vec![Value::from("b"), Value::Null]);
+    }
+
+    #[test]
+    fn transaction_rollback_restores_state() {
+        let (mut e, mut s) = master();
+        e.execute(&mut s, "INSERT INTO users (name) VALUES ('keep')", &[])
+            .unwrap();
+        e.execute(&mut s, "BEGIN", &[]).unwrap();
+        e.execute(&mut s, "INSERT INTO users (name) VALUES ('gone')", &[])
+            .unwrap();
+        e.execute(&mut s, "UPDATE users SET name = 'kept?' WHERE name = 'keep'", &[])
+            .unwrap();
+        e.execute(&mut s, "DELETE FROM users WHERE name = 'kept?'", &[])
+            .unwrap_or_else(|_| panic!());
+        e.execute(&mut s, "ROLLBACK", &[]).unwrap();
+        let r = e
+            .execute(&mut s, "SELECT name FROM users ORDER BY name", &[])
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::from("keep")]]);
+        // Rolled-back work must not reach the binlog.
+        let binlogged: Vec<_> = e
+            .binlog()
+            .read_from(Lsn(0))
+            .iter()
+            .filter(|ev| match &ev.payload {
+                EventPayload::Statement { sql } => sql.contains("gone"),
+                _ => false,
+            })
+            .collect();
+        assert!(binlogged.is_empty());
+    }
+
+    #[test]
+    fn transaction_commit_logs_all_statements() {
+        let (mut e, mut s) = master();
+        let before = e.binlog().len();
+        e.execute(&mut s, "BEGIN", &[]).unwrap();
+        e.execute(&mut s, "INSERT INTO users (name) VALUES ('x')", &[])
+            .unwrap();
+        e.execute(&mut s, "INSERT INTO users (name) VALUES ('y')", &[])
+            .unwrap();
+        assert_eq!(e.binlog().len(), before, "nothing logged before commit");
+        e.execute(&mut s, "COMMIT", &[]).unwrap();
+        assert_eq!(e.binlog().len(), before + 2);
+    }
+
+    #[test]
+    fn txn_state_errors() {
+        let (mut e, mut s) = master();
+        assert!(e.execute(&mut s, "COMMIT", &[]).is_err());
+        assert!(e.execute(&mut s, "ROLLBACK", &[]).is_err());
+        e.execute(&mut s, "BEGIN", &[]).unwrap();
+        assert!(e.execute(&mut s, "BEGIN", &[]).is_err());
+    }
+
+    #[test]
+    fn statement_replication_reexecutes_now_micros() {
+        let mut master = Engine::new_master(BinlogFormat::Statement);
+        let mut ms = Session::new();
+        ms.now_micros = 1_000;
+        master
+            .execute_batch(
+                &mut ms,
+                "CREATE TABLE heartbeat (id INT PRIMARY KEY, ts TIMESTAMP)",
+            )
+            .unwrap();
+        master
+            .execute(
+                &mut ms,
+                "INSERT INTO heartbeat (id, ts) VALUES (?, NOW_MICROS())",
+                &[Value::Int(1)],
+            )
+            .unwrap();
+
+        let mut slave = Engine::new_slave();
+        // Slave clock is 5000 µs ahead.
+        for ev in master.binlog_from(Lsn(0)).to_vec() {
+            slave.apply_event(&ev, 6_000).unwrap();
+        }
+        let mut ss = Session::new();
+        let m = master
+            .execute(&mut ms, "SELECT ts FROM heartbeat WHERE id = 1", &[])
+            .unwrap();
+        let sl = slave
+            .execute(&mut ss, "SELECT ts FROM heartbeat WHERE id = 1", &[])
+            .unwrap();
+        assert_eq!(m.rows[0][0], Value::Timestamp(1_000));
+        assert_eq!(
+            sl.rows[0][0],
+            Value::Timestamp(6_000),
+            "slave re-evaluated NOW_MICROS with its own clock"
+        );
+    }
+
+    #[test]
+    fn row_replication_copies_exact_images() {
+        let mut master = Engine::new_master(BinlogFormat::Row);
+        let mut ms = Session::new();
+        ms.now_micros = 1_000;
+        master
+            .execute_batch(&mut ms, "CREATE TABLE t (id INT PRIMARY KEY, ts TIMESTAMP)")
+            .unwrap();
+        master
+            .execute(&mut ms, "INSERT INTO t VALUES (1, NOW_MICROS())", &[])
+            .unwrap();
+        master
+            .execute(&mut ms, "UPDATE t SET ts = 42 WHERE id = 1", &[])
+            .unwrap();
+
+        let mut slave = Engine::new_slave();
+        for ev in master.binlog_from(Lsn(0)).to_vec() {
+            slave.apply_event(&ev, 999_999).unwrap();
+        }
+        let mut ss = Session::new();
+        let r = slave.execute(&mut ss, "SELECT ts FROM t", &[]).unwrap();
+        assert_eq!(
+            r.rows[0][0],
+            Value::Timestamp(42),
+            "row format ships master values verbatim"
+        );
+    }
+
+    #[test]
+    fn substitute_params_respects_strings() {
+        let sql = "INSERT INTO t VALUES ('a?b', ?, '''?', ?)";
+        let out = substitute_params(sql, &[Value::Int(1), Value::from("x")]).unwrap();
+        assert_eq!(out, "INSERT INTO t VALUES ('a?b', 1, '''?', 'x')");
+    }
+
+    #[test]
+    fn substitute_params_arity_checked() {
+        assert!(substitute_params("SELECT ?", &[]).is_err());
+        assert!(substitute_params("SELECT ?", &[Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn split_statements_respects_strings() {
+        let parts = split_statements("INSERT INTO t VALUES ('a;b'); SELECT 1");
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].contains("a;b"));
+    }
+
+    #[test]
+    fn ddl_implicitly_commits() {
+        let (mut e, mut s) = master();
+        e.execute(&mut s, "BEGIN", &[]).unwrap();
+        e.execute(&mut s, "INSERT INTO users (name) VALUES ('x')", &[])
+            .unwrap();
+        e.execute(&mut s, "CREATE TABLE other (id INT PRIMARY KEY)", &[])
+            .unwrap();
+        assert!(!s.in_transaction(), "DDL closed the transaction");
+        // The pending insert was committed (logged), not rolled back.
+        assert!(e
+            .binlog()
+            .read_from(Lsn(0))
+            .iter()
+            .any(|ev| matches!(&ev.payload, EventPayload::Statement { sql } if sql.contains("'x'"))));
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        let (mut e, mut s) = master();
+        assert!(matches!(
+            e.execute(&mut s, "SELECT * FROM missing", &[]),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            e.execute(&mut s, "INSERT INTO users (nope) VALUES (1)", &[]),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            e.execute(&mut s, "THIS IS NOT SQL", &[]),
+            Err(SqlError::Parse(_))
+        ));
+    }
+}

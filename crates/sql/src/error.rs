@@ -1,0 +1,82 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the SQL engine. User input (SQL text, parameters) can
+/// produce any of these; none panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error: unexpected character or unterminated literal.
+    Lex(String),
+    /// Syntax error from the parser.
+    Parse(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column (optionally qualified).
+    UnknownColumn(String),
+    /// Table already exists.
+    DuplicateTable(String),
+    /// Index already exists.
+    DuplicateIndex(String),
+    /// Primary-key or unique violation.
+    DuplicateKey(String),
+    /// Type mismatch or impossible coercion.
+    TypeMismatch(String),
+    /// NOT NULL violation or arity mismatch on INSERT.
+    Constraint(String),
+    /// Placeholder count/parameter mismatch.
+    BadParameter(String),
+    /// Unknown scalar or aggregate function.
+    UnknownFunction(String),
+    /// Transaction state error (e.g. COMMIT without BEGIN).
+    Transaction(String),
+    /// Binlog decode failure (corrupt or truncated event).
+    BinlogCorrupt(String),
+    /// Anything else.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            SqlError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            SqlError::DuplicateIndex(i) => write!(f, "index '{i}' already exists"),
+            SqlError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            SqlError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            SqlError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
+            SqlError::Transaction(m) => write!(f, "transaction error: {m}"),
+            SqlError::BinlogCorrupt(m) => write!(f, "binlog corrupt: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            SqlError::UnknownTable("users".into()).to_string(),
+            "unknown table 'users'"
+        );
+        assert!(SqlError::Parse("expected FROM".into())
+            .to_string()
+            .contains("expected FROM"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SqlError::Lex("x".into()));
+    }
+}

@@ -1,0 +1,1073 @@
+//! Query execution: SELECT pipelines, DML, undo logging, row-change capture.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::expr::{eval, truth, ColumnResolver, EvalCtx, NoColumns, Truth};
+use crate::plan::{choose_path, Path};
+use crate::storage::{RowId, Table};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// The table catalog: lower-cased table name → table.
+pub type Catalog = BTreeMap<String, Table>;
+
+/// Look up a table (case-insensitive).
+pub fn get_table<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table, SqlError> {
+    catalog
+        .get(&name.to_ascii_lowercase())
+        .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+}
+
+/// Look up a table mutably (case-insensitive).
+pub fn get_table_mut<'a>(catalog: &'a mut Catalog, name: &str) -> Result<&'a mut Table, SqlError> {
+    catalog
+        .get_mut(&name.to_ascii_lowercase())
+        .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted.
+    pub rows_affected: u64,
+    /// Auto-increment id assigned by the last INSERT, if any.
+    pub last_insert_id: Option<i64>,
+    /// Rows fetched from storage while executing — the executor's work
+    /// measure, consumed by the cost model.
+    pub rows_examined: u64,
+}
+
+/// Undo information for transaction rollback, in execution order.
+#[derive(Debug, Clone)]
+pub struct UndoEntry {
+    pub table: String,
+    pub undo: Undo,
+}
+
+/// One reversible mutation.
+#[derive(Debug, Clone)]
+pub enum Undo {
+    /// Row was inserted; undo deletes it.
+    Inserted(RowId),
+    /// Row was updated; undo restores the old image.
+    Updated(RowId, Vec<Value>),
+    /// Row was deleted; undo re-inserts the old image.
+    Deleted(RowId, Vec<Value>),
+}
+
+/// A captured row mutation for row-based binlogging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowChange {
+    pub table: String,
+    pub kind: RowChangeKind,
+}
+
+/// Kind of row mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowChangeKind {
+    Insert { row: Vec<Value> },
+    Update { before: Vec<Value>, after: Vec<Value> },
+    Delete { row: Vec<Value> },
+}
+
+/// Output of a write statement: result plus undo and row-change logs.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOutcome {
+    pub result: QueryResult,
+    pub undo: Vec<UndoEntry>,
+    pub changes: Vec<RowChange>,
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+/// One bound table in a FROM clause.
+struct Binding {
+    name: String,
+    columns: Vec<String>,
+}
+
+/// Row scope across all FROM bindings; `None` = NULL-extended (LEFT JOIN) or
+/// not yet bound.
+struct Scope<'a> {
+    bindings: &'a [Binding],
+    rows: &'a [Option<Vec<Value>>],
+}
+
+impl ColumnResolver for Scope<'_> {
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, SqlError> {
+        match qualifier {
+            Some(q) => {
+                let (i, b) = self
+                    .bindings
+                    .iter()
+                    .enumerate()
+                    .find(|(_, b)| b.name.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| SqlError::UnknownColumn(format!("{q}.{name}")))?;
+                let col = b
+                    .columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| SqlError::UnknownColumn(format!("{q}.{name}")))?;
+                Ok(match &self.rows[i] {
+                    Some(row) => row[col].clone(),
+                    None => Value::Null,
+                })
+            }
+            None => {
+                let mut hit: Option<(usize, usize)> = None;
+                for (i, b) in self.bindings.iter().enumerate() {
+                    if let Some(col) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+                    {
+                        if hit.is_some() {
+                            return Err(SqlError::UnknownColumn(format!(
+                                "ambiguous column '{name}'"
+                            )));
+                        }
+                        hit = Some((i, col));
+                    }
+                }
+                let (i, col) =
+                    hit.ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+                Ok(match &self.rows[i] {
+                    Some(row) => row[col].clone(),
+                    None => Value::Null,
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate iteration (access paths)
+// ---------------------------------------------------------------------------
+
+/// Materialize candidate row ids for a table access, preferring the given
+/// path and gracefully falling back to a full scan when a key expression
+/// cannot be evaluated in the current scope.
+fn candidates(
+    table: &Table,
+    path: &Path,
+    ctx: &EvalCtx,
+    scope: &Scope<'_>,
+) -> Result<Vec<RowId>, SqlError> {
+    let eval_key = |key: &Expr| -> Result<Option<Value>, SqlError> {
+        match eval(key, ctx, scope) {
+            Ok(v) => Ok(Some(v)),
+            Err(SqlError::UnknownColumn(_)) => Ok(None), // not evaluable yet
+            Err(e) => Err(e),
+        }
+    };
+    let full = |t: &Table| t.scan().map(|(rid, _)| rid).collect::<Vec<_>>();
+
+    Ok(match path {
+        Path::FullScan => full(table),
+        Path::PkEq { key } => match eval_key(key)? {
+            Some(v) if !v.is_null() => table.pk_lookup(&v).into_iter().collect(),
+            Some(_) => Vec::new(),
+            None => full(table),
+        },
+        Path::IndexEq { column, key } => match eval_key(key)? {
+            Some(v) if !v.is_null() => {
+                let ix = table.index_on(*column).expect("planned index exists");
+                ix.lookup_eq(&v).to_vec()
+            }
+            Some(_) => Vec::new(),
+            None => full(table),
+        },
+        Path::PkRange { lo, hi } => {
+            match eval_bounds(lo, hi, ctx, scope)? {
+                Some((lo_b, hi_b)) => match table.pk_range(as_bound(&lo_b), as_bound(&hi_b)) {
+                    Some(iter) => iter.collect(),
+                    None => full(table),
+                },
+                None => full(table),
+            }
+        }
+        Path::IndexRange { column, lo, hi } => match eval_bounds(lo, hi, ctx, scope)? {
+            Some((lo_b, hi_b)) => {
+                let ix = table.index_on(*column).expect("planned index exists");
+                ix.lookup_range(as_bound(&lo_b), as_bound(&hi_b)).collect()
+            }
+            None => full(table),
+        },
+    })
+}
+
+type EvaluatedBound = Option<(Value, bool)>;
+
+fn eval_bounds(
+    lo: &Option<(Expr, bool)>,
+    hi: &Option<(Expr, bool)>,
+    ctx: &EvalCtx,
+    scope: &Scope<'_>,
+) -> Result<Option<(EvaluatedBound, EvaluatedBound)>, SqlError> {
+    let one = |b: &Option<(Expr, bool)>| -> Result<Option<EvaluatedBound>, SqlError> {
+        match b {
+            None => Ok(Some(None)),
+            Some((e, incl)) => match eval(e, ctx, scope) {
+                Ok(v) if v.is_null() => Ok(Some(None)), // NULL bound: unbounded side
+                Ok(v) => Ok(Some(Some((v, *incl)))),
+                Err(SqlError::UnknownColumn(_)) => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    };
+    match (one(lo)?, one(hi)?) {
+        (Some(l), Some(h)) => Ok(Some((l, h))),
+        _ => Ok(None),
+    }
+}
+
+fn as_bound(b: &EvaluatedBound) -> Bound<&Value> {
+    match b {
+        None => Bound::Unbounded,
+        Some((v, true)) => Bound::Included(v),
+        Some((v, false)) => Bound::Excluded(v),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+/// Execute a SELECT against the catalog.
+pub fn exec_select(
+    catalog: &Catalog,
+    sel: &SelectStmt,
+    ctx: &EvalCtx,
+) -> Result<QueryResult, SqlError> {
+    // Bind FROM sources.
+    struct Source<'a> {
+        binding: String,
+        table: &'a Table,
+        kind: JoinKind,
+        on: Option<Expr>,
+        path: Path,
+    }
+
+    let mut sources: Vec<Source> = Vec::new();
+    if let Some(from) = &sel.from {
+        let base_table = get_table(catalog, &from.base.table)?;
+        let base_binding = from.base.binding().to_string();
+        let base_path = choose_path(base_table, &base_binding, sel.filter.as_ref());
+        sources.push(Source {
+            binding: base_binding,
+            table: base_table,
+            kind: JoinKind::Inner,
+            on: None,
+            path: base_path,
+        });
+        for j in &from.joins {
+            let t = get_table(catalog, &j.table.table)?;
+            let binding = j.table.binding().to_string();
+            let path = choose_path(t, &binding, Some(&j.on));
+            sources.push(Source {
+                binding,
+                table: t,
+                kind: j.kind,
+                on: Some(j.on.clone()),
+                path,
+            });
+        }
+    }
+
+    let bindings: Vec<Binding> = sources
+        .iter()
+        .map(|s| Binding {
+            name: s.binding.clone(),
+            columns: s
+                .table
+                .schema()
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        })
+        .collect();
+
+    // Output columns.
+    let mut out_cols: Vec<String> = Vec::new();
+    let mut item_exprs: Vec<(Expr, String)> = Vec::new(); // (expr, name) expanded
+    for (i, item) in sel.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for (bi, b) in bindings.iter().enumerate() {
+                    for c in &b.columns {
+                        out_cols.push(c.clone());
+                        item_exprs.push((
+                            Expr::Column {
+                                qualifier: Some(bindings[bi].name.clone()),
+                                name: c.clone(),
+                            },
+                            c.clone(),
+                        ));
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    Expr::Func { name, .. } => name.to_ascii_lowercase(),
+                    _ => format!("col{}", i + 1),
+                });
+                out_cols.push(name.clone());
+                item_exprs.push((expr.clone(), name));
+            }
+        }
+    }
+
+    let aggregate_mode = !sel.group_by.is_empty()
+        || item_exprs.iter().any(|(e, _)| e.contains_aggregate())
+        || sel.having.is_some();
+    if sel.having.is_some() && sel.group_by.is_empty() {
+        return Err(SqlError::Unsupported(
+            "HAVING requires GROUP BY in this engine".into(),
+        ));
+    }
+
+    // Collect all emitted scope rows, applying WHERE.
+    let mut rows_examined: u64 = 0;
+    let mut emitted: Vec<Vec<Option<Vec<Value>>>> = Vec::new();
+
+    if sources.is_empty() {
+        emitted.push(Vec::new());
+    } else {
+        // Iterative nested-loop join over a stack of candidate lists.
+        #[allow(clippy::too_many_arguments)]
+        fn recurse(
+            sources: &[Source<'_>],
+            bindings: &[Binding],
+            idx: usize,
+            scope_rows: &mut Vec<Option<Vec<Value>>>,
+            ctx: &EvalCtx,
+            filter: Option<&Expr>,
+            rows_examined: &mut u64,
+            emitted: &mut Vec<Vec<Option<Vec<Value>>>>,
+        ) -> Result<(), SqlError> {
+            if idx == sources.len() {
+                if let Some(f) = filter {
+                    let scope = Scope {
+                        bindings,
+                        rows: scope_rows,
+                    };
+                    if truth(&eval(f, ctx, &scope)?) != Truth::True {
+                        return Ok(());
+                    }
+                }
+                emitted.push(scope_rows.clone());
+                return Ok(());
+            }
+            let src = &sources[idx];
+            let cands = {
+                let scope = Scope {
+                    bindings,
+                    rows: scope_rows,
+                };
+                candidates(src.table, &src.path, ctx, &scope)?
+            };
+            let mut matched = false;
+            for rid in cands {
+                let row = src.table.get(rid).expect("candidate rid valid").clone();
+                *rows_examined += 1;
+                scope_rows[idx] = Some(row);
+                // Re-check the ON predicate (the path may be a superset).
+                if let Some(on) = &src.on {
+                    let scope = Scope {
+                        bindings,
+                        rows: scope_rows,
+                    };
+                    if truth(&eval(on, ctx, &scope)?) != Truth::True {
+                        scope_rows[idx] = None;
+                        continue;
+                    }
+                }
+                matched = true;
+                recurse(
+                    sources,
+                    bindings,
+                    idx + 1,
+                    scope_rows,
+                    ctx,
+                    filter,
+                    rows_examined,
+                    emitted,
+                )?;
+                scope_rows[idx] = None;
+            }
+            if !matched && src.kind == JoinKind::Left {
+                scope_rows[idx] = None;
+                recurse(
+                    sources,
+                    bindings,
+                    idx + 1,
+                    scope_rows,
+                    ctx,
+                    filter,
+                    rows_examined,
+                    emitted,
+                )?;
+            }
+            Ok(())
+        }
+
+        let mut scope_rows: Vec<Option<Vec<Value>>> = vec![None; sources.len()];
+        recurse(
+            &sources,
+            &bindings,
+            0,
+            &mut scope_rows,
+            ctx,
+            sel.filter.as_ref(),
+            &mut rows_examined,
+            &mut emitted,
+        )?;
+    }
+
+    // Project (and aggregate).
+    // Each output row carries its sort keys, computed pre-projection.
+    let mut result_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (sort_keys, out_row)
+
+    let order_key_exprs: Vec<&OrderKey> = sel.order_by.iter().collect();
+
+    let compute_sort_keys = |out_row: &[Value],
+                             scope: &dyn ColumnResolver|
+     -> Result<Vec<Value>, SqlError> {
+        let mut keys = Vec::with_capacity(order_key_exprs.len());
+        for ok in &order_key_exprs {
+            // Alias / output-name reference?
+            if let Expr::Column {
+                qualifier: None,
+                name,
+            } = &ok.expr
+            {
+                if let Some(pos) = out_cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                    keys.push(out_row[pos].clone());
+                    continue;
+                }
+            }
+            keys.push(eval(&ok.expr, ctx, scope)?);
+        }
+        Ok(keys)
+    };
+
+    if aggregate_mode {
+        let specs = collect_agg_specs(&item_exprs, &sel.order_by, sel.having.as_ref());
+        // group key -> (accumulators, representative scope)
+        // (group key, accumulators, representative scope rows)
+        type Group = (Vec<Value>, Vec<AggAcc>, Vec<Option<Vec<Value>>>);
+        let mut groups: Vec<Group> = Vec::new();
+        let mut group_index: BTreeMap<String, usize> = BTreeMap::new();
+
+        for scope_rows in &emitted {
+            let scope = Scope {
+                bindings: &bindings,
+                rows: scope_rows,
+            };
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(g, ctx, &scope)?);
+            }
+            let key_str = key
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            let gi = *group_index.entry(key_str).or_insert_with(|| {
+                groups.push((
+                    key.clone(),
+                    specs.iter().map(AggAcc::new).collect(),
+                    scope_rows.clone(),
+                ));
+                groups.len() - 1
+            });
+            for (acc, spec) in groups[gi].1.iter_mut().zip(&specs) {
+                acc.update(spec, ctx, &scope)?;
+            }
+        }
+        // A global aggregate over zero rows still yields one group.
+        if groups.is_empty() && sel.group_by.is_empty() {
+            groups.push((
+                Vec::new(),
+                specs.iter().map(AggAcc::new).collect(),
+                vec![None; bindings.len()],
+            ));
+        }
+
+        for (_key, accs, rep_rows) in &groups {
+            let scope = Scope {
+                bindings: &bindings,
+                rows: rep_rows,
+            };
+            let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+            // HAVING filters whole groups; aggregates inside it substitute.
+            if let Some(h) = &sel.having {
+                let rewritten = substitute_aggs(h, &specs, &agg_values);
+                if truth(&eval(&rewritten, ctx, &scope)?) != Truth::True {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::with_capacity(item_exprs.len());
+            for (e, _) in &item_exprs {
+                let rewritten = substitute_aggs(e, &specs, &agg_values);
+                out_row.push(eval(&rewritten, ctx, &scope)?);
+            }
+            // Sort keys may contain aggregates too.
+            let mut keys = Vec::with_capacity(order_key_exprs.len());
+            for ok in &order_key_exprs {
+                if let Expr::Column {
+                    qualifier: None,
+                    name,
+                } = &ok.expr
+                {
+                    if let Some(pos) = out_cols.iter().position(|c| c.eq_ignore_ascii_case(name))
+                    {
+                        keys.push(out_row[pos].clone());
+                        continue;
+                    }
+                }
+                let rewritten = substitute_aggs(&ok.expr, &specs, &agg_values);
+                keys.push(eval(&rewritten, ctx, &scope)?);
+            }
+            result_rows.push((keys, out_row));
+        }
+    } else {
+        for scope_rows in &emitted {
+            let scope = Scope {
+                bindings: &bindings,
+                rows: scope_rows,
+            };
+            let mut out_row = Vec::with_capacity(item_exprs.len());
+            for (e, _) in &item_exprs {
+                out_row.push(eval(e, ctx, &scope)?);
+            }
+            let keys = compute_sort_keys(&out_row, &scope)?;
+            result_rows.push((keys, out_row));
+        }
+    }
+
+    // DISTINCT: keep the first occurrence of each projected row.
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        result_rows.retain(|(_, row)| {
+            let key = row
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            seen.insert(key)
+        });
+    }
+
+    // ORDER BY.
+    if !sel.order_by.is_empty() {
+        result_rows.sort_by(|(ka, _), (kb, _)| {
+            for (i, ok) in sel.order_by.iter().enumerate() {
+                let ord = ka[i].index_cmp(&kb[i]);
+                let ord = if ok.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // OFFSET / LIMIT.
+    let offset = sel.offset.unwrap_or(0) as usize;
+    let rows: Vec<Vec<Value>> = result_rows
+        .into_iter()
+        .map(|(_, r)| r)
+        .skip(offset)
+        .take(sel.limit.map(|l| l as usize).unwrap_or(usize::MAX))
+        .collect();
+
+    Ok(QueryResult {
+        columns: out_cols,
+        rows,
+        rows_affected: 0,
+        last_insert_id: None,
+        rows_examined,
+    })
+}
+
+/// Execute an EXPLAIN: report each table access with its chosen path,
+/// mirroring the planner decisions `exec_select` would make.
+pub fn explain_select(catalog: &Catalog, sel: &SelectStmt) -> Result<QueryResult, SqlError> {
+    let mut res = QueryResult {
+        columns: vec!["table".into(), "binding".into(), "access".into()],
+        ..QueryResult::default()
+    };
+    let Some(from) = &sel.from else {
+        res.rows.push(vec![
+            Value::Text("(no table)".into()),
+            Value::Null,
+            Value::Text("constant".into()),
+        ]);
+        return Ok(res);
+    };
+    let base = get_table(catalog, &from.base.table)?;
+    let base_binding = from.base.binding();
+    let path = choose_path(base, base_binding, sel.filter.as_ref());
+    res.rows.push(vec![
+        Value::Text(from.base.table.clone()),
+        Value::Text(base_binding.to_string()),
+        Value::Text(path.describe()),
+    ]);
+    for j in &from.joins {
+        let t = get_table(catalog, &j.table.table)?;
+        let binding = j.table.binding();
+        let path = choose_path(t, binding, Some(&j.on));
+        res.rows.push(vec![
+            Value::Text(j.table.table.clone()),
+            Value::Text(binding.to_string()),
+            Value::Text(path.describe()),
+        ]);
+    }
+    Ok(res)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct AggSpec {
+    name: String,
+    arg: Option<Expr>,
+    star: bool,
+}
+
+fn collect_agg_specs(
+    items: &[(Expr, String)],
+    order_by: &[OrderKey],
+    having: Option<&Expr>,
+) -> Vec<AggSpec> {
+    let mut specs: Vec<AggSpec> = Vec::new();
+    let mut add_from = |e: &Expr| {
+        e.walk(&mut |node| {
+            if let Expr::Func { name, args, star } = node {
+                if is_aggregate_name(name) {
+                    let spec = AggSpec {
+                        name: name.to_ascii_uppercase(),
+                        arg: args.first().cloned(),
+                        star: *star,
+                    };
+                    if !specs.contains(&spec) {
+                        specs.push(spec);
+                    }
+                }
+            }
+        });
+    };
+    for (e, _) in items {
+        add_from(e);
+    }
+    for ok in order_by {
+        add_from(&ok.expr);
+    }
+    if let Some(h) = having {
+        add_from(h);
+    }
+    specs
+}
+
+/// Replace aggregate calls with their computed values.
+fn substitute_aggs(e: &Expr, specs: &[AggSpec], values: &[Value]) -> Expr {
+    if let Expr::Func { name, args, star } = e {
+        if is_aggregate_name(name) {
+            let spec = AggSpec {
+                name: name.to_ascii_uppercase(),
+                arg: args.first().cloned(),
+                star: *star,
+            };
+            if let Some(i) = specs.iter().position(|s| *s == spec) {
+                return Expr::Literal(values[i].clone());
+            }
+        }
+    }
+    match e {
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(substitute_aggs(inner, specs, values))),
+        Expr::Binary(a, op, b) => Expr::Binary(
+            Box::new(substitute_aggs(a, specs, values)),
+            *op,
+            Box::new(substitute_aggs(b, specs, values)),
+        ),
+        Expr::Func { name, args, star } => Expr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| substitute_aggs(a, specs, values))
+                .collect(),
+            star: *star,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute_aggs(expr, specs, values)),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(substitute_aggs(expr, specs, values)),
+            pattern: Box::new(substitute_aggs(pattern, specs, values)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(substitute_aggs(expr, specs, values)),
+            list: list
+                .iter()
+                .map(|i| substitute_aggs(i, specs, values))
+                .collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, lo, hi } => Expr::Between {
+            expr: Box::new(substitute_aggs(expr, specs, values)),
+            lo: Box::new(substitute_aggs(lo, specs, values)),
+            hi: Box::new(substitute_aggs(hi, specs, values)),
+        },
+        other => other.clone(),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum AggAcc {
+    Count(i64),
+    Sum { sum: f64, any: bool, int: bool },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggAcc {
+    fn new(spec: &AggSpec) -> AggAcc {
+        match spec.name.as_str() {
+            "COUNT" => AggAcc::Count(0),
+            "SUM" => AggAcc::Sum {
+                sum: 0.0,
+                any: false,
+                int: true,
+            },
+            "AVG" => AggAcc::Avg { sum: 0.0, n: 0 },
+            "MIN" => AggAcc::Min(None),
+            "MAX" => AggAcc::Max(None),
+            other => unreachable!("non-aggregate {other}"),
+        }
+    }
+
+    fn update(
+        &mut self,
+        spec: &AggSpec,
+        ctx: &EvalCtx,
+        scope: &dyn ColumnResolver,
+    ) -> Result<(), SqlError> {
+        let arg_val = if spec.star {
+            Some(Value::Int(1))
+        } else if let Some(arg) = &spec.arg {
+            Some(eval(arg, ctx, scope)?)
+        } else {
+            None
+        };
+        match self {
+            AggAcc::Count(n) => {
+                match arg_val {
+                    Some(Value::Null) => {}
+                    Some(_) => *n += 1,
+                    None => {
+                        return Err(SqlError::BadParameter("COUNT needs an argument".into()))
+                    }
+                }
+            }
+            AggAcc::Sum { sum, any, int } => match arg_val {
+                Some(Value::Null) | None => {}
+                Some(Value::Int(i)) => {
+                    *sum += i as f64;
+                    *any = true;
+                }
+                Some(Value::Double(d)) => {
+                    *sum += d;
+                    *any = true;
+                    *int = false;
+                }
+                Some(v) => {
+                    return Err(SqlError::TypeMismatch(format!("SUM over {v:?}")));
+                }
+            },
+            AggAcc::Avg { sum, n } => match arg_val {
+                Some(Value::Null) | None => {}
+                Some(Value::Int(i)) => {
+                    *sum += i as f64;
+                    *n += 1;
+                }
+                Some(Value::Double(d)) => {
+                    *sum += d;
+                    *n += 1;
+                }
+                Some(v) => {
+                    return Err(SqlError::TypeMismatch(format!("AVG over {v:?}")));
+                }
+            },
+            AggAcc::Min(cur) => {
+                if let Some(v) = arg_val {
+                    if !v.is_null()
+                        && (cur.is_none()
+                            || v.sql_cmp(cur.as_ref().expect("checked"))
+                                == Some(std::cmp::Ordering::Less))
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            AggAcc::Max(cur) => {
+                if let Some(v) = arg_val {
+                    if !v.is_null()
+                        && (cur.is_none()
+                            || v.sql_cmp(cur.as_ref().expect("checked"))
+                                == Some(std::cmp::Ordering::Greater))
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggAcc::Count(n) => Value::Int(*n),
+            AggAcc::Sum { sum, any, int } => {
+                if !any {
+                    Value::Null
+                } else if *int {
+                    Value::Int(*sum as i64)
+                } else {
+                    Value::Double(*sum)
+                }
+            }
+            AggAcc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *n as f64)
+                }
+            }
+            AggAcc::Min(v) | AggAcc::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+/// Execute an INSERT.
+pub fn exec_insert(
+    catalog: &mut Catalog,
+    table_name: &str,
+    columns: &[String],
+    rows: &[Vec<Expr>],
+    ctx: &EvalCtx,
+) -> Result<WriteOutcome, SqlError> {
+    let table = get_table_mut(catalog, table_name)?;
+    let schema = table.schema().clone();
+
+    // Map insert column list to schema positions.
+    let positions: Vec<usize> = if columns.is_empty() {
+        (0..schema.arity()).collect()
+    } else {
+        let mut out = Vec::with_capacity(columns.len());
+        for c in columns {
+            out.push(
+                schema
+                    .column_index(c)
+                    .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?,
+            );
+        }
+        out
+    };
+
+    let mut outcome = WriteOutcome::default();
+    for value_exprs in rows {
+        if value_exprs.len() != positions.len() {
+            return Err(SqlError::Constraint(format!(
+                "INSERT has {} values for {} columns",
+                value_exprs.len(),
+                positions.len()
+            )));
+        }
+        let mut full = vec![Value::Null; schema.arity()];
+        for (pos, e) in positions.iter().zip(value_exprs) {
+            full[*pos] = eval(e, ctx, &NoColumns)?;
+        }
+        let rid = table.insert(full)?;
+        let stored = table.get(rid).expect("just inserted").clone();
+        if let Some(pk) = schema.pk_index() {
+            if schema.columns[pk].auto_increment {
+                if let Value::Int(v) = stored[pk] {
+                    outcome.result.last_insert_id = Some(v);
+                }
+            }
+        }
+        outcome.undo.push(UndoEntry {
+            table: table_name.to_ascii_lowercase(),
+            undo: Undo::Inserted(rid),
+        });
+        outcome.changes.push(RowChange {
+            table: table_name.to_ascii_lowercase(),
+            kind: RowChangeKind::Insert { row: stored },
+        });
+        outcome.result.rows_affected += 1;
+    }
+    Ok(outcome)
+}
+
+/// Shared row-matching for UPDATE and DELETE.
+fn matching_rows(
+    table: &Table,
+    binding: &str,
+    filter: Option<&Expr>,
+    ctx: &EvalCtx,
+    rows_examined: &mut u64,
+) -> Result<Vec<RowId>, SqlError> {
+    let path = choose_path(table, binding, filter);
+    let bindings = [Binding {
+        name: binding.to_string(),
+        columns: table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    }];
+    let empty_rows = [None];
+    let scope = Scope {
+        bindings: &bindings,
+        rows: &empty_rows,
+    };
+    let cands = candidates(table, &path, ctx, &scope)?;
+    let mut out = Vec::new();
+    for rid in cands {
+        let row = table.get(rid).expect("candidate valid").clone();
+        *rows_examined += 1;
+        let rows_holder = [Some(row)];
+        let scope = Scope {
+            bindings: &bindings,
+            rows: &rows_holder,
+        };
+        let keep = match filter {
+            Some(f) => truth(&eval(f, ctx, &scope)?) == Truth::True,
+            None => true,
+        };
+        if keep {
+            out.push(rid);
+        }
+    }
+    Ok(out)
+}
+
+/// Execute an UPDATE.
+pub fn exec_update(
+    catalog: &mut Catalog,
+    table_name: &str,
+    sets: &[(String, Expr)],
+    filter: Option<&Expr>,
+    ctx: &EvalCtx,
+) -> Result<WriteOutcome, SqlError> {
+    let table = get_table_mut(catalog, table_name)?;
+    let schema = table.schema().clone();
+    let mut set_positions = Vec::with_capacity(sets.len());
+    for (c, _) in sets {
+        set_positions.push(
+            schema
+                .column_index(c)
+                .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?,
+        );
+    }
+
+    let mut outcome = WriteOutcome::default();
+    let rids = matching_rows(
+        table,
+        table_name,
+        filter,
+        ctx,
+        &mut outcome.result.rows_examined,
+    )?;
+
+    let bindings = [Binding {
+        name: table_name.to_string(),
+        columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+    }];
+
+    for rid in rids {
+        let old = table.get(rid).expect("matched row valid").clone();
+        let mut new_row = old.clone();
+        {
+            let rows_holder = [Some(old.clone())];
+            let scope = Scope {
+                bindings: &bindings,
+                rows: &rows_holder,
+            };
+            for (pos, (_, e)) in set_positions.iter().zip(sets) {
+                new_row[*pos] = eval(e, ctx, &scope)?;
+            }
+        }
+        let old_row = table.update(rid, new_row)?;
+        let stored = table.get(rid).expect("updated row valid").clone();
+        outcome.undo.push(UndoEntry {
+            table: table_name.to_ascii_lowercase(),
+            undo: Undo::Updated(rid, old_row.clone()),
+        });
+        outcome.changes.push(RowChange {
+            table: table_name.to_ascii_lowercase(),
+            kind: RowChangeKind::Update {
+                before: old_row,
+                after: stored,
+            },
+        });
+        outcome.result.rows_affected += 1;
+    }
+    Ok(outcome)
+}
+
+/// Execute a DELETE.
+pub fn exec_delete(
+    catalog: &mut Catalog,
+    table_name: &str,
+    filter: Option<&Expr>,
+    ctx: &EvalCtx,
+) -> Result<WriteOutcome, SqlError> {
+    let table = get_table_mut(catalog, table_name)?;
+    let mut outcome = WriteOutcome::default();
+    let rids = matching_rows(
+        table,
+        table_name,
+        filter,
+        ctx,
+        &mut outcome.result.rows_examined,
+    )?;
+    for rid in rids {
+        let row = table.delete(rid).expect("matched row valid");
+        outcome.undo.push(UndoEntry {
+            table: table_name.to_ascii_lowercase(),
+            undo: Undo::Deleted(rid, row.clone()),
+        });
+        outcome.changes.push(RowChange {
+            table: table_name.to_ascii_lowercase(),
+            kind: RowChangeKind::Delete { row },
+        });
+        outcome.result.rows_affected += 1;
+    }
+    Ok(outcome)
+}

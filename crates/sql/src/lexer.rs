@@ -1,0 +1,335 @@
+//! SQL lexer: text → token stream.
+
+use crate::error::SqlError;
+
+/// A lexical token. Keywords are uppercased identifiers matched by the
+/// parser, so the lexer only distinguishes shape, not vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (normalized to uppercase for matching; the
+    /// original text is preserved for identifiers).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// `?` positional parameter.
+    Param,
+    /// Punctuation and operators.
+    Symbol(Sym),
+}
+
+/// Operator / punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl Token {
+    /// The uppercase form of a word token, if this is a word.
+    pub fn word_upper(&self) -> Option<String> {
+        match self {
+            Token::Word(w) => Some(w.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize SQL text.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Param);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Token::Symbol(Sym::NotEq));
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Symbol(Sym::LtEq));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Symbol(Sym::GtEq));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Keep multi-byte UTF-8 intact by slicing chars.
+                        let ch_start = i;
+                        let ch = input[ch_start..].chars().next().expect("in-bounds char");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '`' | '"' => {
+                // Quoted identifier; advance by whole chars so multi-byte
+                // UTF-8 inside the quotes cannot split a character.
+                let quote = bytes[i];
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    let ch = input[i..].chars().next().expect("in-bounds char");
+                    i += ch.len_utf8();
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::Lex("unterminated quoted identifier".into()));
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::Lex(format!("bad float literal '{text}'")))?;
+                    out.push(Token::Float(f));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Token::Int(v)),
+                        Err(_) => {
+                            let f: f64 = text.parse().map_err(|_| {
+                                SqlError::Lex(format!("bad numeric literal '{text}'"))
+                            })?;
+                            out.push(Token::Float(f));
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                // Identifiers are ASCII (SQL names); stop at the first
+                // non-identifier byte. ASCII-only scanning keeps every index
+                // on a char boundary.
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = lex("SELECT id, name FROM users WHERE id = 42;").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::Comma)));
+        assert!(toks.contains(&Token::Int(42)));
+        assert_eq!(*toks.last().unwrap(), Token::Symbol(Sym::Semicolon));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        let toks = lex("1 2.5 3e2 9223372036854775807").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(300.0),
+                Token::Int(i64::MAX),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a <= b >= c <> d != e < f > g = h").unwrap();
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                Sym::LtEq,
+                Sym::GtEq,
+                Sym::NotEq,
+                Sym::NotEq,
+                Sym::Lt,
+                Sym::Gt,
+                Sym::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert!(toks.contains(&Token::Int(2)));
+    }
+
+    #[test]
+    fn params_and_quoted_identifiers() {
+        let toks = lex("INSERT INTO `order` VALUES (?, ?)").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Param).count(), 2);
+        assert!(toks.contains(&Token::Word("order".into())));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("'héllo wörld'").unwrap();
+        assert_eq!(toks, vec![Token::Str("héllo wörld".into())]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(lex("SELECT @"), Err(SqlError::Lex(_))));
+    }
+}

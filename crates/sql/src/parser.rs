@@ -1,0 +1,911 @@
+//! Recursive-descent parser: token stream → [`Statement`].
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{lex, Sym, Token};
+use crate::schema::{Column, TableSchema};
+use crate::value::{DataType, Value};
+
+/// Parse one SQL statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params_seen: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_symbol(Sym::Semicolon);
+    if !p.at_end() {
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params_seen: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Peek the uppercase keyword at the cursor.
+    fn peek_kw(&self) -> Option<String> {
+        self.peek().and_then(|t| t.word_upper())
+    }
+
+    /// Consume a keyword if it matches (case-insensitive); returns success.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require a keyword.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek() == Some(&Token::Symbol(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<(), SqlError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Require an identifier (any word, including what could be a keyword in
+    /// other positions).
+    fn identifier(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        match self.peek_kw().as_deref() {
+            Some("SELECT") => Ok(Statement::Select(self.select()?)),
+            Some("EXPLAIN") => {
+                self.pos += 1;
+                Ok(Statement::Explain(Box::new(self.select()?)))
+            }
+            Some("INSERT") => self.insert(),
+            Some("UPDATE") => self.update(),
+            Some("DELETE") => self.delete(),
+            Some("CREATE") => self.create(),
+            Some("DROP") => self.drop_table(),
+            Some("BEGIN") => {
+                self.pos += 1;
+                Ok(Statement::Begin)
+            }
+            Some("START") => {
+                self.pos += 1;
+                self.expect_kw("TRANSACTION")?;
+                Ok(Statement::Begin)
+            }
+            Some("COMMIT") => {
+                self.pos += 1;
+                Ok(Statement::Commit)
+            }
+            Some("ROLLBACK") => {
+                self.pos += 1;
+                Ok(Statement::Rollback)
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected a statement, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---------------- SELECT ----------------
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        self.eat_kw("ALL");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(Sym::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+
+        let from = if self.eat_kw("FROM") {
+            Some(self.parse_from_clause()?)
+        } else {
+            None
+        };
+
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.unsigned_int("LIMIT")?);
+            if self.eat_kw("OFFSET") {
+                offset = Some(self.unsigned_int("OFFSET")?);
+            } else if self.eat_symbol(Sym::Comma) {
+                // MySQL `LIMIT offset, count`
+                offset = limit;
+                limit = Some(self.unsigned_int("LIMIT count")?);
+            }
+        }
+
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn unsigned_int(&mut self, what: &str) -> Result<u64, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as u64),
+            other => Err(SqlError::Parse(format!(
+                "expected non-negative integer after {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_from_clause(&mut self) -> Result<FromClause, SqlError> {
+        let base = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on = self.expr()?;
+            joins.push(Join { kind, table, on });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.identifier()?;
+        // Optional alias: `t alias` or `t AS alias`, but stop at clause
+        // keywords.
+        let alias = if self.eat_kw("AS") {
+            Some(self.identifier()?)
+        } else {
+            match self.peek_kw().as_deref() {
+                Some(
+                    "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "INNER" | "LEFT"
+                    | "JOIN" | "ON" | "SET" | "VALUES",
+                ) => None,
+                Some(_) => Some(self.identifier()?),
+                None => None,
+            }
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ---------------- INSERT / UPDATE / DELETE ----------------
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.identifier()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol(Sym::LParen) {
+            loop {
+                columns.push(self.identifier()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.identifier()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_symbol(Sym::Eq)?;
+            let e = self.expr()?;
+            sets.push((col, e));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.identifier()?;
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    // ---------------- DDL ----------------
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            let if_not_exists = if self.eat_kw("IF") {
+                self.expect_kw("NOT")?;
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.identifier()?;
+            self.expect_symbol(Sym::LParen)?;
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.column_def()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            let schema = TableSchema::new(name, cols)?;
+            Ok(Statement::CreateTable {
+                schema,
+                if_not_exists,
+            })
+        } else {
+            let unique = self.eat_kw("UNIQUE");
+            self.expect_kw("INDEX")?;
+            let name = self.identifier()?;
+            self.expect_kw("ON")?;
+            let table = self.identifier()?;
+            self.expect_symbol(Sym::LParen)?;
+            let column = self.identifier()?;
+            self.expect_symbol(Sym::RParen)?;
+            Ok(Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            })
+        }
+    }
+
+    fn column_def(&mut self) -> Result<Column, SqlError> {
+        let name = self.identifier()?;
+        let ty_word = self
+            .next()
+            .and_then(|t| match t {
+                Token::Word(w) => Some(w.to_ascii_uppercase()),
+                _ => None,
+            })
+            .ok_or_else(|| SqlError::Parse(format!("expected type for column '{name}'")))?;
+        let ty = match ty_word.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => DataType::Int,
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => DataType::Double,
+            "TEXT" | "VARCHAR" | "CHAR" | "LONGTEXT" | "MEDIUMTEXT" => DataType::Text,
+            "BOOLEAN" | "BOOL" => DataType::Bool,
+            "TIMESTAMP" | "DATETIME" => DataType::Timestamp,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "unknown column type '{other}' for column '{name}'"
+                )))
+            }
+        };
+        // Optional (n) length, ignored.
+        if self.eat_symbol(Sym::LParen) {
+            let _ = self.next();
+            if self.eat_symbol(Sym::Comma) {
+                let _ = self.next();
+            }
+            self.expect_symbol(Sym::RParen)?;
+        }
+        let mut col = Column::new(name, ty);
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                col = col.primary_key();
+            } else if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                col = col.not_null();
+            } else if self.eat_kw("NULL") {
+                // explicit nullable; default
+            } else if self.eat_kw("AUTO_INCREMENT") {
+                col = col.auto_increment();
+            } else {
+                break;
+            }
+        }
+        Ok(col)
+    }
+
+    fn drop_table(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("DROP")?;
+        self.expect_kw("TABLE")?;
+        let if_exists = if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.identifier()?;
+        Ok(Statement::DropTable { name, if_exists })
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), BinOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), BinOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary(UnOp::Not, Box::new(inner)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let lhs = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+
+        // [NOT] LIKE / IN / BETWEEN
+        let negated = if self.peek_kw().as_deref() == Some("NOT") {
+            let after = self
+                .tokens
+                .get(self.pos + 1)
+                .and_then(|t| t.word_upper());
+            if matches!(after.as_deref(), Some("LIKE" | "IN" | "BETWEEN")) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+
+        if self.eat_kw("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            let between = Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            };
+            return Ok(if negated {
+                Expr::Unary(UnOp::Not, Box::new(between))
+            } else {
+                between
+            });
+        }
+        if negated {
+            return Err(SqlError::Parse("dangling NOT".into()));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Symbol(Sym::NotEq)) => Some(BinOp::NotEq),
+            Some(Token::Symbol(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Symbol(Sym::LtEq)) => Some(BinOp::LtEq),
+            Some(Token::Symbol(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Symbol(Sym::GtEq)) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary(Box::new(lhs), op, Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => BinOp::Div,
+                Some(Token::Symbol(Sym::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_symbol(Sym::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        if self.eat_symbol(Sym::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Double(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Param) => {
+                let idx = self.params_seen;
+                self.params_seen += 1;
+                Ok(Expr::Param(idx))
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => {
+                let upper = w.to_ascii_uppercase();
+                match upper.as_str() {
+                    "NULL" => return Ok(Expr::Literal(Value::Null)),
+                    "TRUE" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "FALSE" => return Ok(Expr::Literal(Value::Bool(false))),
+                    _ => {}
+                }
+                // Function call?
+                if self.peek() == Some(&Token::Symbol(Sym::LParen)) {
+                    self.pos += 1;
+                    // COUNT(*)
+                    if self.eat_symbol(Sym::Star) {
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::Func {
+                            name: upper,
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_symbol(Sym::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(Sym::RParen)?;
+                    }
+                    return Ok(Expr::Func {
+                        name: upper,
+                        args,
+                        star: false,
+                    });
+                }
+                // Qualified column?
+                if self.eat_symbol(Sym::Dot) {
+                    let name = self.identifier()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(w),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: w,
+                })
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse("SELECT id, name FROM users WHERE id = 1").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items.len(), 2);
+                assert!(sel.filter.is_some());
+                assert_eq!(sel.from.unwrap().base.table, "users");
+            }
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn parses_join_with_aliases() {
+        let s = parse(
+            "SELECT e.title, u.username FROM events e \
+             INNER JOIN users u ON e.created_by = u.id \
+             LEFT JOIN comments c ON c.event_id = e.id \
+             WHERE u.id = ? ORDER BY e.title DESC LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let from = sel.from.unwrap();
+                assert_eq!(from.base.binding(), "e");
+                assert_eq!(from.joins.len(), 2);
+                assert_eq!(from.joins[0].kind, JoinKind::Inner);
+                assert_eq!(from.joins[1].kind, JoinKind::Left);
+                assert_eq!(sel.limit, Some(10));
+                assert_eq!(sel.offset, Some(5));
+                assert!(sel.order_by[0].desc);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_mysql_style_limit() {
+        let s = parse("SELECT * FROM t LIMIT 5, 10").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.offset, Some(5));
+                assert_eq!(sel.limit, Some(10));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by() {
+        let s = parse("SELECT tag_id, COUNT(*) AS n FROM event_tags GROUP BY tag_id").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.group_by.len(), 1);
+                match &sel.items[1] {
+                    SelectItem::Expr { expr, alias } => {
+                        assert!(expr.contains_aggregate());
+                        assert_eq!(alias.as_deref(), Some("n"));
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_insert_multi_row_with_params() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, ?), (2, ?)").unwrap();
+        match s {
+            Statement::Insert { columns, rows, .. } => {
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][1], Expr::Param(0));
+                assert_eq!(rows[1][1], Expr::Param(1));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        let s = parse("UPDATE users SET name = 'x', score = score + 1 WHERE id = 3").unwrap();
+        assert!(matches!(s, Statement::Update { ref sets, .. } if sets.len() == 2));
+        let s = parse("DELETE FROM users WHERE id IN (1, 2, 3)").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let s = parse(
+            "CREATE TABLE users (\
+             id INT PRIMARY KEY AUTO_INCREMENT, \
+             username VARCHAR(64) NOT NULL, \
+             bio TEXT, \
+             created_at TIMESTAMP NOT NULL)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { schema, .. } => {
+                assert_eq!(schema.arity(), 4);
+                assert_eq!(schema.pk_index(), Some(0));
+                assert!(schema.columns[0].auto_increment);
+                assert!(schema.columns[1].not_null);
+                assert!(!schema.columns[2].not_null);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_create_index_and_drop() {
+        let s = parse("CREATE UNIQUE INDEX idx_u ON users (username)").unwrap();
+        assert!(matches!(s, Statement::CreateIndex { unique: true, .. }));
+        let s = parse("DROP TABLE IF EXISTS users").unwrap();
+        assert!(matches!(s, Statement::DropTable { if_exists: true, .. }));
+    }
+
+    #[test]
+    fn parses_transactions() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("START TRANSACTION;").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT;").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a OR b AND c == a OR (b AND c)
+        let e = parse("SELECT a OR b AND c").unwrap();
+        match e {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr, .. } => match expr {
+                    Expr::Binary(_, BinOp::Or, rhs) => {
+                        assert!(matches!(**rhs, Expr::Binary(_, BinOp::And, _)));
+                    }
+                    other => panic!("got {other:?}"),
+                },
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse("SELECT 1 + 2 * 3").unwrap();
+        match e {
+            Statement::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr, .. } => match expr {
+                    Expr::Binary(_, BinOp::Add, rhs) => {
+                        assert!(matches!(**rhs, Expr::Binary(_, BinOp::Mul, _)));
+                    }
+                    other => panic!("got {other:?}"),
+                },
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn like_in_between_not() {
+        assert!(parse("SELECT * FROM t WHERE name LIKE 'a%'").is_ok());
+        assert!(parse("SELECT * FROM t WHERE name NOT LIKE '%b'").is_ok());
+        assert!(parse("SELECT * FROM t WHERE id NOT IN (1,2)").is_ok());
+        assert!(parse("SELECT * FROM t WHERE id BETWEEN 1 AND 5").is_ok());
+        assert!(parse("SELECT * FROM t WHERE x IS NOT NULL").is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(matches!(
+            parse("SELECT 1 FROM t 42"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn param_positions_are_sequential() {
+        let s = parse("SELECT * FROM t WHERE a = ? AND b = ? AND c = ?").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let mut seen = Vec::new();
+                sel.filter.unwrap().walk(&mut |e| {
+                    if let Expr::Param(i) = e {
+                        seen.push(*i);
+                    }
+                });
+                assert_eq!(seen, vec![0, 1, 2]);
+            }
+            _ => panic!(),
+        }
+    }
+}

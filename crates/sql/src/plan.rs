@@ -1,0 +1,359 @@
+//! Heuristic access-path planning: index selection from WHERE / ON clauses.
+//!
+//! The planner is deliberately MySQL-5-era in spirit: for each table access
+//! it picks, in order of preference, a primary-key point lookup, a secondary
+//! index point lookup, a primary-key range, a secondary index range, or a
+//! full scan. Join lookups reuse the same machinery with the "constant" side
+//! allowed to reference columns of already-bound tables.
+
+use crate::ast::{BinOp, Expr};
+use crate::storage::Table;
+
+/// How the executor should locate candidate rows for one table access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Path {
+    /// Scan every row.
+    FullScan,
+    /// Primary key equality: `pk = key`.
+    PkEq { key: Expr },
+    /// Secondary-index equality on `column`: `col = key`.
+    IndexEq { column: usize, key: Expr },
+    /// Primary key range.
+    PkRange {
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+    },
+    /// Secondary-index range on `column`. Bounds are `(expr, inclusive)`.
+    IndexRange {
+        column: usize,
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+    },
+}
+
+impl Path {
+    /// Human-readable plan description (EXPLAIN-style; used in tests).
+    pub fn describe(&self) -> String {
+        match self {
+            Path::FullScan => "full scan".into(),
+            Path::PkEq { .. } => "pk eq".into(),
+            Path::IndexEq { column, .. } => format!("index eq col{column}"),
+            Path::PkRange { .. } => "pk range".into(),
+            Path::IndexRange { column, .. } => format!("index range col{column}"),
+        }
+    }
+}
+
+/// Split a boolean expression into top-level AND conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn rec<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary(a, BinOp::And, b) = e {
+            rec(a, out);
+            rec(b, out);
+        } else {
+            out.push(e);
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+/// Does `expr` reference any column *of this binding*? A column belongs to
+/// the binding when its qualifier names the binding, or when it is
+/// unqualified and the table's schema has a column of that name.
+fn references_binding(expr: &Expr, binding: &str, table: &Table) -> bool {
+    let mut found = false;
+    expr.walk(&mut |e| {
+        if let Expr::Column { qualifier, name } = e {
+            let belongs = match qualifier {
+                Some(q) => q.eq_ignore_ascii_case(binding),
+                None => table.schema().column_index(name).is_some(),
+            };
+            if belongs {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// If `expr` is a column of this binding, return its column index.
+fn own_column(expr: &Expr, binding: &str, table: &Table) -> Option<usize> {
+    if let Expr::Column { qualifier, name } = expr {
+        let qualifies = match qualifier {
+            Some(q) => q.eq_ignore_ascii_case(binding),
+            None => true,
+        };
+        if qualifies {
+            return table.schema().column_index(name);
+        }
+    }
+    None
+}
+
+/// A sargable conjunct: `column <op> key` where `key` does not reference the
+/// binding (so it can be evaluated before scanning the table).
+#[derive(Debug, Clone)]
+struct Sarg {
+    column: usize,
+    op: BinOp,
+    key: Expr,
+}
+
+fn extract_sargs(filter: &Expr, binding: &str, table: &Table) -> Vec<Sarg> {
+    let mut sargs = Vec::new();
+    for conj in split_conjuncts(filter) {
+        let (lhs, op, rhs) = match conj {
+            Expr::Binary(a, op, b)
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+                ) =>
+            {
+                (a.as_ref(), *op, b.as_ref())
+            }
+            Expr::Between { expr, lo, hi } => {
+                // col BETWEEN lo AND hi -> two sargs.
+                if let Some(col) = own_column(expr, binding, table) {
+                    if !references_binding(lo, binding, table)
+                        && !references_binding(hi, binding, table)
+                    {
+                        sargs.push(Sarg {
+                            column: col,
+                            op: BinOp::GtEq,
+                            key: (**lo).clone(),
+                        });
+                        sargs.push(Sarg {
+                            column: col,
+                            op: BinOp::LtEq,
+                            key: (**hi).clone(),
+                        });
+                    }
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        // col <op> key
+        if let Some(col) = own_column(lhs, binding, table) {
+            if !references_binding(rhs, binding, table) {
+                sargs.push(Sarg {
+                    column: col,
+                    op,
+                    key: rhs.clone(),
+                });
+                continue;
+            }
+        }
+        // key <op> col (flip)
+        if let Some(col) = own_column(rhs, binding, table) {
+            if !references_binding(lhs, binding, table) {
+                let flipped = match op {
+                    BinOp::Eq => BinOp::Eq,
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::LtEq => BinOp::GtEq,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::GtEq => BinOp::LtEq,
+                    _ => unreachable!(),
+                };
+                sargs.push(Sarg {
+                    column: col,
+                    op: flipped,
+                    key: lhs.clone(),
+                });
+            }
+        }
+    }
+    sargs
+}
+
+/// Choose the access path for one table given a filter (WHERE for the base
+/// table, ON for a join target). `binding` is the alias the table is bound
+/// under in the query.
+pub fn choose_path(table: &Table, binding: &str, filter: Option<&Expr>) -> Path {
+    let Some(filter) = filter else {
+        return Path::FullScan;
+    };
+    let sargs = extract_sargs(filter, binding, table);
+    if sargs.is_empty() {
+        return Path::FullScan;
+    }
+    let pk_col = table.schema().pk_index();
+
+    // 1. PK equality.
+    if let Some(pk) = pk_col {
+        if let Some(s) = sargs.iter().find(|s| s.column == pk && s.op == BinOp::Eq) {
+            return Path::PkEq { key: s.key.clone() };
+        }
+    }
+    // 2. Secondary-index equality.
+    for s in &sargs {
+        if s.op == BinOp::Eq && table.index_on(s.column).is_some() {
+            return Path::IndexEq {
+                column: s.column,
+                key: s.key.clone(),
+            };
+        }
+    }
+    // 3. PK range.
+    if let Some(pk) = pk_col {
+        let (lo, hi) = range_bounds(&sargs, pk);
+        if lo.is_some() || hi.is_some() {
+            return Path::PkRange { lo, hi };
+        }
+    }
+    // 4. Secondary-index range.
+    for s in &sargs {
+        if table.index_on(s.column).is_some() {
+            let (lo, hi) = range_bounds(&sargs, s.column);
+            if lo.is_some() || hi.is_some() {
+                return Path::IndexRange {
+                    column: s.column,
+                    lo,
+                    hi,
+                };
+            }
+        }
+    }
+    Path::FullScan
+}
+
+type OptBound = Option<(Expr, bool)>;
+
+fn range_bounds(sargs: &[Sarg], column: usize) -> (OptBound, OptBound) {
+    let mut lo: OptBound = None;
+    let mut hi: OptBound = None;
+    for s in sargs.iter().filter(|s| s.column == column) {
+        match s.op {
+            BinOp::Gt => lo = lo.or(Some((s.key.clone(), false))),
+            BinOp::GtEq => lo = lo.or(Some((s.key.clone(), true))),
+            BinOp::Lt => hi = hi.or(Some((s.key.clone(), false))),
+            BinOp::LtEq => hi = hi.or(Some((s.key.clone(), true))),
+            BinOp::Eq => {
+                lo = Some((s.key.clone(), true));
+                hi = Some((s.key.clone(), true));
+            }
+            _ => {}
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn table_with_index() -> Table {
+        let schema = TableSchema::new(
+            "events",
+            vec![
+                Column::new("id", DataType::Int).primary_key(),
+                Column::new("created_by", DataType::Int),
+                Column::new("title", DataType::Text),
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.create_index("idx_created_by", 1, false).unwrap();
+        t
+    }
+
+    fn where_of(sql: &str) -> Expr {
+        match parse(sql).unwrap() {
+            crate::ast::Statement::Select(s) => s.filter.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pk_eq_preferred() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE title = 'x' AND id = 5");
+        assert_eq!(choose_path(&t, "events", Some(&f)).describe(), "pk eq");
+    }
+
+    #[test]
+    fn index_eq_when_no_pk_predicate() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE created_by = 3");
+        assert_eq!(
+            choose_path(&t, "events", Some(&f)).describe(),
+            "index eq col1"
+        );
+    }
+
+    #[test]
+    fn flipped_operands_recognized() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE 5 = id");
+        assert_eq!(choose_path(&t, "events", Some(&f)).describe(), "pk eq");
+    }
+
+    #[test]
+    fn pk_range_from_inequalities() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE id > 10 AND id <= 20");
+        match choose_path(&t, "events", Some(&f)) {
+            Path::PkRange { lo, hi } => {
+                assert!(!lo.unwrap().1, "lo exclusive");
+                assert!(hi.unwrap().1, "hi inclusive");
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_becomes_range() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE id BETWEEN 1 AND 9");
+        assert!(matches!(
+            choose_path(&t, "events", Some(&f)),
+            Path::PkRange { .. }
+        ));
+    }
+
+    #[test]
+    fn unindexed_predicate_full_scans() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE title = 'x'");
+        assert_eq!(choose_path(&t, "events", Some(&f)), Path::FullScan);
+    }
+
+    #[test]
+    fn foreign_column_key_is_usable_for_join_lookup() {
+        // ON e.created_by = u.id — planning access to `e`, the key `u.id`
+        // is foreign and therefore evaluable before the lookup.
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM x WHERE e.created_by = u.id");
+        match choose_path(&t, "e", Some(&f)) {
+            Path::IndexEq { column: 1, key } => {
+                assert!(matches!(key, Expr::Column { .. }));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_column_on_both_sides_not_sargable() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE id = created_by");
+        assert_eq!(choose_path(&t, "events", Some(&f)), Path::FullScan);
+    }
+
+    #[test]
+    fn or_disables_sargs() {
+        let t = table_with_index();
+        let f = where_of("SELECT * FROM events WHERE id = 1 OR created_by = 2");
+        assert_eq!(choose_path(&t, "events", Some(&f)), Path::FullScan);
+    }
+
+    #[test]
+    fn conjuncts_split() {
+        let f = where_of("SELECT * FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)");
+        assert_eq!(split_conjuncts(&f).len(), 3);
+    }
+}

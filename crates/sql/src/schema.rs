@@ -1,0 +1,176 @@
+//! Table schemas: columns, primary keys, auto-increment.
+
+use crate::error::SqlError;
+use crate::value::DataType;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub auto_increment: bool,
+}
+
+impl Column {
+    /// Plain nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            not_null: false,
+            primary_key: false,
+            auto_increment: false,
+        }
+    }
+
+    /// Mark NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Mark PRIMARY KEY (implies NOT NULL).
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self.not_null = true;
+        self
+    }
+
+    /// Mark AUTO_INCREMENT (INT primary keys only; validated by the schema).
+    pub fn auto_increment(mut self) -> Self {
+        self.auto_increment = true;
+        self
+    }
+}
+
+/// A table schema: ordered columns plus derived primary-key info.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Validate and build a schema.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, SqlError> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(SqlError::Constraint(format!(
+                "table '{name}' must have at least one column"
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut pk_count = 0usize;
+        for c in &columns {
+            if !seen.insert(c.name.to_ascii_lowercase()) {
+                return Err(SqlError::Constraint(format!(
+                    "duplicate column '{}' in table '{name}'",
+                    c.name
+                )));
+            }
+            if c.primary_key {
+                pk_count += 1;
+            }
+            if c.auto_increment && (c.ty != DataType::Int || !c.primary_key) {
+                return Err(SqlError::Constraint(format!(
+                    "AUTO_INCREMENT column '{}' must be an INT primary key",
+                    c.name
+                )));
+            }
+        }
+        if pk_count > 1 {
+            return Err(SqlError::Unsupported(format!(
+                "composite primary keys are not supported (table '{name}')"
+            )));
+        }
+        Ok(Self { name, columns })
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The primary-key column index, if any.
+    pub fn pk_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<Column> {
+        vec![
+            Column::new("id", DataType::Int).primary_key().auto_increment(),
+            Column::new("name", DataType::Text).not_null(),
+            Column::new("score", DataType::Double),
+        ]
+    }
+
+    #[test]
+    fn builds_and_locates_columns() {
+        let s = TableSchema::new("t", cols()).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("NAME"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.pk_index(), Some(0));
+    }
+
+    #[test]
+    fn primary_key_implies_not_null() {
+        let c = Column::new("id", DataType::Int).primary_key();
+        assert!(c.not_null);
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("A", DataType::Text),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Constraint(_)));
+    }
+
+    #[test]
+    fn rejects_empty_table() {
+        assert!(TableSchema::new("t", vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_int_auto_increment() {
+        let err = TableSchema::new(
+            "t",
+            vec![Column::new("id", DataType::Text).primary_key().auto_increment()],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Constraint(_)));
+    }
+
+    #[test]
+    fn rejects_composite_pk() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Int).primary_key(),
+                Column::new("b", DataType::Int).primary_key(),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)));
+    }
+}

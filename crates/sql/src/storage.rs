@@ -1,0 +1,520 @@
+//! In-memory table storage with primary and secondary B-tree indexes.
+
+use crate::error::SqlError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Internal row identifier (stable across updates, unique per table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+/// An index key: a [`Value`] with the total `index_cmp` ordering.
+#[derive(Debug, Clone)]
+pub struct Key(pub Value);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.index_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.index_cmp(&other.0)
+    }
+}
+
+/// A secondary index over one column.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex {
+    pub name: String,
+    pub column: usize,
+    pub unique: bool,
+    map: BTreeMap<Key, Vec<RowId>>,
+}
+
+impl SecondaryIndex {
+    fn new(name: String, column: usize, unique: bool) -> Self {
+        Self {
+            name,
+            column,
+            unique,
+            map: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, key: Value, rid: RowId) -> Result<(), SqlError> {
+        let entry = self.map.entry(Key(key.clone())).or_default();
+        if self.unique && !entry.is_empty() && !key.is_null() {
+            return Err(SqlError::DuplicateKey(format!(
+                "unique index '{}' value {key}",
+                self.name
+            )));
+        }
+        entry.push(rid);
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &Value, rid: RowId) {
+        if let Some(v) = self.map.get_mut(&Key(key.clone())) {
+            v.retain(|&r| r != rid);
+            if v.is_empty() {
+                self.map.remove(&Key(key.clone()));
+            }
+        }
+    }
+
+    /// Row ids with exactly this key value.
+    pub fn lookup_eq(&self, key: &Value) -> &[RowId] {
+        self.map
+            .get(&Key(key.clone()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Row ids within an inclusive/exclusive bound range.
+    pub fn lookup_range(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> impl Iterator<Item = RowId> + '_ {
+        let conv = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(Key(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(Key(v.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        self.map
+            .range((conv(lo), conv(hi)))
+            .flat_map(|(_, rids)| rids.iter().copied())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A heap of rows plus indexes, validated against a schema.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_rowid: u64,
+    next_auto_inc: i64,
+    /// Unique index over the primary key column, if the schema has one.
+    pk: Option<BTreeMap<Key, RowId>>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Empty table for a schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let pk = schema.pk_index().map(|_| BTreeMap::new());
+        Self {
+            schema,
+            rows: BTreeMap::new(),
+            next_rowid: 0,
+            next_auto_inc: 1,
+            pk,
+            secondary: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The next auto-increment value that would be assigned.
+    pub fn peek_auto_increment(&self) -> i64 {
+        self.next_auto_inc
+    }
+
+    /// Add a secondary index over `column`; backfills existing rows.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        column: usize,
+        unique: bool,
+    ) -> Result<(), SqlError> {
+        let name = name.into();
+        if self.secondary.iter().any(|ix| ix.name == name) {
+            return Err(SqlError::DuplicateIndex(name));
+        }
+        assert!(column < self.schema.arity(), "index column out of range");
+        let mut ix = SecondaryIndex::new(name, column, unique);
+        for (&rid, row) in &self.rows {
+            ix.insert(row[column].clone(), rid)?;
+        }
+        self.secondary.push(ix);
+        Ok(())
+    }
+
+    /// Find a secondary index over `column`.
+    pub fn index_on(&self, column: usize) -> Option<&SecondaryIndex> {
+        self.secondary.iter().find(|ix| ix.column == column)
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[SecondaryIndex] {
+        &self.secondary
+    }
+
+    /// Validate a full-width row against the schema (type coercion and NOT
+    /// NULL), returning the coerced row. Auto-increment: a NULL/absent pk on
+    /// an auto-increment column is filled from the counter.
+    fn validate(&mut self, mut row: Vec<Value>) -> Result<Vec<Value>, SqlError> {
+        if row.len() != self.schema.arity() {
+            return Err(SqlError::Constraint(format!(
+                "row arity {} != table arity {} for '{}'",
+                row.len(),
+                self.schema.arity(),
+                self.schema.name
+            )));
+        }
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            let v = std::mem::replace(&mut row[i], Value::Null);
+            let mut v = v.coerce_to(col.ty)?;
+            if v.is_null() && col.auto_increment {
+                v = Value::Int(self.next_auto_inc);
+            }
+            if v.is_null() && col.not_null {
+                return Err(SqlError::Constraint(format!(
+                    "column '{}' of '{}' is NOT NULL",
+                    col.name, self.schema.name
+                )));
+            }
+            row[i] = v;
+        }
+        // Advance the auto-increment counter past any explicit value.
+        if let Some(pk_idx) = self.schema.pk_index() {
+            if self.schema.columns[pk_idx].auto_increment {
+                if let Value::Int(v) = row[pk_idx] {
+                    self.next_auto_inc = self.next_auto_inc.max(v + 1);
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Insert a full-width row; returns its row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, SqlError> {
+        let row = self.validate(row)?;
+        let rid = RowId(self.next_rowid);
+
+        // Primary key uniqueness.
+        if let (Some(pk_map), Some(pk_idx)) = (&self.pk, self.schema.pk_index()) {
+            let key = Key(row[pk_idx].clone());
+            if pk_map.contains_key(&key) {
+                return Err(SqlError::DuplicateKey(format!(
+                    "primary key {} in '{}'",
+                    row[pk_idx], self.schema.name
+                )));
+            }
+        }
+        // Secondary unique checks before any mutation.
+        for ix in &self.secondary {
+            if ix.unique && !row[ix.column].is_null() && !ix.lookup_eq(&row[ix.column]).is_empty()
+            {
+                return Err(SqlError::DuplicateKey(format!(
+                    "unique index '{}' value {}",
+                    ix.name, row[ix.column]
+                )));
+            }
+        }
+
+        self.next_rowid += 1;
+        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
+            pk_map.insert(Key(row[pk_idx].clone()), rid);
+        }
+        for ix in &mut self.secondary {
+            ix.insert(row[ix.column].clone(), rid)
+                .expect("uniqueness pre-checked");
+        }
+        self.rows.insert(rid, row);
+        Ok(rid)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Vec<Value>> {
+        self.rows.get(&rid)
+    }
+
+    /// Replace a row in place (same id). Returns the old row.
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Value>) -> Result<Vec<Value>, SqlError> {
+        let new_row = self.validate(new_row)?;
+        let old = self
+            .rows
+            .get(&rid)
+            .cloned()
+            .ok_or_else(|| SqlError::Constraint(format!("no row {rid:?}")))?;
+
+        if let Some(pk_idx) = self.schema.pk_index() {
+            if old[pk_idx] != new_row[pk_idx] {
+                let pk_map = self.pk.as_ref().expect("pk map exists");
+                if pk_map.contains_key(&Key(new_row[pk_idx].clone())) {
+                    return Err(SqlError::DuplicateKey(format!(
+                        "primary key {} in '{}'",
+                        new_row[pk_idx], self.schema.name
+                    )));
+                }
+            }
+        }
+        for ix in &self.secondary {
+            if ix.unique
+                && old[ix.column] != new_row[ix.column]
+                && !new_row[ix.column].is_null()
+                && !ix.lookup_eq(&new_row[ix.column]).is_empty()
+            {
+                return Err(SqlError::DuplicateKey(format!(
+                    "unique index '{}' value {}",
+                    ix.name, new_row[ix.column]
+                )));
+            }
+        }
+
+        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
+            pk_map.remove(&Key(old[pk_idx].clone()));
+            pk_map.insert(Key(new_row[pk_idx].clone()), rid);
+        }
+        for ix in &mut self.secondary {
+            ix.remove(&old[ix.column], rid);
+            ix.insert(new_row[ix.column].clone(), rid)
+                .expect("uniqueness pre-checked");
+        }
+        self.rows.insert(rid, new_row);
+        Ok(old)
+    }
+
+    /// Delete a row by id; returns the deleted row.
+    pub fn delete(&mut self, rid: RowId) -> Option<Vec<Value>> {
+        let row = self.rows.remove(&rid)?;
+        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
+            pk_map.remove(&Key(row[pk_idx].clone()));
+        }
+        for ix in &mut self.secondary {
+            ix.remove(&row[ix.column], rid);
+        }
+        Some(row)
+    }
+
+    /// Re-insert a row under a specific id (used by transaction rollback;
+    /// the row must have been previously validated by this table).
+    pub fn restore(&mut self, rid: RowId, row: Vec<Value>) {
+        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
+            pk_map.insert(Key(row[pk_idx].clone()), rid);
+        }
+        for ix in &mut self.secondary {
+            let _ = ix.insert(row[ix.column].clone(), rid);
+        }
+        self.rows.insert(rid, row);
+        self.next_rowid = self.next_rowid.max(rid.0 + 1);
+    }
+
+    /// Iterate all `(rid, row)` pairs in row-id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> + '_ {
+        self.rows.iter().map(|(&rid, row)| (rid, row))
+    }
+
+    /// Look up row ids by primary key.
+    pub fn pk_lookup(&self, key: &Value) -> Option<RowId> {
+        self.pk.as_ref()?.get(&Key(key.clone())).copied()
+    }
+
+    /// Look up row ids by primary key range.
+    pub fn pk_range(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<impl Iterator<Item = RowId> + '_> {
+        let pk = self.pk.as_ref()?;
+        let conv = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(Key(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(Key(v.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        Some(pk.range((conv(lo), conv(hi))).map(|(_, &rid)| rid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "users",
+            vec![
+                Column::new("id", DataType::Int).primary_key().auto_increment(),
+                Column::new("name", DataType::Text).not_null(),
+                Column::new("score", DataType::Double),
+            ],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(id: Option<i64>, name: &str, score: f64) -> Vec<Value> {
+        vec![
+            id.map(Value::Int).unwrap_or(Value::Null),
+            Value::Text(name.into()),
+            Value::Double(score),
+        ]
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut t = table();
+        let r1 = t.insert(row(Some(1), "alice", 1.0)).unwrap();
+        let r2 = t.insert(row(Some(2), "bob", 2.0)).unwrap();
+        assert_ne!(r1, r2);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get(r1).unwrap()[1], Value::Text("alice".into()));
+        let all: Vec<_> = t.scan().collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn auto_increment_fills_null_pk() {
+        let mut t = table();
+        let r1 = t.insert(row(None, "a", 0.0)).unwrap();
+        assert_eq!(t.get(r1).unwrap()[0], Value::Int(1));
+        // explicit id advances counter
+        t.insert(row(Some(10), "b", 0.0)).unwrap();
+        let r3 = t.insert(row(None, "c", 0.0)).unwrap();
+        assert_eq!(t.get(r3).unwrap()[0], Value::Int(11));
+    }
+
+    #[test]
+    fn pk_duplicate_rejected() {
+        let mut t = table();
+        t.insert(row(Some(1), "a", 0.0)).unwrap();
+        let err = t.insert(row(Some(1), "b", 0.0)).unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+        assert_eq!(t.row_count(), 1, "failed insert left no trace");
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Constraint(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn type_coercion_on_insert() {
+        let mut t = table();
+        let rid = t
+            .insert(vec![Value::Int(1), Value::Text("a".into()), Value::Int(3)])
+            .unwrap();
+        assert_eq!(t.get(rid).unwrap()[2], Value::Double(3.0));
+    }
+
+    #[test]
+    fn pk_lookup_and_range() {
+        let mut t = table();
+        for i in 1..=10 {
+            t.insert(row(Some(i), "u", i as f64)).unwrap();
+        }
+        let rid = t.pk_lookup(&Value::Int(7)).unwrap();
+        assert_eq!(t.get(rid).unwrap()[0], Value::Int(7));
+        assert!(t.pk_lookup(&Value::Int(99)).is_none());
+        let ids: Vec<i64> = t
+            .pk_range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(6)))
+            .unwrap()
+            .map(|rid| match t.get(rid).unwrap()[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn secondary_index_tracks_updates_and_deletes() {
+        let mut t = table();
+        t.create_index("idx_name", 1, false).unwrap();
+        let r1 = t.insert(row(Some(1), "alice", 0.0)).unwrap();
+        let r2 = t.insert(row(Some(2), "alice", 0.0)).unwrap();
+        let ix = t.index_on(1).unwrap();
+        assert_eq!(ix.lookup_eq(&Value::Text("alice".into())).len(), 2);
+
+        t.update(r1, row(Some(1), "carol", 0.0)).unwrap();
+        let ix = t.index_on(1).unwrap();
+        assert_eq!(ix.lookup_eq(&Value::Text("alice".into())), &[r2]);
+        assert_eq!(ix.lookup_eq(&Value::Text("carol".into())), &[r1]);
+
+        t.delete(r2).unwrap();
+        let ix = t.index_on(1).unwrap();
+        assert!(ix.lookup_eq(&Value::Text("alice".into())).is_empty());
+    }
+
+    #[test]
+    fn unique_secondary_index_enforced() {
+        let mut t = table();
+        t.create_index("uq_name", 1, true).unwrap();
+        t.insert(row(Some(1), "alice", 0.0)).unwrap();
+        let err = t.insert(row(Some(2), "alice", 0.0)).unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn create_index_backfills_and_rejects_duplicate_name() {
+        let mut t = table();
+        t.insert(row(Some(1), "a", 0.0)).unwrap();
+        t.insert(row(Some(2), "b", 0.0)).unwrap();
+        t.create_index("idx", 1, false).unwrap();
+        assert_eq!(t.index_on(1).unwrap().distinct_keys(), 2);
+        assert!(matches!(
+            t.create_index("idx", 2, false),
+            Err(SqlError::DuplicateIndex(_))
+        ));
+    }
+
+    #[test]
+    fn update_pk_change_checked() {
+        let mut t = table();
+        t.insert(row(Some(1), "a", 0.0)).unwrap();
+        let r2 = t.insert(row(Some(2), "b", 0.0)).unwrap();
+        let err = t.update(r2, row(Some(1), "b", 0.0)).unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+        // Legal pk move works.
+        t.update(r2, row(Some(3), "b", 0.0)).unwrap();
+        assert!(t.pk_lookup(&Value::Int(2)).is_none());
+        assert!(t.pk_lookup(&Value::Int(3)).is_some());
+    }
+
+    #[test]
+    fn restore_round_trips_delete() {
+        let mut t = table();
+        let rid = t.insert(row(Some(1), "a", 0.5)).unwrap();
+        let old = t.delete(rid).unwrap();
+        assert_eq!(t.row_count(), 0);
+        t.restore(rid, old);
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.pk_lookup(&Value::Int(1)), Some(rid));
+    }
+}

@@ -1,0 +1,273 @@
+//! Executor edge cases: ordering, projection, joins, aggregates, coercion.
+
+use amdb_sql::{BinlogFormat, Engine, Session, SqlError, Value};
+
+fn engine() -> (Engine, Session) {
+    let mut e = Engine::new_master(BinlogFormat::Statement);
+    let mut s = Session::new();
+    e.execute_batch(
+        &mut s,
+        "CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score DOUBLE, flag BOOLEAN);
+         INSERT INTO t VALUES
+           (1, 'delta', 4.0, TRUE),
+           (2, 'alpha', 2.0, FALSE),
+           (3, 'charlie', 1.0, TRUE),
+           (4, 'bravo', 3.0, FALSE),
+           (5, NULL, NULL, TRUE)",
+    )
+    .expect("setup");
+    (e, s)
+}
+
+#[test]
+fn order_by_output_alias() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT id, score * 2 AS doubled FROM t WHERE score IS NOT NULL ORDER BY doubled DESC",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1), "highest doubled score first");
+    assert_eq!(r.rows[0][1], Value::Double(8.0));
+}
+
+#[test]
+fn order_by_multiple_keys_and_nulls_first() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(&mut s, "SELECT id FROM t ORDER BY flag DESC, score ASC", &[])
+        .unwrap();
+    // flag=true group first (ids 1,3,5); within it score ASC with NULL first.
+    let ids: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Int(i) => i,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(ids, vec![5, 3, 1, 2, 4]);
+}
+
+#[test]
+fn limit_offset_beyond_bounds() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(&mut s, "SELECT id FROM t ORDER BY id LIMIT 10 OFFSET 3", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let r = e
+        .execute(&mut s, "SELECT id FROM t LIMIT 0", &[])
+        .unwrap();
+    assert!(r.rows.is_empty());
+    let r = e
+        .execute(&mut s, "SELECT id FROM t LIMIT 3 OFFSET 99", &[])
+        .unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn mysql_style_limit_comma() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(&mut s, "SELECT id FROM t ORDER BY id LIMIT 1, 2", &[])
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        "LIMIT offset, count"
+    );
+}
+
+#[test]
+fn ambiguous_unqualified_column_is_an_error() {
+    let (mut e, mut s) = engine();
+    // Note: ambiguity is detected at evaluation time, so the join must
+    // produce at least one row (a column binder would catch it earlier).
+    e.execute_batch(
+        &mut s,
+        "CREATE TABLE u (id INT PRIMARY KEY, other TEXT);
+         INSERT INTO u VALUES (1, 'x')",
+    )
+    .unwrap();
+    let err = e
+        .execute(
+            &mut s,
+            "SELECT id FROM t INNER JOIN u ON t.id = u.id",
+            &[],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::UnknownColumn(ref m) if m.contains("ambiguous")),
+        "got {err}"
+    );
+}
+
+#[test]
+fn aggregates_over_empty_and_null_inputs() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT COUNT(*), COUNT(score), SUM(score), AVG(score), MIN(score), MAX(score) \
+             FROM t WHERE id > 100",
+            &[],
+        )
+        .unwrap();
+    // Global aggregate over zero rows: one row, COUNTs 0, the rest NULL.
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert_eq!(r.rows[0][1], Value::Int(0));
+    assert_eq!(r.rows[0][2], Value::Null);
+    assert_eq!(r.rows[0][3], Value::Null);
+
+    // COUNT(col) skips NULLs; SUM/AVG ignore them.
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT COUNT(*), COUNT(score), SUM(score), AVG(score) FROM t",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+    assert_eq!(r.rows[0][1], Value::Int(4));
+    assert_eq!(r.rows[0][2], Value::Double(10.0));
+    assert_eq!(r.rows[0][3], Value::Double(2.5));
+}
+
+#[test]
+fn min_max_over_text() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(&mut s, "SELECT MIN(name), MAX(name) FROM t", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::from("alpha"));
+    assert_eq!(r.rows[0][1], Value::from("delta"));
+}
+
+#[test]
+fn update_with_self_referencing_expression() {
+    let (mut e, mut s) = engine();
+    e.execute(
+        &mut s,
+        "UPDATE t SET score = score * 10 + id WHERE score IS NOT NULL",
+        &[],
+    )
+    .unwrap();
+    let r = e
+        .execute(&mut s, "SELECT score FROM t WHERE id = 2", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(22.0));
+}
+
+#[test]
+fn update_affecting_zero_rows_logs_nothing() {
+    let (mut e, mut s) = engine();
+    let before = e.binlog().len();
+    let r = e
+        .execute(&mut s, "UPDATE t SET score = 0 WHERE id = 999", &[])
+        .unwrap();
+    assert_eq!(r.rows_affected, 0);
+    assert_eq!(e.binlog().len(), before, "no-op write not binlogged");
+}
+
+#[test]
+fn three_way_join_with_filters() {
+    let (mut e, mut s) = engine();
+    e.execute_batch(
+        &mut s,
+        "CREATE TABLE a (id INT PRIMARY KEY, t_id INT);
+         CREATE INDEX idx_a ON a (t_id);
+         CREATE TABLE b (id INT PRIMARY KEY, a_id INT);
+         CREATE INDEX idx_b ON b (a_id);
+         INSERT INTO a VALUES (10, 1), (11, 2), (12, 1);
+         INSERT INTO b VALUES (100, 10), (101, 10), (102, 11)",
+    )
+    .unwrap();
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT b.id FROM t INNER JOIN a ON a.t_id = t.id \
+             INNER JOIN b ON b.a_id = a.id \
+             WHERE t.id = 1 ORDER BY b.id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(100)], vec![Value::Int(101)]],
+        "only rows reachable from t.id = 1 via a.id = 10/12"
+    );
+}
+
+#[test]
+fn select_without_from() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(&mut s, "SELECT 1 + 1 AS two, UPPER('x')", &[])
+        .unwrap();
+    assert_eq!(r.columns, vec!["two", "upper"]);
+    assert_eq!(r.rows, vec![vec![Value::Int(2), Value::from("X")]]);
+}
+
+#[test]
+fn comparison_with_null_filters_row_out() {
+    let (mut e, mut s) = engine();
+    // score = NULL is unknown, never true: row 5 excluded both ways.
+    let r = e
+        .execute(&mut s, "SELECT COUNT(*) FROM t WHERE score > 0 OR score <= 0", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(4));
+}
+
+#[test]
+fn rows_examined_reflects_access_path() {
+    let (mut e, mut s) = engine();
+    let pk = e
+        .execute(&mut s, "SELECT name FROM t WHERE id = 3", &[])
+        .unwrap();
+    assert_eq!(pk.rows_examined, 1, "pk lookup touches one row");
+    let scan = e.execute(&mut s, "SELECT name FROM t", &[]).unwrap();
+    assert_eq!(scan.rows_examined, 5, "full scan touches all rows");
+}
+
+#[test]
+fn in_list_with_params() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT id FROM t WHERE id IN (?, ?, ?) ORDER BY id",
+            &[Value::Int(1), Value::Int(3), Value::Int(99)],
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+}
+
+#[test]
+fn left_join_where_on_inner_column_filters_null_rows() {
+    let (mut e, mut s) = engine();
+    e.execute_batch(
+        &mut s,
+        "CREATE TABLE x (id INT PRIMARY KEY, t_id INT);
+         INSERT INTO x VALUES (1, 1)",
+    )
+    .unwrap();
+    // WHERE on the right table's column removes NULL-extended rows
+    // (standard SQL semantics: WHERE after join).
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT t.id FROM t LEFT JOIN x ON x.t_id = t.id WHERE x.id IS NOT NULL",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+    // Without the filter all 5 t-rows survive.
+    let r = e
+        .execute(&mut s, "SELECT COUNT(*) FROM t LEFT JOIN x ON x.t_id = t.id", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+}

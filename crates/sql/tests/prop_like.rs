@@ -1,0 +1,66 @@
+//! Property tests for the LIKE matcher against a reference implementation.
+
+use amdb_sql::expr::like_match;
+use proptest::prelude::*;
+
+/// Reference LIKE matcher via dynamic programming (distinct algorithm from
+/// the recursive production matcher).
+fn reference_like(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let (n, m) = (s.len(), p.len());
+    let mut dp = vec![vec![false; m + 1]; n + 1];
+    dp[0][0] = true;
+    for j in 1..=m {
+        dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i][j - 1] || dp[i - 1][j],
+                '_' => dp[i - 1][j - 1],
+                c => c == s[i - 1] && dp[i - 1][j - 1],
+            };
+        }
+    }
+    dp[n][m]
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_on_ascii(
+        s in "[abc_%]{0,12}",
+        p in "[abc_%]{0,8}",
+    ) {
+        prop_assert_eq!(like_match(&s, &p), reference_like(&s, &p),
+            "s={:?} p={:?}", s, p);
+    }
+
+    #[test]
+    fn matches_reference_on_plain_text(
+        s in "[a-z ]{0,15}",
+        p in "[a-z%_]{0,10}",
+    ) {
+        prop_assert_eq!(like_match(&s, &p), reference_like(&s, &p),
+            "s={:?} p={:?}", s, p);
+    }
+
+    #[test]
+    fn percent_alone_matches_everything(s in ".{0,30}") {
+        prop_assert!(like_match(&s, "%"));
+    }
+
+    #[test]
+    fn exact_pattern_matches_itself(s in "[a-z0-9 ]{0,20}") {
+        prop_assert!(like_match(&s, &s));
+    }
+
+    #[test]
+    fn prefix_and_suffix_patterns(s in "[a-z]{1,10}", rest in "[a-z]{0,10}") {
+        let full = format!("{s}{rest}");
+        let prefix_pat = format!("{s}%");
+        let suffix_pat = format!("%{rest}");
+        prop_assert!(like_match(&full, &prefix_pat));
+        prop_assert!(like_match(&full, &suffix_pat));
+    }
+}

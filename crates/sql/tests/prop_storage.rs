@@ -1,0 +1,127 @@
+//! Property tests over table storage: after any sequence of inserts,
+//! updates and deletes, secondary indexes stay exactly consistent with a
+//! full scan, and primary-key lookups agree with the heap.
+
+use amdb_sql::schema::{Column, TableSchema};
+use amdb_sql::storage::{RowId, Table};
+use amdb_sql::value::{DataType, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, group: i64 },
+    UpdateGroup { victim: usize, group: i64 },
+    Delete { victim: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..200i64, 0..10i64).prop_map(|(id, group)| Op::Insert { id, group }),
+        (any::<usize>(), 0..10i64).prop_map(|(victim, group)| Op::UpdateGroup { victim, group }),
+        any::<usize>().prop_map(|victim| Op::Delete { victim }),
+    ]
+}
+
+fn table() -> Table {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            Column::new("id", DataType::Int).primary_key(),
+            Column::new("grp", DataType::Int),
+        ],
+    )
+    .expect("valid schema");
+    let mut t = Table::new(schema);
+    t.create_index("idx_grp", 1, false).expect("index");
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexes_stay_consistent(ops in prop::collection::vec(arb_op(), 0..120)) {
+        let mut t = table();
+        // Shadow model: id -> (rid, group).
+        let mut model: BTreeMap<i64, (RowId, i64)> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { id, group } => {
+                    let res = t.insert(vec![Value::Int(id), Value::Int(group)]);
+                    match model.entry(id) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert!(res.is_err(), "duplicate pk must be rejected");
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            let rid = res.expect("insert succeeds");
+                            e.insert((rid, group));
+                        }
+                    }
+                }
+                Op::UpdateGroup { victim, group } => {
+                    if model.is_empty() { continue; }
+                    let keys: Vec<i64> = model.keys().copied().collect();
+                    let id = keys[victim % keys.len()];
+                    let (rid, _) = model[&id];
+                    t.update(rid, vec![Value::Int(id), Value::Int(group)])
+                        .expect("update succeeds");
+                    model.insert(id, (rid, group));
+                }
+                Op::Delete { victim } => {
+                    if model.is_empty() { continue; }
+                    let keys: Vec<i64> = model.keys().copied().collect();
+                    let id = keys[victim % keys.len()];
+                    let (rid, _) = model.remove(&id).expect("present");
+                    prop_assert!(t.delete(rid).is_some());
+                }
+            }
+
+            // Invariant 1: row count matches the model.
+            prop_assert_eq!(t.row_count(), model.len());
+
+            // Invariant 2: pk lookups agree with the model.
+            for (&id, &(rid, _)) in &model {
+                prop_assert_eq!(t.pk_lookup(&Value::Int(id)), Some(rid));
+            }
+
+            // Invariant 3: the secondary index contains exactly the scan's
+            // group distribution.
+            let ix = t.index_on(1).expect("index exists");
+            for g in 0..10i64 {
+                let via_index = ix.lookup_eq(&Value::Int(g)).len();
+                let via_scan = t
+                    .scan()
+                    .filter(|(_, row)| row[1] == Value::Int(g))
+                    .count();
+                prop_assert_eq!(via_index, via_scan, "group {} index drift", g);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_inverts_delete(ids in prop::collection::btree_set(0..100i64, 1..30)) {
+        let mut t = table();
+        let mut rids = Vec::new();
+        for &id in &ids {
+            rids.push(t.insert(vec![Value::Int(id), Value::Int(id % 10)]).expect("insert"));
+        }
+        // Delete everything, then restore in reverse: table must be identical.
+        let mut deleted = Vec::new();
+        for &rid in &rids {
+            deleted.push((rid, t.delete(rid).expect("present")));
+        }
+        prop_assert_eq!(t.row_count(), 0);
+        for (rid, row) in deleted.into_iter().rev() {
+            t.restore(rid, row);
+        }
+        prop_assert_eq!(t.row_count(), ids.len());
+        for &id in &ids {
+            prop_assert!(t.pk_lookup(&Value::Int(id)).is_some());
+        }
+        let ix = t.index_on(1).expect("index");
+        let total: usize = (0..10i64).map(|g| ix.lookup_eq(&Value::Int(g)).len()).sum();
+        prop_assert_eq!(total, ids.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration tests for the extended SQL surface: DISTINCT, HAVING,
+//! EXPLAIN, and the string/number scalar functions.
+
+use amdb_sql::{BinlogFormat, Engine, Session, SqlError, Value};
+
+fn engine() -> (Engine, Session) {
+    let mut e = Engine::new_master(BinlogFormat::Statement);
+    let mut s = Session::new();
+    e.execute_batch(
+        &mut s,
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer TEXT NOT NULL, total DOUBLE, city TEXT);
+         CREATE INDEX idx_customer ON orders (customer);
+         INSERT INTO orders VALUES
+           (1, 'alice', 10.0, 'sydney'),
+           (2, 'alice', 20.0, 'sydney'),
+           (3, 'bob',   5.0,  'melbourne'),
+           (4, 'bob',   7.5,  'sydney'),
+           (5, 'carol', 100.0, 'melbourne'),
+           (6, 'carol', 1.0,  'sydney'),
+           (7, 'carol', 2.0,  'sydney')",
+    )
+    .expect("setup");
+    (e, s)
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(&mut s, "SELECT DISTINCT city FROM orders ORDER BY city", &[])
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::from("melbourne")], vec![Value::from("sydney")]]
+    );
+    // Without DISTINCT there are 7 rows.
+    let all = e
+        .execute(&mut s, "SELECT city FROM orders", &[])
+        .unwrap();
+    assert_eq!(all.rows.len(), 7);
+}
+
+#[test]
+fn distinct_applies_to_whole_row() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT DISTINCT customer, city FROM orders ORDER BY customer, city",
+            &[],
+        )
+        .unwrap();
+    // alice/sydney, bob/melbourne, bob/sydney, carol/melbourne, carol/sydney
+    assert_eq!(r.rows.len(), 5);
+}
+
+#[test]
+fn having_filters_groups() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT customer, COUNT(*) AS n, SUM(total) AS spend FROM orders \
+             GROUP BY customer HAVING COUNT(*) >= 2 AND SUM(total) > 20 \
+             ORDER BY spend DESC",
+            &[],
+        )
+        .unwrap();
+    // alice: n=2 spend=30; carol: n=3 spend=103; bob: n=2 spend=12.5 (cut).
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::from("carol"));
+    assert_eq!(r.rows[1][0], Value::from("alice"));
+}
+
+#[test]
+fn having_without_group_by_is_rejected() {
+    let (mut e, mut s) = engine();
+    let err = e
+        .execute(&mut s, "SELECT customer FROM orders HAVING COUNT(*) > 1", &[])
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Unsupported(_)));
+}
+
+#[test]
+fn explain_reports_access_paths() {
+    let (mut e, mut s) = engine();
+    let r = e
+        .execute(
+            &mut s,
+            "EXPLAIN SELECT * FROM orders WHERE id = 3",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["table", "binding", "access"]);
+    assert_eq!(r.rows[0][2], Value::from("pk eq"));
+
+    let r = e
+        .execute(
+            &mut s,
+            "EXPLAIN SELECT * FROM orders WHERE customer = 'bob'",
+            &[],
+        )
+        .unwrap();
+    assert!(r.rows[0][2].to_string().starts_with("index eq"));
+
+    let r = e
+        .execute(&mut s, "EXPLAIN SELECT * FROM orders WHERE total > 5", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][2], Value::from("full scan"));
+}
+
+#[test]
+fn explain_covers_joins() {
+    let (mut e, mut s) = engine();
+    e.execute_batch(
+        &mut s,
+        "CREATE TABLE customers2 (id INT PRIMARY KEY, name TEXT)",
+    )
+    .expect("join target table");
+    let r = e
+        .execute(
+            &mut s,
+            "EXPLAIN SELECT o.id FROM orders o INNER JOIN customers2 c ON c.id = o.id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[1][2], Value::from("pk eq"), "join probes via pk");
+}
+
+#[test]
+fn substring_trim_replace_round() {
+    let (mut e, mut s) = engine();
+    let one = |e: &mut Engine, s: &mut Session, sql: &str| -> Value {
+        e.execute(s, sql, &[]).unwrap().rows[0][0].clone()
+    };
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT SUBSTRING('replication', 1, 7)"),
+        Value::from("replica")
+    );
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT SUBSTRING('abcdef', -3)"),
+        Value::from("def")
+    );
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT TRIM('  padded  ')"),
+        Value::from("padded")
+    );
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT REPLACE('a-b-c', '-', '+')"),
+        Value::from("a+b+c")
+    );
+    assert_eq!(one(&mut e, &mut s, "SELECT ROUND(2.567, 2)"), Value::Double(2.57));
+    assert_eq!(one(&mut e, &mut s, "SELECT ROUND(2.5)"), Value::Int(3));
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT GREATEST(1, 9, 4)"),
+        Value::Int(9)
+    );
+    assert_eq!(one(&mut e, &mut s, "SELECT LEAST(1.5, 0.5, 4.0)"), Value::Double(0.5));
+    assert_eq!(one(&mut e, &mut s, "SELECT GREATEST(1, NULL)"), Value::Null);
+}
+
+#[test]
+fn new_functions_reject_bad_arity() {
+    let (mut e, mut s) = engine();
+    assert!(e.execute(&mut s, "SELECT SUBSTRING('x')", &[]).is_err());
+    assert!(e.execute(&mut s, "SELECT REPLACE('x', 'y')", &[]).is_err());
+    assert!(e.execute(&mut s, "SELECT ROUND()", &[]).is_err());
+}
+
+#[test]
+fn distinct_with_aggregates_and_having_composes() {
+    let (mut e, mut s) = engine();
+    // Cities that host more than one distinct customer.
+    let r = e
+        .execute(
+            &mut s,
+            "SELECT city, COUNT(*) AS orders_n FROM orders \
+             GROUP BY city HAVING COUNT(*) > 2 ORDER BY city",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::from("sydney"), Value::Int(5)]]);
+}

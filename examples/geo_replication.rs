@@ -1,0 +1,72 @@
+//! Geo-replication: what happens to throughput and staleness when the
+//! slaves move away from the master.
+//!
+//! ```text
+//! cargo run --release --example geo_replication
+//! ```
+//!
+//! Runs the full timed cluster simulation (VMs, WAN latencies, drifting
+//! clocks, binlog shipping) for the paper's three placements — same zone,
+//! different zone, different region — and prints the paper's two metrics
+//! side by side. The headline result of §IV-B.2 shows up directly: distance
+//! costs some throughput, but the replication delay is dominated by workload
+//! (queueing on the slaves), not geography.
+
+use amdb::cloudstone::{DataSize, MixConfig, WorkloadConfig};
+use amdb::core::{run_cluster, ClusterConfig, Placement};
+use amdb::metrics::Table;
+use amdb::net::Region;
+
+fn main() {
+    let placements = [
+        Placement::SameZone,
+        Placement::DifferentZone,
+        Placement::DifferentRegion(Region::EuWest1),
+        Placement::DifferentRegion(Region::ApNortheast1),
+    ];
+
+    let mut table = Table::new(
+        "geo-replication: 3 slaves, 100 users, 50/50 mix",
+        vec![
+            "placement".into(),
+            "throughput (ops/s)".into(),
+            "p95 latency (ms)".into(),
+            "avg relative delay (ms)".into(),
+        ],
+    );
+
+    for placement in placements {
+        let cfg = ClusterConfig::builder()
+            .slaves(3)
+            .placement(placement)
+            .mix(MixConfig::RW_50_50)
+            .data_size(DataSize { scale: 100 })
+            .workload(WorkloadConfig::quick(100))
+            .seed(11)
+            .build();
+        let master_zone = cfg.master_zone;
+        let report = run_cluster(cfg);
+        table.push_row(vec![
+            placement.label(master_zone),
+            format!("{:.1}", report.throughput_ops_s),
+            report
+                .latency_ms
+                .as_ref()
+                .map(|l| format!("{:.0}", l.p95))
+                .unwrap_or_else(|| "-".into()),
+            report
+                .avg_relative_delay_ms()
+                .map(|d| format!("{d:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "note: farther slaves lose some end-to-end throughput (slower round\n\
+         trips for the same closed-loop users), but the replication delay is\n\
+         driven by load on the replicas, not distance — the paper's §IV-B.2\n\
+         conclusion that geographic replication is viable if the workload is\n\
+         well managed."
+    );
+}

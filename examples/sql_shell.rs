@@ -1,0 +1,91 @@
+//! An interactive SQL shell over a replicated pair — type statements, watch
+//! them replicate.
+//!
+//! ```text
+//! cargo run --example sql_shell
+//! ```
+//!
+//! Commands: plain SQL executes on the **master**; `\\s <sql>` executes on
+//! the slave (reads see only pumped state); `\\pump` ships + applies the
+//! binlog; `\\explain <select>` shows the planner's access paths; `\\q`
+//! quits. Non-interactive use: pipe statements on stdin.
+
+use amdb::repl::ReplicatedDb;
+use amdb::sql::{BinlogFormat, QueryResult};
+use std::io::{self, BufRead, Write};
+
+fn print_result(r: &QueryResult) {
+    if !r.columns.is_empty() {
+        println!("{}", r.columns.join(" | "));
+        println!("{}", "-".repeat(r.columns.join(" | ").len()));
+        for row in &r.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("{}", cells.join(" | "));
+        }
+        println!("({} row{})", r.rows.len(), if r.rows.len() == 1 { "" } else { "s" });
+    } else {
+        println!(
+            "ok ({} row{} affected{})",
+            r.rows_affected,
+            if r.rows_affected == 1 { "" } else { "s" },
+            r.last_insert_id
+                .map(|id| format!(", last insert id {id}"))
+                .unwrap_or_default()
+        );
+    }
+}
+
+fn main() {
+    let mut db = ReplicatedDb::new(BinlogFormat::Statement, 1);
+    let mut clock_us: i64 = 0;
+    println!("amdb sql shell — master + 1 slave, statement-based replication");
+    println!("  <sql>          run on the master");
+    println!("  \\s <sql>       run on the slave (stale until \\pump)");
+    println!("  \\explain <sql> show access paths");
+    println!("  \\pump          ship + apply the binlog");
+    println!("  \\q             quit");
+
+    let stdin = io::stdin();
+    loop {
+        print!("amdb> ");
+        let _ = io::stdout().flush();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let line = line.trim().to_string();
+        clock_us += 1_000_000;
+        db.set_now_micros(clock_us);
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" {
+            break;
+        }
+        if line == "\\pump" {
+            match db.pump() {
+                Ok(n) => println!("pumped {n} event(s)"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\s ") {
+            match db.execute_slave(0, sql, &[]) {
+                Ok(r) => print_result(&r),
+                Err(e) => println!("slave error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\explain ") {
+            match db.execute_master(&format!("EXPLAIN {sql}"), &[]) {
+                Ok(r) => print_result(&r),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match db.execute_master(&line, &[]) {
+            Ok(r) => print_result(&r),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,158 @@
+//! Integration tests over the timed cluster: the paper's qualitative claims
+//! must hold at quick fidelity.
+
+use amdb::cloudstone::{DataSize, MixConfig, WorkloadConfig};
+use amdb::core::{run_cluster, ClusterConfig, Placement, RunReport};
+use amdb::net::Region;
+
+fn cfg(users: u32, slaves: usize, mix: MixConfig, placement: Placement) -> ClusterConfig {
+    ClusterConfig::builder()
+        .slaves(slaves)
+        .placement(placement)
+        .mix(mix)
+        .data_size(DataSize { scale: 100 })
+        .workload(WorkloadConfig::quick(users))
+        .seed(5)
+        .build()
+}
+
+fn run(users: u32, slaves: usize, mix: MixConfig, placement: Placement) -> RunReport {
+    run_cluster(cfg(users, slaves, mix, placement))
+}
+
+/// §IV-A: below saturation, adding slaves raises read capacity and thus
+/// total throughput at a fixed (high) workload.
+#[test]
+fn adding_slaves_helps_until_master_saturates() {
+    // 150 users offer ~24 ops/s; one slave caps well below that on the
+    // 80/20 mix, three slaves nearly lift the cap to the offered load.
+    let one = run(150, 1, MixConfig::RW_80_20, Placement::SameZone);
+    let three = run(150, 3, MixConfig::RW_80_20, Placement::SameZone);
+    assert!(
+        three.throughput_ops_s > one.throughput_ops_s * 1.2,
+        "3 slaves ({:.1}) must beat 1 slave ({:.1}) while slave-bound",
+        three.throughput_ops_s,
+        one.throughput_ops_s
+    );
+}
+
+/// §IV-A: once the master is the bottleneck, further slaves add nothing.
+#[test]
+fn master_ceiling_caps_scaleout() {
+    let a = run(150, 4, MixConfig::RW_50_50, Placement::SameZone);
+    let b = run(150, 6, MixConfig::RW_50_50, Placement::SameZone);
+    assert!(a.master_utilization > 0.9, "master near saturation");
+    let gain = b.throughput_ops_s / a.throughput_ops_s;
+    assert!(
+        gain < 1.1,
+        "6 slaves ({:.1}) should not materially beat 4 ({:.1}) past the master cap",
+        b.throughput_ops_s,
+        a.throughput_ops_s
+    );
+}
+
+/// §IV-B: replication delay surges with workload.
+#[test]
+fn delay_increases_with_workload() {
+    let lo = run(20, 1, MixConfig::RW_50_50, Placement::SameZone);
+    let hi = run(130, 1, MixConfig::RW_50_50, Placement::SameZone);
+    let d_lo = lo.avg_relative_delay_ms().expect("baseline measured");
+    let d_hi = hi.avg_relative_delay_ms().expect("loaded measured");
+    assert!(
+        d_hi > d_lo * 5.0,
+        "delay must surge with workload: {d_lo:.1} ms -> {d_hi:.1} ms"
+    );
+}
+
+/// §IV-B: replication delay decreases as slaves are added (same workload).
+#[test]
+fn delay_decreases_with_more_slaves() {
+    let one = run(120, 1, MixConfig::RW_50_50, Placement::SameZone);
+    let four = run(120, 4, MixConfig::RW_50_50, Placement::SameZone);
+    let d1 = one.avg_relative_delay_ms().expect("measured");
+    let d4 = four.avg_relative_delay_ms().expect("measured");
+    assert!(
+        d4 < d1,
+        "delay falls with slave count: 1 slave {d1:.1} ms vs 4 slaves {d4:.1} ms"
+    );
+}
+
+/// §IV-A: farther placement costs throughput, and the effect is larger for
+/// read-heavier mixes.
+#[test]
+fn distance_costs_throughput_more_for_read_heavy_mixes() {
+    let near_5050 = run(60, 2, MixConfig::RW_50_50, Placement::SameZone);
+    let far_5050 = run(
+        60,
+        2,
+        MixConfig::RW_50_50,
+        Placement::DifferentRegion(Region::EuWest1),
+    );
+    let near_8020 = run(60, 2, MixConfig::RW_80_20, Placement::SameZone);
+    let far_8020 = run(
+        60,
+        2,
+        MixConfig::RW_80_20,
+        Placement::DifferentRegion(Region::EuWest1),
+    );
+    assert!(
+        far_5050.throughput_ops_s < near_5050.throughput_ops_s,
+        "distance reduces throughput (50/50)"
+    );
+    assert!(
+        far_8020.throughput_ops_s < near_8020.throughput_ops_s,
+        "distance reduces throughput (80/20)"
+    );
+    let deg_5050 = 1.0 - far_5050.throughput_ops_s / near_5050.throughput_ops_s;
+    let deg_8020 = 1.0 - far_8020.throughput_ops_s / near_8020.throughput_ops_s;
+    assert!(
+        deg_8020 > deg_5050,
+        "read-heavy mixes degrade more with distance: 80/20 {:.1}% vs 50/50 {:.1}%",
+        deg_8020 * 100.0,
+        deg_5050 * 100.0
+    );
+}
+
+/// §IV-B.2: placement affects delay far less than workload does.
+#[test]
+fn workload_dominates_distance_for_delay() {
+    let near_busy = run(130, 1, MixConfig::RW_50_50, Placement::SameZone);
+    let far_idle = run(
+        20,
+        1,
+        MixConfig::RW_50_50,
+        Placement::DifferentRegion(Region::EuWest1),
+    );
+    let d_near_busy = near_busy.avg_relative_delay_ms().expect("measured");
+    let d_far_idle = far_idle.avg_relative_delay_ms().expect("measured");
+    assert!(
+        d_near_busy > d_far_idle,
+        "a busy nearby slave ({d_near_busy:.1} ms) lags more than an idle \
+         geo-replica ({d_far_idle:.1} ms)"
+    );
+}
+
+/// Baseline (idle) heartbeat delay is small — milliseconds, not seconds —
+/// since it is only shipping latency plus apply time plus clock offset.
+#[test]
+fn idle_baseline_is_milliseconds() {
+    let r = run(20, 2, MixConfig::RW_50_50, Placement::SameZone);
+    for d in &r.delays {
+        let b = d.baseline_ms.expect("baseline measured");
+        assert!(
+            b.abs() < 1_000.0,
+            "idle baseline should be small, got {b:.1} ms"
+        );
+    }
+}
+
+/// The read/write mix delivered by the cluster matches the configured ratio.
+#[test]
+fn delivered_mix_matches_configuration() {
+    let r = run(80, 2, MixConfig::RW_80_20, Placement::SameZone);
+    let frac = r.steady_reads as f64 / r.steady_ops as f64;
+    assert!(
+        (frac - 0.8).abs() < 0.05,
+        "read fraction {frac:.2} should be near 0.80"
+    );
+}
