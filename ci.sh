@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, tier-1 build + full test suite.
+# Everything runs offline against the vendored dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --workspace --offline
+
+echo "CI OK"

@@ -2,6 +2,7 @@
 //! pool, metrics, RNG.
 
 use amdb_metrics::trimmed_mean;
+use amdb_obs::{Component, Obs, ObsConfig};
 use amdb_pool::{Pool, PoolConfig, SimPool};
 use amdb_sim::{FifoCpu, Rng, Sim, SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -61,6 +62,43 @@ fn bench(c: &mut Criterion) {
     c.bench_function("rng/lognormal_mean_cov", |b| {
         let mut rng = Rng::new(5);
         b.iter(|| rng.lognormal_mean_cov(1.0, 0.21))
+    });
+
+    // Recorder hot path. The disabled probe must be a single discriminant
+    // branch (no allocation, no formatting); the enabled one is an enum
+    // dispatch plus a Vec push / BTreeMap update.
+    c.bench_function("obs/probe_disabled_null", |b| {
+        let mut obs = Obs::default();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(3);
+            obs.counter(Component::Cpu, 0, "queue_depth", t, 4.0);
+            obs.is_enabled()
+        })
+    });
+
+    c.bench_function("obs/span_enabled_trace", |b| {
+        let mut obs = Obs::from_config(&ObsConfig::enabled());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(3);
+            obs.span(
+                Component::Cpu,
+                0,
+                "serve_read",
+                t,
+                t + SimDuration::from_micros(5),
+            );
+            obs.is_enabled()
+        })
+    });
+
+    c.bench_function("obs/incr_enabled_trace", |b| {
+        let mut obs = Obs::from_config(&ObsConfig::enabled());
+        b.iter(|| {
+            obs.incr(Component::Proxy, 1, "routed_reads", 1);
+            obs.is_enabled()
+        })
     });
 }
 

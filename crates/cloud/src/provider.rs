@@ -82,15 +82,15 @@ impl Provider {
         let weights: Vec<f64> = catalog.iter().map(|&(_, w)| w).collect();
         let model = catalog[self.rng.pick_weighted(&weights)].0;
         let residual = if self.cfg.residual_speed_cov > 0.0 {
-            self.rng.lognormal_mean_cov(1.0, self.cfg.residual_speed_cov)
+            self.rng
+                .lognormal_mean_cov(1.0, self.cfg.residual_speed_cov)
         } else {
             1.0
         };
         let speed = itype.ecu() * model.speed_factor() * residual;
 
         let clock = DriftingClock::new(
-            self.rng
-                .normal(0.0, self.cfg.initial_clock_offset_sigma_us),
+            self.rng.normal(0.0, self.cfg.initial_clock_offset_sigma_us),
             self.rng.normal(0.0, self.cfg.clock_drift_sigma_ppm),
         );
         let ntp = NtpClient::sample(&self.cfg.ntp, &mut self.rng);
@@ -101,17 +101,11 @@ impl Provider {
     /// Launch an instance pinned to a specific host CPU model (used by the
     /// §IV-A performance-variation experiment, which contrasts a slave on an
     /// E5430 host against one on an E5507 host).
-    pub fn launch_on_host(
-        &mut self,
-        zone: Zone,
-        itype: InstanceType,
-        model: CpuModel,
-    ) -> Instance {
+    pub fn launch_on_host(&mut self, zone: Zone, itype: InstanceType, model: CpuModel) -> Instance {
         let id = InstanceId(self.next_id);
         self.next_id += 1;
         let clock = DriftingClock::new(
-            self.rng
-                .normal(0.0, self.cfg.initial_clock_offset_sigma_us),
+            self.rng.normal(0.0, self.cfg.initial_clock_offset_sigma_us),
             self.rng.normal(0.0, self.cfg.clock_drift_sigma_ppm),
         );
         let ntp = NtpClient::sample(&self.cfg.ntp, &mut self.rng);
@@ -165,8 +159,8 @@ mod tests {
             .map(|_| p.launch(zone(), InstanceType::Small).speed())
             .collect();
         let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
-        let var = speeds.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / (speeds.len() - 1) as f64;
+        let var =
+            speeds.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (speeds.len() - 1) as f64;
         let cov = var.sqrt() / mean;
         assert!(
             (cov - 0.21).abs() < 0.04,

@@ -184,7 +184,9 @@ pub fn build_template(size: DataSize, rng: &mut Rng) -> (Engine, DataCounters) {
         for _ in 0..size.comments_per_event() {
             let uid = rng.int_range(1, size.users() as i64);
             let rating = rng.int_range(1, 5);
-            rows.push(format!("({cid}, {eid}, {uid}, {rating}, 'nice event', {now_us})"));
+            rows.push(format!(
+                "({cid}, {eid}, {uid}, {rating}, 'nice event', {now_us})"
+            ));
             cid += 1;
             if rows.len() == BATCH {
                 flush(

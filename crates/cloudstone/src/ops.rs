@@ -319,8 +319,7 @@ mod tests {
 
     fn generator() -> (OpGenerator, amdb_sql::Engine) {
         let mut rng = Rng::new(11);
-        let (template, counters) =
-            build_template(DataSize { scale: 10 }, &mut rng);
+        let (template, counters) = build_template(DataSize { scale: 10 }, &mut rng);
         let engine = template.fork(ForkRole::Master(amdb_sql::BinlogFormat::Statement));
         (OpGenerator::new(counters, rng.derive("ops")), engine)
     }

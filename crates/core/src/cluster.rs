@@ -29,10 +29,11 @@ use amdb_cloud::{Instance, InstanceType, Provider};
 use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases};
 use amdb_metrics::{trimmed_mean, Summary};
 use amdb_net::{NetModel, Zone};
+use amdb_obs::{BottleneckReport, Component, Obs, ResourceUsage};
 use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
 use amdb_proxy::{
-    Balancer, LatencyAware, LeastOutstanding, OpClass as ProxyClass, Proxy, RandomPick,
-    RoundRobin, Route,
+    Balancer, LatencyAware, LeastOutstanding, OpClass as ProxyClass, Proxy, RandomPick, RoundRobin,
+    Route,
 };
 use amdb_repl::{collect_samples, HeartbeatPlugin, RelayQueue, ReplMode};
 use amdb_sim::{Rng, Sim, SimDuration, SimTime};
@@ -123,6 +124,10 @@ struct Stats {
     peak_relay_backlog: u64,
     master_util: f64,
     slave_utils: Vec<f64>,
+    /// Peak CPU queue depth per node slot over the steady window.
+    steady_peak_queue: Vec<usize>,
+    /// Peak pool-waiter count over the steady window.
+    steady_peak_waiting: usize,
     /// (heartbeat id, emission sim-time) pairs.
     hb_emitted: Vec<(i64, SimTime)>,
 }
@@ -165,6 +170,8 @@ pub struct Cluster {
     /// Committed-but-unreplicated writes lost in failovers (§II data loss).
     lost_writes: u64,
     stats: Stats,
+    /// Observability recorder; `Obs::Null` unless `cfg.obs.enabled`.
+    obs: Obs,
 }
 
 impl Cluster {
@@ -256,7 +263,9 @@ impl Cluster {
         };
         let phases = cfg.workload.phases;
         let n = cfg.n_slaves;
+        let obs = Obs::from_config(&cfg.obs);
         Self {
+            obs,
             provider,
             events_log: Vec::new(),
             last_scale_action: SimTime::ZERO,
@@ -303,7 +312,9 @@ impl Cluster {
             ntp.sync(clock, SimTime::ZERO, &mut self.rng_ntp);
         }
         if let Some(interval) = self.cfg.ntp_interval {
-            sim.schedule_in(interval, move |w: &mut Cluster, sim| w.ntp_tick(sim, interval));
+            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
+                w.ntp_tick(sim, interval)
+            });
         }
 
         // Heartbeats from t=0 (idle baseline needs them).
@@ -357,6 +368,8 @@ impl Cluster {
             for node in &mut w.nodes {
                 node.inst.cpu.reset_window(now);
             }
+            w.stats.steady_peak_queue = vec![0; w.nodes.len()];
+            w.obs.instant(Component::Cluster, 0, "steady_start", now);
         });
         sim.schedule_at(self.phases.steady_end(), |w: &mut Cluster, sim| {
             let now = sim.now();
@@ -365,7 +378,74 @@ impl Cluster {
                 .iter()
                 .map(|n| n.inst.cpu.utilization(now))
                 .collect();
+            w.obs.instant(Component::Cluster, 0, "steady_end", now);
         });
+
+        // Observability sampler: periodic gauges for queue depths,
+        // utilization, pool occupancy, relay backlogs, and staleness.
+        if self.obs.is_enabled() {
+            let interval = SimDuration::from_millis(self.cfg.obs.sample_interval_ms.max(1));
+            sim.schedule_at(SimTime::ZERO, move |w: &mut Cluster, sim| {
+                w.obs_sample_tick(sim, interval);
+            });
+        }
+    }
+
+    /// Periodic observability sample: one counter record per tracked gauge.
+    /// Only scheduled when observability is enabled.
+    fn obs_sample_tick(&mut self, sim: &mut S, interval: SimDuration) {
+        let now = sim.now();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let depth = node.queue.len() + usize::from(node.busy);
+            let inst = i as u32;
+            self.obs
+                .counter(Component::Cpu, inst, "queue_depth", now, depth as f64);
+            self.obs.counter(
+                Component::Cpu,
+                inst,
+                "utilization",
+                now,
+                node.inst.cpu.utilization(now),
+            );
+        }
+        self.obs
+            .counter(Component::Pool, 0, "active", now, self.pool.active() as f64);
+        self.obs.counter(
+            Component::Pool,
+            0,
+            "waiting",
+            now,
+            self.pool.waiting() as f64,
+        );
+        for s in 0..self.relays.len() {
+            let inst = s as u32;
+            self.obs.counter(
+                Component::Repl,
+                inst,
+                "relay_depth",
+                now,
+                self.relays[s].backlog() as f64,
+            );
+            self.obs.counter(
+                Component::Repl,
+                inst,
+                "staleness_ms",
+                now,
+                self.observed_staleness_ms(s),
+            );
+            self.obs.counter(
+                Component::Proxy,
+                inst,
+                "outstanding",
+                now,
+                self.proxy.slave_status(s).outstanding as f64,
+            );
+        }
+        if now + interval <= self.phases.hard_end() {
+            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
+                w.obs_sample_tick(sim, interval);
+            });
+        }
     }
 
     fn ntp_tick(&mut self, sim: &mut S, interval: SimDuration) {
@@ -375,7 +455,9 @@ impl Cluster {
             ntp.sync(clock, now, &mut self.rng_ntp);
         }
         if now + interval <= self.phases.hard_end() {
-            sim.schedule_in(interval, move |w: &mut Cluster, sim| w.ntp_tick(sim, interval));
+            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
+                w.ntp_tick(sim, interval)
+            });
         }
     }
 
@@ -400,6 +482,11 @@ impl Cluster {
         match self.pool.acquire(issued) {
             Acquire::Ready => self.dispatch(sim, user, op, issued),
             Acquire::Queued(t) => {
+                self.obs.incr(Component::Pool, 0, "checkout_waits", 1);
+                if self.phases.in_steady(issued) {
+                    self.stats.steady_peak_waiting =
+                        self.stats.steady_peak_waiting.max(self.pool.waiting());
+                }
                 self.parked.insert(t, (user, op, issued));
             }
         }
@@ -417,11 +504,17 @@ impl Cluster {
                     self.awaiting_master.push((user, op, issued));
                     return;
                 }
+                self.obs.incr(Component::Proxy, 0, "routed_to_master", 1);
                 (0, None)
             }
-            Route::Slave(s) => (self.slave_node(s), Some(s)),
+            Route::Slave(s) => {
+                self.obs.incr(Component::Proxy, s as u32, "routed_reads", 1);
+                (self.slave_node(s), Some(s))
+            }
         };
-        let delay = self.net.delay(self.client_zone, self.nodes[node_idx].inst.zone());
+        let delay = self
+            .net
+            .delay(self.client_zone, self.nodes[node_idx].inst.zone());
         sim.schedule_in(delay, move |w: &mut Cluster, sim| {
             w.enqueue_job(
                 sim,
@@ -442,6 +535,12 @@ impl Cluster {
 
     fn enqueue_job(&mut self, sim: &mut S, node: usize, job: Job) {
         self.nodes[node].queue.push_back(job);
+        if self.phases.in_steady(sim.now()) {
+            if let Some(peak) = self.stats.steady_peak_queue.get_mut(node) {
+                let depth = self.nodes[node].queue.len() + usize::from(self.nodes[node].busy);
+                *peak = (*peak).max(depth);
+            }
+        }
         self.try_start(sim, node);
     }
 
@@ -454,7 +553,10 @@ impl Cluster {
             // an immediate error response so their users retry elsewhere.
             let dropped: Vec<Job> = self.nodes[node_idx].queue.drain(..).collect();
             for job in dropped {
-                if let Job::ClientOp { user, op, issued, .. } = job {
+                if let Job::ClientOp {
+                    user, op, issued, ..
+                } = job
+                {
                     self.retry_elsewhere(sim, user, op, issued);
                 }
             }
@@ -480,6 +582,23 @@ impl Cluster {
                     .cpu
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
                 let class = op.class;
+                if self.obs.is_enabled() {
+                    let (span, hist) = match class {
+                        OpClass::Read => ("serve_read", "demand_read_us"),
+                        OpClass::Write => ("serve_write", "demand_write_us"),
+                    };
+                    self.obs
+                        .span(Component::Cpu, node_idx as u32, span, now, done);
+                    self.obs.observe(
+                        Component::Sql,
+                        node_idx as u32,
+                        hist,
+                        demand_us,
+                        0.0,
+                        20_000.0,
+                        80,
+                    );
+                }
                 sim.schedule_at(done, move |w: &mut Cluster, sim| {
                     w.client_op_done(sim, node_idx, gen, user, class, issued, routed_slave);
                 });
@@ -501,6 +620,19 @@ impl Cluster {
                     .cpu
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
                 let lsn = ev.lsn;
+                if self.obs.is_enabled() {
+                    self.obs
+                        .span(Component::Repl, slave as u32, "apply", now, done);
+                    self.obs.observe(
+                        Component::Sql,
+                        node_idx as u32,
+                        "demand_apply_us",
+                        demand_us,
+                        0.0,
+                        20_000.0,
+                        80,
+                    );
+                }
                 sim.schedule_at(done, move |w: &mut Cluster, sim| {
                     w.apply_done(sim, node_idx, gen, slave, lsn);
                 });
@@ -524,6 +656,7 @@ impl Cluster {
                     .inst
                     .cpu
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
+                self.obs.span(Component::Repl, 0, "heartbeat", now, done);
                 sim.schedule_at(done, move |w: &mut Cluster, sim| {
                     w.master_job_done(sim, node_idx, gen);
                 });
@@ -542,9 +675,7 @@ impl Cluster {
                 .engine
                 .execute(&mut node.session, sql, params)
                 .unwrap_or_else(|e| panic!("op '{}' failed: {e}\nSQL: {sql}", op.name));
-            demand_us += self
-                .cost
-                .statement_demand_us(&res, res.rows_affected > 0);
+            demand_us += self.cost.statement_demand_us(&res, res.rows_affected > 0);
         }
         if op.class == OpClass::Write {
             demand_us += self.cost.commit_us;
@@ -682,6 +813,17 @@ impl Cluster {
         // Return the connection; hand it straight to a parked user if any.
         if let Some(ticket) = self.pool.release(now) {
             if let Some((u2, op2, issued2)) = self.parked.remove(&ticket) {
+                // The parked user queued at `issued2`; the handoff ends its
+                // checkout wait.
+                self.obs.observe(
+                    Component::Pool,
+                    0,
+                    "checkout_wait_ms",
+                    (now - issued2).as_millis_f64(),
+                    0.0,
+                    2_000.0,
+                    80,
+                );
                 self.dispatch(sim, u2, op2, issued2);
             }
         }
@@ -748,10 +890,7 @@ impl Cluster {
             self.shipped_upto = head;
             return Vec::new();
         }
-        let events: Vec<BinlogEvent> = self.nodes[0]
-            .engine
-            .binlog_from(self.shipped_upto)
-            .to_vec();
+        let events: Vec<BinlogEvent> = self.nodes[0].engine.binlog_from(self.shipped_upto).to_vec();
         self.shipped_upto = head;
         let master_zone = self.nodes[0].inst.zone();
         let mut deliveries = Vec::with_capacity(self.relays.len());
@@ -790,6 +929,12 @@ impl Cluster {
             .stats
             .peak_relay_backlog
             .max(self.relays[slave].backlog());
+        self.obs.gauge(
+            Component::Repl,
+            slave as u32,
+            "relay_backlog",
+            self.relays[slave].backlog() as f64,
+        );
         let node_idx = self.slave_node(slave);
         for _ in 0..n {
             self.enqueue_job(sim, node_idx, Job::Apply { slave });
@@ -816,6 +961,8 @@ impl Cluster {
         }
         self.nodes[node_idx].failed = true;
         self.proxy.set_alive(s, false);
+        self.obs
+            .instant(Component::Cluster, s as u32, "slave_failed", sim.now());
         self.events_log
             .push((sim.now(), format!("slave {s} failed")));
         // Drain its queue now (in-flight CPU job, if any, still completes —
@@ -829,9 +976,7 @@ impl Cluster {
         let node_idx = self.slave_node(s);
         let zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
         let inst = match self.cfg.pin_slave_host {
-            Some(m) => self
-                .provider
-                .launch_on_host(zone, InstanceType::Small, m),
+            Some(m) => self.provider.launch_on_host(zone, InstanceType::Small, m),
             None => self.provider.launch(zone, InstanceType::Small),
         };
         // Snapshot of the master's current state; replication resumes from
@@ -843,8 +988,12 @@ impl Cluster {
         self.nodes[node_idx].gen = gen;
         self.relays[s] = RelayQueue::starting_at(head);
         self.chan_clear[s] = sim.now();
-        self.events_log
-            .push((sim.now(), format!("slave {s} replaced (resync from {head})")));
+        self.obs
+            .instant(Component::Cluster, s as u32, "slave_replaced", sim.now());
+        self.events_log.push((
+            sim.now(),
+            format!("slave {s} replaced (resync from {head})"),
+        ));
         // It can serve reads immediately: the snapshot is current as of now.
         self.proxy.set_alive(s, true);
     }
@@ -859,6 +1008,8 @@ impl Cluster {
             return;
         }
         self.nodes[0].failed = true;
+        self.obs
+            .instant(Component::Cluster, 0, "master_failed", sim.now());
         self.events_log.push((sim.now(), "master failed".into()));
         for wait in std::mem::take(&mut self.pending_sync) {
             let (user, class, issued, routed) =
@@ -885,11 +1036,12 @@ impl Cluster {
             return; // no live slave to promote; writes stay parked
         };
 
-
         // §II data loss: everything the old master logged beyond what the
         // promoted slave had applied is gone.
         let old_head = self.nodes[0].engine.binlog().head();
-        self.lost_writes += old_head.0.saturating_sub(self.relays[best].applied_upto().0);
+        self.lost_writes += old_head
+            .0
+            .saturating_sub(self.relays[best].applied_upto().0);
 
         // Swap the promoted node into slot 0; the dead master takes its
         // slave slot (and stays failed until/unless replaced). Both slots'
@@ -904,9 +1056,7 @@ impl Cluster {
         self.nodes[0].busy = false;
         self.nodes[best_node].gen += 1;
         self.nodes[best_node].busy = false;
-        self.nodes[0]
-            .engine
-            .promote_to_master(self.cfg.format);
+        self.nodes[0].engine.promote_to_master(self.cfg.format);
         self.proxy.set_alive(best, false); // that slot now holds the corpse
 
         // The promoted node's queued work (it was serving reads) and the
@@ -915,7 +1065,10 @@ impl Cluster {
             let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
             for job in orphans {
                 if let Job::ClientOp {
-                    user, op, issued, routed_slave,
+                    user,
+                    op,
+                    issued,
+                    routed_slave,
                 } = job
                 {
                     if let Some(rs) = routed_slave {
@@ -942,7 +1095,10 @@ impl Cluster {
                 let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
                 for job in orphans {
                     if let Job::ClientOp {
-                        user, op, issued, routed_slave,
+                        user,
+                        op,
+                        issued,
+                        routed_slave,
                     } = job
                     {
                         if let Some(rs) = routed_slave {
@@ -953,6 +1109,8 @@ impl Cluster {
                 }
             }
         }
+        self.obs
+            .instant(Component::Cluster, best as u32, "slave_promoted", sim.now());
         self.events_log.push((
             sim.now(),
             format!(
@@ -971,9 +1129,7 @@ impl Cluster {
     pub fn add_slave(&mut self, sim: &mut S, sync_duration: SimDuration) -> usize {
         let zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
         let inst = match self.cfg.pin_slave_host {
-            Some(m) => self
-                .provider
-                .launch_on_host(zone, InstanceType::Small, m),
+            Some(m) => self.provider.launch_on_host(zone, InstanceType::Small, m),
             None => self.provider.launch(zone, InstanceType::Small),
         };
         let engine = self.nodes[0].engine.fork(ForkRole::Slave);
@@ -983,6 +1139,8 @@ impl Cluster {
         self.chan_clear.push(sim.now());
         let s = self.proxy.add_slave();
         debug_assert_eq!(s + 2, self.nodes.len(), "proxy and node lists in step");
+        self.obs
+            .instant(Component::Cluster, s as u32, "slave_launched", sim.now());
         self.events_log
             .push((sim.now(), format!("slave {s} launched (autoscale)")));
         // Serve reads once the initial sync window elapses.
@@ -1134,6 +1292,71 @@ impl Cluster {
     pub fn relay(&self, s: usize) -> &RelayQueue {
         &self.relays[s]
     }
+
+    /// The observability recorder ([`Obs::Null`] unless enabled in config).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable recorder access (custom timelines recording their own marks).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Detach the recorder, leaving [`Obs::Null`] behind. Call after the
+    /// run to export traces without keeping the whole world alive.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Steady-window bottleneck attribution: one row per CPU (master and
+    /// each slave slot) plus the connection pool, naming the saturated
+    /// resource. Meaningful once the steady window has ended (utilizations
+    /// are captured by the `steady_end` marker).
+    pub fn bottleneck_report(&self) -> BottleneckReport {
+        let mut rep = BottleneckReport::with_default_threshold();
+        rep.push(ResourceUsage {
+            comp: Component::Cpu,
+            inst: 0,
+            label: "master cpu".to_string(),
+            utilization: self.stats.master_util,
+            peak_queue: self.stats.steady_peak_queue.first().copied().unwrap_or(0),
+        });
+        for (s, &util) in self.stats.slave_utils.iter().enumerate() {
+            rep.push(ResourceUsage {
+                comp: Component::Cpu,
+                inst: (s + 1) as u32,
+                label: format!("slave{s} cpu"),
+                utilization: util,
+                peak_queue: self
+                    .stats
+                    .steady_peak_queue
+                    .get(s + 1)
+                    .copied()
+                    .unwrap_or(0),
+            });
+        }
+        // Pool "utilization": peak checkouts over capacity. Saturation here
+        // means users queue for connections before any CPU is even asked.
+        let (peak_active, _) = self.pool.peaks();
+        let capacity = if self.cfg.pool_max_active == 0 {
+            self.cfg.workload.concurrent_users as usize
+        } else {
+            self.cfg.pool_max_active
+        };
+        rep.push(ResourceUsage {
+            comp: Component::Pool,
+            inst: 0,
+            label: "connection pool".to_string(),
+            utilization: if capacity > 0 {
+                peak_active as f64 / capacity as f64
+            } else {
+                0.0
+            },
+            peak_queue: self.stats.steady_peak_waiting,
+        });
+        rep
+    }
 }
 
 /// Execute one full benchmark run for `cfg` and return its report.
@@ -1144,6 +1367,20 @@ pub fn run_cluster(cfg: ClusterConfig) -> RunReport {
     sim.run(&mut world);
     let events = sim.events_executed();
     world.report(events)
+}
+
+/// Like [`run_cluster`], but also returns the observability recorder and the
+/// steady-window bottleneck report. Forces `cfg.obs.enabled = true`.
+pub fn run_cluster_observed(mut cfg: ClusterConfig) -> (RunReport, Obs, BottleneckReport) {
+    cfg.obs.enabled = true;
+    let mut sim: S = Sim::new();
+    let mut world = Cluster::new(cfg);
+    world.schedule_timeline(&mut sim);
+    sim.run(&mut world);
+    let events = sim.events_executed();
+    let report = world.report(events);
+    let bottleneck = world.bottleneck_report();
+    (report, world.take_obs(), bottleneck)
 }
 
 #[cfg(test)]
@@ -1257,5 +1494,46 @@ mod tests {
         let r = run_cluster(quick_cfg(5, 0));
         assert!(r.steady_ops > 0);
         assert!(r.delays.is_empty());
+    }
+
+    #[test]
+    fn default_config_keeps_observability_off() {
+        let world = Cluster::new(quick_cfg(5, 1));
+        assert!(!world.obs().is_enabled(), "obs must be opt-in");
+    }
+
+    #[test]
+    fn observed_run_traces_all_layers() {
+        let (r, obs, bn) = run_cluster_observed(quick_cfg(10, 2));
+        assert!(r.steady_ops > 0, "observed run still completes");
+        let rec = obs.recorder().expect("recorder present when observed");
+        assert!(!rec.records().is_empty());
+        let comps: std::collections::BTreeSet<&str> = rec
+            .records()
+            .iter()
+            .map(|x| x.component().as_str())
+            .collect();
+        for c in ["cpu", "pool", "proxy", "repl", "sql", "cluster"] {
+            let present =
+                comps.contains(c) || rec.registry().iter().any(|(k, _)| k.comp.as_str() == c);
+            assert!(present, "component {c} missing from trace and registry");
+        }
+        // master + 2 slaves + pool
+        assert_eq!(bn.rows().len(), 4);
+        assert!(bn.rows().iter().any(|row| row.label == "master cpu"));
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_results() {
+        // Observability must not perturb the simulation: same seed, same
+        // physics, with and without the recorder.
+        let plain = run_cluster(quick_cfg(8, 2));
+        let (observed, _, _) = run_cluster_observed(quick_cfg(8, 2));
+        assert_eq!(plain.steady_ops, observed.steady_ops);
+        assert_eq!(plain.steady_writes, observed.steady_writes);
+        assert_eq!(
+            plain.delays[0].loaded_ms, observed.delays[0].loaded_ms,
+            "replication delays identical under observation"
+        );
     }
 }

@@ -3,6 +3,7 @@
 use amdb_cloud::{CpuModel, ProviderConfig};
 use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
 use amdb_net::{NetConfig, Region, Zone};
+use amdb_obs::ObsConfig;
 use amdb_repl::ReplMode;
 use amdb_sim::SimDuration;
 use amdb_sql::binlog::BinlogFormat;
@@ -178,6 +179,9 @@ pub struct ClusterConfig {
     pub master_fault: Option<MasterFaultPlan>,
     /// Staleness-driven autoscaling, if enabled.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Observability: tracing/metrics collection (off by default — the
+    /// disabled path costs a single branch per probe).
+    pub obs: ObsConfig,
     pub seed: u64,
 }
 
@@ -220,6 +224,7 @@ impl Default for ClusterBuilder {
                 faults: Vec::new(),
                 master_fault: None,
                 autoscale: None,
+                obs: ObsConfig::default(),
                 seed: 42,
             },
         }
@@ -345,6 +350,19 @@ impl ClusterBuilder {
     /// Enable staleness-driven autoscaling.
     pub fn autoscale(mut self, a: AutoscaleConfig) -> Self {
         self.cfg.autoscale = Some(a);
+        self
+    }
+
+    /// Observability configuration (tracing + metrics).
+    pub fn observability(mut self, o: ObsConfig) -> Self {
+        self.cfg.obs = o;
+        self
+    }
+
+    /// Shorthand: switch trace/metric collection on or off with the
+    /// default sampling period.
+    pub fn observe(mut self, enabled: bool) -> Self {
+        self.cfg.obs.enabled = enabled;
         self
     }
 

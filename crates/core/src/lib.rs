@@ -26,6 +26,10 @@ pub mod cluster;
 pub mod config;
 pub mod report;
 
-pub use cluster::{run_cluster, Cluster};
-pub use config::{AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, MasterFaultPlan, Placement, WorkloadKind};
+pub use amdb_obs::ObsConfig;
+pub use cluster::{run_cluster, run_cluster_observed, Cluster};
+pub use config::{
+    AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, MasterFaultPlan,
+    Placement, WorkloadKind,
+};
 pub use report::{DelayReport, RunReport};

@@ -8,7 +8,11 @@ fn main() {
     // Emit both series for plotting.
     let mut t = amdb_metrics::Table::new(
         "fig4 series (downsampled to 10 s)",
-        vec!["t (s)".into(), "sync once (ms)".into(), "sync 1s (ms)".into()],
+        vec![
+            "t (s)".into(),
+            "sync once (ms)".into(),
+            "sync 1s (ms)".into(),
+        ],
     );
     let once = r.sync_once.series.downsample(10);
     let every = r.sync_every_second.series.downsample(10);

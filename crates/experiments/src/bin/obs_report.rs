@@ -1,0 +1,62 @@
+//! Bottleneck-attribution report: run fig2-style cells with observability
+//! on, print where each cell saturates, and export the trace of the last
+//! cell as Chrome-trace JSON (`results/obs_trace.json` — open it in
+//! `chrome://tracing` or Perfetto) plus the sampled time series as CSV.
+//!
+//! Usage: `cargo run --release -p amdb-experiments --bin obs_report [--full]`
+
+use amdb_experiments::obs_report::run_observed_cell;
+use amdb_experiments::Fidelity;
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let (users, slave_counts): (u32, Vec<usize>) = match fidelity {
+        Fidelity::Full => (175, vec![1, 2, 3, 4]),
+        Fidelity::Quick => (175, vec![1, 4]),
+    };
+
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("results/: {e}");
+    }
+
+    let mut last = None;
+    for &slaves in &slave_counts {
+        eprintln!("obs_report: running slaves={slaves} users={users} ...");
+        let cell = run_observed_cell(slaves, users, 42);
+        println!(
+            "== {} slave{}, {} users ({:.1} ops/s steady) ==",
+            slaves,
+            if slaves == 1 { "" } else { "s" },
+            users,
+            cell.report.throughput_ops_s
+        );
+        println!("{}", cell.bottleneck.render());
+        println!();
+        last = Some(cell);
+    }
+
+    // Export the trace of the last (largest) cell.
+    let cell = last.expect("at least one cell ran");
+    if let Some(json) = cell.obs.chrome_trace() {
+        let path = dir.join("obs_trace.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!(
+                "wrote {} ({} bytes) — load in chrome://tracing or Perfetto",
+                path.display(),
+                json.len()
+            ),
+            Err(e) => eprintln!("{}: {e}", path.display()),
+        }
+    }
+    if let Some(rec) = cell.obs.recorder() {
+        let csv = rec.registry().series_csv();
+        let path = dir.join("obs_series.csv");
+        match std::fs::write(&path, &csv) {
+            Ok(()) => println!("wrote {} ({} bytes)", path.display(), csv.len()),
+            Err(e) => eprintln!("{}: {e}", path.display()),
+        }
+        println!();
+        println!("{}", rec.registry().summary_table().render());
+    }
+}

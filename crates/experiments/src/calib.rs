@@ -88,15 +88,27 @@ mod tests {
     #[test]
     fn demands_match_derivation_small() {
         let (r, w, a) = measure(MixConfig::RW_50_50, DataSize::SMALL);
-        assert!((85.0..125.0).contains(&r), "read demand {r:.1} ms (target ~105)");
-        assert!((65.0..110.0).contains(&w), "write demand {w:.1} ms (target ~85)");
-        assert!((8.0..30.0).contains(&a), "apply demand {a:.1} ms (target ~18)");
+        assert!(
+            (85.0..125.0).contains(&r),
+            "read demand {r:.1} ms (target ~105)"
+        );
+        assert!(
+            (65.0..110.0).contains(&w),
+            "write demand {w:.1} ms (target ~85)"
+        );
+        assert!(
+            (8.0..30.0).contains(&a),
+            "apply demand {a:.1} ms (target ~18)"
+        );
     }
 
     #[test]
     fn demands_match_derivation_large() {
         let (r, w, a) = measure(MixConfig::RW_80_20, DataSize::LARGE);
-        assert!((125.0..190.0).contains(&r), "read demand {r:.1} ms (target ~150-170)");
+        assert!(
+            (125.0..190.0).contains(&r),
+            "read demand {r:.1} ms (target ~150-170)"
+        );
         assert!((65.0..110.0).contains(&w), "write demand {w:.1} ms");
         assert!((8.0..30.0).contains(&a), "apply demand {a:.1} ms");
     }

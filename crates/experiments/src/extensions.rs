@@ -10,9 +10,7 @@
 use crate::calib::paper_cost_model;
 use crate::Fidelity;
 use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
-use amdb_core::{
-    run_cluster, AutoscaleConfig, ClusterConfig, FaultPlan, Placement, RunReport,
-};
+use amdb_core::{run_cluster, AutoscaleConfig, ClusterConfig, FaultPlan, Placement, RunReport};
 use amdb_metrics::Table;
 use amdb_sim::SimDuration;
 
@@ -179,7 +177,10 @@ pub fn master_failover_table(healthy: &RunReport, lagging: &RunReport) -> Table 
             "timeline".into(),
         ],
     );
-    for (name, r) in [("2 healthy slaves", healthy), ("1 saturated slave", lagging)] {
+    for (name, r) in [
+        ("2 healthy slaves", healthy),
+        ("1 saturated slave", lagging),
+    ] {
         let timeline = r
             .membership_events
             .iter()

@@ -142,7 +142,10 @@ mod tests {
         let pts = r.sync_once.series.points();
         let start = pts.first().unwrap().1;
         let end = pts.last().unwrap().1;
-        assert!((start - 7.0).abs() < 0.5, "starts near 7 ms, got {start:.2}");
+        assert!(
+            (start - 7.0).abs() < 0.5,
+            "starts near 7 ms, got {start:.2}"
+        );
         assert!((end - 50.2).abs() < 1.5, "ends near 50 ms, got {end:.2}");
         // Paper: median 28.23, stddev 12.31.
         assert!((r.sync_once.median_ms - 28.6).abs() < 2.0);

@@ -14,11 +14,13 @@
 //! | [`ablations`] | A1 sync modes, A2 balancers, A3 binlog formats |
 //! | [`extensions`] | E-F failover, E-A staleness-SLO autoscaling |
 //! | [`calib`]   | calibration constants + their derivation checks |
+//! | [`obs_report`] | observed run + steady-window bottleneck attribution |
 
 pub mod ablations;
 pub mod calib;
 pub mod extensions;
 pub mod fig4;
+pub mod obs_report;
 pub mod perfvar;
 pub mod rtt;
 pub mod sweep;

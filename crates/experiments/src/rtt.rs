@@ -72,7 +72,11 @@ mod tests {
         let means: Vec<f64> = rs.iter().map(|r| r.half_rtt_ms.mean).collect();
         assert!((means[0] - 16.3).abs() < 0.5, "same zone {:.1}", means[0]);
         assert!((means[1] - 21.3).abs() < 0.5, "diff zone {:.1}", means[1]);
-        assert!((means[2] - 173.3).abs() < 3.0, "diff region {:.1}", means[2]);
+        assert!(
+            (means[2] - 173.3).abs() < 3.0,
+            "diff region {:.1}",
+            means[2]
+        );
         assert!(means[0] < means[1] && means[1] < means[2]);
     }
 

@@ -186,12 +186,7 @@ pub fn run_sweep(spec: &SweepSpec, mut progress: impl FnMut(&str)) -> Vec<Placem
 }
 
 /// Convenience used by tests: run a single cell at quick fidelity.
-pub fn run_cell(
-    spec: &SweepSpec,
-    placement: Placement,
-    slaves: usize,
-    users: u32,
-) -> RunReport {
+pub fn run_cell(spec: &SweepSpec, placement: Placement, slaves: usize, users: u32) -> RunReport {
     run_cluster(spec.cell_config(placement, slaves, users))
 }
 

@@ -18,23 +18,43 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics if `lo >= hi` or `buckets == 0` (programmer error, not data).
+    /// Use [`Histogram::try_new`] to handle untrusted bounds without
+    /// panicking.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
-        assert!(lo < hi, "histogram range must be non-empty");
-        assert!(buckets > 0, "histogram needs at least one bucket");
-        Self {
+        Self::try_new(lo, hi, buckets).expect("invalid histogram construction")
+    }
+
+    /// Fallible constructor: `Err` describes the problem instead of
+    /// panicking when `lo >= hi`, the bounds are non-finite, or
+    /// `buckets == 0`.
+    pub fn try_new(lo: f64, hi: f64, buckets: usize) -> Result<Self, String> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(format!("histogram bounds must be finite, got [{lo}, {hi})"));
+        }
+        if lo >= hi {
+            return Err(format!("histogram range [{lo}, {hi}) is empty"));
+        }
+        if buckets == 0 {
+            return Err("histogram needs at least one bucket".to_string());
+        }
+        Ok(Self {
             lo,
             hi,
             buckets: vec![0; buckets],
             underflow: 0,
             overflow: 0,
             count: 0,
-        }
+        })
     }
 
-    /// Record one sample.
+    /// Record one sample. Non-finite samples are counted but kept out of
+    /// the buckets: `-inf` lands in underflow, `+inf` and `NaN` in overflow
+    /// (a NaN would otherwise silently corrupt bucket 0's count).
     pub fn record(&mut self, x: f64) {
         self.count += 1;
-        if x < self.lo {
+        if x.is_nan() {
+            self.overflow += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -145,6 +165,39 @@ mod tests {
     #[should_panic]
     fn rejects_empty_range() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn try_new_reports_each_failure_mode() {
+        assert!(Histogram::try_new(1.0, 1.0, 4).is_err(), "empty range");
+        assert!(Histogram::try_new(2.0, 1.0, 4).is_err(), "inverted range");
+        assert!(Histogram::try_new(0.0, 1.0, 0).is_err(), "zero buckets");
+        assert!(Histogram::try_new(f64::NAN, 1.0, 4).is_err(), "NaN bound");
+        assert!(
+            Histogram::try_new(0.0, f64::INFINITY, 4).is_err(),
+            "infinite bound"
+        );
+        assert!(Histogram::try_new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn non_finite_samples_stay_out_of_buckets() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.overflow(), 2, "NaN and +inf counted as overflow");
+        assert_eq!(h.underflow(), 1, "-inf counted as underflow");
+        assert!(h.buckets().iter().all(|&c| c == 0), "buckets untouched");
+    }
+
+    #[test]
+    fn single_sample_quantile_is_that_bucket() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(4.2);
+        let q = h.approx_quantile(0.5).unwrap();
+        assert!((q - 4.5).abs() < 1e-12, "bucket midpoint, got {q}");
     }
 
     #[test]

@@ -66,24 +66,28 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
     let mut v: Vec<f64> = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    Some(percentile_sorted(&v, p))
+    percentile_sorted(&v, p)
 }
 
-/// Percentile over data the caller has already sorted ascending.
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+/// Percentile over data the caller has already sorted ascending. Returns
+/// `None` for an empty slice or `p` outside `0..=100` (an earlier version
+/// panicked on empty input in release builds via index underflow).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     if sorted.len() == 1 {
-        return sorted[0];
+        return Some(sorted[0]);
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         let frac = rank - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
 /// Mean after discarding the lowest and highest `trim_fraction` of samples.
@@ -154,6 +158,30 @@ mod tests {
     #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_sorted_empty_is_none() {
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_sorted_rejects_out_of_range_p() {
+        assert_eq!(percentile_sorted(&[1.0, 2.0], -0.1), None);
+        assert_eq!(percentile_sorted(&[1.0, 2.0], 100.1), None);
+    }
+
+    #[test]
+    fn percentile_sorted_single_element_any_p() {
+        assert_eq!(percentile_sorted(&[3.5], 0.0), Some(3.5));
+        assert_eq!(percentile_sorted(&[3.5], 100.0), Some(3.5));
+    }
+
+    #[test]
+    fn trimmed_mean_single_sample() {
+        // 5 % per-tail trim of one sample floors to zero cut: the sample
+        // survives and the trimmed mean is the sample itself.
+        assert_eq!(trimmed_mean(&[42.0], 0.05), Some(42.0));
     }
 
     #[test]

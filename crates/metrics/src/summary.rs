@@ -110,14 +110,16 @@ impl Summary {
         let mut v = xs.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
         let mean = crate::mean(&v).expect("non-empty");
+        // `v` is non-empty here, so every percentile is defined.
+        let pct = |p: f64| crate::percentile_sorted(&v, p).expect("non-empty input");
         Some(Summary {
             count: v.len(),
             mean,
-            median: crate::percentile_sorted(&v, 50.0),
+            median: pct(50.0),
             stddev: crate::stddev(&v).unwrap_or(0.0),
-            p5: crate::percentile_sorted(&v, 5.0),
-            p95: crate::percentile_sorted(&v, 95.0),
-            p99: crate::percentile_sorted(&v, 99.0),
+            p5: pct(5.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
             min: v[0],
             max: v[v.len() - 1],
             trimmed_mean_5pct: crate::trimmed_mean(&v, 0.05).unwrap_or(mean),
@@ -201,5 +203,17 @@ mod tests {
     #[test]
     fn summary_empty_is_none() {
         assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn summary_single_sample_is_degenerate_but_defined() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p5, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.stddev, 0.0, "undefined stddev reported as 0");
+        assert_eq!(s.trimmed_mean_5pct, 7.0);
     }
 }

@@ -219,7 +219,10 @@ mod tests {
         let mut net = NetModel::with_defaults(Rng::new(1));
         let n = 20_000;
         let avg = |net: &mut NetModel, to: Zone| -> f64 {
-            (0..n).map(|_| net.delay(a, to).as_millis_f64()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| net.delay(a, to).as_millis_f64())
+                .sum::<f64>()
+                / n as f64
         };
         let same = avg(&mut net, a);
         let zone = avg(&mut net, dz);
@@ -234,7 +237,9 @@ mod tests {
     fn jitter_produces_variation_but_no_negatives() {
         let (a, _, _, dr) = zones();
         let mut net = NetModel::with_defaults(Rng::new(2));
-        let xs: Vec<f64> = (0..1000).map(|_| net.delay(a, dr).as_millis_f64()).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|_| net.delay(a, dr).as_millis_f64())
+            .collect();
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min > 0.0);

@@ -1,0 +1,181 @@
+//! Chrome trace-format (Trace Event Format) JSON export.
+//!
+//! Emits the `{"traceEvents": [...]}` object understood by
+//! `chrome://tracing` and Perfetto. Spans become complete events (`"ph":
+//! "X"`), markers become instants (`"ph": "i"`), counters become counter
+//! tracks (`"ph": "C"`). `pid` is the component id, `tid` the instance, so
+//! the viewer groups tracks by component and then by node.
+//!
+//! Serialization is hand-rolled (no serde in the dependency graph) and
+//! deterministic: records are emitted in recording order and floats use
+//! Rust's shortest round-trip `Display`, which is a pure function of the
+//! value.
+
+use crate::trace::Record;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a counter value: finite floats via `Display` (shortest
+/// round-trip), non-finite as 0 — Chrome's JSON parser rejects `NaN`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Serialize records to a Chrome trace-format JSON document.
+pub fn chrome_trace_json(records: &[Record]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        match *r {
+            Record::Span {
+                comp,
+                inst,
+                name,
+                start,
+                dur,
+            } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                    escape(name),
+                    comp.as_str(),
+                    start.as_micros(),
+                    dur.as_micros(),
+                    comp.id(),
+                    inst,
+                ));
+            }
+            Record::Instant {
+                comp,
+                inst,
+                name,
+                at,
+            } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"p\"}}",
+                    escape(name),
+                    comp.as_str(),
+                    at.as_micros(),
+                    comp.id(),
+                    inst,
+                ));
+            }
+            Record::Counter {
+                comp,
+                inst,
+                name,
+                at,
+                value,
+            } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"{}\":{}}}}}",
+                    escape(name),
+                    comp.as_str(),
+                    at.as_micros(),
+                    comp.id(),
+                    inst,
+                    escape(name),
+                    num(value),
+                ));
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Component;
+    use amdb_sim::{SimDuration, SimTime};
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::Span {
+                comp: Component::Cpu,
+                inst: 1,
+                name: "serve_read",
+                start: SimTime::from_micros(100),
+                dur: SimDuration::from_micros(250),
+            },
+            Record::Instant {
+                comp: Component::Cluster,
+                inst: 0,
+                name: "steady_start",
+                at: SimTime::from_micros(500),
+            },
+            Record::Counter {
+                comp: Component::Repl,
+                inst: 2,
+                name: "relay_depth",
+                at: SimTime::from_micros(600),
+                value: 3.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn emits_all_phases() {
+        let j = chrome_trace_json(&sample());
+        assert!(j.contains("\"ph\":\"X\",\"ts\":100,\"dur\":250,\"pid\":1,\"tid\":1"));
+        assert!(j.contains("\"ph\":\"i\",\"ts\":500"));
+        assert!(j.contains("\"args\":{\"relay_depth\":3.5}"));
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn output_is_reproducible() {
+        assert_eq!(chrome_trace_json(&sample()), chrome_trace_json(&sample()));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_counters_sanitized() {
+        let r = [Record::Counter {
+            comp: Component::Pool,
+            inst: 0,
+            name: "x",
+            at: SimTime::ZERO,
+            value: f64::NAN,
+        }];
+        let j = chrome_trace_json(&r);
+        assert!(j.contains("\"args\":{\"x\":0}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let j = chrome_trace_json(&[]);
+        assert!(j.contains("\"traceEvents\":["));
+    }
+}

@@ -1,0 +1,310 @@
+//! # amdb-obs — deterministic observability for the simulated cluster
+//!
+//! A zero-cost-when-disabled observability layer for the discrete-event
+//! simulation. Every record is stamped with **simulated** time, so two runs
+//! with the same seed produce bit-identical traces — observability never
+//! perturbs the experiment it observes.
+//!
+//! The pieces:
+//!
+//! * [`Recorder`] / [`TraceRecorder`] / [`NullRecorder`] — structured span,
+//!   instant, and counter records ([`Record`]) collected in event order;
+//! * [`Obs`] — an enum dispatcher over the recorders whose methods compile
+//!   to a single discriminant test (and nothing else) when disabled;
+//! * [`MetricsRegistry`] — counters, gauges, time series, and fixed-bucket
+//!   histograms (reusing [`amdb_metrics`]) keyed by `(component, instance,
+//!   name)` in a `BTreeMap`, so iteration order — and therefore every
+//!   export — is deterministic;
+//! * [`chrome_trace_json`] — Chrome trace-format (`chrome://tracing`,
+//!   Perfetto) JSON export of the record stream;
+//! * [`BottleneckReport`] — per-instance utilization / queue-depth rows over
+//!   the measured steady window, naming the saturated resource. This is the
+//!   paper's central observation made legible: *"the observed saturation
+//!   point … appearing in slaves at the beginning … eventually the
+//!   saturation will transit from slaves to the master"* (§IV-A).
+
+pub mod bottleneck;
+pub mod chrome;
+pub mod registry;
+pub mod trace;
+
+pub use bottleneck::{BottleneckReport, ResourceUsage};
+pub use chrome::chrome_trace_json;
+pub use registry::{Metric, MetricKey, MetricsRegistry};
+pub use trace::{NullRecorder, Record, Recorder, TraceRecorder};
+
+use amdb_sim::SimTime;
+
+/// The instrumented component a record or metric belongs to.
+///
+/// Ordered so registry iteration (and every export derived from it) has a
+/// stable, meaningful order: compute first, then the layers above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// A virtual machine's FIFO CPU server (`amdb-sim::FifoCpu`).
+    Cpu,
+    /// The connection pool (`amdb-pool`).
+    Pool,
+    /// The read/write-splitting proxy (`amdb-proxy`).
+    Proxy,
+    /// Replication: relay logs, apply threads, heartbeats (`amdb-repl`).
+    Repl,
+    /// The SQL engine: per-operation-class service demand (`amdb-sql`).
+    Sql,
+    /// Cluster-level control events (failover, scaling, phase markers).
+    Cluster,
+}
+
+impl Component {
+    /// Stable lowercase label used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::Cpu => "cpu",
+            Component::Pool => "pool",
+            Component::Proxy => "proxy",
+            Component::Repl => "repl",
+            Component::Sql => "sql",
+            Component::Cluster => "cluster",
+        }
+    }
+
+    /// Small integer id, used as the Chrome-trace `pid`.
+    pub fn id(self) -> u32 {
+        match self {
+            Component::Cpu => 1,
+            Component::Pool => 2,
+            Component::Proxy => 3,
+            Component::Repl => 4,
+            Component::Sql => 5,
+            Component::Cluster => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Observability configuration knob carried in `ClusterConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record traces and metrics. When `false` the cluster holds
+    /// [`Obs::Null`] and every probe is a single branch.
+    pub enabled: bool,
+    /// Period of the background sampler that records queue depths,
+    /// utilizations, pool occupancy, and staleness gauges (milliseconds of
+    /// simulated time).
+    pub sample_interval_ms: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            sample_interval_ms: 250,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Enabled with the default sampling period.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Enum dispatcher over the two recorder implementations.
+///
+/// Probes call these inherent methods directly; with [`Obs::Null`] each call
+/// inlines to a discriminant test and no further work (arguments to the
+/// metric paths are computed by the caller, so keep heavyweight argument
+/// computation behind [`Obs::is_enabled`]).
+#[derive(Debug, Default)]
+pub enum Obs {
+    /// Observability off: every probe is a no-op.
+    #[default]
+    Null,
+    /// Observability on: records accumulate in a [`TraceRecorder`].
+    Trace(Box<TraceRecorder>),
+}
+
+impl Obs {
+    /// An active recorder.
+    pub fn trace() -> Self {
+        Obs::Trace(Box::new(TraceRecorder::new()))
+    }
+
+    /// Build from a config knob.
+    pub fn from_config(cfg: &ObsConfig) -> Self {
+        if cfg.enabled {
+            Self::trace()
+        } else {
+            Obs::Null
+        }
+    }
+
+    /// Whether records are being collected. Use to guard probe-side work
+    /// that is more expensive than the call itself.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, Obs::Trace(_))
+    }
+
+    /// Record a completed span `[start, end)`.
+    #[inline]
+    pub fn span(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Obs::Trace(t) = self {
+            t.span(comp, inst, name, start, end);
+        }
+    }
+
+    /// Record a point-in-time event.
+    #[inline]
+    pub fn instant(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime) {
+        if let Obs::Trace(t) = self {
+            t.instant(comp, inst, name, at);
+        }
+    }
+
+    /// Record a counter-track sample (rendered as a stepped area chart by
+    /// trace viewers) *and* mirror it into the registry as a time series.
+    #[inline]
+    pub fn counter(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    ) {
+        if let Obs::Trace(t) = self {
+            t.counter(comp, inst, name, at, value);
+        }
+    }
+
+    /// Increment a monotonic counter in the registry.
+    #[inline]
+    pub fn incr(&mut self, comp: Component, inst: u32, name: &'static str, by: u64) {
+        if let Obs::Trace(t) = self {
+            t.registry_mut().incr(comp, inst, name, by);
+        }
+    }
+
+    /// Set a gauge (last-write-wins; the registry also tracks its max).
+    #[inline]
+    pub fn gauge(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
+        if let Obs::Trace(t) = self {
+            t.registry_mut().gauge(comp, inst, name, value);
+        }
+    }
+
+    /// Record a histogram observation. The histogram is created on first
+    /// use with range `[lo, hi)` and `buckets` buckets.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        value: f64,
+        lo: f64,
+        hi: f64,
+        buckets: usize,
+    ) {
+        if let Obs::Trace(t) = self {
+            t.registry_mut()
+                .observe(comp, inst, name, value, lo, hi, buckets);
+        }
+    }
+
+    /// The collected recorder, if enabled.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        match self {
+            Obs::Trace(t) => Some(t),
+            Obs::Null => None,
+        }
+    }
+
+    /// Chrome-trace JSON of everything recorded so far; `None` when
+    /// disabled.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.recorder().map(|t| chrome_trace_json(t.records()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdb_sim::SimTime;
+
+    #[test]
+    fn null_obs_records_nothing() {
+        let mut obs = Obs::Null;
+        obs.span(
+            Component::Cpu,
+            0,
+            "x",
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
+        obs.incr(Component::Pool, 0, "c", 1);
+        assert!(!obs.is_enabled());
+        assert!(obs.recorder().is_none());
+        assert!(obs.chrome_trace().is_none());
+    }
+
+    #[test]
+    fn trace_obs_collects_in_order() {
+        let mut obs = Obs::trace();
+        obs.span(
+            Component::Cpu,
+            1,
+            "serve",
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+        );
+        obs.instant(
+            Component::Cluster,
+            0,
+            "steady_start",
+            SimTime::from_millis(1),
+        );
+        obs.counter(
+            Component::Repl,
+            0,
+            "relay_depth",
+            SimTime::from_millis(1),
+            3.0,
+        );
+        let rec = obs.recorder().unwrap();
+        assert_eq!(rec.records().len(), 3);
+        assert!(matches!(rec.records()[0], Record::Span { .. }));
+        assert!(matches!(rec.records()[2], Record::Counter { .. }));
+    }
+
+    #[test]
+    fn component_labels_are_stable() {
+        assert_eq!(Component::Cpu.as_str(), "cpu");
+        assert_eq!(Component::Cluster.id(), 6);
+        assert!(Component::Cpu < Component::Pool);
+    }
+
+    #[test]
+    fn obs_from_config_honours_knob() {
+        assert!(!Obs::from_config(&ObsConfig::default()).is_enabled());
+        assert!(Obs::from_config(&ObsConfig::enabled()).is_enabled());
+    }
+}

@@ -1,0 +1,317 @@
+//! Deterministic metrics registry.
+//!
+//! Metrics are keyed by `(component, instance, name)` in a `BTreeMap`, so
+//! every iteration — and every table/CSV export built from one — visits keys
+//! in the same order on every run. Histograms and time series reuse the
+//! `amdb-metrics` implementations.
+
+use crate::Component;
+use amdb_metrics::{Histogram, Table, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Registry key: which metric on which component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Owning component.
+    pub comp: Component,
+    /// Instance index within the component (node id, slave id, …).
+    pub inst: u32,
+    /// Metric name (static so probes never allocate).
+    pub name: &'static str,
+}
+
+/// A registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written value plus the maximum ever written.
+    Gauge { last: f64, max: f64 },
+    /// Timestamped samples (seconds of simulated time).
+    Series(TimeSeries),
+    /// Fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// Deterministically ordered collection of counters, gauges, series, and
+/// histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricKey, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(comp: Component, inst: u32, name: &'static str) -> MetricKey {
+        MetricKey { comp, inst, name }
+    }
+
+    /// Add `by` to a counter, creating it at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different metric kind
+    /// (probe bug: one name, one kind).
+    pub fn incr(&mut self, comp: Component, inst: u32, name: &'static str, by: u64) {
+        match self
+            .metrics
+            .entry(Self::key(comp, inst, name))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += by,
+            other => panic!("metric {comp}/{inst}/{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set a gauge; tracks the maximum across all writes.
+    pub fn gauge(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
+        match self
+            .metrics
+            .entry(Self::key(comp, inst, name))
+            .or_insert(Metric::Gauge {
+                last: value,
+                max: value,
+            }) {
+            Metric::Gauge { last, max } => {
+                *last = value;
+                if value > *max {
+                    *max = value;
+                }
+            }
+            other => panic!("metric {comp}/{inst}/{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Append a `(t_seconds, value)` sample to a time series.
+    pub fn sample(&mut self, comp: Component, inst: u32, name: &'static str, t: f64, value: f64) {
+        match self
+            .metrics
+            .entry(Self::key(comp, inst, name))
+            .or_insert_with(|| Metric::Series(TimeSeries::new()))
+        {
+            Metric::Series(s) => s.push(t, value),
+            other => panic!("metric {comp}/{inst}/{name} is not a series: {other:?}"),
+        }
+    }
+
+    /// Record a histogram observation; the histogram is created over
+    /// `[lo, hi)` with `buckets` buckets on first use (later calls ignore
+    /// the bounds).
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        value: f64,
+        lo: f64,
+        hi: f64,
+        buckets: usize,
+    ) {
+        match self
+            .metrics
+            .entry(Self::key(comp, inst, name))
+            .or_insert_with(|| Metric::Histogram(Histogram::new(lo, hi, buckets)))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {comp}/{inst}/{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Look up a metric.
+    pub fn get(&self, comp: Component, inst: u32, name: &'static str) -> Option<&Metric> {
+        self.metrics.get(&Self::key(comp, inst, name))
+    }
+
+    /// Counter value, or 0 when absent / not a counter.
+    pub fn counter_value(&self, comp: Component, inst: u32, name: &'static str) -> u64 {
+        match self.get(comp, inst, name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Gauge `(last, max)`, when present.
+    pub fn gauge_value(
+        &self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+    ) -> Option<(f64, f64)> {
+        match self.get(comp, inst, name) {
+            Some(Metric::Gauge { last, max }) => Some((*last, *max)),
+            _ => None,
+        }
+    }
+
+    /// All metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &Metric)> {
+        self.metrics.iter()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Scalar summary table: one row per counter/gauge/histogram (series are
+    /// exported separately by [`Self::series_table`]).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            "metrics",
+            vec![
+                "component".into(),
+                "instance".into(),
+                "metric".into(),
+                "kind".into(),
+                "value".into(),
+                "max".into(),
+            ],
+        );
+        for (k, m) in &self.metrics {
+            let (kind, value, max) = match m {
+                Metric::Counter(c) => ("counter", c.to_string(), "-".to_string()),
+                Metric::Gauge { last, max } => ("gauge", format!("{last:.3}"), format!("{max:.3}")),
+                Metric::Histogram(h) => (
+                    "histogram",
+                    format!("n={}", h.count()),
+                    match h.approx_quantile(0.95) {
+                        Some(q) => format!("p95={q:.3}"),
+                        None => "-".to_string(),
+                    },
+                ),
+                Metric::Series(_) => continue,
+            };
+            t.push_row(vec![
+                k.comp.as_str().to_string(),
+                k.inst.to_string(),
+                k.name.to_string(),
+                kind.to_string(),
+                value,
+                max,
+            ]);
+        }
+        t
+    }
+
+    /// Long-format time-series table (`component,instance,metric,t_seconds,
+    /// value`) suitable for CSV export; sample order within a series is
+    /// recording order, series order is key order — fully deterministic.
+    pub fn series_table(&self) -> Table {
+        let mut t = Table::new(
+            "timeseries",
+            vec![
+                "component".into(),
+                "instance".into(),
+                "metric".into(),
+                "t_seconds".into(),
+                "value".into(),
+            ],
+        );
+        for (k, m) in &self.metrics {
+            let Metric::Series(s) = m else { continue };
+            for &(ts, v) in s.points() {
+                t.push_row(vec![
+                    k.comp.as_str().to_string(),
+                    k.inst.to_string(),
+                    k.name.to_string(),
+                    format!("{ts:.6}"),
+                    format!("{v}"),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// CSV of the long-format time series.
+    pub fn series_csv(&self) -> String {
+        self.series_table().to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.incr(Component::Proxy, 0, "routed_reads", 2);
+        r.incr(Component::Proxy, 0, "routed_reads", 3);
+        assert_eq!(r.counter_value(Component::Proxy, 0, "routed_reads"), 5);
+        assert_eq!(r.counter_value(Component::Proxy, 1, "routed_reads"), 0);
+    }
+
+    #[test]
+    fn gauges_track_last_and_max() {
+        let mut r = MetricsRegistry::new();
+        r.gauge(Component::Pool, 0, "waiters", 4.0);
+        r.gauge(Component::Pool, 0, "waiters", 9.0);
+        r.gauge(Component::Pool, 0, "waiters", 2.0);
+        assert_eq!(
+            r.gauge_value(Component::Pool, 0, "waiters"),
+            Some((2.0, 9.0))
+        );
+    }
+
+    #[test]
+    fn histogram_created_on_first_observe() {
+        let mut r = MetricsRegistry::new();
+        r.observe(Component::Sql, 0, "demand_read_us", 150.0, 0.0, 1000.0, 10);
+        r.observe(Component::Sql, 0, "demand_read_us", 250.0, 0.0, 1.0, 1); // bounds ignored
+        let Some(Metric::Histogram(h)) = r.get(Component::Sql, 0, "demand_read_us") else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.gauge(Component::Cpu, 0, "x", 1.0);
+        r.incr(Component::Cpu, 0, "x", 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.incr(Component::Sql, 3, "z", 1);
+        r.incr(Component::Cpu, 1, "b", 1);
+        r.incr(Component::Cpu, 0, "a", 1);
+        let keys: Vec<_> = r.iter().map(|(k, _)| (k.comp, k.inst, k.name)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (Component::Cpu, 0, "a"),
+                (Component::Cpu, 1, "b"),
+                (Component::Sql, 3, "z"),
+            ]
+        );
+    }
+
+    #[test]
+    fn tables_export_deterministically() {
+        let mut r = MetricsRegistry::new();
+        r.incr(Component::Proxy, 0, "routed", 7);
+        r.gauge(Component::Pool, 0, "active", 3.0);
+        r.sample(Component::Repl, 1, "relay_depth", 0.5, 2.0);
+        r.sample(Component::Repl, 1, "relay_depth", 1.0, 4.0);
+        let summary = r.summary_table().to_csv();
+        assert!(summary.contains("pool,0,active,gauge,3.000,3.000"));
+        assert!(summary.contains("proxy,0,routed,counter,7,-"));
+        assert!(!summary.contains("relay_depth"), "series not in summary");
+        let series = r.series_csv();
+        assert!(series.contains("repl,1,relay_depth,0.500000,2"));
+        assert!(series.contains("repl,1,relay_depth,1.000000,4"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Structured trace records and the recorder implementations.
+//!
+//! Records are stamped with simulated time and stored in the order they were
+//! recorded. Since the simulation kernel executes events in a deterministic
+//! order for a given seed, the record stream — and any export derived from
+//! it — is bit-identical across same-seed runs.
+
+use crate::registry::MetricsRegistry;
+use crate::Component;
+use amdb_sim::{SimDuration, SimTime};
+
+/// One observability record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed duration: `name` ran on `(comp, inst)` for `dur`
+    /// starting at `start`.
+    Span {
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        start: SimTime,
+        dur: SimDuration,
+    },
+    /// A point-in-time marker.
+    Instant {
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+    },
+    /// A sampled counter-track value (queue depth, backlog, …).
+    Counter {
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    },
+}
+
+impl Record {
+    /// The record's timestamp (span start for spans).
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Record::Span { start, .. } => start,
+            Record::Instant { at, .. } | Record::Counter { at, .. } => at,
+        }
+    }
+
+    /// The component the record belongs to.
+    pub fn component(&self) -> Component {
+        match *self {
+            Record::Span { comp, .. }
+            | Record::Instant { comp, .. }
+            | Record::Counter { comp, .. } => comp,
+        }
+    }
+}
+
+/// Sink for observability records.
+///
+/// The concrete implementations are [`TraceRecorder`] (collects) and
+/// [`NullRecorder`] (drops); the cluster dispatches through [`crate::Obs`]
+/// so the disabled path stays monomorphic and branch-only.
+pub trait Recorder {
+    /// Record a completed span `[start, end)`. `end < start` is clamped to
+    /// a zero-length span rather than panicking — probes must never abort a
+    /// run.
+    fn span(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    );
+    /// Record a point-in-time event.
+    fn instant(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime);
+    /// Record a counter-track sample.
+    fn counter(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime, value: f64);
+    /// Whether this recorder keeps anything.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A recorder that drops everything. Exists so generic callers can opt out
+/// without an `Option`; the cluster itself uses [`crate::Obs::Null`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn span(&mut self, _: Component, _: u32, _: &'static str, _: SimTime, _: SimTime) {}
+    fn instant(&mut self, _: Component, _: u32, _: &'static str, _: SimTime) {}
+    fn counter(&mut self, _: Component, _: u32, _: &'static str, _: SimTime, _: f64) {}
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects records in order and carries the metrics registry.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    records: Vec<Record>,
+    registry: MetricsRegistry,
+}
+
+impl TraceRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records in recording order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access (used by the [`crate::Obs`] metric probes).
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn span(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let dur = if end > start {
+            end - start
+        } else {
+            SimDuration::ZERO
+        };
+        self.records.push(Record::Span {
+            comp,
+            inst,
+            name,
+            start,
+            dur,
+        });
+    }
+
+    fn instant(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime) {
+        self.records.push(Record::Instant {
+            comp,
+            inst,
+            name,
+            at,
+        });
+    }
+
+    fn counter(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime, value: f64) {
+        // Mirror counter samples into the registry as a time series so CSV
+        // export sees them without a second probe at the call site.
+        self.registry
+            .sample(comp, inst, name, at.as_micros() as f64 / 1e6, value);
+        self.records.push(Record::Counter {
+            comp,
+            inst,
+            name,
+            at,
+            value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_clamps_reversed_interval() {
+        let mut t = TraceRecorder::new();
+        t.span(
+            Component::Cpu,
+            0,
+            "oops",
+            SimTime::from_millis(5),
+            SimTime::from_millis(3),
+        );
+        let Record::Span { dur, .. } = t.records()[0] else {
+            panic!("expected span");
+        };
+        assert_eq!(dur, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn counter_mirrors_into_registry_series() {
+        let mut t = TraceRecorder::new();
+        t.counter(Component::Pool, 0, "waiters", SimTime::from_secs(2), 7.0);
+        let m = t
+            .registry()
+            .get(Component::Pool, 0, "waiters")
+            .expect("series exists");
+        let crate::registry::Metric::Series(s) = m else {
+            panic!("expected series");
+        };
+        assert_eq!(s.points(), &[(2.0, 7.0)]);
+    }
+
+    #[test]
+    fn null_recorder_reports_disabled() {
+        assert!(!NullRecorder.is_enabled());
+        assert!(TraceRecorder::new().is_enabled());
+    }
+
+    #[test]
+    fn record_accessors() {
+        let r = Record::Instant {
+            comp: Component::Cluster,
+            inst: 0,
+            name: "m",
+            at: SimTime::from_millis(9),
+        };
+        assert_eq!(r.at(), SimTime::from_millis(9));
+        assert_eq!(r.component(), Component::Cluster);
+    }
+}

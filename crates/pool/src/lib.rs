@@ -15,9 +15,8 @@
 //!   (non-simulated) library use, demonstrated by the examples.
 
 use amdb_sim::SimTime;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Pool sizing configuration (DBCP-style).
 #[derive(Debug, Clone)]
@@ -202,9 +201,9 @@ impl<T: Send + 'static> Pool<T> {
     pub fn get(&self) -> Pooled<T> {
         loop {
             {
-                let mut idle = self.inner.idle.lock();
+                let mut idle = self.inner.idle.lock().expect("pool lock poisoned");
                 if let Some(obj) = idle.pop() {
-                    *self.inner.outstanding.lock() += 1;
+                    *self.inner.outstanding.lock().expect("pool lock poisoned") += 1;
                     return Pooled {
                         obj: Some(obj),
                         pool: Arc::clone(&self.inner),
@@ -212,7 +211,7 @@ impl<T: Send + 'static> Pool<T> {
                 }
             }
             {
-                let mut out = self.inner.outstanding.lock();
+                let mut out = self.inner.outstanding.lock().expect("pool lock poisoned");
                 if *out < self.inner.max_active {
                     *out += 1;
                     drop(out);
@@ -222,15 +221,15 @@ impl<T: Send + 'static> Pool<T> {
                         pool: Arc::clone(&self.inner),
                     };
                 }
-                // Wait for a return.
-                self.inner.cond.wait(&mut out);
+                // Wait for a return (spurious wakeups just re-run the loop).
+                let _out = self.inner.cond.wait(out).expect("pool lock poisoned");
             }
         }
     }
 
     /// Objects currently checked out.
     pub fn outstanding(&self) -> usize {
-        *self.inner.outstanding.lock()
+        *self.inner.outstanding.lock().expect("pool lock poisoned")
     }
 }
 
@@ -256,8 +255,8 @@ impl<T: Send + 'static> std::ops::DerefMut for Pooled<T> {
 impl<T: Send + 'static> Drop for Pooled<T> {
     fn drop(&mut self) {
         if let Some(obj) = self.obj.take() {
-            self.pool.idle.lock().push(obj);
-            *self.pool.outstanding.lock() -= 1;
+            self.pool.idle.lock().expect("pool lock poisoned").push(obj);
+            *self.pool.outstanding.lock().expect("pool lock poisoned") -= 1;
             self.pool.cond.notify_one();
         }
     }

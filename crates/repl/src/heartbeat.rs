@@ -91,8 +91,7 @@ pub fn collect_samples(
         (id, ts)
     };
 
-    let slave_map: std::collections::BTreeMap<i64, i64> =
-        s.rows.iter().map(&to_pair).collect();
+    let slave_map: std::collections::BTreeMap<i64, i64> = s.rows.iter().map(&to_pair).collect();
     let mut out = Vec::with_capacity(slave_map.len());
     for row in &m.rows {
         let (id, master_ts) = to_pair(row);
@@ -149,7 +148,11 @@ mod tests {
         let samples = collect_samples(&mut master, &mut slave).unwrap();
         assert_eq!(samples.len(), 3);
         for s in &samples {
-            assert!((s.delay_ms() - 250.0).abs() < 1e-9, "delay {}", s.delay_ms());
+            assert!(
+                (s.delay_ms() - 250.0).abs() < 1e-9,
+                "delay {}",
+                s.delay_ms()
+            );
         }
     }
 

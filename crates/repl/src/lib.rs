@@ -96,11 +96,7 @@ impl ReplicatedDb {
     }
 
     /// Execute a write (or any statement) on the master.
-    pub fn execute_master(
-        &mut self,
-        sql: &str,
-        params: &[Value],
-    ) -> Result<QueryResult, SqlError> {
+    pub fn execute_master(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult, SqlError> {
         self.master_session.now_micros = self.now_micros;
         self.master.execute(&mut self.master_session, sql, params)
     }
@@ -218,7 +214,11 @@ mod tests {
         let r = db
             .execute_slave(0, "SELECT COUNT(*) FROM users", &[])
             .unwrap();
-        assert_eq!(r.rows[0][0], Value::Int(0), "relay received but not applied");
+        assert_eq!(
+            r.rows[0][0],
+            Value::Int(0),
+            "relay received but not applied"
+        );
         db.apply_all().unwrap();
         assert_eq!(db.relay(0).queued(), 0);
     }

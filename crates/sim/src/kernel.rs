@@ -108,7 +108,11 @@ impl<W> Sim<W> {
     }
 
     /// Schedule an event after a relative delay.
-    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
         self.schedule_at(self.now + delay, f);
     }
 

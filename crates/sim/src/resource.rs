@@ -33,7 +33,10 @@ impl FifoCpu {
     /// # Panics
     /// Panics on non-positive or non-finite speeds.
     pub fn new(speed: f64) -> Self {
-        assert!(speed.is_finite() && speed > 0.0, "invalid CPU speed {speed}");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "invalid CPU speed {speed}"
+        );
         Self {
             speed,
             busy_until: SimTime::ZERO,

@@ -169,7 +169,10 @@ pub enum Expr {
         star: bool,
     },
     /// `expr IS [NOT] NULL`
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] LIKE 'pattern'`
     Like {
         expr: Box<Expr>,

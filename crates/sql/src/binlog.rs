@@ -146,9 +146,7 @@ impl BinlogEvent {
                             row: get_row(&mut buf)?,
                         },
                         t => {
-                            return Err(SqlError::BinlogCorrupt(format!(
-                                "unknown change tag {t}"
-                            )))
+                            return Err(SqlError::BinlogCorrupt(format!("unknown change tag {t}")))
                         }
                     };
                     changes.push(RowChange { table, kind });

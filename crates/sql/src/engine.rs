@@ -146,7 +146,9 @@ impl Engine {
 
     /// Row count of a table (testing/monitoring aid).
     pub fn table_rows(&self, name: &str) -> Option<usize> {
-        self.catalog.get(&name.to_ascii_lowercase()).map(Table::row_count)
+        self.catalog
+            .get(&name.to_ascii_lowercase())
+            .map(Table::row_count)
     }
 
     /// Execute one statement with positional parameters.
@@ -541,7 +543,11 @@ mod tests {
         .unwrap();
 
         let r = e
-            .execute(&mut s, "SELECT name FROM users WHERE score >= 2 ORDER BY name", &[])
+            .execute(
+                &mut s,
+                "SELECT name FROM users WHERE score >= 2 ORDER BY name",
+                &[],
+            )
             .unwrap();
         assert_eq!(r.columns, vec!["name"]);
         assert_eq!(
@@ -550,11 +556,17 @@ mod tests {
         );
 
         let r = e
-            .execute(&mut s, "UPDATE users SET score = score + 1 WHERE name = 'bob'", &[])
+            .execute(
+                &mut s,
+                "UPDATE users SET score = score + 1 WHERE name = 'bob'",
+                &[],
+            )
             .unwrap();
         assert_eq!(r.rows_affected, 1);
 
-        let r = e.execute(&mut s, "DELETE FROM users WHERE id = 1", &[]).unwrap();
+        let r = e
+            .execute(&mut s, "DELETE FROM users WHERE id = 1", &[])
+            .unwrap();
         assert_eq!(r.rows_affected, 1);
         assert_eq!(e.table_rows("users"), Some(2));
     }
@@ -614,8 +626,12 @@ mod tests {
         e.execute(&mut s, "BEGIN", &[]).unwrap();
         e.execute(&mut s, "INSERT INTO users (name) VALUES ('gone')", &[])
             .unwrap();
-        e.execute(&mut s, "UPDATE users SET name = 'kept?' WHERE name = 'keep'", &[])
-            .unwrap();
+        e.execute(
+            &mut s,
+            "UPDATE users SET name = 'kept?' WHERE name = 'keep'",
+            &[],
+        )
+        .unwrap();
         e.execute(&mut s, "DELETE FROM users WHERE name = 'kept?'", &[])
             .unwrap_or_else(|_| panic!());
         e.execute(&mut s, "ROLLBACK", &[]).unwrap();
@@ -756,11 +772,9 @@ mod tests {
             .unwrap();
         assert!(!s.in_transaction(), "DDL closed the transaction");
         // The pending insert was committed (logged), not rolled back.
-        assert!(e
-            .binlog()
-            .read_from(Lsn(0))
-            .iter()
-            .any(|ev| matches!(&ev.payload, EventPayload::Statement { sql } if sql.contains("'x'"))));
+        assert!(e.binlog().read_from(Lsn(0)).iter().any(
+            |ev| matches!(&ev.payload, EventPayload::Statement { sql } if sql.contains("'x'"))
+        ));
     }
 
     #[test]

@@ -70,9 +70,16 @@ pub struct RowChange {
 /// Kind of row mutation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RowChangeKind {
-    Insert { row: Vec<Value> },
-    Update { before: Vec<Value>, after: Vec<Value> },
-    Delete { row: Vec<Value> },
+    Insert {
+        row: Vec<Value>,
+    },
+    Update {
+        before: Vec<Value>,
+        after: Vec<Value>,
+    },
+    Delete {
+        row: Vec<Value>,
+    },
 }
 
 /// Output of a write statement: result plus undo and row-change logs.
@@ -123,8 +130,7 @@ impl ColumnResolver for Scope<'_> {
             None => {
                 let mut hit: Option<(usize, usize)> = None;
                 for (i, b) in self.bindings.iter().enumerate() {
-                    if let Some(col) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
-                    {
+                    if let Some(col) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                         if hit.is_some() {
                             return Err(SqlError::UnknownColumn(format!(
                                 "ambiguous column '{name}'"
@@ -133,8 +139,7 @@ impl ColumnResolver for Scope<'_> {
                         hit = Some((i, col));
                     }
                 }
-                let (i, col) =
-                    hit.ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+                let (i, col) = hit.ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
                 Ok(match &self.rows[i] {
                     Some(row) => row[col].clone(),
                     None => Value::Null,
@@ -181,15 +186,13 @@ fn candidates(
             Some(_) => Vec::new(),
             None => full(table),
         },
-        Path::PkRange { lo, hi } => {
-            match eval_bounds(lo, hi, ctx, scope)? {
-                Some((lo_b, hi_b)) => match table.pk_range(as_bound(&lo_b), as_bound(&hi_b)) {
-                    Some(iter) => iter.collect(),
-                    None => full(table),
-                },
+        Path::PkRange { lo, hi } => match eval_bounds(lo, hi, ctx, scope)? {
+            Some((lo_b, hi_b)) => match table.pk_range(as_bound(&lo_b), as_bound(&hi_b)) {
+                Some(iter) => iter.collect(),
                 None => full(table),
-            }
-        }
+            },
+            None => full(table),
+        },
         Path::IndexRange { column, lo, hi } => match eval_bounds(lo, hi, ctx, scope)? {
             Some((lo_b, hi_b)) => {
                 let ix = table.index_on(*column).expect("planned index exists");
@@ -436,26 +439,25 @@ pub fn exec_select(
 
     let order_key_exprs: Vec<&OrderKey> = sel.order_by.iter().collect();
 
-    let compute_sort_keys = |out_row: &[Value],
-                             scope: &dyn ColumnResolver|
-     -> Result<Vec<Value>, SqlError> {
-        let mut keys = Vec::with_capacity(order_key_exprs.len());
-        for ok in &order_key_exprs {
-            // Alias / output-name reference?
-            if let Expr::Column {
-                qualifier: None,
-                name,
-            } = &ok.expr
-            {
-                if let Some(pos) = out_cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
-                    keys.push(out_row[pos].clone());
-                    continue;
+    let compute_sort_keys =
+        |out_row: &[Value], scope: &dyn ColumnResolver| -> Result<Vec<Value>, SqlError> {
+            let mut keys = Vec::with_capacity(order_key_exprs.len());
+            for ok in &order_key_exprs {
+                // Alias / output-name reference?
+                if let Expr::Column {
+                    qualifier: None,
+                    name,
+                } = &ok.expr
+                {
+                    if let Some(pos) = out_cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                        keys.push(out_row[pos].clone());
+                        continue;
+                    }
                 }
+                keys.push(eval(&ok.expr, ctx, scope)?);
             }
-            keys.push(eval(&ok.expr, ctx, scope)?);
-        }
-        Ok(keys)
-    };
+            Ok(keys)
+        };
 
     if aggregate_mode {
         let specs = collect_agg_specs(&item_exprs, &sel.order_by, sel.having.as_ref());
@@ -526,8 +528,7 @@ pub fn exec_select(
                     name,
                 } = &ok.expr
                 {
-                    if let Some(pos) = out_cols.iter().position(|c| c.eq_ignore_ascii_case(name))
-                    {
+                    if let Some(pos) = out_cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                         keys.push(out_row[pos].clone());
                         continue;
                     }
@@ -780,15 +781,11 @@ impl AggAcc {
             None
         };
         match self {
-            AggAcc::Count(n) => {
-                match arg_val {
-                    Some(Value::Null) => {}
-                    Some(_) => *n += 1,
-                    None => {
-                        return Err(SqlError::BadParameter("COUNT needs an argument".into()))
-                    }
-                }
-            }
+            AggAcc::Count(n) => match arg_val {
+                Some(Value::Null) => {}
+                Some(_) => *n += 1,
+                None => return Err(SqlError::BadParameter("COUNT needs an argument".into())),
+            },
             AggAcc::Sum { sum, any, int } => match arg_val {
                 Some(Value::Null) | None => {}
                 Some(Value::Int(i)) => {

@@ -129,7 +129,9 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx, row: &dyn ColumnResolver) -> Result<Valu
             let le = v.sql_cmp(&h).map(|o| o != Ordering::Greater);
             match (ge, le) {
                 (Some(a), Some(b)) => Ok(Value::Bool(a && b)),
-                _ => Err(SqlError::TypeMismatch("BETWEEN operands incomparable".into())),
+                _ => Err(SqlError::TypeMismatch(
+                    "BETWEEN operands incomparable".into(),
+                )),
             }
         }
     }
@@ -389,13 +391,9 @@ fn eval_func(
                         }
                         None => usize::MAX,
                     };
-                    Ok(Value::Text(
-                        chars.iter().skip(start).take(len).collect(),
-                    ))
+                    Ok(Value::Text(chars.iter().skip(start).take(len).collect()))
                 }
-                (a, b) => Err(SqlError::TypeMismatch(format!(
-                    "SUBSTRING on {a:?}, {b:?}"
-                ))),
+                (a, b) => Err(SqlError::TypeMismatch(format!("SUBSTRING on {a:?}, {b:?}"))),
             }
         }
         "TRIM" => {
@@ -409,9 +407,7 @@ fn eval_func(
         "REPLACE" => {
             argc(3)?;
             match (&vals[0], &vals[1], &vals[2]) {
-                (Value::Null, _, _) | (_, Value::Null, _) | (_, _, Value::Null) => {
-                    Ok(Value::Null)
-                }
+                (Value::Null, _, _) | (_, Value::Null, _) | (_, _, Value::Null) => Ok(Value::Null),
                 (Value::Text(s), Value::Text(from), Value::Text(to)) => {
                     if from.is_empty() {
                         Ok(Value::Text(s.clone()))

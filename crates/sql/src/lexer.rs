@@ -230,9 +230,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                 // non-identifier byte. ASCII-only scanning keeps every index
                 // on a char boundary.
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Word(input[start..i].to_string()));

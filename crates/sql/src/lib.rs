@@ -45,8 +45,8 @@ pub mod value;
 
 pub use binlog::{Binlog, BinlogEvent, BinlogFormat, EventPayload, Lsn};
 pub use engine::{Engine, ForkRole, Session};
-pub use exec::QueryResult;
 pub use error::SqlError;
+pub use exec::QueryResult;
 pub use schema::{Column, TableSchema};
 pub use value::{DataType, Value};
 

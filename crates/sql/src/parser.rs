@@ -280,8 +280,8 @@ impl Parser {
         } else {
             match self.peek_kw().as_deref() {
                 Some(
-                    "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "INNER" | "LEFT"
-                    | "JOIN" | "ON" | "SET" | "VALUES",
+                    "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "INNER" | "LEFT" | "JOIN"
+                    | "ON" | "SET" | "VALUES",
                 ) => None,
                 Some(_) => Some(self.identifier()?),
                 None => None,
@@ -522,10 +522,7 @@ impl Parser {
 
         // [NOT] LIKE / IN / BETWEEN
         let negated = if self.peek_kw().as_deref() == Some("NOT") {
-            let after = self
-                .tokens
-                .get(self.pos + 1)
-                .and_then(|t| t.word_upper());
+            let after = self.tokens.get(self.pos + 1).and_then(|t| t.word_upper());
             if matches!(after.as_deref(), Some("LIKE" | "IN" | "BETWEEN")) {
                 self.pos += 1;
                 true
@@ -829,7 +826,13 @@ mod tests {
         let s = parse("CREATE UNIQUE INDEX idx_u ON users (username)").unwrap();
         assert!(matches!(s, Statement::CreateIndex { unique: true, .. }));
         let s = parse("DROP TABLE IF EXISTS users").unwrap();
-        assert!(matches!(s, Statement::DropTable { if_exists: true, .. }));
+        assert!(matches!(
+            s,
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -112,7 +112,9 @@ mod tests {
 
     fn cols() -> Vec<Column> {
         vec![
-            Column::new("id", DataType::Int).primary_key().auto_increment(),
+            Column::new("id", DataType::Int)
+                .primary_key()
+                .auto_increment(),
             Column::new("name", DataType::Text).not_null(),
             Column::new("score", DataType::Double),
         ]
@@ -155,7 +157,9 @@ mod tests {
     fn rejects_non_int_auto_increment() {
         let err = TableSchema::new(
             "t",
-            vec![Column::new("id", DataType::Text).primary_key().auto_increment()],
+            vec![Column::new("id", DataType::Text)
+                .primary_key()
+                .auto_increment()],
         )
         .unwrap_err();
         assert!(matches!(err, SqlError::Constraint(_)));

@@ -226,8 +226,7 @@ impl Table {
         }
         // Secondary unique checks before any mutation.
         for ix in &self.secondary {
-            if ix.unique && !row[ix.column].is_null() && !ix.lookup_eq(&row[ix.column]).is_empty()
-            {
+            if ix.unique && !row[ix.column].is_null() && !ix.lookup_eq(&row[ix.column]).is_empty() {
                 return Err(SqlError::DuplicateKey(format!(
                     "unique index '{}' value {}",
                     ix.name, row[ix.column]
@@ -359,7 +358,9 @@ mod tests {
         let schema = TableSchema::new(
             "users",
             vec![
-                Column::new("id", DataType::Int).primary_key().auto_increment(),
+                Column::new("id", DataType::Int)
+                    .primary_key()
+                    .auto_increment(),
                 Column::new("name", DataType::Text).not_null(),
                 Column::new("score", DataType::Double),
             ],
@@ -442,7 +443,10 @@ mod tests {
         assert_eq!(t.get(rid).unwrap()[0], Value::Int(7));
         assert!(t.pk_lookup(&Value::Int(99)).is_none());
         let ids: Vec<i64> = t
-            .pk_range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(6)))
+            .pk_range(
+                Bound::Included(&Value::Int(3)),
+                Bound::Excluded(&Value::Int(6)),
+            )
             .unwrap()
             .map(|rid| match t.get(rid).unwrap()[0] {
                 Value::Int(i) => i,

@@ -37,7 +37,11 @@ fn order_by_output_alias() {
 fn order_by_multiple_keys_and_nulls_first() {
     let (mut e, mut s) = engine();
     let r = e
-        .execute(&mut s, "SELECT id FROM t ORDER BY flag DESC, score ASC", &[])
+        .execute(
+            &mut s,
+            "SELECT id FROM t ORDER BY flag DESC, score ASC",
+            &[],
+        )
         .unwrap();
     // flag=true group first (ids 1,3,5); within it score ASC with NULL first.
     let ids: Vec<i64> = r
@@ -55,12 +59,14 @@ fn order_by_multiple_keys_and_nulls_first() {
 fn limit_offset_beyond_bounds() {
     let (mut e, mut s) = engine();
     let r = e
-        .execute(&mut s, "SELECT id FROM t ORDER BY id LIMIT 10 OFFSET 3", &[])
+        .execute(
+            &mut s,
+            "SELECT id FROM t ORDER BY id LIMIT 10 OFFSET 3",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 2);
-    let r = e
-        .execute(&mut s, "SELECT id FROM t LIMIT 0", &[])
-        .unwrap();
+    let r = e.execute(&mut s, "SELECT id FROM t LIMIT 0", &[]).unwrap();
     assert!(r.rows.is_empty());
     let r = e
         .execute(&mut s, "SELECT id FROM t LIMIT 3 OFFSET 99", &[])
@@ -93,11 +99,7 @@ fn ambiguous_unqualified_column_is_an_error() {
     )
     .unwrap();
     let err = e
-        .execute(
-            &mut s,
-            "SELECT id FROM t INNER JOIN u ON t.id = u.id",
-            &[],
-        )
+        .execute(&mut s, "SELECT id FROM t INNER JOIN u ON t.id = u.id", &[])
         .unwrap_err();
     assert!(
         matches!(err, SqlError::UnknownColumn(ref m) if m.contains("ambiguous")),
@@ -217,7 +219,11 @@ fn comparison_with_null_filters_row_out() {
     let (mut e, mut s) = engine();
     // score = NULL is unknown, never true: row 5 excluded both ways.
     let r = e
-        .execute(&mut s, "SELECT COUNT(*) FROM t WHERE score > 0 OR score <= 0", &[])
+        .execute(
+            &mut s,
+            "SELECT COUNT(*) FROM t WHERE score > 0 OR score <= 0",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(4));
 }
@@ -267,7 +273,11 @@ fn left_join_where_on_inner_column_filters_null_rows() {
     assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
     // Without the filter all 5 t-rows survive.
     let r = e
-        .execute(&mut s, "SELECT COUNT(*) FROM t LEFT JOIN x ON x.t_id = t.id", &[])
+        .execute(
+            &mut s,
+            "SELECT COUNT(*) FROM t LEFT JOIN x ON x.t_id = t.id",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(5));
 }

@@ -28,7 +28,10 @@ fn arb_change() -> impl Strategy<Value = RowChange> {
         table,
         kind: match kind {
             0 => RowChangeKind::Insert { row: a },
-            1 => RowChangeKind::Update { before: a, after: b },
+            1 => RowChangeKind::Update {
+                before: a,
+                after: b,
+            },
             _ => RowChangeKind::Delete { row: a },
         },
     })

@@ -35,18 +35,20 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 };
                 Expr::Binary(Box::new(a), op, Box::new(b))
             }),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             inner.clone().prop_map(|e| Expr::IsNull {
                 expr: Box::new(e),
                 negated: false
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(e, list)| Expr::InList {
+            (inner.clone(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(e, list)| {
+                Expr::InList {
                     expr: Box::new(e),
                     list,
-                    negated: false
+                    negated: false,
                 }
-            ),
+            }),
         ]
     })
 }

@@ -27,16 +27,18 @@ fn engine() -> (Engine, Session) {
 fn distinct_removes_duplicates() {
     let (mut e, mut s) = engine();
     let r = e
-        .execute(&mut s, "SELECT DISTINCT city FROM orders ORDER BY city", &[])
+        .execute(
+            &mut s,
+            "SELECT DISTINCT city FROM orders ORDER BY city",
+            &[],
+        )
         .unwrap();
     assert_eq!(
         r.rows,
         vec![vec![Value::from("melbourne")], vec![Value::from("sydney")]]
     );
     // Without DISTINCT there are 7 rows.
-    let all = e
-        .execute(&mut s, "SELECT city FROM orders", &[])
-        .unwrap();
+    let all = e.execute(&mut s, "SELECT city FROM orders", &[]).unwrap();
     assert_eq!(all.rows.len(), 7);
 }
 
@@ -76,7 +78,11 @@ fn having_filters_groups() {
 fn having_without_group_by_is_rejected() {
     let (mut e, mut s) = engine();
     let err = e
-        .execute(&mut s, "SELECT customer FROM orders HAVING COUNT(*) > 1", &[])
+        .execute(
+            &mut s,
+            "SELECT customer FROM orders HAVING COUNT(*) > 1",
+            &[],
+        )
         .unwrap_err();
     assert!(matches!(err, SqlError::Unsupported(_)));
 }
@@ -85,11 +91,7 @@ fn having_without_group_by_is_rejected() {
 fn explain_reports_access_paths() {
     let (mut e, mut s) = engine();
     let r = e
-        .execute(
-            &mut s,
-            "EXPLAIN SELECT * FROM orders WHERE id = 3",
-            &[],
-        )
+        .execute(&mut s, "EXPLAIN SELECT * FROM orders WHERE id = 3", &[])
         .unwrap();
     assert_eq!(r.columns, vec!["table", "binding", "access"]);
     assert_eq!(r.rows[0][2], Value::from("pk eq"));
@@ -150,13 +152,19 @@ fn substring_trim_replace_round() {
         one(&mut e, &mut s, "SELECT REPLACE('a-b-c', '-', '+')"),
         Value::from("a+b+c")
     );
-    assert_eq!(one(&mut e, &mut s, "SELECT ROUND(2.567, 2)"), Value::Double(2.57));
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT ROUND(2.567, 2)"),
+        Value::Double(2.57)
+    );
     assert_eq!(one(&mut e, &mut s, "SELECT ROUND(2.5)"), Value::Int(3));
     assert_eq!(
         one(&mut e, &mut s, "SELECT GREATEST(1, 9, 4)"),
         Value::Int(9)
     );
-    assert_eq!(one(&mut e, &mut s, "SELECT LEAST(1.5, 0.5, 4.0)"), Value::Double(0.5));
+    assert_eq!(
+        one(&mut e, &mut s, "SELECT LEAST(1.5, 0.5, 4.0)"),
+        Value::Double(0.5)
+    );
     assert_eq!(one(&mut e, &mut s, "SELECT GREATEST(1, NULL)"), Value::Null);
 }
 

@@ -35,7 +35,10 @@ fn main() {
         .seed(8)
         .build();
     let r = run_cluster(cfg);
-    println!("throughput through the failure: {:.1} ops/s", r.throughput_ops_s);
+    println!(
+        "throughput through the failure: {:.1} ops/s",
+        r.throughput_ops_s
+    );
     println!("reads per slave: {:?}", r.reads_per_slave);
     for (t, e) in &r.membership_events {
         println!("  t={t:>5.0}s  {e}");

@@ -84,8 +84,10 @@ fn main() {
         }
     }
 
-    println!("\nprocessed {reads} reads (split over slaves: {:?}) and {writes} writes",
-        proxy.reads_per_slave());
+    println!(
+        "\nprocessed {reads} reads (split over slaves: {:?}) and {writes} writes",
+        proxy.reads_per_slave()
+    );
 
     // Everyone converged?
     let mut check = Session::new();

@@ -22,7 +22,11 @@ fn print_result(r: &QueryResult) {
             let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
             println!("{}", cells.join(" | "));
         }
-        println!("({} row{})", r.rows.len(), if r.rows.len() == 1 { "" } else { "s" });
+        println!(
+            "({} row{})",
+            r.rows.len(),
+            if r.rows.len() == 1 { "" } else { "s" }
+        );
     } else {
         println!(
             "ok ({} row{} affected{})",

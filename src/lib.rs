@@ -10,6 +10,7 @@ pub use amdb_core as core;
 pub use amdb_experiments as experiments;
 pub use amdb_metrics as metrics;
 pub use amdb_net as net;
+pub use amdb_obs as obs;
 pub use amdb_pool as pool;
 pub use amdb_proxy as proxy;
 pub use amdb_repl as repl;

@@ -29,7 +29,9 @@ fn slave_failure_redistributes_reads() {
     let r = run_cluster(cfg);
     assert!(r.steady_ops > 0, "cluster keeps serving after a failure");
     assert!(
-        r.membership_events.iter().any(|(_, e)| e.contains("failed")),
+        r.membership_events
+            .iter()
+            .any(|(_, e)| e.contains("failed")),
         "failure recorded: {:?}",
         r.membership_events
     );
@@ -233,9 +235,7 @@ fn master_failover_reports_lost_writes() {
         r.membership_events
     );
     assert!(
-        r.membership_events
-            .iter()
-            .any(|(_, e)| e.contains("lost")),
+        r.membership_events.iter().any(|(_, e)| e.contains("lost")),
         "loss recorded in the timeline"
     );
 }

@@ -1,0 +1,90 @@
+//! Integration tests for the observability subsystem: determinism of the
+//! trace export and the paper's §IV-A bottleneck-migration story as seen by
+//! the bottleneck attributor.
+
+use amdb::cloudstone::{DataSize, MixConfig, WorkloadConfig};
+use amdb::core::{run_cluster_observed, ClusterConfig, ObsConfig};
+use amdb::experiments::obs_report::run_observed_cell;
+use amdb::obs::Component;
+
+fn observed_cfg(users: u32, slaves: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig::builder()
+        .slaves(slaves)
+        .mix(MixConfig::RW_50_50)
+        .data_size(DataSize { scale: 100 })
+        .workload(WorkloadConfig::quick(users))
+        .observability(ObsConfig {
+            enabled: true,
+            sample_interval_ms: 1_000,
+        })
+        .seed(seed)
+        .build()
+}
+
+/// Same seed, same config ⇒ byte-identical Chrome-trace export. This is the
+/// determinism contract: every record is stamped with simulated time in
+/// kernel event order, and the JSON encoder is a pure function of the
+/// records.
+#[test]
+fn same_seed_trace_exports_are_byte_identical() {
+    let (_, obs_a, _) = run_cluster_observed(observed_cfg(30, 2, 7));
+    let (_, obs_b, _) = run_cluster_observed(observed_cfg(30, 2, 7));
+    let a = obs_a.chrome_trace().expect("trace a");
+    let b = obs_b.chrome_trace().expect("trace b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed traces must match byte for byte");
+}
+
+/// A different seed must actually change the trace (otherwise the
+/// determinism test above proves nothing).
+#[test]
+fn different_seed_changes_the_trace() {
+    let (_, obs_a, _) = run_cluster_observed(observed_cfg(30, 2, 7));
+    let (_, obs_b, _) = run_cluster_observed(observed_cfg(30, 2, 8));
+    assert_ne!(obs_a.chrome_trace(), obs_b.chrome_trace());
+}
+
+/// The exported trace carries events from every layer of the stack.
+#[test]
+fn trace_covers_all_stack_layers() {
+    let (_, obs, _) = run_cluster_observed(observed_cfg(30, 2, 7));
+    let rec = obs.recorder().expect("recorder present");
+    for comp in [
+        Component::Cpu,
+        Component::Pool,
+        Component::Proxy,
+        Component::Repl,
+        Component::Sql,
+        Component::Cluster,
+    ] {
+        let in_records = rec.records().iter().any(|r| r.component() == comp);
+        let in_registry = rec.registry().iter().any(|(k, _)| k.comp == comp);
+        assert!(in_records || in_registry, "no events from {comp}");
+    }
+}
+
+/// §IV-A shape check on a fig2-style mini-grid: with a single slave serving
+/// every read, the slave CPU saturates first; with reads spread over three
+/// slaves the master (all writes + binlog shipping) becomes the bottleneck.
+#[test]
+fn bottleneck_migrates_from_slave_to_master() {
+    let one = run_observed_cell(1, 175, 42);
+    let bn = one
+        .bottleneck
+        .bottleneck()
+        .expect("1 slave at 175 users must saturate");
+    assert_eq!(bn.comp, Component::Cpu);
+    assert_eq!(bn.label, "slave0 cpu", "got {}", one.bottleneck.render());
+
+    let three = run_observed_cell(3, 175, 42);
+    let bn = three
+        .bottleneck
+        .bottleneck()
+        .expect("3 slaves at 175 users must still saturate");
+    assert_eq!(bn.comp, Component::Cpu);
+    assert_eq!(bn.label, "master cpu", "got {}", three.bottleneck.render());
+    assert!(
+        three.report.throughput_ops_s > one.report.throughput_ops_s,
+        "spreading reads must lift throughput until the master caps it"
+    );
+}

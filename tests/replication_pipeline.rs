@@ -113,7 +113,10 @@ fn binlog_formats_agree_on_deterministic_content() {
             .expect("read");
         assert_eq!(
             r.rows[0],
-            vec![Value::Text("quote ' and unicode é".into()), Value::Double(5.0)],
+            vec![
+                Value::Text("quote ' and unicode é".into()),
+                Value::Double(5.0)
+            ],
             "under {format:?}"
         );
     }

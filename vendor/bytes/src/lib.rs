@@ -1,0 +1,311 @@
+//! Minimal, dependency-free subset of the `bytes` crate API.
+//!
+//! Vendored so the workspace builds with `--offline` on machines with no
+//! registry access. Only the surface used by `amdb-sql`'s binlog codec is
+//! implemented: cheaply-cloneable immutable [`Bytes`], growable [`BytesMut`],
+//! and the big-endian cursor traits [`Buf`] / [`BufMut`].
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable contiguous slice of memory.
+///
+/// Internally an `Arc<[u8]>` plus a `[start, end)` view; `clone` and
+/// [`Bytes::slice`] are O(1) and never copy the payload.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Borrow the viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copy the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// O(1) sub-view. Panics when the range is out of bounds, matching the
+    /// upstream crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+/// Growable byte buffer; freeze into an immutable [`Bytes`] when done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read cursor over a byte source. All multi-byte reads are big-endian,
+/// matching the upstream crate's `get_*` defaults.
+///
+/// Reads panic when the source is exhausted (as upstream does); callers are
+/// expected to check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Borrow the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Discard `n` bytes from the front.
+    fn advance(&mut self, n: usize);
+
+    /// True when at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.read_array())
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.read_array())
+    }
+
+    /// Read a big-endian i64.
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.read_array())
+    }
+
+    /// Read a big-endian f64 (IEEE-754 bit pattern).
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Split off the next `n` bytes as an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        let out = Bytes::from(&self.chunk()[..n]);
+        self.advance(n);
+        out
+    }
+
+    #[doc(hidden)]
+    fn read_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(&self.chunk()[..N]);
+        self.advance(N);
+        arr
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        // O(1): share the backing allocation instead of copying.
+        let out = self.slice(..n);
+        self.advance(n);
+        out
+    }
+}
+
+/// Write cursor. All multi-byte writes are big-endian, mirroring [`Buf`].
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian i64.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian f64 (IEEE-754 bit pattern).
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(u64::MAX - 1);
+        b.put_i64(-42);
+        b.put_f64(2.5);
+        b.put_slice(b"tail");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_f64(), 2.5);
+        assert_eq!(r.copy_to_bytes(4).as_slice(), b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(s.slice(..0).len(), 0);
+        assert_eq!(b.len(), 5, "parent untouched");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        Bytes::from(vec![1u8]).slice(0..2);
+    }
+}
