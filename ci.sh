@@ -12,11 +12,51 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== tier-1: release build =="
 cargo build --release --offline
+# The root package build skips workspace-member bins; the smoke below
+# drives the experiment binaries, so build them explicitly.
+cargo build --release --offline -p amdb-experiments
 
 echo "== tier-1: tests =="
 cargo test -q --offline
 
 echo "== workspace tests =="
 cargo test -q --workspace --offline
+
+echo "== parallel sweep smoke (--jobs 2) + determinism =="
+# The bins write results/ + BENCH_sweep.json relative to cwd; run the smoke
+# from a scratch dir so quick-fidelity output never clobbers the committed
+# full-fidelity CSVs.
+BIN="$PWD/target/release"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+# fig2 quick grid, serial vs 2 workers: stdout (tables) must be identical.
+(cd "$SMOKE" && "$BIN/fig2" --jobs 1 >fig2_j1.out 2>/dev/null)
+(cd "$SMOKE" && "$BIN/fig2" --jobs 2 >fig2_j2.out 2>/dev/null)
+cmp "$SMOKE/fig2_j1.out" "$SMOKE/fig2_j2.out" \
+  || { echo "fig2 output differs between --jobs 1 and --jobs 2"; exit 1; }
+# AMDB_JOBS must steer the worker count the same way.
+(cd "$SMOKE" && AMDB_JOBS=2 "$BIN/fig5" >fig5_env.out 2>/dev/null)
+(cd "$SMOKE" && "$BIN/fig5" --jobs 1 >fig5_j1.out 2>/dev/null)
+cmp "$SMOKE/fig5_j1.out" "$SMOKE/fig5_env.out" \
+  || { echo "fig5 output differs between --jobs 1 and AMDB_JOBS=2"; exit 1; }
+
+echo "== bench_sweep: serial vs parallel wall-clock =="
+(cd "$SMOKE" && "$BIN/bench_sweep" --jobs 2 >/dev/null)
+[ -s "$SMOKE/BENCH_sweep.json" ] || { echo "BENCH_sweep.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_sweep.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("host_cores", "jobs", "fig2_fig5", "fig3_fig6", "total_serial_s",
+            "total_parallel_s", "speedup"):
+    if key not in b:
+        sys.exit(f"BENCH_sweep.json missing key: {key}")
+for fig in ("fig2_fig5", "fig3_fig6"):
+    if not b[fig]["identical"]:
+        sys.exit(f"BENCH_sweep.json: {fig} serial/parallel outputs diverged")
+print(f"bench_sweep ok: {b['total_serial_s']:.1f}s serial vs "
+      f"{b['total_parallel_s']:.1f}s with {b['jobs']} jobs "
+      f"({b['speedup']:.2f}x, {b['host_cores']} cores)")
+EOF
 
 echo "CI OK"

@@ -8,13 +8,13 @@ fn bench(c: &mut Criterion) {
     figure_banner("A2 (balancer policies)");
     println!(
         "{}",
-        ablations::balancers_table(&ablations::balancers(Fidelity::Quick)).render()
+        ablations::balancers_table(&ablations::balancers(Fidelity::Quick, 1)).render()
     );
 
     let mut g = c.benchmark_group("ablation_balancers");
     g.sample_size(10);
     g.bench_function("four_policies_quick", |b| {
-        b.iter(|| ablations::balancers(Fidelity::Quick))
+        b.iter(|| ablations::balancers(Fidelity::Quick, 1))
     });
     g.finish();
 }

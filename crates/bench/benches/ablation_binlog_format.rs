@@ -8,13 +8,13 @@ fn bench(c: &mut Criterion) {
     figure_banner("A3 (binlog formats)");
     println!(
         "{}",
-        ablations::binlog_formats_table(&ablations::binlog_formats(Fidelity::Quick)).render()
+        ablations::binlog_formats_table(&ablations::binlog_formats(Fidelity::Quick, 1)).render()
     );
 
     let mut g = c.benchmark_group("ablation_binlog_format");
     g.sample_size(10);
     g.bench_function("two_formats_quick", |b| {
-        b.iter(|| ablations::binlog_formats(Fidelity::Quick))
+        b.iter(|| ablations::binlog_formats(Fidelity::Quick, 1))
     });
     g.finish();
 }

@@ -8,13 +8,13 @@ fn bench(c: &mut Criterion) {
     figure_banner("A1 (sync modes)");
     println!(
         "{}",
-        ablations::sync_modes_table(&ablations::sync_modes(Fidelity::Quick)).render()
+        ablations::sync_modes_table(&ablations::sync_modes(Fidelity::Quick, 1)).render()
     );
 
     let mut g = c.benchmark_group("ablation_sync_modes");
     g.sample_size(10);
     g.bench_function("three_modes_quick", |b| {
-        b.iter(|| ablations::sync_modes(Fidelity::Quick))
+        b.iter(|| ablations::sync_modes(Fidelity::Quick, 1))
     });
     g.finish();
 }

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     figure_banner("Fig 2 (throughput, 50/50)");
     let spec = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
-    for r in sweep::run_sweep(&spec, |_| {}) {
+    for r in sweep::run_sweep(&spec, &sweep::SweepOptions::serial()) {
         println!("{}", r.throughput.render());
     }
 

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     figure_banner("Fig 3 (throughput, 80/20)");
     let spec = sweep::SweepSpec::fig3_fig6(Fidelity::Quick);
-    for r in sweep::run_sweep(&spec, |_| {}) {
+    for r in sweep::run_sweep(&spec, &sweep::SweepOptions::serial()) {
         println!("{}", r.throughput.render());
     }
 

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     figure_banner("instance performance variation (§IV-A)");
-    println!("{}", perfvar::table(Fidelity::Quick).render());
+    println!("{}", perfvar::table(Fidelity::Quick, 1).render());
 
     let mut g = c.benchmark_group("perfvar");
     g.bench_function("fleet_speed_cov_2000", |b| {

@@ -218,8 +218,8 @@ impl Cluster {
         let balancer: Box<dyn Balancer> = match cfg.balancer {
             BalancerKind::RoundRobin => Box::new(RoundRobin::default()),
             BalancerKind::Random => Box::new(RandomPick::new(root.derive("balancer"))),
-            BalancerKind::LeastOutstanding => Box::new(LeastOutstanding),
-            BalancerKind::LatencyAware => Box::new(LatencyAware),
+            BalancerKind::LeastOutstanding => Box::new(LeastOutstanding::default()),
+            BalancerKind::LatencyAware => Box::new(LatencyAware::default()),
         };
         let proxy = Proxy::new(cfg.n_slaves, balancer);
 

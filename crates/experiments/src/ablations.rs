@@ -9,6 +9,7 @@
 //!   write-heavy workload.
 
 use crate::calib::paper_cost_model;
+use crate::exec::{parallel_map, Progress};
 use crate::Fidelity;
 
 use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
@@ -34,22 +35,22 @@ fn base_cfg(users: u32, slaves: usize, fidelity: Fidelity) -> ClusterConfig {
 }
 
 /// A1: replication mode comparison. Returns `(mode, report)` triples.
-pub fn sync_modes(fidelity: Fidelity) -> Vec<(ReplMode, RunReport)> {
+/// Each mode is an independent run, so the three fan out across `jobs`
+/// workers; results come back in mode order regardless.
+pub fn sync_modes(fidelity: Fidelity, jobs: usize) -> Vec<(ReplMode, RunReport)> {
     let users = match fidelity {
         Fidelity::Full => 125,
         Fidelity::Quick => 40,
     };
-    [ReplMode::Async, ReplMode::SemiSync, ReplMode::Sync]
-        .into_iter()
-        .map(|mode| {
-            let mut cfg = base_cfg(users, 3, fidelity);
-            cfg.mode = mode;
-            // Make the commit-latency effect visible: slaves in another
-            // region, as geo-replication is where sync modes really hurt.
-            cfg.placement = Placement::DifferentRegion(amdb_net::Region::EuWest1);
-            (mode, run_cluster(cfg))
-        })
-        .collect()
+    let modes = [ReplMode::Async, ReplMode::SemiSync, ReplMode::Sync];
+    parallel_map(&modes, jobs, &Progress::Silent, |_, &mode, _| {
+        let mut cfg = base_cfg(users, 3, fidelity);
+        cfg.mode = mode;
+        // Make the commit-latency effect visible: slaves in another
+        // region, as geo-replication is where sync modes really hurt.
+        cfg.placement = Placement::DifferentRegion(amdb_net::Region::EuWest1);
+        (mode, run_cluster(cfg))
+    })
 }
 
 /// Render A1.
@@ -81,26 +82,24 @@ pub fn sync_modes_table(results: &[(ReplMode, RunReport)]) -> Table {
 
 /// A2: balancer comparison over heterogeneous slaves (fleet-sampled hosts,
 /// so some slaves are markedly slower).
-pub fn balancers(fidelity: Fidelity) -> Vec<(BalancerKind, RunReport)> {
+pub fn balancers(fidelity: Fidelity, jobs: usize) -> Vec<(BalancerKind, RunReport)> {
     let users = match fidelity {
         Fidelity::Full => 150,
         Fidelity::Quick => 50,
     };
-    [
+    let kinds = [
         BalancerKind::RoundRobin,
         BalancerKind::Random,
         BalancerKind::LeastOutstanding,
         BalancerKind::LatencyAware,
-    ]
-    .into_iter()
-    .map(|b| {
+    ];
+    parallel_map(&kinds, jobs, &Progress::Silent, |_, &b, _| {
         let mut cfg = base_cfg(users, 4, fidelity);
         cfg.balancer = b;
         // Heterogeneous fleet: sample host models instead of pinning.
         cfg.pin_slave_host = None;
         (b, run_cluster(cfg))
     })
-    .collect()
 }
 
 /// Render A2.
@@ -132,22 +131,20 @@ pub fn balancers_table(results: &[(BalancerKind, RunReport)]) -> Table {
 }
 
 /// A3: binlog format comparison under a write-heavy mix.
-pub fn binlog_formats(fidelity: Fidelity) -> Vec<(BinlogFormat, RunReport)> {
+pub fn binlog_formats(fidelity: Fidelity, jobs: usize) -> Vec<(BinlogFormat, RunReport)> {
     let users = match fidelity {
         Fidelity::Full => 125,
         Fidelity::Quick => 40,
     };
-    [BinlogFormat::Statement, BinlogFormat::Row]
-        .into_iter()
-        .map(|format| {
-            let mut cfg = base_cfg(users, 2, fidelity);
-            cfg.format = format;
-            cfg.mix = MixConfig {
-                read_fraction: 0.2, // write-heavy: the apply path dominates
-            };
-            (format, run_cluster(cfg))
-        })
-        .collect()
+    let formats = [BinlogFormat::Statement, BinlogFormat::Row];
+    parallel_map(&formats, jobs, &Progress::Silent, |_, &format, _| {
+        let mut cfg = base_cfg(users, 2, fidelity);
+        cfg.format = format;
+        cfg.mix = MixConfig {
+            read_fraction: 0.2, // write-heavy: the apply path dominates
+        };
+        (format, run_cluster(cfg))
+    })
 }
 
 /// Render A3.
@@ -180,7 +177,7 @@ mod tests {
 
     #[test]
     fn sync_hurts_write_latency_on_geo_replicas() {
-        let rs = sync_modes(Fidelity::Quick);
+        let rs = sync_modes(Fidelity::Quick, 2);
         let lat = |m: ReplMode| {
             rs.iter()
                 .find(|(mode, _)| *mode == m)
@@ -198,14 +195,14 @@ mod tests {
 
     #[test]
     fn all_modes_complete_work() {
-        for (_, r) in sync_modes(Fidelity::Quick) {
+        for (_, r) in sync_modes(Fidelity::Quick, 2) {
             assert!(r.steady_ops > 0);
         }
     }
 
     #[test]
     fn balancer_ablation_produces_all_policies() {
-        let rs = balancers(Fidelity::Quick);
+        let rs = balancers(Fidelity::Quick, 2);
         assert_eq!(rs.len(), 4);
         for (_, r) in &rs {
             assert!(r.steady_ops > 0);
@@ -214,7 +211,7 @@ mod tests {
 
     #[test]
     fn binlog_formats_both_converge() {
-        let rs = binlog_formats(Fidelity::Quick);
+        let rs = binlog_formats(Fidelity::Quick, 2);
         assert_eq!(rs.len(), 2);
         for (_, r) in &rs {
             assert!(r.steady_writes > 0);

@@ -1,15 +1,17 @@
 //! Run the three ablations (sync modes, balancers, binlog formats).
-use amdb_experiments::{ablations, Fidelity};
+//! Pass `--jobs N` (or set `AMDB_JOBS=N`) to pick the worker count.
+use amdb_experiments::{ablations, exec, Fidelity};
 
 fn main() {
     let f = Fidelity::from_args();
-    let a1 = ablations::sync_modes_table(&ablations::sync_modes(f));
+    let jobs = exec::jobs_from_args();
+    let a1 = ablations::sync_modes_table(&ablations::sync_modes(f, jobs));
     println!("{}", a1.render());
     amdb_experiments::write_results_csv("ablations", "a1_sync_modes", &a1);
-    let a2 = ablations::balancers_table(&ablations::balancers(f));
+    let a2 = ablations::balancers_table(&ablations::balancers(f, jobs));
     println!("{}", a2.render());
     amdb_experiments::write_results_csv("ablations", "a2_balancers", &a2);
-    let a3 = ablations::binlog_formats_table(&ablations::binlog_formats(f));
+    let a3 = ablations::binlog_formats_table(&ablations::binlog_formats(f, jobs));
     println!("{}", a3.render());
     amdb_experiments::write_results_csv("ablations", "a3_binlog_formats", &a3);
 }

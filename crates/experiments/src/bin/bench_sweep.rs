@@ -1,0 +1,105 @@
+//! Serial-vs-parallel sweep benchmark: runs the quick-fidelity fig2/fig5
+//! and fig3/fig6 sweeps at `--jobs 1` and at `--jobs N` (default: available
+//! parallelism), asserts the rendered tables are byte-identical, and writes
+//! the wall-clock comparison to `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p amdb-experiments --bin bench_sweep -- [--jobs N]
+//! ```
+use amdb_experiments::{exec, sweep, Fidelity};
+use std::time::Instant;
+
+/// Render every table of a sweep result into one string — the byte-level
+/// identity the determinism contract promises.
+fn render_all(results: &[sweep::PlacementResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.throughput.render());
+        out.push('\n');
+        out.push_str(&r.delay.render());
+        out.push('\n');
+    }
+    out
+}
+
+struct Timed {
+    serial_s: f64,
+    parallel_s: f64,
+    identical: bool,
+}
+
+fn time_sweep(spec: &sweep::SweepSpec, jobs: usize) -> Timed {
+    let t0 = Instant::now();
+    let serial = sweep::run_sweep(spec, &sweep::SweepOptions::serial());
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = sweep::run_sweep(spec, &sweep::SweepOptions::silent(jobs));
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let identical = render_all(&serial) == render_all(&parallel);
+    Timed {
+        serial_s,
+        parallel_s,
+        identical,
+    }
+}
+
+fn main() {
+    let jobs = exec::jobs_from_args();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("[bench_sweep] host_cores={host_cores} jobs={jobs}");
+
+    let spec25 = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
+    let t25 = time_sweep(&spec25, jobs);
+    eprintln!(
+        "[bench_sweep] fig2/fig5 quick: serial {:.2}s, parallel({jobs}) {:.2}s, identical={}",
+        t25.serial_s, t25.parallel_s, t25.identical
+    );
+
+    let spec36 = sweep::SweepSpec::fig3_fig6(Fidelity::Quick);
+    let t36 = time_sweep(&spec36, jobs);
+    eprintln!(
+        "[bench_sweep] fig3/fig6 quick: serial {:.2}s, parallel({jobs}) {:.2}s, identical={}",
+        t36.serial_s, t36.parallel_s, t36.identical
+    );
+
+    assert!(
+        t25.identical && t36.identical,
+        "parallel sweep diverged from serial — determinism contract broken"
+    );
+
+    let total_serial = t25.serial_s + t36.serial_s;
+    let total_parallel = t25.parallel_s + t36.parallel_s;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"quick-fidelity sweeps, serial vs parallel\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"fig2_fig5\": {{ \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"speedup\": {:.2}, \"identical\": {} }},\n",
+            "  \"fig3_fig6\": {{ \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"speedup\": {:.2}, \"identical\": {} }},\n",
+            "  \"total_serial_s\": {:.3},\n",
+            "  \"total_parallel_s\": {:.3},\n",
+            "  \"speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        host_cores,
+        jobs,
+        t25.serial_s,
+        t25.parallel_s,
+        t25.serial_s / t25.parallel_s.max(1e-9),
+        t25.identical,
+        t36.serial_s,
+        t36.parallel_s,
+        t36.serial_s / t36.parallel_s.max(1e-9),
+        t36.identical,
+        total_serial,
+        total_parallel,
+        total_serial / total_parallel.max(1e-9),
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("{json}");
+}

@@ -1,24 +1,26 @@
 //! Run the extension experiments: failover (E-F) and autoscaling (E-A).
-use amdb_experiments::{extensions, write_results_csv, Fidelity};
+//! Pass `--jobs N` (or set `AMDB_JOBS=N`) to pick the worker count.
+use amdb_experiments::{exec, extensions, write_results_csv, Fidelity};
 
 fn main() {
     let f = Fidelity::from_args();
+    let jobs = exec::jobs_from_args();
     let fo = extensions::failover(f);
     let t = extensions::failover_table(&fo);
     println!("{}", t.render());
     write_results_csv("extensions", "failover", &t);
 
-    let (st, auto) = extensions::autoscale(f);
+    let (st, auto) = extensions::autoscale(f, jobs);
     let t = extensions::autoscale_table(&st, &auto);
     println!("{}", t.render());
     write_results_csv("extensions", "autoscale", &t);
 
-    let (mf_healthy, mf_lagging) = extensions::master_failover(f);
+    let (mf_healthy, mf_lagging) = extensions::master_failover(f, jobs);
     let t = extensions::master_failover_table(&mf_healthy, &mf_lagging);
     println!("{}", t.render());
     write_results_csv("extensions", "master_failover", &t);
 
-    let wc = extensions::workload_classes(f);
+    let wc = extensions::workload_classes(f, jobs);
     let t = extensions::workload_classes_table(&wc);
     println!("{}", t.render());
     write_results_csv("extensions", "workload_classes", &t);

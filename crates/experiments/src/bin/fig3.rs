@@ -1,12 +1,15 @@
 //! Regenerate Fig. 3: end-to-end throughput, 80/20 mix, data size 600.
 //! Default runs a thinned quick grid; pass `--full` for the paper grid
-//! (1–11 slaves × 50–450 users × 3 placements; ~1 h of host time).
-use amdb_experiments::{sweep, Fidelity};
+//! (1–11 slaves × 50–450 users × 3 placements; about an hour of host time
+//! serial — pass `--jobs N` / set `AMDB_JOBS=N` to fan cells across N
+//! workers; the output is byte-identical either way).
+use amdb_experiments::{exec, sweep, Fidelity};
 
 fn main() {
     let fidelity = Fidelity::from_args();
     let spec = sweep::SweepSpec::fig3_fig6(fidelity);
-    let results = sweep::run_sweep(&spec, |line| eprintln!("[fig3] {line}"));
+    let opts = sweep::SweepOptions::with_progress(exec::jobs_from_args(), "[fig3] ");
+    let results = sweep::run_sweep(&spec, &opts);
     for r in &results {
         println!("{}", r.throughput.render());
         amdb_experiments::write_results_csv("fig3", &r.label, &r.throughput);

@@ -1,11 +1,13 @@
 //! Regenerate Fig. 5: average relative replication delay, 50/50 mix.
-//! Default runs a thinned quick grid; pass `--full` for the paper grid.
-use amdb_experiments::{sweep, Fidelity};
+//! Default runs a thinned quick grid; pass `--full` for the paper grid and
+//! `--jobs N` (or `AMDB_JOBS=N`) to pick the worker count.
+use amdb_experiments::{exec, sweep, Fidelity};
 
 fn main() {
     let fidelity = Fidelity::from_args();
     let spec = sweep::SweepSpec::fig2_fig5(fidelity);
-    let results = sweep::run_sweep(&spec, |line| eprintln!("[fig5] {line}"));
+    let opts = sweep::SweepOptions::with_progress(exec::jobs_from_args(), "[fig5] ");
+    let results = sweep::run_sweep(&spec, &opts);
     for r in &results {
         println!("{}", r.delay.render());
         amdb_experiments::write_results_csv("fig5", &r.label, &r.delay);

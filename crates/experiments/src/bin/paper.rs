@@ -2,13 +2,22 @@
 //! CSVs to `results/`. Figs 2+5 and 3+6 share their sweeps (throughput and
 //! delay come from the same runs, as in the paper).
 //!
+//! Grid cells fan out across a deterministic worker pool: `--jobs N` (or
+//! `AMDB_JOBS=N`) picks the worker count, defaulting to the host's available
+//! parallelism. Output is byte-identical for every jobs count.
+//!
 //! ```text
-//! cargo run --release -p amdb-experiments --bin paper
+//! cargo run --release -p amdb-experiments --bin paper -- [--jobs N]
 //! ```
-use amdb_experiments::{ablations, fig4, perfvar, rtt, sweep, write_results_csv, Fidelity};
+use amdb_experiments::{ablations, exec, fig4, perfvar, rtt, sweep, write_results_csv, Fidelity};
 
 fn main() {
     let t0 = std::time::Instant::now();
+    let jobs = exec::jobs_from_args();
+    eprintln!(
+        "[paper] running with {jobs} worker thread{}",
+        if jobs == 1 { "" } else { "s" }
+    );
 
     // Fig 4 + RTT + perfvar are cheap; do them first.
     let f4 = fig4::run(&fig4::Fig4Spec::default());
@@ -20,13 +29,16 @@ fn main() {
     println!("{}", rt.render());
     write_results_csv("rtt", "half_rtt", &rt);
 
-    let pv = perfvar::table(Fidelity::Full);
+    let pv = perfvar::table(Fidelity::Full, jobs);
     println!("{}", pv.render());
     write_results_csv("perfvar", "summary", &pv);
 
     // Figs 2 & 5.
     let spec25 = sweep::SweepSpec::fig2_fig5(Fidelity::Full);
-    let res25 = sweep::run_sweep(&spec25, |line| eprintln!("[fig2/5] {line}"));
+    let res25 = sweep::run_sweep(
+        &spec25,
+        &sweep::SweepOptions::with_progress(jobs, "[fig2/5] "),
+    );
     for r in &res25 {
         println!("{}", r.throughput.render());
         println!("{}", r.delay.render());
@@ -37,7 +49,10 @@ fn main() {
 
     // Figs 3 & 6 (the big grid).
     let spec36 = sweep::SweepSpec::fig3_fig6(Fidelity::Full);
-    let res36 = sweep::run_sweep(&spec36, |line| eprintln!("[fig3/6] {line}"));
+    let res36 = sweep::run_sweep(
+        &spec36,
+        &sweep::SweepOptions::with_progress(jobs, "[fig3/6] "),
+    );
     for r in &res36 {
         println!("{}", r.throughput.render());
         println!("{}", r.delay.render());
@@ -47,13 +62,13 @@ fn main() {
     eprintln!("figs 3/6 done at {:?}", t0.elapsed());
 
     // Ablations at full fidelity.
-    let a1 = ablations::sync_modes_table(&ablations::sync_modes(Fidelity::Full));
+    let a1 = ablations::sync_modes_table(&ablations::sync_modes(Fidelity::Full, jobs));
     println!("{}", a1.render());
     write_results_csv("ablations", "a1_sync_modes", &a1);
-    let a2 = ablations::balancers_table(&ablations::balancers(Fidelity::Full));
+    let a2 = ablations::balancers_table(&ablations::balancers(Fidelity::Full, jobs));
     println!("{}", a2.render());
     write_results_csv("ablations", "a2_balancers", &a2);
-    let a3 = ablations::binlog_formats_table(&ablations::binlog_formats(Fidelity::Full));
+    let a3 = ablations::binlog_formats_table(&ablations::binlog_formats(Fidelity::Full, jobs));
     println!("{}", a3.render());
     write_results_csv("ablations", "a3_binlog_formats", &a3);
 

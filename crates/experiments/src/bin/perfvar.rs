@@ -1,8 +1,9 @@
 //! Regenerate the §IV-A instance performance-variation measurements.
-use amdb_experiments::{perfvar, Fidelity};
+//! Pass `--jobs N` (or set `AMDB_JOBS=N`) to pick the worker count.
+use amdb_experiments::{exec, perfvar, Fidelity};
 
 fn main() {
-    let t = perfvar::table(Fidelity::from_args());
+    let t = perfvar::table(Fidelity::from_args(), exec::jobs_from_args());
     println!("{}", t.render());
     amdb_experiments::write_results_csv("perfvar", "summary", &t);
 }

@@ -8,6 +8,7 @@
 //!   against the static deployment.
 
 use crate::calib::paper_cost_model;
+use crate::exec::{parallel_map, Progress};
 use crate::Fidelity;
 use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
 use amdb_core::{run_cluster, AutoscaleConfig, ClusterConfig, FaultPlan, Placement, RunReport};
@@ -52,8 +53,9 @@ pub fn failover(fidelity: Fidelity) -> RunReport {
 }
 
 /// Run the autoscaling experiment: start with one slave under heavy read
-/// load; the controller grows the tier. Returns (static, autoscaled).
-pub fn autoscale(fidelity: Fidelity) -> (RunReport, RunReport) {
+/// load; the controller grows the tier. Returns (static, autoscaled). The
+/// two arms are independent runs and fan out across `jobs` workers.
+pub fn autoscale(fidelity: Fidelity, jobs: usize) -> (RunReport, RunReport) {
     let users = match fidelity {
         Fidelity::Full => 250,
         Fidelity::Quick => 170,
@@ -79,7 +81,14 @@ pub fn autoscale(fidelity: Fidelity) -> (RunReport, RunReport) {
         sync_duration: SimDuration::from_secs(60),
         cooldown: SimDuration::from_secs(90),
     };
-    (run_cluster(base(None)), run_cluster(base(Some(auto))))
+    let arms = [None, Some(auto)];
+    let mut runs = parallel_map(&arms, jobs, &Progress::Silent, |_, arm, _| {
+        run_cluster(base(arm.clone()))
+    })
+    .into_iter();
+    let st = runs.next().expect("static arm");
+    let au = runs.next().expect("autoscaled arm");
+    (st, au)
 }
 
 /// Render the failover report.
@@ -140,8 +149,9 @@ pub fn autoscale_table(static_run: &RunReport, auto_run: &RunReport) -> Table {
 /// Fig-5 deep-delay regime) the promoted replica lags by seconds and every
 /// un-applied write in that window is gone — §II: "once the updated replica
 /// goes offline before duplicating data, data loss may occur". Returns
-/// (healthy-arm report, lagging-arm report).
-pub fn master_failover(fidelity: Fidelity) -> (RunReport, RunReport) {
+/// (healthy-arm report, lagging-arm report); the two arms fan out across
+/// `jobs` workers.
+pub fn master_failover(fidelity: Fidelity, jobs: usize) -> (RunReport, RunReport) {
     let users = 175;
     let run = |slaves: usize| {
         let w = workload(users, fidelity);
@@ -163,7 +173,12 @@ pub fn master_failover(fidelity: Fidelity) -> (RunReport, RunReport) {
                 .build(),
         )
     };
-    (run(2), run(1))
+    let arms = [2usize, 1];
+    let mut runs =
+        parallel_map(&arms, jobs, &Progress::Silent, |_, &slaves, _| run(slaves)).into_iter();
+    let healthy = runs.next().expect("healthy arm");
+    let lagging = runs.next().expect("lagging arm");
+    (healthy, lagging)
 }
 
 /// Render E-M.
@@ -201,12 +216,12 @@ pub fn master_failover_table(healthy: &RunReport, lagging: &RunReport) -> Table 
 /// that Web 2.0 writes more; this experiment quantifies the consequence:
 /// with a 95/5 mix the master ceiling sits several times further out, so
 /// slave scale-out keeps paying where the Cloudstone mix has long stalled.
-pub fn workload_classes(fidelity: Fidelity) -> Vec<(&'static str, usize, RunReport)> {
+pub fn workload_classes(fidelity: Fidelity, jobs: usize) -> Vec<(&'static str, usize, RunReport)> {
     let users = match fidelity {
         Fidelity::Full => 300,
         Fidelity::Quick => 120,
     };
-    let mut out = Vec::new();
+    let mut cells: Vec<(&'static str, amdb_core::WorkloadKind, MixConfig, usize)> = Vec::new();
     for (name, kind, mix) in [
         (
             "web2.0 (cloudstone 50/50)",
@@ -220,6 +235,14 @@ pub fn workload_classes(fidelity: Fidelity) -> Vec<(&'static str, usize, RunRepo
         ),
     ] {
         for slaves in [1usize, 2, 4, 6] {
+            cells.push((name, kind, mix, slaves));
+        }
+    }
+    parallel_map(
+        &cells,
+        jobs,
+        &Progress::Silent,
+        |_, &(name, kind, mix, slaves), _| {
             let cfg = ClusterConfig::builder()
                 .slaves(slaves)
                 .placement(Placement::SameZone)
@@ -230,10 +253,9 @@ pub fn workload_classes(fidelity: Fidelity) -> Vec<(&'static str, usize, RunRepo
                 .cost(paper_cost_model())
                 .seed(55)
                 .build();
-            out.push((name, slaves, run_cluster(cfg)));
-        }
-    }
-    out
+            (name, slaves, run_cluster(cfg))
+        },
+    )
 }
 
 /// Render E-W.
@@ -277,7 +299,7 @@ mod tests {
 
     #[test]
     fn master_failover_loss_depends_on_replica_lag() {
-        let (healthy, lagging) = master_failover(Fidelity::Quick);
+        let (healthy, lagging) = master_failover(Fidelity::Quick, 2);
         for r in [&healthy, &lagging] {
             assert!(r
                 .membership_events
@@ -294,7 +316,7 @@ mod tests {
 
     #[test]
     fn web10_scales_further_than_web20() {
-        let rs = workload_classes(Fidelity::Quick);
+        let rs = workload_classes(Fidelity::Quick, 2);
         let at = |name_frag: &str, slaves: usize| {
             rs.iter()
                 .find(|(n, s, _)| n.contains(name_frag) && *s == slaves)
@@ -312,7 +334,7 @@ mod tests {
 
     #[test]
     fn autoscale_improves_hot_slave_delay() {
-        let (st, auto) = autoscale(Fidelity::Quick);
+        let (st, auto) = autoscale(Fidelity::Quick, 2);
         assert!(auto.final_slaves > st.final_slaves);
         let ds = st.delays[0].relative_ms.unwrap_or(f64::MAX);
         let da = auto.delays[0].relative_ms.unwrap_or(f64::MAX);

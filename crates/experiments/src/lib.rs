@@ -15,9 +15,11 @@
 //! | [`extensions`] | E-F failover, E-A staleness-SLO autoscaling |
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
+//! | [`exec`]    | deterministic parallel executor behind the sweeps |
 
 pub mod ablations;
 pub mod calib;
+pub mod exec;
 pub mod extensions;
 pub mod fig4;
 pub mod obs_report;

@@ -12,6 +12,7 @@
 //!    2.27 GHz. We rerun one grid cell pinned to each host model.
 
 use crate::calib::paper_cost_model;
+use crate::exec::{parallel_map, Progress};
 use crate::Fidelity;
 use amdb_cloud::{CpuModel, InstanceType, Provider, ProviderConfig};
 use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
@@ -61,11 +62,17 @@ pub fn pinned_host_run(host: CpuModel, fidelity: Fidelity) -> RunReport {
     run_cluster(cfg)
 }
 
-/// Render the experiment table.
-pub fn table(fidelity: Fidelity) -> Table {
+/// Render the experiment table. The two pinned-host runs are independent,
+/// so they fan out across `jobs` workers.
+pub fn table(fidelity: Fidelity, jobs: usize) -> Table {
     let fleet = fleet_speed_cov(2000, 5);
-    let fast = pinned_host_run(CpuModel::XeonE5430, fidelity);
-    let slow = pinned_host_run(CpuModel::XeonE5507, fidelity);
+    let hosts = [CpuModel::XeonE5430, CpuModel::XeonE5507];
+    let mut runs = parallel_map(&hosts, jobs, &Progress::Silent, |_, &host, _| {
+        pinned_host_run(host, fidelity)
+    })
+    .into_iter();
+    let fast = runs.next().expect("E5430 run");
+    let slow = runs.next().expect("E5507 run");
     let mut t = Table::new(
         "instance performance variation (§IV-A)",
         vec!["measure".into(), "value".into(), "paper".into()],

@@ -6,13 +6,23 @@
 //! complete benchmark run (idle → ramp-up → steady → ramp-down → drain);
 //! throughput and replication delay come from the *same* run, as in the
 //! paper, so Fig 2 pairs with Fig 5 and Fig 3 with Fig 6.
+//!
+//! Grid cells are independent deterministic simulations, so the sweep fans
+//! them out across the [`crate::exec`] worker pool: the template database is
+//! loaded once and shared immutably ([`Arc`]), each cell's RNG streams
+//! derive from the cell's own (seed, placement, slaves, users) key, and
+//! results are gathered back in grid order — tables and CSVs are
+//! byte-identical for every `--jobs` count.
 
 use crate::calib::paper_cost_model;
+use crate::exec::{parallel_map, Progress};
 use crate::Fidelity;
-use amdb_cloudstone::{build_template, DataSize, MixConfig, Phases, WorkloadConfig};
-use amdb_core::{run_cluster, Cluster, ClusterConfig, Placement, RunReport};
+use amdb_cloudstone::{build_template, DataCounters, DataSize, MixConfig, Phases, WorkloadConfig};
+use amdb_core::{Cluster, ClusterConfig, Placement, RunReport};
 use amdb_metrics::Table;
-use amdb_sim::Sim;
+use amdb_sim::{Rng, Sim};
+use amdb_sql::Engine;
+use std::sync::Arc;
 
 /// Grid specification for one figure pair.
 #[derive(Debug, Clone)]
@@ -81,6 +91,16 @@ impl SweepSpec {
         }
     }
 
+    /// Per-cell seed, derived from the sweep seed and the cell's own
+    /// (placement, slaves, users) key. Every cell therefore owns its RNG
+    /// streams outright: no cell's randomness depends on how many cells ran
+    /// before it (or on which worker thread it lands on), which is what
+    /// makes the parallel executor bit-compatible with the serial loop.
+    pub fn cell_seed(&self, placement: Placement, slaves: usize, users: u32) -> u64 {
+        let label = format!("cell/{placement:?}/slaves={slaves}/users={users}");
+        Rng::new(self.seed).derive(&label).next_u64()
+    }
+
     /// The cluster config for one grid cell.
     pub fn cell_config(&self, placement: Placement, slaves: usize, users: u32) -> ClusterConfig {
         let mut workload = WorkloadConfig::paper(users);
@@ -92,8 +112,15 @@ impl SweepSpec {
             .data_size(self.data_size)
             .workload(workload)
             .cost(paper_cost_model())
-            .seed(self.seed)
+            .seed(self.cell_seed(placement, slaves, users))
             .build()
+    }
+
+    /// The shared template database for this sweep: loaded once from the
+    /// sweep seed, then forked (copy-on-run) by every cell.
+    pub fn template(&self) -> (Engine, DataCounters) {
+        let mut load_rng = Rng::new(self.seed).derive("load");
+        build_template(self.data_size, &mut load_rng)
     }
 }
 
@@ -110,13 +137,107 @@ pub struct PlacementResult {
     pub reports: Vec<Vec<RunReport>>,
 }
 
-/// Run the full sweep. `progress` is called after each cell with a short
-/// status line (use `|_| {}` to silence).
-pub fn run_sweep(spec: &SweepSpec, mut progress: impl FnMut(&str)) -> Vec<PlacementResult> {
-    // Load the template database once; fork it per run.
-    let mut load_rng = amdb_sim::Rng::new(spec.seed).derive("load");
-    let (template, counters) = build_template(spec.data_size, &mut load_rng);
+/// How a sweep executes: worker count and progress reporting. The result is
+/// identical for every `jobs` value — options only affect wall-clock and
+/// stderr chatter.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    pub jobs: usize,
+    pub progress: Progress,
+}
 
+impl SweepOptions {
+    /// Single-threaded, silent — the baseline the determinism tests and
+    /// benches compare against.
+    pub fn serial() -> SweepOptions {
+        SweepOptions {
+            jobs: 1,
+            progress: Progress::Silent,
+        }
+    }
+
+    /// `jobs` workers, silent.
+    pub fn silent(jobs: usize) -> SweepOptions {
+        SweepOptions {
+            jobs,
+            progress: Progress::Silent,
+        }
+    }
+
+    /// `jobs` workers, progress lines prefixed with `prefix` on stderr.
+    pub fn with_progress(jobs: usize, prefix: &'static str) -> SweepOptions {
+        SweepOptions {
+            jobs,
+            progress: Progress::Stderr(prefix),
+        }
+    }
+}
+
+/// Run one grid cell against a pre-built template.
+fn run_cell_with_template(
+    spec: &SweepSpec,
+    template: &Engine,
+    counters: &DataCounters,
+    placement: Placement,
+    slaves: usize,
+    users: u32,
+) -> RunReport {
+    let cfg = spec.cell_config(placement, slaves, users);
+    let mut sim = Sim::new();
+    let mut world = Cluster::with_template(cfg, template, counters.clone());
+    world.schedule_timeline(&mut sim);
+    sim.run(&mut world);
+    let events = sim.events_executed();
+    world.report(events)
+}
+
+/// Run the full sweep, fanning the grid cells across `opts.jobs` worker
+/// threads. The template database is loaded once and shared immutably;
+/// every cell forks it. Results are gathered back in grid order, so the
+/// returned tables are byte-identical for any jobs count.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Vec<PlacementResult> {
+    // Load the template database once; every cell forks it. `Engine` is
+    // plain owned data (no interior mutability), so sharing `&template`
+    // across the worker pool is sound by construction.
+    let (template, counters) = spec.template();
+    let template = Arc::new((template, counters));
+
+    // Flatten the grid in (placement, slaves, users) order — the same order
+    // the old serial loop used — and fan it out.
+    let mut cells: Vec<(Placement, usize, u32)> =
+        Vec::with_capacity(spec.placements.len() * spec.slaves.len() * spec.users.len());
+    for &placement in &spec.placements {
+        for &slaves in &spec.slaves {
+            for &users in &spec.users {
+                cells.push((placement, slaves, users));
+            }
+        }
+    }
+
+    let reports_flat: Vec<RunReport> = {
+        let template = Arc::clone(&template);
+        parallel_map(
+            &cells,
+            opts.jobs,
+            &opts.progress,
+            move |_, &(placement, slaves, users), sink| {
+                let (tpl, counters) = &*template;
+                let report = run_cell_with_template(spec, tpl, counters, placement, slaves, users);
+                let label = placement.label(spec.cell_config(placement, 1, 1).master_zone);
+                sink.emit(format!(
+                    "{label} slaves={slaves} users={users}: {:.1} ops/s, delay {:?} ms",
+                    report.throughput_ops_s,
+                    report.avg_relative_delay_ms().map(|d| d.round())
+                ));
+                report
+            },
+        )
+    };
+
+    // Reassemble `reports[slave_idx][user_idx]` per placement and render the
+    // two tables, exactly as the serial loop did.
+    let per_placement = spec.slaves.len() * spec.users.len();
+    let mut flat = reports_flat.into_iter();
     let mut out = Vec::with_capacity(spec.placements.len());
     for &placement in &spec.placements {
         let label = placement.label(spec.cell_config(placement, 1, 1).master_zone);
@@ -137,25 +258,12 @@ pub fn run_sweep(spec: &SweepSpec, mut progress: impl FnMut(&str)) -> Vec<Placem
         );
 
         let mut reports: Vec<Vec<RunReport>> = Vec::with_capacity(spec.slaves.len());
-        for &slaves in &spec.slaves {
-            let mut row = Vec::with_capacity(spec.users.len());
-            for &users in &spec.users {
-                let cfg = spec.cell_config(placement, slaves, users);
-                let mut sim = Sim::new();
-                let mut world = Cluster::with_template(cfg, &template, counters.clone());
-                world.schedule_timeline(&mut sim);
-                sim.run(&mut world);
-                let events = sim.events_executed();
-                let report = world.report(events);
-                progress(&format!(
-                    "{label} slaves={slaves} users={users}: {:.1} ops/s, delay {:?} ms",
-                    report.throughput_ops_s,
-                    report.avg_relative_delay_ms().map(|d| d.round())
-                ));
-                row.push(report);
-            }
+        for _ in &spec.slaves {
+            let row: Vec<RunReport> = flat.by_ref().take(spec.users.len()).collect();
+            debug_assert_eq!(row.len(), spec.users.len());
             reports.push(row);
         }
+        debug_assert_eq!(reports.len() * spec.users.len(), per_placement);
 
         for (ui, &users) in spec.users.iter().enumerate() {
             let t_cells: Vec<Option<f64>> = spec
@@ -185,9 +293,11 @@ pub fn run_sweep(spec: &SweepSpec, mut progress: impl FnMut(&str)) -> Vec<Placem
     out
 }
 
-/// Convenience used by tests: run a single cell at quick fidelity.
+/// Convenience used by tests and benches: run a single cell exactly as the
+/// sweep would (shared-template fork + per-cell seed).
 pub fn run_cell(spec: &SweepSpec, placement: Placement, slaves: usize, users: u32) -> RunReport {
-    run_cluster(spec.cell_config(placement, slaves, users))
+    let (template, counters) = spec.template();
+    run_cell_with_template(spec, &template, &counters, placement, slaves, users)
 }
 
 #[cfg(test)]
@@ -205,6 +315,64 @@ mod tests {
         assert_eq!(f3.slaves.len(), 11);
         assert_eq!(f3.users.last(), Some(&450));
         assert_eq!(f3.placements.len(), 3);
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_per_cell_and_stable() {
+        let spec = SweepSpec::fig2_fig5(Fidelity::Full);
+        let mut seen = std::collections::HashSet::new();
+        for &placement in &spec.placements {
+            for &slaves in &spec.slaves {
+                for &users in &spec.users {
+                    let s = spec.cell_seed(placement, slaves, users);
+                    assert!(
+                        seen.insert(s),
+                        "duplicate cell seed for {placement:?}/{slaves}/{users}"
+                    );
+                    // Stable: same key → same seed.
+                    assert_eq!(s, spec.cell_seed(placement, slaves, users));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let mut spec = SweepSpec::fig2_fig5(Fidelity::Quick);
+        // Thin the quick grid further: this is a unit test, not a bench.
+        spec.users = vec![50, 100];
+        spec.slaves = vec![1, 2];
+        let serial = run_sweep(&spec, &SweepOptions::serial());
+        let parallel = run_sweep(&spec, &SweepOptions::silent(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.throughput.render(), p.throughput.render());
+            assert_eq!(s.delay.render(), p.delay.render());
+            for (srow, prow) in s.reports.iter().zip(&p.reports) {
+                for (sr, pr) in srow.iter().zip(prow) {
+                    assert_eq!(sr.throughput_ops_s.to_bits(), pr.throughput_ops_s.to_bits());
+                    assert_eq!(
+                        sr.avg_relative_delay_ms().map(f64::to_bits),
+                        pr.avg_relative_delay_ms().map(f64::to_bits)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_cell_reproduces_the_matching_sweep_cell() {
+        let mut spec = SweepSpec::fig2_fig5(Fidelity::Quick);
+        spec.users = vec![50, 100];
+        spec.slaves = vec![1, 2];
+        let swept = run_sweep(&spec, &SweepOptions::serial());
+        let lone = run_cell(&spec, spec.placements[0], spec.slaves[1], spec.users[0]);
+        let cell = &swept[0].reports[1][0];
+        assert_eq!(
+            lone.throughput_ops_s.to_bits(),
+            cell.throughput_ops_s.to_bits()
+        );
     }
 
     #[test]

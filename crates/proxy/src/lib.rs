@@ -35,7 +35,12 @@ pub struct SlaveStatus {
     /// Reads currently in flight to this slave.
     pub outstanding: u32,
     /// Exponentially-weighted moving average of observed read latency (ms).
+    /// Meaningless until `ewma_samples > 0`.
     pub ewma_latency_ms: f64,
+    /// How many latency samples have fed the EWMA. Tracked explicitly so a
+    /// genuine 0.0 ms sample is smoothed like any other instead of being
+    /// mistaken for "uninitialized".
+    pub ewma_samples: u64,
     /// False when the slave is marked down.
     pub alive: bool,
 }
@@ -45,6 +50,7 @@ impl Default for SlaveStatus {
         Self {
             outstanding: 0,
             ewma_latency_ms: 0.0,
+            ewma_samples: 0,
             alive: true,
         }
     }
@@ -113,18 +119,55 @@ impl Balancer for RandomPick {
     }
 }
 
-/// Fewest outstanding reads wins (join-the-shortest-queue).
+/// Scan live slaves in cyclic order starting at `*cursor` and return the
+/// index with the minimal key, advancing the cursor past the pick.
+///
+/// Because the scan starts at the cursor and only a *strictly* smaller key
+/// replaces the incumbent, exact ties resolve to the first candidate at or
+/// after the cursor — a rotating tie-break. `min_by(_key)` alone always
+/// settles ties on the lowest index, which herds every read onto slave 0 at
+/// cold start and whenever queue lengths synchronize.
+fn pick_min_rotating<K: PartialOrd + Copy>(
+    slaves: &[SlaveStatus],
+    cursor: &mut usize,
+    key: impl Fn(&SlaveStatus) -> K,
+) -> Option<usize> {
+    let n = slaves.len();
+    if n == 0 {
+        return None;
+    }
+    let mut best: Option<(usize, K)> = None;
+    for off in 0..n {
+        let i = (*cursor + off) % n;
+        if !slaves[i].alive {
+            continue;
+        }
+        let k = key(&slaves[i]);
+        // Only a *strictly* smaller key (Ordering::Less) unseats the
+        // incumbent; ties and incomparable keys (NaN) keep it.
+        let replaces = match &best {
+            Some((_, bk)) => matches!(k.partial_cmp(bk), Some(std::cmp::Ordering::Less)),
+            None => true,
+        };
+        if replaces {
+            best = Some((i, k));
+        }
+    }
+    let picked = best.map(|(i, _)| i)?;
+    *cursor = (picked + 1) % n;
+    Some(picked)
+}
+
+/// Fewest outstanding reads wins (join-the-shortest-queue); exact ties
+/// rotate round-robin instead of collapsing onto the lowest index.
 #[derive(Debug, Default)]
-pub struct LeastOutstanding;
+pub struct LeastOutstanding {
+    next: usize,
+}
 
 impl Balancer for LeastOutstanding {
     fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
-        slaves
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .min_by_key(|(_, s)| s.outstanding)
-            .map(|(i, _)| i)
+        pick_min_rotating(slaves, &mut self.next, |s| s.outstanding)
     }
 
     fn name(&self) -> &'static str {
@@ -135,22 +178,18 @@ impl Balancer for LeastOutstanding {
 /// The paper's "smart load balancer ... based on estimated processing time":
 /// picks the slave minimizing `ewma_latency × (outstanding + 1)` — an
 /// estimate of the completion time of the next read if sent there. Slower or
-/// farther slaves naturally receive proportionally less traffic.
+/// farther slaves naturally receive proportionally less traffic; exact ties
+/// (idle equal slaves, cold start) rotate round-robin.
 #[derive(Debug, Default)]
-pub struct LatencyAware;
+pub struct LatencyAware {
+    next: usize,
+}
 
 impl Balancer for LatencyAware {
     fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
-        slaves
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .min_by(|(_, a), (_, b)| {
-                let ka = a.ewma_latency_ms.max(0.1) * (a.outstanding + 1) as f64;
-                let kb = b.ewma_latency_ms.max(0.1) * (b.outstanding + 1) as f64;
-                ka.partial_cmp(&kb).expect("latencies are finite")
-            })
-            .map(|(i, _)| i)
+        pick_min_rotating(slaves, &mut self.next, |s| {
+            s.ewma_latency_ms.max(0.1) * (s.outstanding + 1) as f64
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -220,11 +259,16 @@ impl Proxy {
         let s = &mut self.slaves[slave];
         debug_assert!(s.outstanding > 0, "read_done without route");
         s.outstanding = s.outstanding.saturating_sub(1);
-        s.ewma_latency_ms = if s.ewma_latency_ms == 0.0 {
+        // First contact adopts the sample; afterwards every sample — a
+        // genuine 0.0 ms included — is smoothed. (The old `== 0.0` sentinel
+        // made each 0.0 ms sample look like first contact and reset the
+        // average.)
+        s.ewma_latency_ms = if s.ewma_samples == 0 {
             latency_ms
         } else {
             EWMA_ALPHA * latency_ms + (1.0 - EWMA_ALPHA) * s.ewma_latency_ms
         };
+        s.ewma_samples += 1;
     }
 
     /// Mark a slave up/down.
@@ -310,7 +354,7 @@ mod tests {
         let mut p = Proxy::new(0, Box::new(RoundRobin::default()));
         assert_eq!(p.route(OpClass::Read), Route::Master);
         assert_eq!(p.reads_fallback_master(), 1);
-        let mut p = Proxy::new(2, Box::new(LeastOutstanding));
+        let mut p = Proxy::new(2, Box::new(LeastOutstanding::default()));
         p.set_alive(0, false);
         p.set_alive(1, false);
         assert_eq!(p.route(OpClass::Read), Route::Master);
@@ -318,7 +362,7 @@ mod tests {
 
     #[test]
     fn least_outstanding_balances_inflight() {
-        let mut p = Proxy::new(2, Box::new(LeastOutstanding));
+        let mut p = Proxy::new(2, Box::new(LeastOutstanding::default()));
         let r1 = p.route(OpClass::Read);
         let r2 = p.route(OpClass::Read);
         assert_ne!(r1, r2, "second read avoids the busy slave");
@@ -331,7 +375,7 @@ mod tests {
 
     #[test]
     fn latency_aware_prefers_fast_slave() {
-        let mut p = Proxy::new(2, Box::new(LatencyAware));
+        let mut p = Proxy::new(2, Box::new(LatencyAware::default()));
         // Warm EWMAs: slave 0 fast (20ms), slave 1 slow (350ms, "different
         // region").
         let Route::Slave(a) = p.route(OpClass::Read) else {
@@ -356,7 +400,7 @@ mod tests {
 
     #[test]
     fn latency_aware_sheds_to_idle_slow_slave_under_pressure() {
-        let mut p = Proxy::new(2, Box::new(LatencyAware));
+        let mut p = Proxy::new(2, Box::new(LatencyAware::default()));
         // Prime EWMAs.
         for i in 0..2 {
             p.slaves_mut_for_test(i, if i == 0 { 20.0 } else { 60.0 });
@@ -400,6 +444,88 @@ mod tests {
         assert!(picks.contains(&Route::Slave(1)), "new slave takes reads");
     }
 
+    /// Regression: `min_by(_key)` tie-breaking always picked slave 0, so at
+    /// cold start (and whenever outstanding counts synchronize) every read
+    /// herded onto the lowest index. With the rotating tie-break, N reads
+    /// over idle, equal slaves must spread evenly.
+    #[test]
+    fn least_outstanding_ties_spread_evenly() {
+        let mut p = Proxy::new(4, Box::new(LeastOutstanding::default()));
+        for _ in 0..20 {
+            let Route::Slave(i) = p.route(OpClass::Read) else {
+                panic!("a slave must serve the read")
+            };
+            // Complete immediately: every pick sees all-idle, all-tied state.
+            p.read_done(i, 5.0);
+        }
+        assert_eq!(p.reads_per_slave(), &[5, 5, 5, 5]);
+    }
+
+    /// Same regression for the latency-aware policy: identical EWMAs and
+    /// identical queues are an exact tie and must rotate, not herd.
+    #[test]
+    fn latency_aware_ties_spread_evenly() {
+        let mut p = Proxy::new(4, Box::new(LatencyAware::default()));
+        for _ in 0..20 {
+            let Route::Slave(i) = p.route(OpClass::Read) else {
+                panic!("a slave must serve the read")
+            };
+            // Same latency everywhere keeps the EWMAs exactly equal.
+            p.read_done(i, 12.0);
+        }
+        assert_eq!(p.reads_per_slave(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn rotating_tie_break_skips_dead_slaves() {
+        let mut p = Proxy::new(3, Box::new(LeastOutstanding::default()));
+        p.set_alive(1, false);
+        for _ in 0..10 {
+            let Route::Slave(i) = p.route(OpClass::Read) else {
+                panic!("live slaves exist")
+            };
+            assert_ne!(i, 1, "dead slave must not serve");
+            p.read_done(i, 5.0);
+        }
+        assert_eq!(p.reads_per_slave()[0], 5);
+        assert_eq!(p.reads_per_slave()[2], 5);
+    }
+
+    /// Regression: a genuine 0.0 ms sample used to match the "uninitialized"
+    /// sentinel and *reset* the EWMA to the next sample instead of smoothing.
+    #[test]
+    fn ewma_zero_sample_is_smoothed_not_first_contact() {
+        let mut p = Proxy::new(1, Box::new(RoundRobin::default()));
+        // Warm the EWMA to 10.0 ms.
+        p.route(OpClass::Read);
+        p.read_done(0, 10.0);
+        assert_eq!(p.slave_status(0).ewma_latency_ms, 10.0);
+        // A 0.0 ms sample must be blended (0.2·0 + 0.8·10 = 8), not adopted.
+        p.route(OpClass::Read);
+        p.read_done(0, 0.0);
+        let e = p.slave_status(0).ewma_latency_ms;
+        assert!((e - 8.0).abs() < 1e-12, "0.0 smoothed into EWMA, got {e}");
+        // And the *next* sample must smooth against 8, not re-initialize.
+        p.route(OpClass::Read);
+        p.read_done(0, 10.0);
+        let e = p.slave_status(0).ewma_latency_ms;
+        assert!((e - 8.4).abs() < 1e-12, "EWMA continued, got {e}");
+        assert_eq!(p.slave_status(0).ewma_samples, 3);
+    }
+
+    #[test]
+    fn ewma_first_sample_can_be_zero() {
+        let mut p = Proxy::new(1, Box::new(RoundRobin::default()));
+        p.route(OpClass::Read);
+        p.read_done(0, 0.0);
+        assert_eq!(p.slave_status(0).ewma_latency_ms, 0.0);
+        assert_eq!(p.slave_status(0).ewma_samples, 1);
+        p.route(OpClass::Read);
+        p.read_done(0, 10.0);
+        let e = p.slave_status(0).ewma_latency_ms;
+        assert!((e - 2.0).abs() < 1e-12, "smoothed from 0.0, got {e}");
+    }
+
     #[test]
     fn ewma_converges_toward_latency() {
         let mut p = Proxy::new(1, Box::new(RoundRobin::default()));
@@ -412,9 +538,10 @@ mod tests {
     }
 
     impl Proxy {
-        /// Test helper: set a slave's EWMA directly.
+        /// Test helper: set a slave's EWMA directly (as if one sample seen).
         fn slaves_mut_for_test(&mut self, i: usize, ewma: f64) {
             self.slaves[i].ewma_latency_ms = ewma;
+            self.slaves[i].ewma_samples = 1;
         }
     }
 }

@@ -4,7 +4,10 @@
 
 use amdb::cloudstone::{DataSize, MixConfig, WorkloadConfig};
 use amdb::core::{run_cluster_observed, ClusterConfig, ObsConfig};
+use amdb::experiments::exec::{parallel_map, Progress};
 use amdb::experiments::obs_report::run_observed_cell;
+use amdb::experiments::sweep::{run_sweep, SweepOptions, SweepSpec};
+use amdb::experiments::Fidelity;
 use amdb::obs::Component;
 
 fn observed_cfg(users: u32, slaves: usize, seed: u64) -> ClusterConfig {
@@ -60,6 +63,56 @@ fn trace_covers_all_stack_layers() {
         let in_records = rec.records().iter().any(|r| r.component() == comp);
         let in_registry = rec.registry().iter().any(|(k, _)| k.comp == comp);
         assert!(in_records || in_registry, "no events from {comp}");
+    }
+}
+
+/// The parallel sweep executor is bit-compatible with the serial loop: the
+/// quick fig2/fig5 and fig3/fig6 sweeps render byte-identical tables at
+/// `--jobs 1` and `--jobs 4`. (The jobs count only changes wall-clock.)
+#[test]
+fn sweeps_are_byte_identical_across_jobs_counts() {
+    // fig3/fig6's deepest quick cells (450 users × 11 slaves) cost minutes;
+    // thin that grid here — bench_sweep exercises the full quick grids.
+    let mut spec36 = SweepSpec::fig3_fig6(Fidelity::Quick);
+    spec36.users = vec![50, 250];
+    spec36.slaves = vec![1, 5];
+    for spec in [SweepSpec::fig2_fig5(Fidelity::Quick), spec36] {
+        let serial = run_sweep(&spec, &SweepOptions::serial());
+        let parallel = run_sweep(&spec, &SweepOptions::silent(4));
+        assert_eq!(serial.len(), parallel.len(), "{}", spec.name);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.throughput.render(),
+                p.throughput.render(),
+                "{}: throughput table diverged between jobs=1 and jobs=4",
+                spec.name
+            );
+            assert_eq!(
+                s.delay.render(),
+                p.delay.render(),
+                "{}: delay table diverged between jobs=1 and jobs=4",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Observed runs (trace recording on) stay deterministic when fanned across
+/// the worker pool: each cell's Chrome-trace export is byte-identical to
+/// the same cell run serially.
+#[test]
+fn observed_traces_are_byte_identical_under_parallel_executor() {
+    let cells: Vec<(u32, usize, u64)> = vec![(30, 1, 7), (30, 2, 7), (40, 2, 9), (30, 2, 8)];
+    let run = |_: usize, &(users, slaves, seed): &(u32, usize, u64), _: &_| {
+        let (_, obs, _) = run_cluster_observed(observed_cfg(users, slaves, seed));
+        obs.chrome_trace().expect("trace")
+    };
+    let serial = parallel_map(&cells, 1, &Progress::Silent, run);
+    let parallel = parallel_map(&cells, 4, &Progress::Silent, run);
+    assert_eq!(serial.len(), cells.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert!(!s.is_empty());
+        assert_eq!(s, p, "cell {i}: trace bytes diverged under parallel run");
     }
 }
 
