@@ -22,6 +22,10 @@ cargo test -q --offline
 echo "== workspace tests =="
 cargo test -q --workspace --offline
 
+echo "== consistency suite (amdb-consistency + core acceptance properties) =="
+cargo test -q --offline -p amdb-consistency
+cargo test -q --offline -p amdb-core --test consistency
+
 echo "== parallel sweep smoke (--jobs 2) + determinism =="
 # The bins write results/ + BENCH_sweep.json relative to cwd; run the smoke
 # from a scratch dir so quick-fidelity output never clobbers the committed
@@ -39,6 +43,11 @@ cmp "$SMOKE/fig2_j1.out" "$SMOKE/fig2_j2.out" \
 (cd "$SMOKE" && "$BIN/fig5" --jobs 1 >fig5_j1.out 2>/dev/null)
 cmp "$SMOKE/fig5_j1.out" "$SMOKE/fig5_env.out" \
   || { echo "fig5 output differs between --jobs 1 and AMDB_JOBS=2"; exit 1; }
+# E-C consistency sweep, serial vs 2 workers: table must be identical.
+(cd "$SMOKE" && "$BIN/extensions_consistency" --jobs 1 >ec_j1.out 2>/dev/null)
+(cd "$SMOKE" && "$BIN/extensions_consistency" --jobs 2 >ec_j2.out 2>/dev/null)
+cmp "$SMOKE/ec_j1.out" "$SMOKE/ec_j2.out" \
+  || { echo "extensions_consistency differs between --jobs 1 and --jobs 2"; exit 1; }
 
 echo "== bench_sweep: serial vs parallel wall-clock =="
 (cd "$SMOKE" && "$BIN/bench_sweep" --jobs 2 >/dev/null)

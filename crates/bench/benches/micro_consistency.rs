@@ -1,0 +1,77 @@
+//! Micro-benchmarks over the amdb-consistency routing filter.
+//!
+//! The headline number: the `Eventual` policy's `decide_read` is a thin
+//! passthrough to the balancer — its cost must be indistinguishable from
+//! calling `Proxy::route` directly (the layer is opt-in precisely because
+//! the default path pays ~nothing). The bounded/session policies pay for an
+//! eligibility scan over the watermark table; those are benchmarked for
+//! scale, not parity.
+
+use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, SessionToken, WatermarkTable};
+use amdb_proxy::{OpClass, Proxy, RoundRobin};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SLAVES: usize = 4;
+
+fn proxy() -> Proxy {
+    Proxy::new(SLAVES, Box::new(RoundRobin::default()))
+}
+
+fn watermarks() -> WatermarkTable {
+    let mut wm = WatermarkTable::new(SLAVES, 0);
+    wm.note_master_seq(1_000, 0.0);
+    for s in 0..SLAVES {
+        // Half the slaves caught up, half lagging.
+        let seq = if s % 2 == 0 { 1_000 } else { 900 };
+        wm.note_applied(s, seq, 1.0, s % 2 != 0);
+    }
+    wm
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("consistency/baseline_proxy_route", |b| {
+        let mut proxy = proxy();
+        b.iter(|| proxy.route(OpClass::Read))
+    });
+
+    c.bench_function("consistency/eventual_decide_read", |b| {
+        let mut proxy = proxy();
+        let wm = watermarks();
+        let cfg = ConsistencyConfig::new(ConsistencyPolicy::Eventual);
+        let session = SessionToken::new();
+        b.iter(|| cfg.decide_read(&mut proxy, &wm, &session, 5.0, 0.0))
+    });
+
+    c.bench_function("consistency/bounded_decide_read", |b| {
+        let mut proxy = proxy();
+        let wm = watermarks();
+        let cfg = ConsistencyConfig::new(ConsistencyPolicy::BoundedStaleness { max_ms: 50.0 });
+        let session = SessionToken::new();
+        b.iter(|| cfg.decide_read(&mut proxy, &wm, &session, 5.0, 0.0))
+    });
+
+    c.bench_function("consistency/ryw_decide_read", |b| {
+        let mut proxy = proxy();
+        let wm = watermarks();
+        let cfg = ConsistencyConfig::new(ConsistencyPolicy::ReadYourWrites);
+        let mut session = SessionToken::new();
+        session.observe_write(950);
+        b.iter(|| cfg.decide_read(&mut proxy, &wm, &session, 5.0, 0.0))
+    });
+
+    c.bench_function("consistency/watermark_note_applied", |b| {
+        let mut wm = watermarks();
+        let mut now = 1.0;
+        let mut seq = 1_000u64;
+        b.iter(|| {
+            now += 0.5;
+            seq += 1;
+            wm.note_master_seq(seq, now);
+            wm.note_applied(1, seq - 50, now, true);
+            wm.est_staleness_ms(1, now)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

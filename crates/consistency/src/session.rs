@@ -1,0 +1,77 @@
+//! Session tokens: the client-side half of the session guarantees.
+
+/// Per-user session state. The application tier holds one token per emulated
+/// user and feeds it two observations:
+///
+/// * [`SessionToken::observe_write`] — the sequence the user's own write
+///   committed at (read-your-writes: later reads must see at least this);
+/// * [`SessionToken::observe_read`] — the apply watermark of the replica
+///   that served the user's read (monotonic reads: later reads must not
+///   travel backwards past this).
+///
+/// Both high-water marks are conservative over-approximations — the serving
+/// replica's watermark can exceed what the read actually touched — which
+/// only ever strengthens the guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionToken {
+    last_write_seq: u64,
+    last_read_seq: u64,
+}
+
+impl SessionToken {
+    /// Fresh session with no history (any replica qualifies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sequence the user's most recent write committed at.
+    pub fn last_write_seq(&self) -> u64 {
+        self.last_write_seq
+    }
+
+    /// Highest apply watermark among replicas that served this user's reads.
+    pub fn last_read_seq(&self) -> u64 {
+        self.last_read_seq
+    }
+
+    /// Record a committed write at `seq` (monotone).
+    pub fn observe_write(&mut self, seq: u64) {
+        self.last_write_seq = self.last_write_seq.max(seq);
+    }
+
+    /// Record a read served by a replica applied up to `seq` (monotone).
+    pub fn observe_read(&mut self, seq: u64) {
+        self.last_read_seq = self.last_read_seq.max(seq);
+    }
+
+    /// Forget all history (failover resets the sequence space; the old
+    /// guarantees are void along with any lost writes).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_are_monotone() {
+        let mut t = SessionToken::new();
+        t.observe_write(5);
+        t.observe_write(3);
+        assert_eq!(t.last_write_seq(), 5);
+        t.observe_read(9);
+        t.observe_read(2);
+        assert_eq!(t.last_read_seq(), 9);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = SessionToken::new();
+        t.observe_write(5);
+        t.observe_read(9);
+        t.reset();
+        assert_eq!(t, SessionToken::new());
+    }
+}

@@ -23,11 +23,12 @@
 //! metric.)
 
 use crate::config::{BalancerKind, ClusterConfig};
-use crate::report::{DelayReport, RunReport};
+use crate::report::{ConsistencyReport, DelayReport, RunReport};
 use amdb_clock::WALL_EPOCH_MICROS;
 use amdb_cloud::{Instance, InstanceType, Provider};
-use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases};
-use amdb_metrics::{trimmed_mean, Summary};
+use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases, UserSessions};
+use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, ReadDecision, WatermarkTable};
+use amdb_metrics::{trimmed_mean, OnlineStats, Summary};
 use amdb_net::{NetModel, Zone};
 use amdb_obs::{BottleneckReport, Component, Obs, ResourceUsage};
 use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
@@ -115,11 +116,47 @@ struct SyncWait {
     latest_ack: SimTime,
 }
 
+/// The application-managed consistency layer: watermark table, per-user
+/// session tokens, and the fallback counters. Pure bookkeeping — it
+/// schedules no events of its own (wait-for-catchup re-dispatches ride the
+/// ordinary dispatch path) and consumes no randomness, so a cluster with
+/// `Some(Eventual)` runs byte-identically to one with `None`.
+struct ConsistencyLayer {
+    cfg: ConsistencyConfig,
+    wm: WatermarkTable,
+    sessions: UserSessions,
+    redirects_master: u64,
+    waits: u64,
+    wait_ms_total: f64,
+    sla_violations: u64,
+    sla_violations_steady: u64,
+    /// True staleness (vs the master binlog) of every slave-served read,
+    /// measured at CPU-service start.
+    served_staleness: OnlineStats,
+}
+
+impl ConsistencyLayer {
+    fn new(cfg: ConsistencyConfig, n_slaves: usize, start_seq: u64, n_users: u32) -> Self {
+        Self {
+            cfg,
+            wm: WatermarkTable::new(n_slaves, start_seq),
+            sessions: UserSessions::new(n_users as usize),
+            redirects_master: 0,
+            waits: 0,
+            wait_ms_total: 0.0,
+            sla_violations: 0,
+            sla_violations_steady: 0,
+            served_staleness: OnlineStats::new(),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Stats {
     steady_ops: u64,
     steady_reads: u64,
     steady_writes: u64,
+    steady_slave_reads: u64,
     latencies_ms: Vec<f64>,
     peak_relay_backlog: u64,
     master_util: f64,
@@ -172,6 +209,8 @@ pub struct Cluster {
     stats: Stats,
     /// Observability recorder; `Obs::Null` unless `cfg.obs.enabled`.
     obs: Obs,
+    /// Consistency layer; `None` unless `cfg.consistency` opted in.
+    consistency: Option<ConsistencyLayer>,
 }
 
 impl Cluster {
@@ -264,8 +303,12 @@ impl Cluster {
         let phases = cfg.workload.phases;
         let n = cfg.n_slaves;
         let obs = Obs::from_config(&cfg.obs);
+        let consistency = cfg
+            .consistency
+            .map(|c| ConsistencyLayer::new(c, n, shipped0.0, cfg.workload.concurrent_users));
         Self {
             obs,
+            consistency,
             provider,
             events_log: Vec::new(),
             last_scale_action: SimTime::ZERO,
@@ -493,11 +536,57 @@ impl Cluster {
     }
 
     fn dispatch(&mut self, sim: &mut S, user: u32, op: Operation, issued: SimTime) {
+        self.dispatch_with_wait(sim, user, op, issued, 0.0);
+    }
+
+    /// Dispatch one operation, routing reads through the consistency layer
+    /// when one is configured. `waited_ms` accumulates across
+    /// wait-for-catchup parks of the same read (0 on first attempt).
+    fn dispatch_with_wait(
+        &mut self,
+        sim: &mut S,
+        user: u32,
+        op: Operation,
+        issued: SimTime,
+        waited_ms: f64,
+    ) {
         let class = match op.class {
             OpClass::Read => ProxyClass::Read,
             OpClass::Write => ProxyClass::Write,
         };
-        let (node_idx, routed_slave) = match self.proxy.route(class) {
+        let route = match (&mut self.consistency, class) {
+            (Some(layer), ProxyClass::Read) => {
+                let now_ms = sim.now().as_millis_f64();
+                let session = layer.sessions.token(user as usize);
+                match layer
+                    .cfg
+                    .decide_read(&mut self.proxy, &layer.wm, session, now_ms, waited_ms)
+                {
+                    ReadDecision::Route(r) => r,
+                    ReadDecision::RedirectMaster => {
+                        layer.redirects_master += 1;
+                        self.obs
+                            .incr(Component::Proxy, 0, "consistency_redirect_master", 1);
+                        Route::Master
+                    }
+                    ReadDecision::WaitRetry { recheck_ms } => {
+                        layer.waits += 1;
+                        layer.wait_ms_total += recheck_ms;
+                        self.obs.incr(Component::Proxy, 0, "consistency_waits", 1);
+                        let next_waited = waited_ms + recheck_ms;
+                        sim.schedule_in(
+                            SimDuration::from_millis_f64(recheck_ms),
+                            move |w: &mut Cluster, sim| {
+                                w.dispatch_with_wait(sim, user, op, issued, next_waited);
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            _ => self.proxy.route(class),
+        };
+        let (node_idx, routed_slave) = match route {
             Route::Master => {
                 if self.nodes[0].failed {
                     // Failover in progress: park until promotion completes.
@@ -576,6 +665,33 @@ impl Cluster {
                 issued,
                 routed_slave,
             } => {
+                // Consistency accounting: the *true* staleness a slave read
+                // observes is fixed here, at service start, where statements
+                // execute functionally. Pure measurement — no events, no RNG.
+                if self.consistency.is_some() && op.class == OpClass::Read {
+                    if let Some(s) = routed_slave {
+                        let st_ms = self.true_staleness_ms(s, now);
+                        let steady = self.phases.in_steady(now);
+                        if let Some(layer) = self.consistency.as_mut() {
+                            layer.served_staleness.push(st_ms);
+                            if let ConsistencyPolicy::BoundedStaleness { max_ms } = layer.cfg.policy
+                            {
+                                if st_ms > max_ms {
+                                    layer.sla_violations += 1;
+                                    if steady {
+                                        layer.sla_violations_steady += 1;
+                                    }
+                                    self.obs.incr(
+                                        Component::Proxy,
+                                        s as u32,
+                                        "consistency_sla_violation",
+                                        1,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
                 let demand_us = self.exec_client_op(node_idx, &op, now);
                 let done = self.nodes[node_idx]
                     .inst
@@ -713,6 +829,23 @@ impl Cluster {
         self.nodes[node_idx].busy = false;
         let now = sim.now();
 
+        // Session guarantees: record what this completed op established.
+        // Both marks are conservative over-approximations (the serving
+        // replica's watermark, not the exact rows touched).
+        if self.consistency.is_some() {
+            let seq = match (class, routed_slave) {
+                (OpClass::Read, Some(s)) => self.relays[s].applied_upto().0,
+                _ => self.nodes[0].engine.binlog().head().0,
+            };
+            if let Some(layer) = self.consistency.as_mut() {
+                let token = layer.sessions.token_mut(user as usize);
+                match class {
+                    OpClass::Write => token.observe_write(seq),
+                    OpClass::Read => token.observe_read(seq),
+                }
+            }
+        }
+
         if node_idx == 0 {
             // Master job: commit point — ship new binlog events.
             let deliveries = self.ship_new(sim);
@@ -805,7 +938,12 @@ impl Cluster {
         if self.phases.in_steady(now) {
             self.stats.steady_ops += 1;
             match class {
-                OpClass::Read => self.stats.steady_reads += 1,
+                OpClass::Read => {
+                    self.stats.steady_reads += 1;
+                    if routed_slave.is_some() {
+                        self.stats.steady_slave_reads += 1;
+                    }
+                }
                 OpClass::Write => self.stats.steady_writes += 1,
             }
             self.stats.latencies_ms.push(latency_ms);
@@ -849,6 +987,18 @@ impl Cluster {
             return; // slot re-occupied since this apply started
         }
         self.nodes[node_idx].busy = false;
+        // The slave's SQL thread finished one event: advance its watermark.
+        // `backlogged` gates the apply-rate EWMA to busy periods; after a
+        // failover reset the relay's own cursor (not the in-flight job's
+        // old-epoch LSN) is authoritative.
+        if self.consistency.is_some() {
+            let seq = self.relays[slave].applied_upto().0;
+            let backlogged = self.relays[slave].backlog() > 0;
+            let now_ms = sim.now().as_millis_f64();
+            if let Some(layer) = self.consistency.as_mut() {
+                layer.wm.note_applied(slave, seq, now_ms, backlogged);
+            }
+        }
         // Sync-mode acks.
         if self.mode == ReplMode::Sync && !self.pending_sync.is_empty() {
             let now = sim.now();
@@ -886,6 +1036,11 @@ impl Cluster {
     /// per-slave delivery times of this batch.
     fn ship_new(&mut self, sim: &mut S) -> Vec<(usize, SimTime)> {
         let head = self.nodes[0].engine.binlog().head();
+        // GTID-style watermarks: stamp every newly committed sequence with
+        // the commit (= ship-point) time. Monotone no-op when nothing is new.
+        if let Some(layer) = self.consistency.as_mut() {
+            layer.wm.note_master_seq(head.0, sim.now().as_millis_f64());
+        }
         if head == self.shipped_upto || self.relays.is_empty() {
             self.shipped_upto = head;
             return Vec::new();
@@ -988,6 +1143,9 @@ impl Cluster {
         self.nodes[node_idx].gen = gen;
         self.relays[s] = RelayQueue::starting_at(head);
         self.chan_clear[s] = sim.now();
+        if let Some(layer) = self.consistency.as_mut() {
+            layer.wm.reset_slave(s, head.0);
+        }
         self.obs
             .instant(Component::Cluster, s as u32, "slave_replaced", sim.now());
         self.events_log.push((
@@ -1080,7 +1238,13 @@ impl Cluster {
         }
 
         // New replication stream: fresh binlog, fresh epoch; every live
-        // slave resyncs from a snapshot of the new master.
+        // slave resyncs from a snapshot of the new master. The old sequence
+        // space is void, and with it every session guarantee (lost writes
+        // cannot be read-your-writes'd back into existence).
+        if let Some(layer) = self.consistency.as_mut() {
+            layer.wm.reset_all(0);
+            layer.sessions.reset_all();
+        }
         self.repl_epoch += 1;
         self.shipped_upto = Lsn(0);
         for s in 0..self.relays.len() {
@@ -1137,6 +1301,9 @@ impl Cluster {
         self.nodes.push(Node::new(inst, engine));
         self.relays.push(RelayQueue::starting_at(head));
         self.chan_clear.push(sim.now());
+        if let Some(layer) = self.consistency.as_mut() {
+            layer.wm.push_slave(head.0);
+        }
         let s = self.proxy.add_slave();
         debug_assert_eq!(s + 2, self.nodes.len(), "proxy and node lists in step");
         self.obs
@@ -1168,6 +1335,30 @@ impl Cluster {
             .unwrap_or(0) as i64;
         let behind = (issued - applied).max(0) as f64;
         behind * self.cfg.heartbeat_interval.as_millis_f64()
+    }
+
+    /// The *true* staleness of slave `s` right now (ms): the age of the
+    /// oldest master-committed writeset it has not applied, 0 when fully
+    /// caught up. Unlike `observed_staleness_ms` (heartbeat granularity,
+    /// application-visible) this reads the master binlog directly — it is
+    /// the ground truth the watermark estimator is judged against, and it
+    /// sees writesets still in flight to the relay. Commit timestamps are
+    /// master-clock stamps mapped back to sim time; the clock offset is
+    /// tens of ms, bounded and identical across a sweep.
+    fn true_staleness_ms(&self, s: usize, now: SimTime) -> f64 {
+        let applied = self.relays[s].applied_upto();
+        match self.nodes[0].engine.binlog_from(applied).first() {
+            None => 0.0,
+            Some(ev) => {
+                let sim_us = (ev.commit_ts_micros - WALL_EPOCH_MICROS).max(0) as u64;
+                let committed = SimTime::from_micros(sim_us);
+                if now > committed {
+                    (now - committed).as_millis_f64()
+                } else {
+                    0.0
+                }
+            }
+        }
     }
 
     fn autoscale_tick(&mut self, sim: &mut S, auto: crate::config::AutoscaleConfig) {
@@ -1271,6 +1462,7 @@ impl Cluster {
             steady_ops: self.stats.steady_ops,
             steady_reads: self.stats.steady_reads,
             steady_writes: self.stats.steady_writes,
+            steady_slave_reads: self.stats.steady_slave_reads,
             throughput_ops_s: self.stats.steady_ops as f64 / steady_secs,
             latency_ms: Summary::of(&self.stats.latencies_ms),
             master_utilization: self.stats.master_util,
@@ -1279,6 +1471,18 @@ impl Cluster {
             reads_per_slave: self.proxy.reads_per_slave().to_vec(),
             peak_relay_backlog: self.stats.peak_relay_backlog,
             pool_stats: (self.pool.total_acquired(), self.pool.total_waited()),
+            consistency: self.consistency.as_ref().map(|l| ConsistencyReport {
+                policy: l.cfg.policy.label(),
+                fallback: l.cfg.fallback.label(),
+                redirects_master: l.redirects_master,
+                waits: l.waits,
+                wait_ms_total: l.wait_ms_total,
+                sla_violations: l.sla_violations,
+                sla_violations_steady: l.sla_violations_steady,
+                served_staleness_mean_ms: l.served_staleness.mean(),
+                served_staleness_max_ms: l.served_staleness.max(),
+                served_staleness_samples: l.served_staleness.count(),
+            }),
             sim_events,
         }
     }

@@ -2,6 +2,7 @@
 
 use amdb_cloud::{CpuModel, ProviderConfig};
 use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
+use amdb_consistency::ConsistencyConfig;
 use amdb_net::{NetConfig, Region, Zone};
 use amdb_obs::ObsConfig;
 use amdb_repl::ReplMode;
@@ -182,6 +183,10 @@ pub struct ClusterConfig {
     /// Observability: tracing/metrics collection (off by default — the
     /// disabled path costs a single branch per probe).
     pub obs: ObsConfig,
+    /// Application-managed read-consistency policy. `None` (the default)
+    /// routes every read through the plain proxy; `Some(Eventual)` is
+    /// byte-identical to `None` (the policy layer only does bookkeeping).
+    pub consistency: Option<ConsistencyConfig>,
     pub seed: u64,
 }
 
@@ -225,6 +230,7 @@ impl Default for ClusterBuilder {
                 master_fault: None,
                 autoscale: None,
                 obs: ObsConfig::default(),
+                consistency: None,
                 seed: 42,
             },
         }
@@ -363,6 +369,12 @@ impl ClusterBuilder {
     /// default sampling period.
     pub fn observe(mut self, enabled: bool) -> Self {
         self.cfg.obs.enabled = enabled;
+        self
+    }
+
+    /// Read-consistency policy for the routing tier (None = plain proxy).
+    pub fn consistency(mut self, c: ConsistencyConfig) -> Self {
+        self.cfg.consistency = Some(c);
         self
     }
 

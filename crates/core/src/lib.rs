@@ -26,10 +26,11 @@ pub mod cluster;
 pub mod config;
 pub mod report;
 
+pub use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, FallbackPolicy};
 pub use amdb_obs::ObsConfig;
 pub use cluster::{run_cluster, run_cluster_observed, Cluster};
 pub use config::{
     AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, MasterFaultPlan,
     Placement, WorkloadKind,
 };
-pub use report::{DelayReport, RunReport};
+pub use report::{ConsistencyReport, DelayReport, RunReport};

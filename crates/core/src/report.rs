@@ -20,6 +20,46 @@ pub struct DelayReport {
     pub missing_samples: usize,
 }
 
+/// Consistency-layer statistics for one run (present only when the run was
+/// configured with a consistency policy, `ClusterConfig::consistency`).
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    /// Active policy label (e.g. `bounded(250ms)`).
+    pub policy: String,
+    /// Active fallback label (e.g. `redirect-to-master`).
+    pub fallback: String,
+    /// Reads the policy layer redirected to the master because live slaves
+    /// existed but none qualified (distinct from the proxy's no-slave-alive
+    /// fallback).
+    pub redirects_master: u64,
+    /// Wait-for-catchup parks issued (one read can park repeatedly).
+    pub waits: u64,
+    /// Total time reads spent parked waiting for catch-up (ms).
+    pub wait_ms_total: f64,
+    /// Slave-served reads whose *true* staleness at service start exceeded
+    /// the bound (BoundedStaleness only) — the estimator let them through.
+    pub sla_violations: u64,
+    /// ... of which inside the steady window.
+    pub sla_violations_steady: u64,
+    /// Mean true staleness over all slave-served reads (ms).
+    pub served_staleness_mean_ms: Option<f64>,
+    /// Worst true staleness any slave-served read observed (ms).
+    pub served_staleness_max_ms: Option<f64>,
+    /// Number of slave-served reads measured.
+    pub served_staleness_samples: u64,
+}
+
+impl ConsistencyReport {
+    /// Share of steady-window reads that violated the staleness bound.
+    pub fn violation_rate(&self, steady_reads: u64) -> f64 {
+        if steady_reads == 0 {
+            0.0
+        } else {
+            self.sla_violations_steady as f64 / steady_reads as f64
+        }
+    }
+}
+
 /// The outcome of one full benchmark run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -42,6 +82,9 @@ pub struct RunReport {
     pub steady_reads: u64,
     /// ... of which writes.
     pub steady_writes: u64,
+    /// ... of the reads, how many a slave served (the rest hit the master
+    /// via proxy fallback or a consistency redirect).
+    pub steady_slave_reads: u64,
     /// End-to-end throughput over the steady window (operations/second) —
     /// the y-axis of Figs 2 and 3.
     pub throughput_ops_s: f64,
@@ -60,6 +103,8 @@ pub struct RunReport {
     pub peak_relay_backlog: u64,
     /// Pool statistics: (total acquired, total that had to wait).
     pub pool_stats: (u64, u64),
+    /// Consistency-layer statistics (None unless the run opted in).
+    pub consistency: Option<ConsistencyReport>,
     /// Events executed by the simulation kernel (diagnostics).
     pub sim_events: u64,
 }
@@ -110,6 +155,7 @@ mod tests {
             steady_ops: 0,
             steady_reads: 0,
             steady_writes: 0,
+            steady_slave_reads: 0,
             throughput_ops_s: 0.0,
             latency_ms: None,
             master_utilization: 0.0,
@@ -118,6 +164,7 @@ mod tests {
             reads_per_slave: vec![],
             peak_relay_backlog: 0,
             pool_stats: (0, 0),
+            consistency: None,
             sim_events: 0,
         };
         assert_eq!(r.avg_relative_delay_ms(), Some(15.0));

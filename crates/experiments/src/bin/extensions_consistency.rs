@@ -1,0 +1,16 @@
+//! Run the consistency extension (E-C): throughput & staleness-violation
+//! rate vs the `BoundedStaleness` bound, across the paper's placements.
+//! Pass `--full` for the paper-scale grid and `--jobs N` (or `AMDB_JOBS=N`)
+//! to pick the worker count.
+use amdb_experiments::sweep::SweepOptions;
+use amdb_experiments::{consistency, exec, write_results_csv, Fidelity};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let jobs = exec::jobs_from_args();
+    let spec = consistency::ConsistencySpec::paper_set(f);
+    let cells = consistency::run(&spec, &SweepOptions::with_progress(jobs, "[E-C] "));
+    let t = consistency::table(&spec, &cells);
+    println!("{}", t.render());
+    write_results_csv("extensions", "consistency", &t);
+}

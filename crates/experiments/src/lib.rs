@@ -13,12 +13,14 @@
 //! | [`perfvar`] | §IV-A instance performance variation |
 //! | [`ablations`] | A1 sync modes, A2 balancers, A3 binlog formats |
 //! | [`extensions`] | E-F failover, E-A staleness-SLO autoscaling |
+//! | [`consistency`] | E-C throughput vs staleness bound (amdb-consistency) |
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
 //! | [`exec`]    | deterministic parallel executor behind the sweeps |
 
 pub mod ablations;
 pub mod calib;
+pub mod consistency;
 pub mod exec;
 pub mod extensions;
 pub mod fig4;

@@ -99,6 +99,14 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
 ///
 /// Returns `None` when trimming would discard everything or the input is
 /// empty. A `trim_fraction` of `0.0` degenerates to the plain mean.
+///
+/// The per-tail cut is `floor(n × trim_fraction)` — the conventional
+/// truncated-mean definition. Pinned consequence for the paper's 5 % trim:
+/// **samples with `n < 20` are not trimmed at all** (the cut floors to
+/// zero), `n in 20..40` drops exactly one sample per tail, and so on. Small
+/// heartbeat windows therefore keep their outliers rather than discarding
+/// half of a 3-sample window; do not "fix" this to `ceil` or rounding
+/// without recalibrating every committed result.
 pub fn trimmed_mean(xs: &[f64], trim_fraction: f64) -> Option<f64> {
     if xs.is_empty() || !(0.0..0.5).contains(&trim_fraction) {
         return None;
@@ -192,6 +200,54 @@ mod tests {
         xs.push(1e9);
         let tm = trimmed_mean(&xs, 0.05).unwrap();
         assert!((tm - 10.85).abs() < 1e-9, "got {tm}");
+    }
+
+    #[test]
+    fn trimmed_mean_tiny_samples_are_untrimmed_at_5pct() {
+        // Pinned: floor(n × 0.05) = 0 for every n < 20, so the 5 % trim is
+        // the identity on tiny samples — outliers included.
+        for n in 1..20usize {
+            let mut xs: Vec<f64> = (0..n.saturating_sub(1)).map(|i| i as f64).collect();
+            xs.push(1e9); // blatant outlier must survive
+            assert_eq!(
+                trimmed_mean(&xs, 0.05),
+                mean(&xs),
+                "n={n} must not be trimmed"
+            );
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_cut_count_boundaries() {
+        // floor semantics: n=20..39 cuts exactly 1 per tail, n=40 cuts 2.
+        let build = |n: usize| -> Vec<f64> {
+            let mut xs: Vec<f64> = vec![10.0; n - 2];
+            xs.push(-1e9);
+            xs.push(1e9);
+            xs
+        };
+        // n=20: both outliers (one per tail) are dropped.
+        assert_eq!(trimmed_mean(&build(20), 0.05), Some(10.0));
+        // n=39: still exactly one per tail.
+        assert_eq!(trimmed_mean(&build(39), 0.05), Some(10.0));
+        // n=40: two per tail — outliers and one honest sample per tail go.
+        assert_eq!(trimmed_mean(&build(40), 0.05), Some(10.0));
+        // n=19: nothing is cut — the mean is dragged off 10.0 by the
+        // (slightly cancelling) outliers instead of recovering it.
+        let tm = trimmed_mean(&build(19), 0.05).unwrap();
+        assert_eq!(tm, mean(&build(19)).unwrap(), "n=19 is untrimmed");
+        assert!((tm - 10.0).abs() > 0.5, "n=19 keeps outliers, got {tm}");
+    }
+
+    #[test]
+    fn trimmed_mean_matches_mean_exactly_below_twenty() {
+        // Bit-exact equivalence on a realistic small heartbeat window
+        // (sorted input, so the summation order matches exactly).
+        let xs = [11.9, 12.2, 12.5, 13.1, 14.0, 55.0];
+        assert_eq!(
+            trimmed_mean(&xs, 0.05).unwrap().to_bits(),
+            mean(&xs).unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -253,6 +253,35 @@ impl Proxy {
         }
     }
 
+    /// Route one read restricted to the `eligible` slaves (a mask indexed
+    /// like the slave list; shorter masks treat the missing tail as
+    /// ineligible). The policy layer (amdb-consistency) computes the mask
+    /// from freshness watermarks; the balancer then picks among the
+    /// survivors exactly as it would have, seeing ineligible slaves as down.
+    /// Falls back to the master (counting `reads_fallback_master`) when the
+    /// mask admits no live slave.
+    pub fn route_read_among(&mut self, eligible: &[bool]) -> Route {
+        let saved: Vec<bool> = self.slaves.iter().map(|s| s.alive).collect();
+        for (i, s) in self.slaves.iter_mut().enumerate() {
+            s.alive &= eligible.get(i).copied().unwrap_or(false);
+        }
+        let pick = self.balancer.pick(&self.slaves);
+        for (s, alive) in self.slaves.iter_mut().zip(saved) {
+            s.alive = alive;
+        }
+        match pick {
+            Some(i) => {
+                self.reads_routed[i] += 1;
+                self.slaves[i].outstanding += 1;
+                Route::Slave(i)
+            }
+            None => {
+                self.reads_fallback_master += 1;
+                Route::Master
+            }
+        }
+    }
+
     /// Report a read completion so outstanding counts and EWMA latencies stay
     /// current.
     pub fn read_done(&mut self, slave: usize, latency_ms: f64) {
@@ -358,6 +387,60 @@ mod tests {
         p.set_alive(0, false);
         p.set_alive(1, false);
         assert_eq!(p.route(OpClass::Read), Route::Master);
+    }
+
+    #[test]
+    fn all_slaves_dead_counts_master_fallback() {
+        // Regression: a proxy with slaves that are all *down* (not merely
+        // absent) must both route to the master and account for it.
+        for balancer in [
+            Box::new(RoundRobin::default()) as Box<dyn Balancer>,
+            Box::new(LeastOutstanding::default()),
+            Box::new(LatencyAware::default()),
+        ] {
+            let mut p = Proxy::new(3, balancer);
+            for s in 0..3 {
+                p.set_alive(s, false);
+            }
+            for k in 1..=5u64 {
+                assert_eq!(p.route(OpClass::Read), Route::Master);
+                assert_eq!(p.reads_fallback_master(), k);
+            }
+            assert_eq!(p.reads_per_slave(), &[0, 0, 0], "no slave was charged");
+            // Revival restores normal routing and stops the counter.
+            p.set_alive(1, true);
+            assert_eq!(p.route(OpClass::Read), Route::Slave(1));
+            assert_eq!(p.reads_fallback_master(), 5);
+        }
+    }
+
+    #[test]
+    fn route_among_restricts_the_balancer() {
+        let mut p = Proxy::new(3, Box::new(RoundRobin::default()));
+        // Only slave 2 eligible: round-robin must keep landing there.
+        for _ in 0..3 {
+            assert_eq!(p.route_read_among(&[false, false, true]), Route::Slave(2));
+        }
+        assert_eq!(p.reads_per_slave(), &[0, 0, 3]);
+        // Full mask behaves like a plain read route.
+        assert_eq!(p.route_read_among(&[true, true, true]), Route::Slave(0));
+        // Empty eligibility falls back to the master and counts it.
+        assert_eq!(p.route_read_among(&[false, false, false]), Route::Master);
+        assert_eq!(p.reads_fallback_master(), 1);
+        // A short mask treats the missing tail as ineligible.
+        assert_eq!(p.route_read_among(&[true]), Route::Slave(0));
+    }
+
+    #[test]
+    fn route_among_preserves_liveness_flags() {
+        let mut p = Proxy::new(2, Box::new(RoundRobin::default()));
+        p.set_alive(1, false);
+        // Mask says slave 1 is eligible, but it is down: master fallback.
+        assert_eq!(p.route_read_among(&[false, true]), Route::Master);
+        // The temporary masking must not have resurrected or killed anyone.
+        assert!(p.slave_status(0).alive);
+        assert!(!p.slave_status(1).alive);
+        assert_eq!(p.route(OpClass::Read), Route::Slave(0));
     }
 
     #[test]

@@ -157,6 +157,23 @@ impl ReplicatedDb {
     pub fn relay(&self, i: usize) -> &RelayQueue {
         &self.slaves[i].1
     }
+
+    /// The master's GTID-style watermark: writesets committed (and therefore
+    /// stamped with a monotone sequence) so far. The binlog LSN *is* the
+    /// sequence — `master_seq() == n` means sequences `1..=n` exist.
+    pub fn master_seq(&self) -> u64 {
+        self.master.binlog().head().0
+    }
+
+    /// Sequence slave `i`'s SQL thread has applied up to.
+    pub fn applied_seq(&self, i: usize) -> u64 {
+        self.slaves[i].1.applied_upto().0
+    }
+
+    /// Sequence slave `i`'s I/O thread has received up to (relay log tail).
+    pub fn received_seq(&self, i: usize) -> u64 {
+        self.slaves[i].1.received_upto().0
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +202,28 @@ mod tests {
                 .execute_slave(i, "SELECT COUNT(*) FROM users", &[])
                 .unwrap();
             assert_eq!(r.rows[0][0], Value::Int(2), "slave {i}");
+        }
+    }
+
+    #[test]
+    fn watermarks_track_ship_and_apply() {
+        let mut db = setup(2);
+        let base = db.master_seq();
+        assert_eq!(db.applied_seq(0), base, "setup pumped everything");
+        db.execute_master("INSERT INTO users VALUES (1, 'a')", &[])
+            .unwrap();
+        db.execute_master("INSERT INTO users VALUES (2, 'b')", &[])
+            .unwrap();
+        assert_eq!(db.master_seq(), base + 2);
+        // Not shipped yet: slaves unchanged on both threads.
+        assert_eq!(db.received_seq(0), base);
+        assert_eq!(db.applied_seq(1), base);
+        db.ship();
+        assert_eq!(db.received_seq(0), base + 2, "I/O thread caught up");
+        assert_eq!(db.applied_seq(0), base, "SQL thread has not");
+        db.apply_all().unwrap();
+        for i in 0..2 {
+            assert_eq!(db.applied_seq(i), base + 2, "slave {i}");
         }
     }
 

@@ -6,6 +6,7 @@
 pub use amdb_clock as clock;
 pub use amdb_cloud as cloud;
 pub use amdb_cloudstone as cloudstone;
+pub use amdb_consistency as consistency;
 pub use amdb_core as core;
 pub use amdb_experiments as experiments;
 pub use amdb_metrics as metrics;
