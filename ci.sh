@@ -15,6 +15,8 @@ cargo build --release --offline
 # The root package build skips workspace-member bins; the smoke below
 # drives the experiment binaries, so build them explicitly.
 cargo build --release --offline -p amdb-experiments
+# The quickstart example regenerates the quickstart_trace.json artifact.
+cargo build --release --offline --example quickstart
 
 echo "== tier-1: tests =="
 cargo test -q --offline
@@ -48,6 +50,15 @@ cmp "$SMOKE/fig5_j1.out" "$SMOKE/fig5_env.out" \
 (cd "$SMOKE" && "$BIN/extensions_consistency" --jobs 2 >ec_j2.out 2>/dev/null)
 cmp "$SMOKE/ec_j1.out" "$SMOKE/ec_j2.out" \
   || { echo "extensions_consistency differs between --jobs 1 and --jobs 2"; exit 1; }
+# obs_slo SLO/alert sweep: the rendered alert timeline *and* the results
+# CSV must be byte-identical for any jobs count.
+mkdir -p "$SMOKE/slo_j1" "$SMOKE/slo_j2"
+(cd "$SMOKE/slo_j1" && "$BIN/obs_slo" --jobs 1 >obs_slo.out 2>/dev/null)
+(cd "$SMOKE/slo_j2" && "$BIN/obs_slo" --jobs 2 >obs_slo.out 2>/dev/null)
+cmp "$SMOKE/slo_j1/obs_slo.out" "$SMOKE/slo_j2/obs_slo.out" \
+  || { echo "obs_slo output differs between --jobs 1 and --jobs 2"; exit 1; }
+cmp "$SMOKE/slo_j1/results/obs_slo_alerts.csv" "$SMOKE/slo_j2/results/obs_slo_alerts.csv" \
+  || { echo "obs_slo_alerts.csv differs between --jobs 1 and --jobs 2"; exit 1; }
 
 echo "== bench_sweep: serial vs parallel wall-clock =="
 (cd "$SMOKE" && "$BIN/bench_sweep" --jobs 2 >/dev/null)
@@ -67,5 +78,38 @@ print(f"bench_sweep ok: {b['total_serial_s']:.1f}s serial vs "
       f"{b['total_parallel_s']:.1f}s with {b['jobs']} jobs "
       f"({b['speedup']:.2f}x, {b['host_cores']} cores)")
 EOF
+
+echo "== trace artifacts regenerate deterministically =="
+# quickstart_trace.json and results/obs_trace.json + obs_series.csv are
+# regenerable (gitignored) artifacts; two fresh regenerations must agree
+# byte-for-byte, and a repo-root copy — when present — must be fresh.
+mkdir -p "$SMOKE/art1" "$SMOKE/art2"
+(cd "$SMOKE/art1" && "$BIN/examples/quickstart" >quickstart.out 2>/dev/null)
+(cd "$SMOKE/art2" && "$BIN/examples/quickstart" >quickstart.out 2>/dev/null)
+cmp "$SMOKE/art1/quickstart.out" "$SMOKE/art2/quickstart.out" \
+  || { echo "quickstart output not deterministic"; exit 1; }
+cmp "$SMOKE/art1/quickstart_trace.json" "$SMOKE/art2/quickstart_trace.json" \
+  || { echo "quickstart_trace.json not deterministic"; exit 1; }
+if [ -f quickstart_trace.json ]; then
+  cmp quickstart_trace.json "$SMOKE/art1/quickstart_trace.json" \
+    || { echo "stale quickstart_trace.json — rerun the quickstart example"; exit 1; }
+fi
+(cd "$SMOKE/art1" && "$BIN/obs_report" >obs_report.out 2>/dev/null)
+(cd "$SMOKE/art2" && "$BIN/obs_report" >obs_report.out 2>/dev/null)
+cmp "$SMOKE/art1/obs_report.out" "$SMOKE/art2/obs_report.out" \
+  || { echo "obs_report output not deterministic"; exit 1; }
+for art in obs_trace.json obs_series.csv; do
+  cmp "$SMOKE/art1/results/$art" "$SMOKE/art2/results/$art" \
+    || { echo "$art not deterministic"; exit 1; }
+  if [ -f "results/$art" ]; then
+    cmp "results/$art" "$SMOKE/art1/results/$art" \
+      || { echo "stale results/$art — rerun obs_report"; exit 1; }
+  fi
+done
+
+echo "== micro-bench contract: disabled telemetry probe stays sub-ns =="
+# micro_substrates carries an explicit 50M-iteration loop that asserts the
+# disabled-path probe costs < 1 ns; a regression panics the bench.
+cargo bench --offline -p amdb-bench --bench micro_substrates | tail -n 4
 
 echo "CI OK"

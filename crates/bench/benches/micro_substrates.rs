@@ -1,8 +1,8 @@
 //! Micro-benchmarks over the substrates: DES kernel, CPU model, connection
 //! pool, metrics, RNG.
 
-use amdb_metrics::trimmed_mean;
-use amdb_obs::{Component, Obs, ObsConfig};
+use amdb_metrics::{trimmed_mean, QuantileSketch};
+use amdb_obs::{Component, FlowPhase, Obs, ObsConfig};
 use amdb_pool::{Pool, PoolConfig, SimPool};
 use amdb_sim::{FifoCpu, Rng, Sim, SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -100,6 +100,67 @@ fn bench(c: &mut Criterion) {
             obs.is_enabled()
         })
     });
+
+    // Telemetry hot paths. Recording into the bounded quantile sketch is a
+    // log, a floor, and a bucket increment; the disabled probe (flow +
+    // sketch observe on Obs::Null) must be a discriminant branch and
+    // nothing else.
+    c.bench_function("telemetry/sketch_record", |b| {
+        let mut sk = QuantileSketch::latency();
+        let mut rng = Rng::new(9);
+        b.iter(|| {
+            sk.record(rng.f64() * 250.0);
+            sk.count()
+        })
+    });
+
+    c.bench_function("telemetry/probe_disabled_null", |b| {
+        let mut obs = Obs::default();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(3);
+            obs.flow(FlowPhase::Step, Component::Repl, 0, "writeset", t, 42);
+            obs.observe_sketch(Component::Proxy, 0, "client_latency_ms", 1.0);
+            obs.is_enabled()
+        })
+    });
+
+    // The harness above only prints its measurements, so the zero-cost
+    // contract is asserted here explicitly: a disabled flow probe must
+    // average under a nanosecond.
+    {
+        use std::hint::black_box;
+        let mut obs = black_box(Obs::default());
+        const ITERS: u64 = 50_000_000;
+        // Baseline loop with identical black_box traffic, so the asserted
+        // delta is the probe's own cost, not loop scaffolding.
+        let start = std::time::Instant::now();
+        for i in 0..ITERS {
+            black_box(i);
+        }
+        let base = start.elapsed();
+        let start = std::time::Instant::now();
+        for i in 0..ITERS {
+            obs.flow(
+                FlowPhase::Step,
+                Component::Repl,
+                0,
+                "writeset",
+                SimTime::from_micros(black_box(i)),
+                i,
+            );
+        }
+        let with_probe = start.elapsed();
+        black_box(&obs);
+        let per = with_probe.saturating_sub(base).as_nanos() as f64 / ITERS as f64;
+        assert!(
+            per < 1.0,
+            "disabled telemetry probe must be sub-nanosecond, measured {per:.3} ns"
+        );
+        println!(
+            "telemetry/probe_disabled_null explicit loop    {per:.4} ns/probe (< 1 ns contract)"
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -29,8 +29,8 @@ use amdb_cloud::{Instance, InstanceType, Provider};
 use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases, UserSessions};
 use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, ReadDecision, WatermarkTable};
 use amdb_metrics::{trimmed_mean, OnlineStats, Summary};
-use amdb_net::{NetModel, Zone};
-use amdb_obs::{BottleneckReport, Component, Obs, ResourceUsage};
+use amdb_net::{NetModel, Proximity, Zone};
+use amdb_obs::{BottleneckReport, Component, FlowPhase, Obs, ResourceUsage};
 use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
 use amdb_proxy::{
     Balancer, LatencyAware, LeastOutstanding, OpClass as ProxyClass, Proxy, RandomPick, RoundRobin,
@@ -41,6 +41,7 @@ use amdb_sim::{Rng, Sim, SimDuration, SimTime};
 use amdb_sql::binlog::{BinlogEvent, Lsn};
 use amdb_sql::cost::CostModel;
 use amdb_sql::{Engine, ForkRole, Session};
+use amdb_telemetry::{AlertKind, SloSample, Telemetry};
 use std::collections::HashMap;
 
 type S = Sim<Cluster>;
@@ -97,6 +98,8 @@ enum Job {
         issued: SimTime,
         /// Slave index the proxy routed a read to (for feedback), if any.
         routed_slave: Option<usize>,
+        /// Telemetry trace id for tracked writes (0 = untracked).
+        trace: u64,
     },
     /// Apply the next relay-queue event on slave `slave`.
     Apply { slave: usize },
@@ -147,6 +150,37 @@ impl ConsistencyLayer {
             sla_violations: 0,
             sla_violations_steady: 0,
             served_staleness: OnlineStats::new(),
+        }
+    }
+}
+
+/// Cluster-side telemetry state: the `amdb-telemetry` bundle plus the
+/// differencing baselines that turn the cluster's cumulative counters into
+/// the per-tick series the SLO engine consumes. Pure measurement — reads
+/// deterministic cluster state at sampling ticks, schedules nothing,
+/// consumes no randomness.
+struct TelemetryLayer {
+    t: Telemetry,
+    /// Per-node cumulative CPU busy-seconds at the previous sampling tick
+    /// (differenced for interval utilization; the steady-window reset shows
+    /// up as a negative delta and is clamped to zero for one tick).
+    prev_busy: Vec<f64>,
+    prev_at: SimTime,
+    prev_ops: u64,
+    prev_sla: u64,
+    /// Operations completed (responses delivered) since the run started.
+    ops_completed: u64,
+}
+
+impl TelemetryLayer {
+    fn new(cfg: &amdb_telemetry::TelemetryConfig, n_slaves: usize) -> Self {
+        Self {
+            t: Telemetry::new(cfg, n_slaves),
+            prev_busy: Vec::new(),
+            prev_at: SimTime::ZERO,
+            prev_ops: 0,
+            prev_sla: 0,
+            ops_completed: 0,
         }
     }
 }
@@ -211,6 +245,9 @@ pub struct Cluster {
     obs: Obs,
     /// Consistency layer; `None` unless `cfg.consistency` opted in.
     consistency: Option<ConsistencyLayer>,
+    /// Telemetry layer; `None` unless `cfg.telemetry.enabled` — every probe
+    /// site below is then a single `Option` discriminant test.
+    telemetry: Option<TelemetryLayer>,
 }
 
 impl Cluster {
@@ -227,10 +264,15 @@ impl Cluster {
     /// database (see `amdb_cloudstone::build_template`). Sweeps load the
     /// template once per data size and reuse it across all of their runs.
     pub fn with_template(
-        cfg: ClusterConfig,
+        mut cfg: ClusterConfig,
         template: &Engine,
         counters: amdb_cloudstone::DataCounters,
     ) -> Self {
+        // Telemetry records through the observability recorder, so enabling
+        // it forces observability on.
+        if cfg.telemetry.enabled {
+            cfg.obs.enabled = true;
+        }
         let root = Rng::new(cfg.seed);
         let mut provider = Provider::new(cfg.provider.clone(), root.derive("provider"));
         let net = NetModel::new(cfg.net.clone(), root.derive("net"));
@@ -306,9 +348,14 @@ impl Cluster {
         let consistency = cfg
             .consistency
             .map(|c| ConsistencyLayer::new(c, n, shipped0.0, cfg.workload.concurrent_users));
+        let telemetry = cfg
+            .telemetry
+            .enabled
+            .then(|| TelemetryLayer::new(&cfg.telemetry, n));
         Self {
             obs,
             consistency,
+            telemetry,
             provider,
             events_log: Vec::new(),
             last_scale_action: SimTime::ZERO,
@@ -484,10 +531,116 @@ impl Cluster {
                 self.proxy.slave_status(s).outstanding as f64,
             );
         }
+        self.telemetry_sample_tick(now);
         if now + interval <= self.phases.hard_end() {
             sim.schedule_in(interval, move |w: &mut Cluster, sim| {
                 w.obs_sample_tick(sim, interval);
             });
+        }
+    }
+
+    /// Telemetry sampling (rides the observability sampler): ground-truth
+    /// staleness counters, interval CPU utilizations, SLO rule evaluation,
+    /// and alert instants. No-op unless telemetry is enabled.
+    fn telemetry_sample_tick(&mut self, now: SimTime) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        // Ground-truth staleness per slave — continuous, unlike the
+        // 1 s-quantized heartbeat estimate, so the surge detector sees the
+        // surge as it builds rather than in heartbeat-interval steps.
+        let n_slaves = self.relays.len();
+        let mut delay_ms = Vec::with_capacity(n_slaves);
+        for s in 0..n_slaves {
+            let st = if self.nodes[self.slave_node(s)].failed {
+                0.0
+            } else {
+                self.true_staleness_ms(s, now)
+            };
+            delay_ms.push(st);
+            self.obs
+                .counter(Component::Repl, s as u32, "true_staleness_ms", now, st);
+        }
+        // Interval CPU utilization per node slot: difference cumulative
+        // busy time between ticks. The steady-window reset zeroes the
+        // accumulator; the clamp absorbs that as one zero-utilization tick.
+        let cur_busy: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.inst.cpu.busy_in_window().as_secs_f64())
+            .collect();
+        let tl = self.telemetry.as_mut().expect("checked above");
+        if tl.prev_busy.len() != cur_busy.len() {
+            // Membership changed (scale-out/failover): rebaseline, so the
+            // first tick after the change reads zero for the new slots.
+            tl.prev_busy = cur_busy.clone();
+        }
+        let elapsed = (now - tl.prev_at).as_secs_f64();
+        let cpu_util: Vec<f64> = if elapsed > 0.0 {
+            cur_busy
+                .iter()
+                .zip(&tl.prev_busy)
+                .map(|(c, p)| (c - p).max(0.0) / elapsed)
+                .collect()
+        } else {
+            vec![0.0; cur_busy.len()]
+        };
+        // Attribution rows in the bottleneck report's shape and labels, so
+        // a surge's attribution names the same resource the post-run
+        // `bottleneck_report()` would.
+        let mut rows = Vec::with_capacity(cpu_util.len());
+        for (i, &u) in cpu_util.iter().enumerate() {
+            rows.push(ResourceUsage {
+                comp: Component::Cpu,
+                inst: i as u32,
+                label: if i == 0 {
+                    "master cpu".to_string()
+                } else {
+                    format!("slave{} cpu", i - 1)
+                },
+                utilization: u,
+                peak_queue: self.nodes[i].queue.len() + usize::from(self.nodes[i].busy),
+            });
+        }
+        let ops = tl.ops_completed;
+        let ops_per_s = if elapsed > 0.0 {
+            (ops - tl.prev_ops) as f64 / elapsed
+        } else {
+            0.0
+        };
+        let sla_now = self.consistency.as_ref().map_or(0, |l| l.sla_violations);
+        let sla_rate = if elapsed > 0.0 {
+            (sla_now - tl.prev_sla) as f64 / elapsed
+        } else {
+            0.0
+        };
+        let slave_zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
+        let rtt_ms = 2.0
+            * self
+                .net
+                .base_one_way(Proximity::of(self.cfg.master_zone, slave_zone))
+                .as_millis_f64();
+        let rtt_class = self.cfg.placement.label(self.cfg.master_zone);
+        let fired = tl.t.slo.observe(&SloSample {
+            at: now,
+            delay_ms: &delay_ms,
+            cpu_util: &cpu_util,
+            pool_waiting: self.pool.waiting() as f64,
+            ops_per_s,
+            sla_violation_rate: sla_rate,
+            rows: &rows,
+            rtt_ms,
+            rtt_class: &rtt_class,
+        });
+        tl.prev_busy = cur_busy;
+        tl.prev_at = now;
+        tl.prev_ops = ops;
+        tl.prev_sla = sla_now;
+        // Alert onsets land in the trace as cluster-level instants.
+        for a in &fired {
+            if a.kind == AlertKind::Fire {
+                self.obs.instant(Component::Cluster, a.inst, a.rule, a.at);
+            }
         }
     }
 
@@ -601,6 +754,14 @@ impl Cluster {
                 (self.slave_node(s), Some(s))
             }
         };
+        // Telemetry: open a causal trace for every master-routed write.
+        // The proxy's routing decision happens here, at `sim.now()`.
+        let trace = match self.telemetry.as_mut() {
+            Some(tl) if op.class == OpClass::Write && routed_slave.is_none() => {
+                tl.t.waterfall.begin_write(issued, sim.now())
+            }
+            _ => 0,
+        };
         let delay = self
             .net
             .delay(self.client_zone, self.nodes[node_idx].inst.zone());
@@ -613,6 +774,7 @@ impl Cluster {
                     op,
                     issued,
                     routed_slave,
+                    trace,
                 },
             );
         });
@@ -664,7 +826,20 @@ impl Cluster {
                 op,
                 issued,
                 routed_slave,
+                trace,
             } => {
+                // Telemetry: a slave-served read observes everything the
+                // slave has applied — close the first-read leg of any write
+                // trace it newly covers (service start is where statements
+                // execute functionally).
+                if self.telemetry.is_some() {
+                    if let Some(s) = routed_slave {
+                        let upto = self.relays[s].applied_upto().0;
+                        if let Some(tl) = self.telemetry.as_mut() {
+                            tl.t.waterfall.on_slave_read(s, upto, now);
+                        }
+                    }
+                }
                 // Consistency accounting: the *true* staleness a slave read
                 // observes is fixed here, at service start, where statements
                 // execute functionally. Pure measurement — no events, no RNG.
@@ -692,7 +867,19 @@ impl Cluster {
                         }
                     }
                 }
+                let lsn_before = if trace != 0 {
+                    self.nodes[node_idx].engine.binlog().head().0
+                } else {
+                    0
+                };
                 let demand_us = self.exec_client_op(node_idx, &op, now);
+                if trace != 0 {
+                    let lsn_after = self.nodes[node_idx].engine.binlog().head().0;
+                    if let Some(tl) = self.telemetry.as_mut() {
+                        tl.t.waterfall
+                            .on_service_start(trace, now, lsn_before, lsn_after);
+                    }
+                }
                 let done = self.nodes[node_idx]
                     .inst
                     .cpu
@@ -705,18 +892,11 @@ impl Cluster {
                     };
                     self.obs
                         .span(Component::Cpu, node_idx as u32, span, now, done);
-                    self.obs.observe(
-                        Component::Sql,
-                        node_idx as u32,
-                        hist,
-                        demand_us,
-                        0.0,
-                        20_000.0,
-                        80,
-                    );
+                    self.obs
+                        .observe_sketch(Component::Sql, node_idx as u32, hist, demand_us);
                 }
                 sim.schedule_at(done, move |w: &mut Cluster, sim| {
-                    w.client_op_done(sim, node_idx, gen, user, class, issued, routed_slave);
+                    w.client_op_done(sim, node_idx, gen, user, class, issued, routed_slave, trace);
                 });
             }
             Job::Apply { slave } => {
@@ -736,17 +916,17 @@ impl Cluster {
                     .cpu
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
                 let lsn = ev.lsn;
+                if let Some(tl) = self.telemetry.as_mut() {
+                    tl.t.waterfall.on_apply_start(slave, lsn.0, now);
+                }
                 if self.obs.is_enabled() {
                     self.obs
                         .span(Component::Repl, slave as u32, "apply", now, done);
-                    self.obs.observe(
+                    self.obs.observe_sketch(
                         Component::Sql,
                         node_idx as u32,
                         "demand_apply_us",
                         demand_us,
-                        0.0,
-                        20_000.0,
-                        80,
                     );
                 }
                 sim.schedule_at(done, move |w: &mut Cluster, sim| {
@@ -817,6 +997,7 @@ impl Cluster {
         class: OpClass,
         issued: SimTime,
         routed_slave: Option<usize>,
+        trace: u64,
     ) {
         if self.nodes[node_idx].gen != gen {
             // The node at this slot was swapped/replaced mid-service
@@ -847,6 +1028,18 @@ impl Cluster {
         }
 
         if node_idx == 0 {
+            // Telemetry: the write commits here; its binlog events become
+            // visible to shipping. The flow arrow starts at the commit.
+            if trace != 0 {
+                let committed = self
+                    .telemetry
+                    .as_mut()
+                    .and_then(|tl| tl.t.waterfall.on_commit(trace, now));
+                if committed.is_some() {
+                    self.obs
+                        .flow(FlowPhase::Start, Component::Cpu, 0, "writeset", now, trace);
+                }
+            }
             // Master job: commit point — ship new binlog events.
             let deliveries = self.ship_new(sim);
             match (class, self.mode) {
@@ -935,6 +1128,15 @@ impl Cluster {
         if let Some(s) = routed_slave {
             self.proxy.read_done(s, latency_ms);
         }
+        if let Some(tl) = self.telemetry.as_mut() {
+            tl.ops_completed += 1;
+            // Bounded-memory client latency percentiles per serving replica
+            // (instance 0 = master, s+1 = slave s), alongside the exact
+            // steady-window sample vector kept for the final report.
+            let inst = routed_slave.map_or(0, |s| s as u32 + 1);
+            self.obs
+                .observe_sketch(Component::Proxy, inst, "client_latency_ms", latency_ms);
+        }
         if self.phases.in_steady(now) {
             self.stats.steady_ops += 1;
             match class {
@@ -953,14 +1155,11 @@ impl Cluster {
             if let Some((u2, op2, issued2)) = self.parked.remove(&ticket) {
                 // The parked user queued at `issued2`; the handoff ends its
                 // checkout wait.
-                self.obs.observe(
+                self.obs.observe_sketch(
                     Component::Pool,
                     0,
                     "checkout_wait_ms",
                     (now - issued2).as_millis_f64(),
-                    0.0,
-                    2_000.0,
-                    80,
                 );
                 self.dispatch(sim, u2, op2, issued2);
             }
@@ -987,6 +1186,25 @@ impl Cluster {
             return; // slot re-occupied since this apply started
         }
         self.nodes[node_idx].busy = false;
+        // Telemetry: the writeset is live on this slave — close the apply
+        // and end-to-end legs, and end the flow arrow here.
+        if self.telemetry.is_some() {
+            let now = sim.now();
+            let hit = self
+                .telemetry
+                .as_mut()
+                .and_then(|tl| tl.t.waterfall.on_applied(slave, lsn.0, now));
+            if let Some(trace) = hit {
+                self.obs.flow(
+                    FlowPhase::End,
+                    Component::Repl,
+                    slave as u32,
+                    "writeset",
+                    now,
+                    trace,
+                );
+            }
+        }
         // The slave's SQL thread finished one event: advance its watermark.
         // `backlogged` gates the apply-rate EWMA to busy periods; after a
         // failover reset the relay's own cursor (not the in-flight job's
@@ -1078,8 +1296,31 @@ impl Cluster {
         // deliveries that were in flight before the failure; apply jobs are
         // enqueued only for events actually accepted.
         let before = self.relays[slave].queued();
+        let recv_before = self.relays[slave].received_upto().0;
         self.relays[slave].receive(events);
         let n = self.relays[slave].queued() - before;
+        // Telemetry: each newly accepted event reached this slave's relay —
+        // close the network leg of its trace and step the flow arrow.
+        if self.telemetry.is_some() && n > 0 {
+            let now = sim.now();
+            let recv_after = self.relays[slave].received_upto().0;
+            for lsn in (recv_before + 1)..=recv_after {
+                let hit = self
+                    .telemetry
+                    .as_mut()
+                    .and_then(|tl| tl.t.waterfall.on_deliver(slave, lsn, now));
+                if let Some(trace) = hit {
+                    self.obs.flow(
+                        FlowPhase::Step,
+                        Component::Repl,
+                        slave as u32,
+                        "writeset",
+                        now,
+                        trace,
+                    );
+                }
+            }
+        }
         self.stats.peak_relay_backlog = self
             .stats
             .peak_relay_backlog
@@ -1227,6 +1468,7 @@ impl Cluster {
                     op,
                     issued,
                     routed_slave,
+                    ..
                 } = job
                 {
                     if let Some(rs) = routed_slave {
@@ -1247,6 +1489,11 @@ impl Cluster {
         }
         self.repl_epoch += 1;
         self.shipped_upto = Lsn(0);
+        // The old sequence space is void — drop every trace keyed on it.
+        if let Some(tl) = self.telemetry.as_mut() {
+            let n = self.relays.len();
+            tl.t.waterfall.on_epoch_reset(n);
+        }
         for s in 0..self.relays.len() {
             self.relays[s] = RelayQueue::starting_at(Lsn(0));
             self.chan_clear[s] = sim.now();
@@ -1263,6 +1510,7 @@ impl Cluster {
                         op,
                         issued,
                         routed_slave,
+                        ..
                     } = job
                     {
                         if let Some(rs) = routed_slave {
@@ -1306,6 +1554,10 @@ impl Cluster {
         }
         let s = self.proxy.add_slave();
         debug_assert_eq!(s + 2, self.nodes.len(), "proxy and node lists in step");
+        if let Some(tl) = self.telemetry.as_mut() {
+            let n = self.relays.len();
+            tl.t.waterfall.ensure_slaves(n);
+        }
         self.obs
             .instant(Component::Cluster, s as u32, "slave_launched", sim.now());
         self.events_log
@@ -1513,6 +1765,16 @@ impl Cluster {
         std::mem::take(&mut self.obs)
     }
 
+    /// The live telemetry bundle (`None` unless `cfg.telemetry.enabled`).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref().map(|tl| &tl.t)
+    }
+
+    /// Detach the telemetry bundle after the run (waterfall + alerts).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take().map(|tl| tl.t)
+    }
+
     /// Steady-window bottleneck attribution: one row per CPU (master and
     /// each slave slot) plus the connection pool, naming the saturated
     /// resource. Meaningful once the steady window has ended (utilizations
@@ -1585,6 +1847,24 @@ pub fn run_cluster_observed(mut cfg: ClusterConfig) -> (RunReport, Obs, Bottlene
     let report = world.report(events);
     let bottleneck = world.bottleneck_report();
     (report, world.take_obs(), bottleneck)
+}
+
+/// Like [`run_cluster_observed`], but with telemetry enabled too: causal
+/// write tracing (the staleness waterfall) and the SLO/alert engine.
+/// Forces `cfg.telemetry.enabled = true` (which implies observability).
+pub fn run_cluster_telemetry(
+    mut cfg: ClusterConfig,
+) -> (RunReport, Obs, BottleneckReport, Telemetry) {
+    cfg.telemetry.enabled = true;
+    let mut sim: S = Sim::new();
+    let mut world = Cluster::new(cfg);
+    world.schedule_timeline(&mut sim);
+    sim.run(&mut world);
+    let events = sim.events_executed();
+    let report = world.report(events);
+    let bottleneck = world.bottleneck_report();
+    let telemetry = world.take_telemetry().expect("telemetry was enabled");
+    (report, world.take_obs(), bottleneck, telemetry)
 }
 
 #[cfg(test)]
@@ -1739,5 +2019,74 @@ mod tests {
             plain.delays[0].loaded_ms, observed.delays[0].loaded_ms,
             "replication delays identical under observation"
         );
+        // Telemetry is measurement-only too: tracing every write and
+        // running the SLO engine must leave the workload results untouched.
+        let (telem, _, _, t) = run_cluster_telemetry(quick_cfg(8, 2));
+        assert_eq!(plain.steady_ops, telem.steady_ops);
+        assert_eq!(plain.steady_writes, telem.steady_writes);
+        assert_eq!(plain.latency_ms, telem.latency_ms);
+        assert_eq!(
+            plain.delays[0].loaded_ms, telem.delays[0].loaded_ms,
+            "replication delays identical under telemetry"
+        );
+        assert!(t.waterfall.committed > 0, "writes were traced");
+    }
+
+    #[test]
+    fn telemetry_traces_full_write_pipeline() {
+        let (_, obs, _, t) = run_cluster_telemetry(quick_cfg(8, 2));
+        // Every leg of the waterfall saw traffic on both slaves.
+        assert_eq!(t.waterfall.n_slaves(), 2);
+        for leg in t.waterfall.legs() {
+            assert!(leg.applied > 0, "writesets applied on each slave");
+            assert!(leg.network_ms.count() > 0);
+            assert!(leg.queue_ms.count() > 0);
+            assert!(leg.apply_ms.count() > 0);
+            assert!(leg.e2e_ms.count() > 0);
+        }
+        assert!(t.waterfall.client().commit_ms.count() > 0);
+        // The causal chain reaches the trace as flow records, and the
+        // chrome export renders them.
+        let rec = obs.recorder().expect("telemetry implies observability");
+        let flows = rec
+            .records()
+            .iter()
+            .filter(|r| matches!(r, amdb_obs::Record::Flow { .. }))
+            .count();
+        assert!(flows > 0, "flow records present");
+        let json = obs.chrome_trace().unwrap();
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        // Sketch registry rows exist for the migrated probes.
+        let summary = rec.registry().summary_table().render();
+        assert!(summary.contains("client_latency_ms"));
+        assert!(summary.contains("demand_write_us"));
+    }
+
+    #[test]
+    fn telemetry_sketch_agrees_with_exact_percentiles() {
+        // The proxy's client-latency sketch and the report's exact sample
+        // vector measure different windows (sketch = whole run, report =
+        // steady window), so compare the sketch against itself via its
+        // error contract: p50 ≤ p95 ≤ p99 ≤ max, and the mean is finite.
+        let (report, obs, _, _) = run_cluster_telemetry(quick_cfg(8, 1));
+        let rec = obs.recorder().unwrap();
+        let mut total = amdb_metrics::QuantileSketch::latency();
+        for (key, metric) in rec.registry().iter() {
+            if key.name == "client_latency_ms" {
+                if let amdb_obs::Metric::Sketch(s) = metric {
+                    total.merge(s);
+                }
+            }
+        }
+        assert!(total.count() > 0);
+        let p50 = total.percentile(50.0).unwrap();
+        let p95 = total.percentile(95.0).unwrap();
+        let p99 = total.percentile(99.0).unwrap();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= total.max().unwrap());
+        // The steady-window exact median lies within the sketch's full-run
+        // range — a sanity link between the two measurement paths.
+        let exact = report.latency_ms.unwrap();
+        assert!(exact.median >= total.min().unwrap() && exact.median <= total.max().unwrap());
     }
 }

@@ -9,6 +9,7 @@ use amdb_repl::ReplMode;
 use amdb_sim::SimDuration;
 use amdb_sql::binlog::BinlogFormat;
 use amdb_sql::cost::CostModel;
+use amdb_telemetry::TelemetryConfig;
 
 /// Geographic placement of the slaves relative to the master, matching the
 /// paper's three configurations (§III-A): *"same zone, all slaves are
@@ -183,6 +184,10 @@ pub struct ClusterConfig {
     /// Observability: tracing/metrics collection (off by default — the
     /// disabled path costs a single branch per probe).
     pub obs: ObsConfig,
+    /// Telemetry: causal write tracing, staleness waterfall, SLO/alert
+    /// engine (off by default). Enabling it forces `obs` on — telemetry
+    /// records through the same recorder.
+    pub telemetry: TelemetryConfig,
     /// Application-managed read-consistency policy. `None` (the default)
     /// routes every read through the plain proxy; `Some(Eventual)` is
     /// byte-identical to `None` (the policy layer only does bookkeeping).
@@ -230,6 +235,7 @@ impl Default for ClusterBuilder {
                 master_fault: None,
                 autoscale: None,
                 obs: ObsConfig::default(),
+                telemetry: TelemetryConfig::default(),
                 consistency: None,
                 seed: 42,
             },
@@ -369,6 +375,19 @@ impl ClusterBuilder {
     /// default sampling period.
     pub fn observe(mut self, enabled: bool) -> Self {
         self.cfg.obs.enabled = enabled;
+        self
+    }
+
+    /// Telemetry configuration (causal tracing + SLO/alert engine).
+    pub fn telemetry(mut self, t: TelemetryConfig) -> Self {
+        self.cfg.telemetry = t;
+        self
+    }
+
+    /// Shorthand: switch telemetry on or off with the paper rule set.
+    /// Enabling telemetry implies observability.
+    pub fn telemetry_on(mut self, enabled: bool) -> Self {
+        self.cfg.telemetry.enabled = enabled;
         self
     }
 

@@ -28,7 +28,8 @@ pub mod report;
 
 pub use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, FallbackPolicy};
 pub use amdb_obs::ObsConfig;
-pub use cluster::{run_cluster, run_cluster_observed, Cluster};
+pub use amdb_telemetry::{Telemetry, TelemetryConfig};
+pub use cluster::{run_cluster, run_cluster_observed, run_cluster_telemetry, Cluster};
 pub use config::{
     AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, MasterFaultPlan,
     Placement, WorkloadKind,

@@ -16,6 +16,7 @@
 //! | [`consistency`] | E-C throughput vs staleness bound (amdb-consistency) |
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
+//! | [`obs_slo`] | online SLO/alert sweep with delay-surge attribution |
 //! | [`exec`]    | deterministic parallel executor behind the sweeps |
 
 pub mod ablations;
@@ -25,6 +26,7 @@ pub mod exec;
 pub mod extensions;
 pub mod fig4;
 pub mod obs_report;
+pub mod obs_slo;
 pub mod perfvar;
 pub mod rtt;
 pub mod sweep;

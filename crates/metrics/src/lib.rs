@@ -12,11 +12,13 @@
 
 pub mod histogram;
 pub mod series;
+pub mod sketch;
 pub mod summary;
 pub mod table;
 
 pub use histogram::Histogram;
 pub use series::TimeSeries;
+pub use sketch::{QuantileSketch, SketchConfig};
 pub use summary::{OnlineStats, Summary};
 pub use table::{write_csv, Table};
 

@@ -1,0 +1,126 @@
+//! Property tests pinning the sketch↔exact agreement contract: the
+//! streaming sketch's p50/p95/p99 land within one bucket width of the exact
+//! `percentile_sorted` answer, across adversarial shapes — constant
+//! (degenerate mass), bimodal (interpolation across a gap), and heavy-tail
+//! (orders-of-magnitude spread).
+
+use amdb_metrics::{percentile_sorted, QuantileSketch};
+use proptest::prelude::*;
+
+/// Record `vals` into a fresh latency sketch and check p50/p95/p99 (plus
+/// the extremes) against the exact percentiles. "One bucket width" is
+/// measured at whichever of (exact, estimate) sits in the wider bucket —
+/// both order statistics bracketing the rank live at or below that bucket.
+fn agrees_within_one_bucket(vals: &[f64]) -> Result<(), TestCaseError> {
+    let mut sketch = QuantileSketch::latency();
+    for &v in vals {
+        sketch.record(v);
+    }
+    let mut sorted = vals.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+        let exact = percentile_sorted(&sorted, p).unwrap();
+        let est = sketch.percentile(p).unwrap();
+        let width = sketch
+            .config()
+            .bucket_width(exact)
+            .max(sketch.config().bucket_width(est));
+        prop_assert!(
+            (est - exact).abs() <= width,
+            "p{}: est {} vs exact {} exceeds bucket width {}",
+            p,
+            est,
+            exact,
+            width
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Constant streams: every quantile must collapse to (within a bucket
+    /// of) the single value, for any magnitude across nine decades.
+    #[test]
+    fn constant_distribution_agrees(
+        v in 1e-3..1e6f64,
+        n in 1..400usize,
+    ) {
+        let vals = vec![v; n];
+        agrees_within_one_bucket(&vals)?;
+    }
+
+    /// Bimodal streams: two modes separated by orders of magnitude, with
+    /// arbitrary mixing. Quantile ranks that straddle the gap are where
+    /// naive bucket-midpoint schemes lose the interpolation contract.
+    #[test]
+    fn bimodal_distribution_agrees(
+        lo in 1e-2..5.0f64,
+        hi in 50.0..5e4f64,
+        picks in prop::collection::vec(0..2usize, 1..300),
+    ) {
+        let vals: Vec<f64> = picks
+            .iter()
+            .map(|&p| if p == 0 { lo } else { hi })
+            .collect();
+        agrees_within_one_bucket(&vals)?;
+    }
+
+    /// Heavy-tailed streams: Pareto-style `scale · u^(-1/α)` with a light
+    /// α, spreading samples across many decades within one run.
+    #[test]
+    fn heavy_tail_distribution_agrees(
+        us in prop::collection::vec(1e-6..1.0f64, 1..300),
+        scale in 1e-2..10.0f64,
+        inv_alpha in 0.5..3.0f64,
+    ) {
+        let vals: Vec<f64> = us.iter().map(|&u| scale * u.powf(-inv_alpha)).collect();
+        agrees_within_one_bucket(&vals)?;
+    }
+
+    /// Mixed junk: zeros and sub-resolution values interleaved with normal
+    /// magnitudes must keep the contract (the low bucket has width `min`).
+    #[test]
+    fn low_bucket_mixtures_agree(
+        vals in prop::collection::vec(
+            prop_oneof![
+                Just(0.0),
+                1e-6..1e-3f64,
+                1e-3..1e3f64,
+            ],
+            1..200,
+        ),
+    ) {
+        agrees_within_one_bucket(&vals)?;
+    }
+
+    /// Merging shard sketches is exactly equivalent to one big sketch, so
+    /// the merged estimate inherits the same agreement bound.
+    #[test]
+    fn merged_shards_agree(
+        vals in prop::collection::vec(1e-3..1e5f64, 2..300),
+        shards in 2..5usize,
+    ) {
+        let mut parts: Vec<QuantileSketch> =
+            (0..shards).map(|_| QuantileSketch::latency()).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        let mut whole = QuantileSketch::latency();
+        for &v in &vals {
+            whole.record(v);
+        }
+        // Bucket state matches exactly; `sum` may differ in the last ulp
+        // because shard sums associate float additions differently.
+        prop_assert_eq!(merged.count(), whole.count());
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), whole.percentile(p));
+        }
+        agrees_within_one_bucket(&vals)?;
+    }
+}

@@ -65,19 +65,33 @@ impl BottleneckReport {
         self.threshold
     }
 
-    /// The busiest resource (maximum utilization; first wins ties), whether
-    /// or not it crosses the threshold.
+    /// The busiest resource, whether or not it crosses the threshold.
+    ///
+    /// Tie-breaking is pinned — the surge attributor names resources off
+    /// this row, so two resources parked at the same utilization must
+    /// resolve identically on every run and for any row order: highest
+    /// utilization first, then smallest `(component, instance)` key, then
+    /// insertion order. NaN utilizations never win.
     pub fn busiest(&self) -> Option<&ResourceUsage> {
-        self.rows
-            .iter()
-            .max_by(|a, b| {
-                a.utilization
-                    .partial_cmp(&b.utilization)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            // max_by returns the *last* maximal element; keep first-wins
-            // determinism by scanning manually instead.
-            .and_then(|m| self.rows.iter().find(|r| r.utilization >= m.utilization))
+        let mut best: Option<&ResourceUsage> = None;
+        for r in &self.rows {
+            if r.utilization.is_nan() {
+                continue;
+            }
+            best = match best {
+                None => Some(r),
+                Some(b) => {
+                    let wins = r.utilization > b.utilization
+                        || (r.utilization == b.utilization && (r.comp, r.inst) < (b.comp, b.inst));
+                    if wins {
+                        Some(r)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best
     }
 
     /// The saturated resource: the busiest row if it crosses the threshold.
@@ -184,6 +198,41 @@ mod tests {
         r.push(usage("a", 1.0, 0));
         r.push(usage("b", 1.0, 0));
         assert_eq!(r.bottleneck().unwrap().label, "a");
+    }
+
+    #[test]
+    fn ties_resolve_by_component_instance_key_not_insertion_order() {
+        // Two resources pinned at identical utilization (both ≥ threshold):
+        // the winner is the smallest (component, instance) key, however the
+        // rows were pushed. The surge attributor depends on this.
+        let keyed = |comp, inst, label: &str, util| ResourceUsage {
+            comp,
+            inst,
+            label: label.to_string(),
+            utilization: util,
+            peak_queue: 0,
+        };
+        let mut fwd = BottleneckReport::new(0.9);
+        fwd.push(keyed(Component::Cpu, 0, "master cpu", 1.0));
+        fwd.push(keyed(Component::Cpu, 3, "slave2 cpu", 1.0));
+        fwd.push(keyed(Component::Pool, 0, "connection pool", 1.0));
+        let mut rev = BottleneckReport::new(0.9);
+        rev.push(keyed(Component::Pool, 0, "connection pool", 1.0));
+        rev.push(keyed(Component::Cpu, 3, "slave2 cpu", 1.0));
+        rev.push(keyed(Component::Cpu, 0, "master cpu", 1.0));
+        assert_eq!(fwd.bottleneck().unwrap().label, "master cpu");
+        assert_eq!(rev.bottleneck().unwrap().label, "master cpu");
+        // Higher utilization still beats a smaller key.
+        rev.push(keyed(Component::Sql, 9, "late riser", 1.2));
+        assert_eq!(rev.bottleneck().unwrap().label, "late riser");
+    }
+
+    #[test]
+    fn nan_utilization_never_wins() {
+        let mut r = BottleneckReport::new(0.9);
+        r.push(usage("broken", f64::NAN, 0));
+        r.push(usage("real", 0.95, 1));
+        assert_eq!(r.bottleneck().unwrap().label, "real");
     }
 
     #[test]

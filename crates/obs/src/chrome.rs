@@ -11,9 +11,15 @@
 //! Rust's shortest round-trip `Display`, which is a pure function of the
 //! value.
 
-use crate::trace::Record;
+use crate::trace::{FlowPhase, Record};
 
 /// Escape a string for inclusion in a JSON string literal.
+///
+/// Beyond the mandatory set (quote, backslash, C0 controls), this also
+/// escapes DEL and the U+2028/U+2029 line separators: both are legal in
+/// JSON strings but break when the document is pasted into a JavaScript
+/// context (as trace JSON routinely is), so emitting them raw would make
+/// the export viewer-hostile for names containing them.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -23,7 +29,9 @@ fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
             c => out.push(c),
@@ -102,6 +110,35 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
                     num(value),
                 ));
             }
+            Record::Flow {
+                comp,
+                inst,
+                name,
+                at,
+                id,
+                phase,
+            } => {
+                // Flow arrows: "s" starts a chain, "t" continues it, "f"
+                // ends it; `bp:"e"` binds the terminus to the enclosing
+                // slice so the arrow lands on the apply span rather than
+                // the next event on that track.
+                let (ph, bp) = match phase {
+                    FlowPhase::Start => ("s", ""),
+                    FlowPhase::Step => ("t", ""),
+                    FlowPhase::End => ("f", ",\"bp\":\"e\""),
+                };
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{},\"id\":{}{}}}",
+                    escape(name),
+                    comp.as_str(),
+                    ph,
+                    at.as_micros(),
+                    comp.id(),
+                    inst,
+                    id,
+                    bp,
+                ));
+            }
         }
     }
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -158,6 +195,72 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn hostile_names_stay_inside_their_json_string() {
+        // A name crafted to break out of the JSON string literal: embedded
+        // quote + key/value forgery, raw backslash, every short-form
+        // control, DEL, and the JS line separators.
+        let hostile = "x\",\"pid\":666,\"y\":\"\\ \n\r\t\u{8}\u{c}\u{0}\u{7f}\u{2028}\u{2029}z";
+        let escaped = escape(hostile);
+        assert_eq!(
+            escaped,
+            "x\\\",\\\"pid\\\":666,\\\"y\\\":\\\"\\\\ \\n\\r\\t\\b\\f\\u0000\\u007f\\u2028\\u2029z"
+        );
+        // No unescaped quote or control survives: the literal cannot be
+        // terminated early and the document stays on one line per record.
+        let mut prev_backslash = false;
+        for c in escaped.chars() {
+            assert!(!c.is_control() && c != '\u{2028}' && c != '\u{2029}');
+            if c == '"' {
+                assert!(prev_backslash, "bare quote escaped the string literal");
+            }
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+        // And the full record round-trips structurally: one "pid" key only.
+        let r = [Record::Instant {
+            comp: Component::Cluster,
+            inst: 0,
+            name: Box::leak(hostile.to_string().into_boxed_str()),
+            at: SimTime::ZERO,
+        }];
+        let j = chrome_trace_json(&r);
+        assert_eq!(j.matches("\"pid\":").count(), 1);
+    }
+
+    #[test]
+    fn flow_records_export_as_arrow_chain() {
+        let r = [
+            Record::Flow {
+                comp: Component::Cpu,
+                inst: 0,
+                name: "writeset",
+                at: SimTime::from_micros(10),
+                id: 42,
+                phase: FlowPhase::Start,
+            },
+            Record::Flow {
+                comp: Component::Repl,
+                inst: 1,
+                name: "writeset",
+                at: SimTime::from_micros(30),
+                id: 42,
+                phase: FlowPhase::Step,
+            },
+            Record::Flow {
+                comp: Component::Repl,
+                inst: 1,
+                name: "writeset",
+                at: SimTime::from_micros(55),
+                id: 42,
+                phase: FlowPhase::End,
+            },
+        ];
+        let j = chrome_trace_json(&r);
+        assert!(j.contains("\"ph\":\"s\",\"ts\":10,\"pid\":1,\"tid\":0,\"id\":42"));
+        assert!(j.contains("\"ph\":\"t\",\"ts\":30,\"pid\":4,\"tid\":1,\"id\":42"));
+        assert!(j.contains("\"ph\":\"f\",\"ts\":55,\"pid\":4,\"tid\":1,\"id\":42,\"bp\":\"e\""));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod trace;
 pub use bottleneck::{BottleneckReport, ResourceUsage};
 pub use chrome::chrome_trace_json;
 pub use registry::{Metric, MetricKey, MetricsRegistry};
-pub use trace::{NullRecorder, Record, Recorder, TraceRecorder};
+pub use trace::{FlowPhase, NullRecorder, Record, Recorder, TraceRecorder};
 
 use amdb_sim::SimTime;
 
@@ -227,6 +227,33 @@ impl Obs {
         if let Obs::Trace(t) = self {
             t.registry_mut()
                 .observe(comp, inst, name, value, lo, hi, buckets);
+        }
+    }
+
+    /// Record a streaming-sketch observation (bounded-memory quantile
+    /// estimation; see [`MetricsRegistry::observe_sketch`]).
+    #[inline]
+    pub fn observe_sketch(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
+        if let Obs::Trace(t) = self {
+            t.registry_mut().observe_sketch(comp, inst, name, value);
+        }
+    }
+
+    /// Record one hop of a causal flow (Chrome-trace arrow). Hops sharing
+    /// `id` chain into one arrow from `Start` through `Step`s to `End`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow(
+        &mut self,
+        phase: FlowPhase,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        id: u64,
+    ) {
+        if let Obs::Trace(t) = self {
+            t.flow(phase, comp, inst, name, at, id);
         }
     }
 

@@ -6,7 +6,7 @@
 //! `amdb-metrics` implementations.
 
 use crate::Component;
-use amdb_metrics::{Histogram, Table, TimeSeries};
+use amdb_metrics::{Histogram, QuantileSketch, Table, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Registry key: which metric on which component instance.
@@ -31,6 +31,9 @@ pub enum Metric {
     Series(TimeSeries),
     /// Fixed-bucket distribution.
     Histogram(Histogram),
+    /// Log-bucket streaming quantile sketch — the bounded-memory
+    /// replacement for full-sample percentile paths on hot probes.
+    Sketch(QuantileSketch),
 }
 
 /// Deterministically ordered collection of counters, gauges, series, and
@@ -121,6 +124,21 @@ impl MetricsRegistry {
         }
     }
 
+    /// Record an observation into a streaming quantile sketch, created with
+    /// the [`amdb_metrics::SketchConfig::LATENCY`] layout on first use.
+    /// Unlike [`Self::observe`] the memory is bounded and the quantile
+    /// estimate tracks the exact percentile to within one bucket width.
+    pub fn observe_sketch(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
+        match self
+            .metrics
+            .entry(Self::key(comp, inst, name))
+            .or_insert_with(|| Metric::Sketch(QuantileSketch::latency()))
+        {
+            Metric::Sketch(s) => s.record(value),
+            other => panic!("metric {comp}/{inst}/{name} is not a sketch: {other:?}"),
+        }
+    }
+
     /// Look up a metric.
     pub fn get(&self, comp: Component, inst: u32, name: &'static str) -> Option<&Metric> {
         self.metrics.get(&Self::key(comp, inst, name))
@@ -184,6 +202,14 @@ impl MetricsRegistry {
                     "histogram",
                     format!("n={}", h.count()),
                     match h.approx_quantile(0.95) {
+                        Some(q) => format!("p95={q:.3}"),
+                        None => "-".to_string(),
+                    },
+                ),
+                Metric::Sketch(s) => (
+                    "sketch",
+                    format!("n={}", s.count()),
+                    match s.quantile(0.95) {
                         Some(q) => format!("p95={q:.3}"),
                         None => "-".to_string(),
                     },
@@ -272,6 +298,29 @@ mod tests {
         };
         assert_eq!(h.count(), 2);
         assert_eq!(h.buckets().len(), 10);
+    }
+
+    #[test]
+    fn sketch_created_on_first_observe() {
+        let mut r = MetricsRegistry::new();
+        r.observe_sketch(Component::Repl, 2, "wf_apply_ms", 12.0);
+        r.observe_sketch(Component::Repl, 2, "wf_apply_ms", 14.0);
+        let Some(Metric::Sketch(s)) = r.get(Component::Repl, 2, "wf_apply_ms") else {
+            panic!("expected sketch");
+        };
+        assert_eq!(s.count(), 2);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 13.0).abs() <= s.config().bucket_width(13.0));
+        let summary = r.summary_table().to_csv();
+        assert!(summary.contains("repl,2,wf_apply_ms,sketch,n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a sketch")]
+    fn sketch_kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.incr(Component::Repl, 0, "x", 1);
+        r.observe_sketch(Component::Repl, 0, "x", 1.0);
     }
 
     #[test]

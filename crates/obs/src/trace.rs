@@ -36,6 +36,30 @@ pub enum Record {
         at: SimTime,
         value: f64,
     },
+    /// One hop of a causal flow (Chrome-trace arrow). Hops sharing `id`
+    /// are drawn as one arrow chain from the `Start` through every `Step`
+    /// to each `End` — the telemetry layer uses this to thread a write's
+    /// trace id from master commit through binlog shipping to each slave's
+    /// apply.
+    Flow {
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        id: u64,
+        phase: FlowPhase,
+    },
+}
+
+/// Which edge of a causal-flow arrow a [`Record::Flow`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The flow's origin (Chrome `ph:"s"`).
+    Start,
+    /// An intermediate hop (`ph:"t"`).
+    Step,
+    /// A terminal hop (`ph:"f"`, bound to the enclosing slice).
+    End,
 }
 
 impl Record {
@@ -43,7 +67,7 @@ impl Record {
     pub fn at(&self) -> SimTime {
         match *self {
             Record::Span { start, .. } => start,
-            Record::Instant { at, .. } | Record::Counter { at, .. } => at,
+            Record::Instant { at, .. } | Record::Counter { at, .. } | Record::Flow { at, .. } => at,
         }
     }
 
@@ -52,7 +76,8 @@ impl Record {
         match *self {
             Record::Span { comp, .. }
             | Record::Instant { comp, .. }
-            | Record::Counter { comp, .. } => comp,
+            | Record::Counter { comp, .. }
+            | Record::Flow { comp, .. } => comp,
         }
     }
 }
@@ -78,6 +103,19 @@ pub trait Recorder {
     fn instant(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime);
     /// Record a counter-track sample.
     fn counter(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime, value: f64);
+    /// Record one hop of a causal flow. Default drops the hop so recorder
+    /// implementations that predate flows keep compiling.
+    fn flow(
+        &mut self,
+        phase: FlowPhase,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        id: u64,
+    ) {
+        let _ = (phase, comp, inst, name, at, id);
+    }
     /// Whether this recorder keeps anything.
     fn is_enabled(&self) -> bool {
         true
@@ -172,6 +210,25 @@ impl Recorder for TraceRecorder {
             value,
         });
     }
+
+    fn flow(
+        &mut self,
+        phase: FlowPhase,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        id: u64,
+    ) {
+        self.records.push(Record::Flow {
+            comp,
+            inst,
+            name,
+            at,
+            id,
+            phase,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +269,38 @@ mod tests {
     fn null_recorder_reports_disabled() {
         assert!(!NullRecorder.is_enabled());
         assert!(TraceRecorder::new().is_enabled());
+    }
+
+    #[test]
+    fn flow_hops_record_in_order_with_shared_id() {
+        let mut t = TraceRecorder::new();
+        t.flow(FlowPhase::Start, Component::Cpu, 0, "ws", SimTime::ZERO, 7);
+        t.flow(
+            FlowPhase::End,
+            Component::Repl,
+            1,
+            "ws",
+            SimTime::from_millis(4),
+            7,
+        );
+        let [a, b] = t.records() else {
+            panic!("expected two records");
+        };
+        let (
+            Record::Flow {
+                phase: pa, id: ia, ..
+            },
+            Record::Flow {
+                phase: pb, id: ib, ..
+            },
+        ) = (a, b)
+        else {
+            panic!("expected flows");
+        };
+        assert_eq!((*pa, *ia), (FlowPhase::Start, 7));
+        assert_eq!((*pb, *ib), (FlowPhase::End, 7));
+        assert_eq!(b.at(), SimTime::from_millis(4));
+        assert_eq!(b.component(), Component::Repl);
     }
 
     #[test]

@@ -97,6 +97,13 @@ impl FifoCpu {
         self.busy_accum.as_secs_f64() / wall.as_secs_f64()
     }
 
+    /// Cumulative service time accepted in the current accounting window.
+    /// Monotone between [`Self::reset_window`] calls, so interval samplers
+    /// can difference successive readings to get per-tick busy time.
+    pub fn busy_in_window(&self) -> SimDuration {
+        self.busy_accum
+    }
+
     /// Start a fresh accounting window at `now` (e.g. at the beginning of the
     /// measured steady stage). The queue itself is untouched.
     pub fn reset_window(&mut self, now: SimTime) {

@@ -1,0 +1,149 @@
+//! # amdb-telemetry — online telemetry for the simulated cluster
+//!
+//! Where `amdb-obs` explains a run *after the fact* (steady-window
+//! bottleneck attribution, trace export), this crate watches the pipeline
+//! *as it runs* — the operator-facing layer a production replicated tier
+//! would ship:
+//!
+//! * [`StalenessWaterfall`] — causal per-write tracing keyed by binlog
+//!   sequence: client issue → proxy route → master commit → relay delivery
+//!   → apply → first stale read, decomposing each slave's replication
+//!   delay into network / queueing / apply legs held in bounded
+//!   [`amdb_metrics::QuantileSketch`]es;
+//! * [`SloEngine`] — deterministic threshold rules with hysteresis over
+//!   the sampled series, including the **delay-surge detector** that
+//!   attributes each surge to the saturated resource via the bottleneck
+//!   attributor's rows at surge onset;
+//! * [`Telemetry`] — the bundle the cluster owns when the
+//!   [`TelemetryConfig`] knob is on.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry reads only simulated time and deterministic cluster state,
+//! never mutates anything the workload observes, and stores its state in
+//! ordered containers — so enabling it changes no run result, and its own
+//! outputs (alert timeline, waterfall, flow events) are byte-identical
+//! across runs and `--jobs` counts. When the knob is off the cluster holds
+//! no `Telemetry` at all and every probe site is a single `Option`
+//! discriminant test, preserving the `Obs::Null` zero-cost path.
+
+pub mod slo;
+pub mod waterfall;
+
+pub use slo::{
+    attribute_surge, paper_rules, AlertEvent, AlertKind, Direction, SloEngine, SloMetric, SloRule,
+    SloSample,
+};
+pub use waterfall::{ClientLeg, SlaveLeg, StalenessWaterfall};
+
+use amdb_metrics::Table;
+use amdb_obs::bottleneck::DEFAULT_SATURATION_THRESHOLD;
+
+/// Telemetry configuration knob carried in `ClusterConfig`. Enabling it
+/// forces observability on (telemetry records through the same recorder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Trace writes, run the SLO engine, emit flow events.
+    pub enabled: bool,
+    /// Alert rules evaluated at every obs sampling tick.
+    pub rules: Vec<SloRule>,
+    /// Utilization at which surge attribution considers a resource
+    /// saturated (the bottleneck attributor's threshold).
+    pub saturation_threshold: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            rules: paper_rules(),
+            saturation_threshold: DEFAULT_SATURATION_THRESHOLD,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Enabled with the default (paper) rule set.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The live telemetry state a cluster owns while running.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    pub waterfall: StalenessWaterfall,
+    pub slo: SloEngine,
+}
+
+impl Telemetry {
+    /// Build from the knob for a cluster with `n_slaves` slaves.
+    pub fn new(cfg: &TelemetryConfig, n_slaves: usize) -> Self {
+        Self {
+            waterfall: StalenessWaterfall::new(n_slaves),
+            slo: SloEngine::new(cfg.rules.clone(), cfg.saturation_threshold),
+        }
+    }
+
+    /// The alert timeline as a table (one row per fire/clear transition).
+    pub fn alert_table(&self) -> Table {
+        let mut t = Table::new(
+            "alert timeline",
+            vec![
+                "t (s)".into(),
+                "rule".into(),
+                "metric".into(),
+                "inst".into(),
+                "event".into(),
+                "value".into(),
+                "attribution".into(),
+            ],
+        );
+        for a in self.slo.alerts() {
+            t.push_row(vec![
+                format!("{:.3}", a.at.as_micros() as f64 / 1e6),
+                a.rule.to_string(),
+                a.metric.as_str().to_string(),
+                a.inst.to_string(),
+                match a.kind {
+                    AlertKind::Fire => "FIRE".into(),
+                    AlertKind::Clear => "clear".into(),
+                },
+                format!("{:.1}", a.value),
+                a.attribution.clone().unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        t
+    }
+
+    /// Terminal rendering: waterfall plus alert timeline.
+    pub fn render(&self) -> String {
+        let mut out = self.waterfall.table().render();
+        out.push_str(&self.alert_table().render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_off_with_paper_rules() {
+        let c = TelemetryConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.rules, paper_rules());
+        assert!(TelemetryConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn telemetry_bundle_renders_empty() {
+        let t = Telemetry::new(&TelemetryConfig::enabled(), 2);
+        let r = t.render();
+        assert!(r.contains("staleness waterfall"));
+        assert!(r.contains("alert timeline"));
+    }
+}

@@ -8,14 +8,19 @@
 //! to the master, reads to slaves, writesets ship via the binlog, and slaves
 //! are stale until the replication middleware pumps — exactly the
 //! asynchronous master-slave architecture the paper studies. Then runs a
-//! small *timed* cluster with observability on and dumps its trace as
+//! small *timed* cluster with observability and telemetry on: the online
+//! SLO engine prints a deterministic alert timeline (delay surges come
+//! attributed to the saturated resource), the staleness waterfall shows
+//! where each slave's replication delay accrued, and the trace lands in
 //! `quickstart_trace.json` — open it in `chrome://tracing` or Perfetto to
-//! watch the simulated reads, writes, and replication applies.
+//! watch the simulated reads, writes, replication applies, and the flow
+//! arrows tying each traced write to its applies on every slave.
 
 use amdb::cloudstone::{DataSize, MixConfig, WorkloadConfig};
-use amdb::core::{run_cluster_observed, ClusterConfig, ObsConfig};
+use amdb::core::{run_cluster_telemetry, ClusterConfig, ObsConfig};
 use amdb::repl::ReplicatedDb;
 use amdb::sql::{BinlogFormat, Value};
+use amdb::telemetry::AlertKind;
 
 fn main() {
     // One master, two slaves, MySQL-style statement-based replication.
@@ -80,15 +85,16 @@ fn main() {
         println!("  {:>6}: {}", row[0], row[1]);
     }
 
-    // Part two: the timed simulation, with the observability subsystem on.
-    // Same architecture, but users/pool/proxy/CPUs/replication all run under
-    // the discrete-event clock, and every layer traces what it does.
-    let (report, obs, bottleneck) = run_cluster_observed(
+    // Part two: the timed simulation, with observability *and* telemetry
+    // on. Same architecture, but users/pool/proxy/CPUs/replication all run
+    // under the discrete-event clock, every layer traces what it does, and
+    // the online SLO engine watches the replication delay as it runs.
+    let (report, obs, bottleneck, telemetry) = run_cluster_telemetry(
         ClusterConfig::builder()
             .slaves(2)
             .mix(MixConfig::RW_50_50)
             .data_size(DataSize { scale: 100 })
-            .workload(WorkloadConfig::quick(40))
+            .workload(WorkloadConfig::quick(120))
             .observability(ObsConfig {
                 enabled: true,
                 sample_interval_ms: 1_000,
@@ -103,6 +109,33 @@ fn main() {
         report.avg_relative_delay_ms().map(|d| d.round())
     );
     println!("{}", bottleneck.render());
+
+    // The telemetry bundle: where each slave's replication delay accrued
+    // (network / queueing / apply legs) and the deterministic alert
+    // timeline the SLO engine produced while the run was still going.
+    println!("{}", telemetry.waterfall.table().render());
+    println!("alert timeline:");
+    if telemetry.slo.alerts().is_empty() {
+        println!("  (no alerts — the run stayed within SLO)");
+    }
+    for a in telemetry.slo.alerts() {
+        let kind = match a.kind {
+            AlertKind::Fire => "FIRE ",
+            AlertKind::Clear => "clear",
+        };
+        let why = match &a.attribution {
+            Some(res) => format!(" — attributed to {res}"),
+            None => String::new(),
+        };
+        println!(
+            "  [{:>6.1}s] {kind} {} inst={} value={:.1}{why}",
+            a.at.as_secs_f64(),
+            a.rule,
+            a.inst,
+            a.value
+        );
+    }
+    println!();
     let json = obs.chrome_trace().expect("observability was enabled");
     match std::fs::write("quickstart_trace.json", &json) {
         Ok(()) => println!(

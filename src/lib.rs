@@ -17,3 +17,4 @@ pub use amdb_proxy as proxy;
 pub use amdb_repl as repl;
 pub use amdb_sim as sim;
 pub use amdb_sql as sql;
+pub use amdb_telemetry as telemetry;

@@ -141,3 +141,38 @@ fn bottleneck_migrates_from_slave_to_master() {
         "spreading reads must lift throughput until the master caps it"
     );
 }
+
+/// Telemetry determinism: same seed ⇒ byte-identical alert timeline,
+/// waterfall rendering, and Chrome-trace export (now including flow
+/// events); a different seed must change the alert timeline's trace.
+#[test]
+fn telemetry_outputs_are_byte_identical_for_same_seed() {
+    use amdb::core::run_cluster_telemetry;
+    let run = |seed: u64| {
+        let (_, obs, _, t) = run_cluster_telemetry(observed_cfg(30, 2, seed));
+        (obs.chrome_trace().expect("trace"), t.render())
+    };
+    let (trace_a, render_a) = run(7);
+    let (trace_b, render_b) = run(7);
+    assert_eq!(trace_a, trace_b, "same-seed telemetry traces match");
+    assert_eq!(
+        render_a, render_b,
+        "same-seed alert/waterfall output matches"
+    );
+    let (trace_c, _) = run(8);
+    assert_ne!(trace_a, trace_c, "different seed changes the trace");
+}
+
+/// Flow events (the causal write arrows) appear in the export exactly when
+/// telemetry is on — an obs-only run's trace stays flow-free, so the
+/// committed obs_report artifacts are unaffected by the telemetry layer.
+#[test]
+fn flow_events_appear_only_with_telemetry() {
+    use amdb::core::run_cluster_telemetry;
+    let (_, obs_plain, _) = run_cluster_observed(observed_cfg(30, 2, 7));
+    assert!(!obs_plain.chrome_trace().unwrap().contains("\"ph\":\"s\""));
+    let (_, obs_telem, _, _) = run_cluster_telemetry(observed_cfg(30, 2, 7));
+    let json = obs_telem.chrome_trace().unwrap();
+    assert!(json.contains("\"ph\":\"s\""), "flow start events present");
+    assert!(json.contains("\"ph\":\"f\""), "flow end events present");
+}
