@@ -79,6 +79,30 @@ print(f"bench_sweep ok: {b['total_serial_s']:.1f}s serial vs "
       f"({b['speedup']:.2f}x, {b['host_cores']} cores)")
 EOF
 
+echo "== plan cache: transparency cross-diff + hot-path speedup =="
+# The statement->plan cache must be a pure speed knob: fig2 with the cache
+# disabled must render byte-identically to the cached run above.
+(cd "$SMOKE" && AMDB_PLAN_CACHE=off "$BIN/fig2" --jobs 1 >fig2_nocache.out 2>/dev/null)
+cmp "$SMOKE/fig2_j1.out" "$SMOKE/fig2_nocache.out" \
+  || { echo "fig2 output differs with AMDB_PLAN_CACHE=off — cache is not transparent"; exit 1; }
+# bench_hotpath times the quick fig2/fig5 sweep cache-off vs cache-on,
+# asserts identical rendered tables, and records the wall clock.
+(cd "$SMOKE" && "$BIN/bench_hotpath" --jobs 1 >/dev/null 2>&1)
+[ -s "$SMOKE/BENCH_hotpath.json" ] || { echo "BENCH_hotpath.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_hotpath.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("bench", "host_cores", "jobs", "cache_off_s", "cache_on_s",
+            "speedup", "identical"):
+    if key not in b:
+        sys.exit(f"BENCH_hotpath.json missing key: {key}")
+if not b["identical"]:
+    sys.exit("BENCH_hotpath.json: cache-on/off outputs diverged")
+print(f"bench_hotpath ok: {b['cache_off_s']:.1f}s cache-off vs "
+      f"{b['cache_on_s']:.1f}s cache-on ({b['speedup']:.2f}x)")
+EOF
+
 echo "== trace artifacts regenerate deterministically =="
 # quickstart_trace.json and results/obs_trace.json + obs_series.csv are
 # regenerable (gitignored) artifacts; two fresh regenerations must agree
@@ -111,5 +135,10 @@ echo "== micro-bench contract: disabled telemetry probe stays sub-ns =="
 # micro_substrates carries an explicit 50M-iteration loop that asserts the
 # disabled-path probe costs < 1 ns; a regression panics the bench.
 cargo bench --offline -p amdb-bench --bench micro_substrates | tail -n 4
+
+echo "== micro-bench contract: plan-cache hit beats parse+plan by >= 5x =="
+# micro_sql carries an explicit loop that asserts a cached prepare is at
+# least 5x faster than an uncached parse+plan; a regression panics.
+cargo bench --offline -p amdb-bench --bench micro_sql | tail -n 4
 
 echo "CI OK"

@@ -284,16 +284,21 @@ impl Cluster {
             Some(m) => provider.launch_on_host(master_zone, InstanceType::Small, m),
             None => provider.launch(master_zone, InstanceType::Small),
         };
-        let mut nodes = vec![Node::new(
-            master_inst,
-            template.fork(ForkRole::Master(cfg.format)),
-        )];
+        let mut master_engine = template.fork(ForkRole::Master(cfg.format));
+        if !cfg.plan_cache {
+            master_engine.set_plan_cache_capacity(0);
+        }
+        let mut nodes = vec![Node::new(master_inst, master_engine)];
         for _ in 0..cfg.n_slaves {
             let inst = match cfg.pin_slave_host {
                 Some(m) => provider.launch_on_host(slave_zone, InstanceType::Small, m),
                 None => provider.launch(slave_zone, InstanceType::Small),
             };
-            nodes.push(Node::new(inst, template.fork(ForkRole::Slave)));
+            let mut engine = template.fork(ForkRole::Slave);
+            if !cfg.plan_cache {
+                engine.set_plan_cache_capacity(0);
+            }
+            nodes.push(Node::new(inst, engine));
         }
 
         let balancer: Box<dyn Balancer> = match cfg.balancer {

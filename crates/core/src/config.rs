@@ -192,6 +192,11 @@ pub struct ClusterConfig {
     /// routes every read through the plain proxy; `Some(Eventual)` is
     /// byte-identical to `None` (the policy layer only does bookkeeping).
     pub consistency: Option<ConsistencyConfig>,
+    /// Per-engine statement→plan cache (on by default). The cache is
+    /// behaviour-transparent — results are byte-identical either way — so
+    /// this knob exists for A/B timing (`BENCH_hotpath.json`) and for the
+    /// CI cross-check that proves the transparency claim.
+    pub plan_cache: bool,
     pub seed: u64,
 }
 
@@ -237,6 +242,7 @@ impl Default for ClusterBuilder {
                 obs: ObsConfig::default(),
                 telemetry: TelemetryConfig::default(),
                 consistency: None,
+                plan_cache: true,
                 seed: 42,
             },
         }
@@ -394,6 +400,12 @@ impl ClusterBuilder {
     /// Read-consistency policy for the routing tier (None = plain proxy).
     pub fn consistency(mut self, c: ConsistencyConfig) -> Self {
         self.cfg.consistency = Some(c);
+        self
+    }
+
+    /// Enable or disable the per-engine statement→plan cache.
+    pub fn plan_cache(mut self, enabled: bool) -> Self {
+        self.cfg.plan_cache = enabled;
         self
     }
 

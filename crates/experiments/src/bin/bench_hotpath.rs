@@ -1,0 +1,73 @@
+//! Plan-cache benchmark: runs the quick-fidelity fig2/fig5 sweep with the
+//! statement→plan cache off and on, asserts the rendered tables are
+//! byte-identical (the cache is a pure speed knob), and writes the
+//! wall-clock comparison to `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p amdb-experiments --bin bench_hotpath -- [--jobs N]
+//! ```
+use amdb_experiments::{exec, sweep, Fidelity};
+use std::time::Instant;
+
+/// Render every table of a sweep result into one string — the byte-level
+/// identity the transparency contract promises.
+fn render_all(results: &[sweep::PlacementResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.throughput.render());
+        out.push('\n');
+        out.push_str(&r.delay.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Time one sweep with the plan cache forced to `mode` ("on"/"off"). The
+/// env var is read when the sweep builds its template engine; every replica
+/// forked from it inherits the setting.
+fn timed_sweep(spec: &sweep::SweepSpec, jobs: usize, mode: &str) -> (f64, String) {
+    std::env::set_var("AMDB_PLAN_CACHE", mode);
+    let t0 = Instant::now();
+    let results = sweep::run_sweep(spec, &sweep::SweepOptions::silent(jobs));
+    let secs = t0.elapsed().as_secs_f64();
+    std::env::remove_var("AMDB_PLAN_CACHE");
+    (secs, render_all(&results))
+}
+
+fn main() {
+    let jobs = exec::jobs_from_args();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("[bench_hotpath] host_cores={host_cores} jobs={jobs}");
+
+    let spec = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
+    let (off_s, off_render) = timed_sweep(&spec, jobs, "off");
+    eprintln!("[bench_hotpath] fig2/fig5 quick, cache off: {off_s:.2}s");
+    let (on_s, on_render) = timed_sweep(&spec, jobs, "on");
+    eprintln!("[bench_hotpath] fig2/fig5 quick, cache on:  {on_s:.2}s");
+
+    let identical = off_render == on_render;
+    assert!(
+        identical,
+        "plan cache changed sweep output — transparency contract broken"
+    );
+
+    let speedup = off_s / on_s.max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"quick-fidelity fig2/fig5 sweep, plan cache off vs on\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"cache_off_s\": {:.3},\n",
+            "  \"cache_on_s\": {:.3},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"identical\": {}\n",
+            "}}\n"
+        ),
+        host_cores, jobs, off_s, on_s, speedup, identical,
+    );
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("{json}");
+}

@@ -62,12 +62,14 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 ///
 /// Uses the common "exclusive rank, linear interpolation" definition: the
 /// percentile of a single-element slice is that element for every `p`.
+/// Returns `None` when the input contains NaN (a NaN sample means an
+/// upstream bug, and a panic here would take down a whole experiment run).
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN screened above"));
     percentile_sorted(&v, p)
 }
 
@@ -99,8 +101,10 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
 /// fluctuation"* (§IV-B.1). `trim_fraction` is per-tail, so the paper's
 /// treatment is `trimmed_mean(xs, 0.05)`.
 ///
-/// Returns `None` when trimming would discard everything or the input is
-/// empty. A `trim_fraction` of `0.0` degenerates to the plain mean.
+/// Returns `None` when trimming would discard everything, the input is
+/// empty, or the input contains NaN (like [`percentile`], bad samples report
+/// as an absent statistic rather than a panic). A `trim_fraction` of `0.0`
+/// degenerates to the plain mean.
 ///
 /// The per-tail cut is `floor(n × trim_fraction)` — the conventional
 /// truncated-mean definition. Pinned consequence for the paper's 5 % trim:
@@ -110,11 +114,11 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
 /// half of a 3-sample window; do not "fix" this to `ceil` or rounding
 /// without recalibrating every committed result.
 pub fn trimmed_mean(xs: &[f64], trim_fraction: f64) -> Option<f64> {
-    if xs.is_empty() || !(0.0..0.5).contains(&trim_fraction) {
+    if xs.is_empty() || !(0.0..0.5).contains(&trim_fraction) || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN screened above"));
     let cut = (v.len() as f64 * trim_fraction).floor() as usize;
     let kept = &v[cut..v.len() - cut];
     if kept.is_empty() {
@@ -168,6 +172,13 @@ mod tests {
     #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_nan_input_is_none_not_panic() {
+        // Used to panic inside the sort comparator on NaN.
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 50.0), None);
+        assert_eq!(trimmed_mean(&[1.0, f64::NAN, 3.0], 0.05), None);
     }
 
     #[test]

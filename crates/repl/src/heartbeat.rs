@@ -78,23 +78,38 @@ pub fn collect_samples(
     let m = master.execute(&mut ms, "SELECT id, ts FROM heartbeat ORDER BY id", &[])?;
     let s = slave.execute(&mut ss, "SELECT id, ts FROM heartbeat ORDER BY id", &[])?;
 
-    let to_pair = |row: &Vec<Value>| -> (i64, i64) {
+    // Schema affinity guarantees id reads as Int and ts as Timestamp (the
+    // engine normalizes stored values in `Table::validate`); anything else
+    // is a corrupt heartbeat table and reports as a typed error, not a
+    // panic in the middle of an experiment run.
+    let to_pair = |row: &Vec<Value>| -> Result<(i64, i64), SqlError> {
         let id = match row[0] {
             Value::Int(i) => i,
-            _ => unreachable!("heartbeat id is INT"),
+            ref v => {
+                return Err(SqlError::TypeMismatch(format!(
+                    "heartbeat id must be INT, got {v}"
+                )))
+            }
         };
         let ts = match row[1] {
             Value::Timestamp(t) => t,
-            Value::Int(t) => t,
-            _ => unreachable!("heartbeat ts is TIMESTAMP"),
+            ref v => {
+                return Err(SqlError::TypeMismatch(format!(
+                    "heartbeat ts must be TIMESTAMP, got {v}"
+                )))
+            }
         };
-        (id, ts)
+        Ok((id, ts))
     };
 
-    let slave_map: std::collections::BTreeMap<i64, i64> = s.rows.iter().map(&to_pair).collect();
+    let slave_map: std::collections::BTreeMap<i64, i64> = s
+        .rows
+        .iter()
+        .map(&to_pair)
+        .collect::<Result<_, SqlError>>()?;
     let mut out = Vec::with_capacity(slave_map.len());
     for row in &m.rows {
-        let (id, master_ts) = to_pair(row);
+        let (id, master_ts) = to_pair(row)?;
         if let Some(&slave_ts) = slave_map.get(&id) {
             out.push(HeartbeatSample {
                 id,
@@ -175,6 +190,35 @@ mod tests {
         let samples = collect_samples(&mut master, &mut slave).unwrap();
         assert_eq!(samples.len(), 1, "two heartbeats still in flight");
         assert_eq!(samples[0].id, 1);
+    }
+
+    #[test]
+    fn corrupt_heartbeat_table_reports_typed_error() {
+        // A heartbeat table with the wrong ts affinity (INT instead of
+        // TIMESTAMP) used to hit an `unreachable!`; it must surface as a
+        // typed SqlError so experiment drivers can fail cleanly.
+        let mut master = Engine::new_master(BinlogFormat::Statement);
+        let mut slave = Engine::new_slave();
+        let mut ms = Session::new();
+        master
+            .execute_batch(
+                &mut ms,
+                "CREATE TABLE heartbeat (id INT PRIMARY KEY, ts INT NOT NULL)",
+            )
+            .unwrap();
+        master
+            .execute(
+                &mut ms,
+                "INSERT INTO heartbeat (id, ts) VALUES (1, 42)",
+                &[],
+            )
+            .unwrap();
+        for ev in master.binlog_from(Lsn(0)).to_vec() {
+            slave.apply_event(&ev, 0).unwrap();
+        }
+        let err = collect_samples(&mut master, &mut slave).unwrap_err();
+        assert!(matches!(err, SqlError::TypeMismatch(_)), "got {err}");
+        assert!(err.to_string().contains("heartbeat ts"), "got {err}");
     }
 
     #[test]

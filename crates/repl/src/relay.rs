@@ -111,6 +111,7 @@ mod tests {
             commit_ts_micros: lsn as i64,
             payload: EventPayload::Statement {
                 sql: format!("-- {lsn}"),
+                params: vec![],
             },
         }
     }

@@ -56,6 +56,79 @@ impl Statement {
                 | Statement::Explain(_)
         )
     }
+
+    /// Number of `?` placeholders in the statement. The parser numbers
+    /// placeholders sequentially in source order, so this count equals the
+    /// number of parameters the statement binds.
+    pub fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.walk_exprs(&mut |e| {
+            if matches!(e, Expr::Param(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Visit every expression in the statement, depth-first.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Statement::Insert { rows, .. } => {
+                for row in rows {
+                    for e in row {
+                        e.walk(f);
+                    }
+                }
+            }
+            Statement::Select(sel) => walk_select_exprs(sel, f),
+            Statement::Explain(sel) => walk_select_exprs(sel, f),
+            Statement::Update { sets, filter, .. } => {
+                for (_, e) in sets {
+                    e.walk(f);
+                }
+                if let Some(w) = filter {
+                    w.walk(f);
+                }
+            }
+            Statement::Delete { filter, .. } => {
+                if let Some(w) = filter {
+                    w.walk(f);
+                }
+            }
+            Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable { .. }
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback => {}
+        }
+    }
+}
+
+/// Visit every expression in a SELECT, depth-first.
+fn walk_select_exprs(sel: &SelectStmt, f: &mut impl FnMut(&Expr)) {
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            expr.walk(f);
+        }
+    }
+    if let Some(from) = &sel.from {
+        for j in &from.joins {
+            j.on.walk(f);
+        }
+    }
+    if let Some(w) = &sel.filter {
+        w.walk(f);
+    }
+    for g in &sel.group_by {
+        g.walk(f);
+    }
+    if let Some(h) = &sel.having {
+        h.walk(f);
+    }
+    for ok in &sel.order_by {
+        ok.expr.walk(f);
+    }
 }
 
 /// A SELECT statement.
@@ -160,6 +233,15 @@ pub enum Expr {
     },
     /// `?` positional parameter (0-based position).
     Param(usize),
+    /// Column reference pre-resolved by the SELECT planner to positional
+    /// `(FROM binding, column)` indices. Never produced by the parser;
+    /// name resolution depends only on the plan's bindings, so the planner
+    /// rewrites every [`Expr::Column`] it can resolve unambiguously and
+    /// leaves the rest named (their lookup errors must stay per-row).
+    Resolved {
+        binding: usize,
+        col: usize,
+    },
     Unary(UnOp, Box<Expr>),
     Binary(Box<Expr>, BinOp, Box<Expr>),
     /// Function call; `COUNT(*)` is `Func("COUNT", [])` with `star = true`.
@@ -242,7 +324,7 @@ impl Expr {
                 lo.walk(f);
                 hi.walk(f);
             }
-            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => {}
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) | Expr::Resolved { .. } => {}
         }
     }
 

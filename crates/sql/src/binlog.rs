@@ -5,8 +5,11 @@
 //! re-apply them. Two formats are supported, as in MySQL:
 //!
 //! * **Statement-based** (the paper's setup — "synchronized in the format of
-//!   SQL statement across replicas", §III-A): the SQL text is logged with
-//!   parameters substituted but non-deterministic functions *left intact*, so
+//!   SQL statement across replicas", §III-A): the SQL text is logged *as
+//!   written*, with its bound parameter values shipped alongside rather than
+//!   substituted into the text. Keeping the text canonical is what lets a
+//!   slave's statement→plan cache hit on every repetition of a parameterized
+//!   statement. Non-deterministic functions stay intact either way, so
 //!   `NOW_MICROS()` re-evaluates against each slave's own clock. This is
 //!   exactly the mechanism the paper's heartbeat exploits.
 //! * **Row-based**: the changed row images are logged; apply is deterministic
@@ -41,8 +44,10 @@ pub enum BinlogFormat {
 /// Payload of one event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventPayload {
-    /// Statement-based: SQL text to re-execute on the slave.
-    Statement { sql: String },
+    /// Statement-based: the SQL text as executed on the master plus its
+    /// bound parameter values, re-executed on the slave. The text is the
+    /// slave's plan-cache key, so it ships unsubstituted.
+    Statement { sql: String, params: Vec<Value> },
     /// Row-based: concrete row changes to apply.
     Rows { changes: Vec<RowChange> },
 }
@@ -75,9 +80,10 @@ impl BinlogEvent {
         buf.put_u64(self.lsn.0);
         buf.put_i64(self.commit_ts_micros);
         match &self.payload {
-            EventPayload::Statement { sql } => {
+            EventPayload::Statement { sql, params } => {
                 buf.put_u8(0);
                 put_str(&mut buf, sql);
+                put_row(&mut buf, params);
             }
             EventPayload::Rows { changes } => {
                 buf.put_u8(1);
@@ -124,6 +130,7 @@ impl BinlogEvent {
         let payload = match tag {
             0 => EventPayload::Statement {
                 sql: get_str(&mut buf)?,
+                params: get_row(&mut buf)?,
             },
             1 => {
                 need(&buf, 4)?;
@@ -363,11 +370,32 @@ mod tests {
             lsn: Lsn(0),
             commit_ts_micros: -5,
             payload: EventPayload::Statement {
-                sql: "INSERT INTO heartbeat (id, ts) VALUES (42, NOW_MICROS())".into(),
+                sql: "INSERT INTO heartbeat (id, ts) VALUES (?, NOW_MICROS())".into(),
+                params: vec![Value::Int(42)],
             },
         };
         let decoded = BinlogEvent::decode(ev.encode()).unwrap();
         assert_eq!(decoded, ev);
+    }
+
+    #[test]
+    fn statement_event_with_all_param_types_round_trips() {
+        let ev = BinlogEvent {
+            lsn: Lsn(3),
+            commit_ts_micros: 1,
+            payload: EventPayload::Statement {
+                sql: "INSERT INTO t VALUES (?, ?, ?, ?, ?, ?)".into(),
+                params: vec![
+                    Value::Null,
+                    Value::Int(-9),
+                    Value::Double(2.5),
+                    Value::Text("it's".into()),
+                    Value::Bool(false),
+                    Value::Timestamp(123),
+                ],
+            },
+        };
+        assert_eq!(BinlogEvent::decode(ev.encode()).unwrap(), ev);
     }
 
     #[test]
@@ -405,8 +433,20 @@ mod tests {
     fn log_append_and_read() {
         let mut log = Binlog::new();
         assert!(log.is_empty());
-        let l0 = log.append(1, EventPayload::Statement { sql: "a".into() });
-        let l1 = log.append(2, EventPayload::Statement { sql: "b".into() });
+        let l0 = log.append(
+            1,
+            EventPayload::Statement {
+                sql: "a".into(),
+                params: vec![],
+            },
+        );
+        let l1 = log.append(
+            2,
+            EventPayload::Statement {
+                sql: "b".into(),
+                params: vec![],
+            },
+        );
         assert_eq!(l0, Lsn(0));
         assert_eq!(l1, Lsn(1));
         assert_eq!(log.head(), Lsn(2));
@@ -431,6 +471,7 @@ mod tests {
             commit_ts_micros: 0,
             payload: EventPayload::Statement {
                 sql: "INSERT INTO t VALUES ('日本 🚀')".into(),
+                params: vec![],
             },
         };
         assert_eq!(BinlogEvent::decode(ev.encode()).unwrap(), ev);

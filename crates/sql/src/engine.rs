@@ -3,15 +3,17 @@
 
 use crate::ast::Statement;
 use crate::binlog::{Binlog, BinlogEvent, BinlogFormat, EventPayload, Lsn};
+use crate::cache::{CacheStats, CachedPlan, PlanCache};
 use crate::error::SqlError;
 use crate::exec::{
-    exec_delete, exec_insert, exec_select, exec_update, Catalog, QueryResult, RowChange,
-    RowChangeKind, Undo, UndoEntry, WriteOutcome,
+    exec_delete, exec_insert, exec_select, exec_select_planned, exec_update, plan_select, Catalog,
+    QueryResult, RowChange, RowChangeKind, Undo, UndoEntry, WriteOutcome,
 };
 use crate::expr::EvalCtx;
 use crate::parser::parse;
 use crate::storage::Table;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// A client session: clock context, transaction state, pending binlog
 /// payloads. The *caller* supplies `now_micros` (ultimately from the owning
@@ -66,6 +68,33 @@ pub struct Engine {
     binlog: Binlog,
     format: BinlogFormat,
     log_writes: bool,
+    plan_cache: PlanCache,
+    /// Monotone counter bumped by every schema-affecting DDL. Tables are
+    /// stamped with it on CREATE TABLE / CREATE INDEX; cached plans record
+    /// the stamps they were planned against (see [`crate::cache`]).
+    ddl_serial: u64,
+}
+
+/// Default plan-cache capacity per engine. The workloads in this repo use a
+/// few dozen distinct statement shapes, so a few hundred entries means the
+/// steady state never evicts.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Plan-cache capacity for new engines: `AMDB_PLAN_CACHE=off` (or `0`)
+/// disables caching, a number overrides the capacity, anything else — and
+/// the common case of the variable being unset — selects the default.
+fn default_plan_cache_capacity() -> usize {
+    match std::env::var("AMDB_PLAN_CACHE") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                0
+            } else {
+                v.parse().unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY)
+            }
+        }
+        Err(_) => DEFAULT_PLAN_CACHE_CAPACITY,
+    }
 }
 
 impl Engine {
@@ -76,6 +105,8 @@ impl Engine {
             binlog: Binlog::new(),
             format,
             log_writes: true,
+            plan_cache: PlanCache::new(default_plan_cache_capacity()),
+            ddl_serial: 0,
         }
     }
 
@@ -86,6 +117,8 @@ impl Engine {
             binlog: Binlog::new(),
             format: BinlogFormat::Statement,
             log_writes: false,
+            plan_cache: PlanCache::new(default_plan_cache_capacity()),
+            ddl_serial: 0,
         }
     }
 
@@ -102,19 +135,19 @@ impl Engine {
     /// fully-synchronized database" (§III-B): one template engine is loaded
     /// once, then forked into the master and every slave of each run.
     pub fn fork(&self, role: ForkRole) -> Engine {
-        match role {
-            ForkRole::Master(format) => Engine {
-                catalog: self.catalog.clone(),
-                binlog: Binlog::new(),
-                format,
-                log_writes: true,
-            },
-            ForkRole::Slave => Engine {
-                catalog: self.catalog.clone(),
-                binlog: Binlog::new(),
-                format: BinlogFormat::Statement,
-                log_writes: false,
-            },
+        let (format, log_writes) = match role {
+            ForkRole::Master(format) => (format, true),
+            ForkRole::Slave => (BinlogFormat::Statement, false),
+        };
+        Engine {
+            catalog: self.catalog.clone(),
+            binlog: Binlog::new(),
+            format,
+            log_writes,
+            // Same capacity, fresh (empty) cache: plans are cheap to rebuild
+            // and per-fork caches keep the fork cost proportional to data.
+            plan_cache: PlanCache::new(self.plan_cache.capacity()),
+            ddl_serial: self.ddl_serial,
         }
     }
 
@@ -151,15 +184,66 @@ impl Engine {
             .map(Table::row_count)
     }
 
-    /// Execute one statement with positional parameters.
+    /// Execute one statement with positional parameters. Parsing and
+    /// planning go through the plan cache: repeated statement texts (every
+    /// hot-path query, and every statement-format binlog event a slave
+    /// re-applies) cost a hash lookup instead of a parse.
     pub fn execute(
         &mut self,
         session: &mut Session,
         sql: &str,
         params: &[Value],
     ) -> Result<QueryResult, SqlError> {
+        let plan = self.prepare(sql)?;
+        self.execute_plan(session, &plan, sql, params)
+    }
+
+    /// Parse and plan `sql`, consulting the plan cache. Cache entries are
+    /// revalidated against the engine's DDL serial; plans whose table
+    /// dependencies moved are rebuilt. Statements that fail to parse or
+    /// plan are never cached.
+    pub fn prepare(&mut self, sql: &str) -> Result<Arc<CachedPlan>, SqlError> {
+        if self.plan_cache.capacity() != 0 {
+            let catalog = &self.catalog;
+            if let Some(plan) =
+                self.plan_cache
+                    .get_validated(sql, self.ddl_serial, |p| match &p.select {
+                        Some(sel) => sel.deps().iter().all(|(key, serial)| {
+                            catalog.get(key).map(Table::schema_serial) == Some(*serial)
+                        }),
+                        // Non-SELECT statements resolve table names at
+                        // execute time; the cached AST cannot go stale.
+                        None => true,
+                    })
+            {
+                return Ok(plan);
+            }
+        }
         let stmt = parse(sql)?;
-        self.execute_stmt(session, &stmt, sql, params)
+        let select = match &stmt {
+            Statement::Select(sel) => Some(plan_select(&self.catalog, sel)?),
+            _ => None,
+        };
+        let param_count = stmt.param_count();
+        let plan = Arc::new(CachedPlan {
+            stmt,
+            select,
+            param_count,
+        });
+        self.plan_cache
+            .insert(sql.to_string(), Arc::clone(&plan), self.ddl_serial);
+        Ok(plan)
+    }
+
+    /// Plan-cache hit/miss counters (tests, benches, monitoring).
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Resize the plan cache; a capacity of zero disables caching (used by
+    /// the transparency cross-checks to force the uncached path).
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_cache.set_capacity(capacity);
     }
 
     /// Execute a semicolon-separated batch (DDL scripts, loaders). Returns
@@ -180,10 +264,10 @@ impl Engine {
         Ok(last)
     }
 
-    fn execute_stmt(
+    fn execute_plan(
         &mut self,
         session: &mut Session,
-        stmt: &Statement,
+        plan: &CachedPlan,
         sql: &str,
         params: &[Value],
     ) -> Result<QueryResult, SqlError> {
@@ -191,8 +275,11 @@ impl Engine {
             params,
             now_micros: session.now_micros,
         };
-        match stmt {
-            Statement::Select(sel) => exec_select(&self.catalog, sel, &ctx),
+        match &plan.stmt {
+            Statement::Select(sel) => match &plan.select {
+                Some(p) => exec_select_planned(&self.catalog, p, &ctx),
+                None => exec_select(&self.catalog, sel, &ctx),
+            },
             Statement::Explain(sel) => crate::exec::explain_select(&self.catalog, sel),
             Statement::Begin => {
                 if session.in_txn {
@@ -231,8 +318,11 @@ impl Engine {
                     }
                     return Err(SqlError::DuplicateTable(schema.name.clone()));
                 }
-                self.catalog.insert(key, Table::new(schema.clone()));
-                self.log_ddl(session, sql, params)?;
+                self.ddl_serial += 1;
+                let mut table = Table::new(schema.clone());
+                table.set_schema_serial(self.ddl_serial);
+                self.catalog.insert(key, table);
+                self.log_ddl(session, sql, plan.param_count, params)?;
                 Ok(QueryResult::default())
             }
             Statement::CreateIndex {
@@ -247,7 +337,9 @@ impl Engine {
                     .column_index(column)
                     .ok_or_else(|| SqlError::UnknownColumn(column.clone()))?;
                 t.create_index(name.clone(), col, *unique)?;
-                self.log_ddl(session, sql, params)?;
+                self.ddl_serial += 1;
+                t.set_schema_serial(self.ddl_serial);
+                self.log_ddl(session, sql, plan.param_count, params)?;
                 Ok(QueryResult::default())
             }
             Statement::DropTable { name, if_exists } => {
@@ -255,7 +347,10 @@ impl Engine {
                 if self.catalog.remove(&key).is_none() && !*if_exists {
                     return Err(SqlError::UnknownTable(name.clone()));
                 }
-                self.log_ddl(session, sql, params)?;
+                // A later CREATE TABLE of the same name gets a fresh serial,
+                // so plans against the dropped table can never alias it.
+                self.ddl_serial += 1;
+                self.log_ddl(session, sql, plan.param_count, params)?;
                 Ok(QueryResult::default())
             }
             Statement::Insert {
@@ -264,7 +359,7 @@ impl Engine {
                 rows,
             } => {
                 let out = exec_insert(&mut self.catalog, table, columns, rows, &ctx)?;
-                self.finish_write(session, sql, params, out)
+                self.finish_write(session, sql, plan.param_count, params, out)
             }
             Statement::Update {
                 table,
@@ -272,11 +367,11 @@ impl Engine {
                 filter,
             } => {
                 let out = exec_update(&mut self.catalog, table, sets, filter.as_ref(), &ctx)?;
-                self.finish_write(session, sql, params, out)
+                self.finish_write(session, sql, plan.param_count, params, out)
             }
             Statement::Delete { table, filter } => {
                 let out = exec_delete(&mut self.catalog, table, filter.as_ref(), &ctx)?;
-                self.finish_write(session, sql, params, out)
+                self.finish_write(session, sql, plan.param_count, params, out)
             }
         }
     }
@@ -286,6 +381,7 @@ impl Engine {
         &mut self,
         session: &mut Session,
         sql: &str,
+        param_count: usize,
         params: &[Value],
         out: WriteOutcome,
     ) -> Result<QueryResult, SqlError> {
@@ -295,7 +391,8 @@ impl Engine {
         if self.log_writes && out.result.rows_affected > 0 {
             let payload = match self.format {
                 BinlogFormat::Statement => EventPayload::Statement {
-                    sql: substitute_params(sql, params)?,
+                    sql: sql.to_string(),
+                    params: log_params(param_count, params)?,
                 },
                 BinlogFormat::Row => EventPayload::Rows {
                     changes: out.changes,
@@ -316,11 +413,13 @@ impl Engine {
         &mut self,
         session: &mut Session,
         sql: &str,
+        param_count: usize,
         params: &[Value],
     ) -> Result<(), SqlError> {
         if self.log_writes {
             session.pending.push(EventPayload::Statement {
-                sql: substitute_params(sql, params)?,
+                sql: sql.to_string(),
+                params: log_params(param_count, params)?,
             });
         }
         session.undo.clear();
@@ -369,12 +468,15 @@ impl Engine {
         now_micros: i64,
     ) -> Result<QueryResult, SqlError> {
         match &event.payload {
-            EventPayload::Statement { sql } => {
+            EventPayload::Statement { sql, params } => {
+                // Fast path: the statement text is the cache key, so a slave
+                // re-applying the workload's repeated statement shapes hits
+                // its plan cache and skips the parse entirely.
                 let mut session = Session {
                     now_micros,
                     ..Session::default()
                 };
-                self.execute(&mut session, sql, &[])
+                self.execute(&mut session, sql, params)
             }
             EventPayload::Rows { changes } => {
                 let mut res = QueryResult::default();
@@ -432,8 +534,39 @@ impl Engine {
     }
 }
 
-/// Substitute `?` placeholders with literal values (for statement-based
-/// binlogging). Quoted strings are respected.
+/// Validate binding arity and normalize parameter values for statement
+/// binlogging. The arity errors reproduce the literal-substitution path
+/// this replaces, byte for byte. `Timestamp` normalizes to `Int` because
+/// that is what the old path's literal round-trip produced: a timestamp
+/// renders as a bare integer literal, which re-parses as INT and only
+/// regains its affinity through column coercion on the slave.
+fn log_params(param_count: usize, params: &[Value]) -> Result<Vec<Value>, SqlError> {
+    if params.len() < param_count {
+        return Err(SqlError::BadParameter(format!(
+            "placeholder {} not bound",
+            params.len() + 1
+        )));
+    }
+    if params.len() > param_count {
+        return Err(SqlError::BadParameter(format!(
+            "{} parameters bound, {} placeholders found",
+            params.len(),
+            param_count
+        )));
+    }
+    Ok(params
+        .iter()
+        .map(|v| match v {
+            Value::Timestamp(t) => Value::Int(*t),
+            other => other.clone(),
+        })
+        .collect())
+}
+
+/// Substitute `?` placeholders with literal values. Quoted strings are
+/// respected. Statement binlogging used this before parameters were shipped
+/// alongside the SQL text; it remains for tooling and tests that need a
+/// self-contained statement string.
 pub fn substitute_params(sql: &str, params: &[Value]) -> Result<String, SqlError> {
     let mut out = String::with_capacity(sql.len() + params.len() * 8);
     let mut idx = 0usize;
@@ -645,7 +778,7 @@ mod tests {
             .read_from(Lsn(0))
             .iter()
             .filter(|ev| match &ev.payload {
-                EventPayload::Statement { sql } => sql.contains("gone"),
+                EventPayload::Statement { sql, .. } => sql.contains("gone"),
                 _ => false,
             })
             .collect();
@@ -773,8 +906,162 @@ mod tests {
         assert!(!s.in_transaction(), "DDL closed the transaction");
         // The pending insert was committed (logged), not rolled back.
         assert!(e.binlog().read_from(Lsn(0)).iter().any(
-            |ev| matches!(&ev.payload, EventPayload::Statement { sql } if sql.contains("'x'"))
+            |ev| matches!(&ev.payload, EventPayload::Statement { sql, .. } if sql.contains("'x'"))
         ));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_statements() {
+        let (mut e, mut s) = master();
+        e.set_plan_cache_capacity(64);
+        let sql = "SELECT name FROM users WHERE id = ?";
+        for id in 0..5 {
+            e.execute(&mut s, sql, &[Value::Int(id)]).unwrap();
+        }
+        let stats = e.plan_cache_stats();
+        assert!(stats.hits >= 4, "expected repeat hits, got {stats:?}");
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn plan_cache_capacity_zero_disables() {
+        let (mut e, mut s) = master();
+        e.set_plan_cache_capacity(0);
+        let sql = "SELECT name FROM users";
+        e.execute(&mut s, sql, &[]).unwrap();
+        e.execute(&mut s, sql, &[]).unwrap();
+        let stats = e.plan_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn binlog_ships_raw_text_with_params() {
+        let (mut e, mut s) = master();
+        e.execute(
+            &mut s,
+            "INSERT INTO users (name, score) VALUES (?, ?)",
+            &[Value::from("amy"), Value::from(0.5)],
+        )
+        .unwrap();
+        let ev = e.binlog().read_from(Lsn(0)).last().unwrap();
+        match &ev.payload {
+            EventPayload::Statement { sql, params } => {
+                assert!(sql.contains('?'), "text ships unsubstituted: {sql}");
+                assert_eq!(params, &[Value::from("amy"), Value::from(0.5)]);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binlog_normalizes_timestamp_params_to_int() {
+        let (mut e, mut s) = master();
+        e.execute_batch(&mut s, "CREATE TABLE hb (id INT PRIMARY KEY, ts TIMESTAMP)")
+            .unwrap();
+        e.execute(
+            &mut s,
+            "INSERT INTO hb VALUES (?, ?)",
+            &[Value::Int(1), Value::Timestamp(777)],
+        )
+        .unwrap();
+        let ev = e.binlog().read_from(Lsn(0)).last().unwrap();
+        match &ev.payload {
+            EventPayload::Statement { params, .. } => {
+                assert_eq!(
+                    params,
+                    &[Value::Int(1), Value::Int(777)],
+                    "timestamp ships as the bare integer the substituted literal produced"
+                );
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        // And a slave applying it regains the TIMESTAMP affinity via coercion.
+        let mut slave = Engine::new_slave();
+        for ev in e.binlog_from(Lsn(0)).to_vec() {
+            slave.apply_event(&ev, 0).unwrap();
+        }
+        let mut ss = Session::new();
+        let r = slave
+            .execute(&mut ss, "SELECT ts FROM hb WHERE id = 1", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Timestamp(777));
+    }
+
+    #[test]
+    fn log_arity_errors_match_substitution_errors() {
+        let (mut e, mut s) = master();
+        e.execute(&mut s, "INSERT INTO users (name) VALUES ('z')", &[])
+            .unwrap();
+        // Too few parameters, with the placeholder dodging evaluation via OR
+        // short-circuit: only the logging-time arity check can catch it, and
+        // its message must match what literal substitution used to raise.
+        let sql = "UPDATE users SET score = 1 WHERE id = 1 OR name = ?";
+        let err = e.execute(&mut s, sql, &[]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            substitute_params(sql, &[]).unwrap_err().to_string()
+        );
+        // Too many parameters: evaluation ignores the extras, the logging
+        // arity check must not.
+        let sql = "UPDATE users SET score = ? WHERE id = 1";
+        let params = [Value::from(2.0), Value::from(3.0)];
+        let err = e.execute(&mut s, sql, &params).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            substitute_params(sql, &params).unwrap_err().to_string()
+        );
+    }
+
+    #[test]
+    fn create_index_invalidates_cached_select_plan() {
+        let (mut e, mut s) = master();
+        e.execute_batch(
+            &mut s,
+            "CREATE TABLE items (id INT PRIMARY KEY, cat INT);
+             INSERT INTO items VALUES (1, 10), (2, 10), (3, 20)",
+        )
+        .unwrap();
+        let sql = "SELECT id FROM items WHERE cat = ? ORDER BY id";
+        let r1 = e.execute(&mut s, sql, &[Value::Int(10)]).unwrap();
+        assert_eq!(r1.rows.len(), 2);
+        // The cached plan full-scans; after CREATE INDEX the statement must
+        // re-plan to an index lookup (observable via rows_examined).
+        assert_eq!(r1.rows_examined, 3);
+        e.execute(&mut s, "CREATE INDEX idx_cat ON items (cat)", &[])
+            .unwrap();
+        let r2 = e.execute(&mut s, sql, &[Value::Int(10)]).unwrap();
+        assert_eq!(r2.rows, r1.rows, "same answer either way");
+        assert_eq!(r2.rows_examined, 2, "stale full-scan plan was not reused");
+    }
+
+    #[test]
+    fn drop_and_recreate_invalidates_cached_plan() {
+        let (mut e, mut s) = master();
+        e.execute_batch(
+            &mut s,
+            "CREATE TABLE tmp (id INT PRIMARY KEY, a INT);
+             INSERT INTO tmp VALUES (1, 5)",
+        )
+        .unwrap();
+        let sql = "SELECT a FROM tmp WHERE id = 1";
+        assert_eq!(
+            e.execute(&mut s, sql, &[]).unwrap().rows,
+            vec![vec![Value::Int(5)]]
+        );
+        // Re-create with a different column layout under the same name.
+        e.execute_batch(
+            &mut s,
+            "DROP TABLE tmp;
+             CREATE TABLE tmp (id INT PRIMARY KEY, b INT, a INT);
+             INSERT INTO tmp VALUES (1, 6, 7)",
+        )
+        .unwrap();
+        assert_eq!(
+            e.execute(&mut s, sql, &[]).unwrap().rows,
+            vec![vec![Value::Int(7)]],
+            "plan re-bound against the new schema"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::expr::{eval, truth, ColumnResolver, EvalCtx, NoColumns, Truth};
 use crate::plan::{choose_path, Path};
 use crate::storage::{RowId, Table};
 use crate::value::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 
 /// The table catalog: lower-cased table name → table.
@@ -95,16 +95,18 @@ pub struct WriteOutcome {
 // ---------------------------------------------------------------------------
 
 /// One bound table in a FROM clause.
+#[derive(Debug, Clone)]
 struct Binding {
     name: String,
     columns: Vec<String>,
 }
 
 /// Row scope across all FROM bindings; `None` = NULL-extended (LEFT JOIN) or
-/// not yet bound.
+/// not yet bound. Rows are *borrowed* from storage — the join pipeline never
+/// clones a row to evaluate predicates or projections over it.
 struct Scope<'a> {
     bindings: &'a [Binding],
-    rows: &'a [Option<Vec<Value>>],
+    rows: &'a [Option<&'a [Value]>],
 }
 
 impl ColumnResolver for Scope<'_> {
@@ -122,7 +124,7 @@ impl ColumnResolver for Scope<'_> {
                     .iter()
                     .position(|c| c.eq_ignore_ascii_case(name))
                     .ok_or_else(|| SqlError::UnknownColumn(format!("{q}.{name}")))?;
-                Ok(match &self.rows[i] {
+                Ok(match self.rows[i] {
                     Some(row) => row[col].clone(),
                     None => Value::Null,
                 })
@@ -140,12 +142,19 @@ impl ColumnResolver for Scope<'_> {
                     }
                 }
                 let (i, col) = hit.ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
-                Ok(match &self.rows[i] {
+                Ok(match self.rows[i] {
                     Some(row) => row[col].clone(),
                     None => Value::Null,
                 })
             }
         }
+    }
+
+    fn resolve_idx(&self, binding: usize, col: usize) -> Result<Value, SqlError> {
+        Ok(match self.rows[binding] {
+            Some(row) => row[col].clone(),
+            None => Value::Null,
+        })
     }
 }
 
@@ -153,15 +162,74 @@ impl ColumnResolver for Scope<'_> {
 // Candidate iteration (access paths)
 // ---------------------------------------------------------------------------
 
-/// Materialize candidate row ids for a table access, preferring the given
+/// Candidate rows for one table access. Point lookups borrow the index's
+/// posting list directly instead of materializing a fresh `Vec` per access —
+/// on the index-nested-loop join path that is one allocation per outer row.
+/// Full scans iterate storage directly, skipping both the row-id `Vec` and
+/// the per-id B-tree lookup an id list would cost.
+enum Cands<'t> {
+    Empty,
+    One(RowId),
+    Slice(&'t [RowId]),
+    Owned(Vec<RowId>),
+    Scan,
+}
+
+impl Cands<'_> {
+    /// Iterate `(rid, row)` pairs against the table the candidates came from.
+    fn rows<'t>(&self, table: &'t Table) -> CandsIter<'t, '_> {
+        match self {
+            Cands::Empty => CandsIter::Ids(table, IdIter::One(None)),
+            Cands::One(rid) => CandsIter::Ids(table, IdIter::One(Some(*rid))),
+            Cands::Slice(s) => CandsIter::Ids(table, IdIter::Slice(s.iter())),
+            Cands::Owned(v) => CandsIter::Ids(table, IdIter::Slice(v.iter())),
+            Cands::Scan => CandsIter::Scan(table.scan_pairs()),
+        }
+    }
+}
+
+enum IdIter<'a> {
+    One(Option<RowId>),
+    Slice(std::slice::Iter<'a, RowId>),
+}
+
+impl Iterator for IdIter<'_> {
+    type Item = RowId;
+    fn next(&mut self) -> Option<RowId> {
+        match self {
+            IdIter::One(o) => o.take(),
+            IdIter::Slice(it) => it.next().copied(),
+        }
+    }
+}
+
+enum CandsIter<'t, 'c> {
+    Ids(&'t Table, IdIter<'c>),
+    Scan(std::collections::btree_map::Iter<'t, RowId, Vec<Value>>),
+}
+
+impl<'t> Iterator for CandsIter<'t, '_> {
+    type Item = (RowId, &'t [Value]);
+    fn next(&mut self) -> Option<(RowId, &'t [Value])> {
+        match self {
+            CandsIter::Ids(table, ids) => {
+                let rid = ids.next()?;
+                Some((rid, table.get(rid).expect("candidate rid valid").as_slice()))
+            }
+            CandsIter::Scan(it) => it.next().map(|(&rid, row)| (rid, row.as_slice())),
+        }
+    }
+}
+
+/// Produce candidate row ids for a table access, preferring the given
 /// path and gracefully falling back to a full scan when a key expression
 /// cannot be evaluated in the current scope.
-fn candidates(
-    table: &Table,
+fn candidates<'t>(
+    table: &'t Table,
     path: &Path,
     ctx: &EvalCtx,
     scope: &Scope<'_>,
-) -> Result<Vec<RowId>, SqlError> {
+) -> Result<Cands<'t>, SqlError> {
     let eval_key = |key: &Expr| -> Result<Option<Value>, SqlError> {
         match eval(key, ctx, scope) {
             Ok(v) => Ok(Some(v)),
@@ -169,36 +237,37 @@ fn candidates(
             Err(e) => Err(e),
         }
     };
-    let full = |t: &Table| t.scan().map(|(rid, _)| rid).collect::<Vec<_>>();
-
     Ok(match path {
-        Path::FullScan => full(table),
+        Path::FullScan => Cands::Scan,
         Path::PkEq { key } => match eval_key(key)? {
-            Some(v) if !v.is_null() => table.pk_lookup(&v).into_iter().collect(),
-            Some(_) => Vec::new(),
-            None => full(table),
+            Some(v) if !v.is_null() => match table.pk_lookup(&v) {
+                Some(rid) => Cands::One(rid),
+                None => Cands::Empty,
+            },
+            Some(_) => Cands::Empty,
+            None => Cands::Scan,
         },
         Path::IndexEq { column, key } => match eval_key(key)? {
             Some(v) if !v.is_null() => {
                 let ix = table.index_on(*column).expect("planned index exists");
-                ix.lookup_eq(&v).to_vec()
+                Cands::Slice(ix.lookup_eq(&v))
             }
-            Some(_) => Vec::new(),
-            None => full(table),
+            Some(_) => Cands::Empty,
+            None => Cands::Scan,
         },
         Path::PkRange { lo, hi } => match eval_bounds(lo, hi, ctx, scope)? {
             Some((lo_b, hi_b)) => match table.pk_range(as_bound(&lo_b), as_bound(&hi_b)) {
-                Some(iter) => iter.collect(),
-                None => full(table),
+                Some(iter) => Cands::Owned(iter.collect()),
+                None => Cands::Scan,
             },
-            None => full(table),
+            None => Cands::Scan,
         },
         Path::IndexRange { column, lo, hi } => match eval_bounds(lo, hi, ctx, scope)? {
             Some((lo_b, hi_b)) => {
                 let ix = table.index_on(*column).expect("planned index exists");
-                ix.lookup_range(as_bound(&lo_b), as_bound(&hi_b)).collect()
+                Cands::Owned(ix.lookup_range(as_bound(&lo_b), as_bound(&hi_b)).collect())
             }
-            None => full(table),
+            None => Cands::Scan,
         },
     })
 }
@@ -240,60 +309,167 @@ fn as_bound(b: &EvaluatedBound) -> Bound<&Value> {
 // SELECT
 // ---------------------------------------------------------------------------
 
-/// Execute a SELECT against the catalog.
-pub fn exec_select(
-    catalog: &Catalog,
-    sel: &SelectStmt,
-    ctx: &EvalCtx,
-) -> Result<QueryResult, SqlError> {
-    // Bind FROM sources.
-    struct Source<'a> {
-        binding: String,
-        table: &'a Table,
-        kind: JoinKind,
-        on: Option<Expr>,
-        path: Path,
-    }
+/// One planned FROM source. The table is recorded by catalog key rather than
+/// by reference so the plan owns no borrows and can be cached; execution
+/// re-resolves the key against the live catalog.
+#[derive(Debug, Clone)]
+struct PlannedSource {
+    /// Lower-cased catalog key.
+    table_key: String,
+    kind: JoinKind,
+    on: Option<Expr>,
+    path: Path,
+}
 
-    let mut sources: Vec<Source> = Vec::new();
+/// A fully planned SELECT: resolved FROM sources with chosen access paths,
+/// the expanded projection list, and the schema stamp of every table the
+/// plan reads (for cache invalidation).
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    sources: Vec<PlannedSource>,
+    bindings: Vec<Binding>,
+    filter: Option<Expr>,
+    out_cols: Vec<String>,
+    item_exprs: Vec<(Expr, String)>, // (expr, name) expanded
+    aggregate_mode: bool,
+    group_by: Vec<Expr>,
+    having: Option<Expr>,
+    order_by: Vec<OrderKey>,
+    /// True when any ORDER BY key names an output column (alias); those
+    /// keys read the projected row, so projection cannot be deferred past
+    /// the sort.
+    order_refs_output: bool,
+    distinct: bool,
+    limit: Option<u64>,
+    offset: Option<u64>,
+    deps: Vec<(String, u64)>,
+}
+
+impl SelectPlan {
+    /// Tables this plan reads, as `(catalog key, schema serial at plan
+    /// time)` pairs. A cached plan is stale once any serial has moved.
+    pub fn deps(&self) -> &[(String, u64)] {
+        &self.deps
+    }
+}
+
+/// Rewrite every [`Expr::Column`] whose name resolves uniquely against the
+/// plan's bindings into a positional [`Expr::Resolved`] reference. Name
+/// resolution depends only on the bindings (never on row data), so this is a
+/// pure fast path: per-plan scans replace per-row scans. Unknown and
+/// ambiguous names are left as-is — [`Scope::resolve`] must still raise the
+/// same error at the same point in execution.
+fn resolve_columns(e: &mut Expr, bindings: &[Binding]) {
+    match e {
+        Expr::Column { qualifier, name } => {
+            let hit = match qualifier {
+                Some(q) => bindings
+                    .iter()
+                    .enumerate()
+                    .find(|(_, b)| b.name.eq_ignore_ascii_case(q))
+                    .and_then(|(i, b)| {
+                        b.columns
+                            .iter()
+                            .position(|c| c.eq_ignore_ascii_case(name))
+                            .map(|col| (i, col))
+                    }),
+                None => {
+                    let mut hit = None;
+                    let mut ambiguous = false;
+                    for (i, b) in bindings.iter().enumerate() {
+                        if let Some(col) =
+                            b.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+                        {
+                            ambiguous |= hit.is_some();
+                            hit = Some((i, col));
+                        }
+                    }
+                    if ambiguous {
+                        None
+                    } else {
+                        hit
+                    }
+                }
+            };
+            if let Some((binding, col)) = hit {
+                *e = Expr::Resolved { binding, col };
+            }
+        }
+        Expr::Unary(_, inner) => resolve_columns(inner, bindings),
+        Expr::Binary(a, _, b) => {
+            resolve_columns(a, bindings);
+            resolve_columns(b, bindings);
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                resolve_columns(a, bindings);
+            }
+        }
+        Expr::IsNull { expr, .. } => resolve_columns(expr, bindings),
+        Expr::Like { expr, pattern, .. } => {
+            resolve_columns(expr, bindings);
+            resolve_columns(pattern, bindings);
+        }
+        Expr::InList { expr, list, .. } => {
+            resolve_columns(expr, bindings);
+            for i in list {
+                resolve_columns(i, bindings);
+            }
+        }
+        Expr::Between { expr, lo, hi } => {
+            resolve_columns(expr, bindings);
+            resolve_columns(lo, bindings);
+            resolve_columns(hi, bindings);
+        }
+        Expr::Literal(_) | Expr::Param(_) | Expr::Resolved { .. } => {}
+    }
+}
+
+/// Plan a SELECT: resolve tables, choose access paths, expand the
+/// projection. Everything here depends only on catalog schemas and index
+/// definitions, so the result stays valid until a schema-affecting DDL runs.
+pub fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<SelectPlan, SqlError> {
+    let mut sources: Vec<PlannedSource> = Vec::new();
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut deps: Vec<(String, u64)> = Vec::new();
     if let Some(from) = &sel.from {
         let base_table = get_table(catalog, &from.base.table)?;
         let base_binding = from.base.binding().to_string();
-        let base_path = choose_path(base_table, &base_binding, sel.filter.as_ref());
-        sources.push(Source {
-            binding: base_binding,
-            table: base_table,
+        sources.push(PlannedSource {
+            table_key: from.base.table.to_ascii_lowercase(),
             kind: JoinKind::Inner,
             on: None,
-            path: base_path,
+            path: choose_path(base_table, &base_binding, sel.filter.as_ref()),
         });
-        for j in &from.joins {
-            let t = get_table(catalog, &j.table.table)?;
-            let binding = j.table.binding().to_string();
-            let path = choose_path(t, &binding, Some(&j.on));
-            sources.push(Source {
-                binding,
-                table: t,
-                kind: j.kind,
-                on: Some(j.on.clone()),
-                path,
-            });
-        }
-    }
-
-    let bindings: Vec<Binding> = sources
-        .iter()
-        .map(|s| Binding {
-            name: s.binding.clone(),
-            columns: s
-                .table
+        deps.push((
+            from.base.table.to_ascii_lowercase(),
+            base_table.schema_serial(),
+        ));
+        bindings.push(Binding {
+            name: base_binding,
+            columns: base_table
                 .schema()
                 .columns
                 .iter()
                 .map(|c| c.name.clone())
                 .collect(),
-        })
-        .collect();
+        });
+        for j in &from.joins {
+            let t = get_table(catalog, &j.table.table)?;
+            let binding = j.table.binding().to_string();
+            sources.push(PlannedSource {
+                table_key: j.table.table.to_ascii_lowercase(),
+                kind: j.kind,
+                on: Some(j.on.clone()),
+                path: choose_path(t, &binding, Some(&j.on)),
+            });
+            deps.push((j.table.table.to_ascii_lowercase(), t.schema_serial()));
+            bindings.push(Binding {
+                name: binding,
+                columns: t.schema().columns.iter().map(|c| c.name.clone()).collect(),
+            });
+        }
+    }
 
     // Output columns.
     let mut out_cols: Vec<String> = Vec::new();
@@ -335,109 +511,206 @@ pub fn exec_select(
         ));
     }
 
-    // Collect all emitted scope rows, applying WHERE.
-    let mut rows_examined: u64 = 0;
-    let mut emitted: Vec<Vec<Option<Vec<Value>>>> = Vec::new();
+    let order_refs_output = sel.order_by.iter().any(|ok| {
+        matches!(&ok.expr, Expr::Column { qualifier: None, name }
+            if out_cols.iter().any(|c| c.eq_ignore_ascii_case(name)))
+    });
 
-    if sources.is_empty() {
-        emitted.push(Vec::new());
-    } else {
-        // Iterative nested-loop join over a stack of candidate lists.
-        #[allow(clippy::too_many_arguments)]
-        fn recurse(
-            sources: &[Source<'_>],
-            bindings: &[Binding],
-            idx: usize,
-            scope_rows: &mut Vec<Option<Vec<Value>>>,
-            ctx: &EvalCtx,
-            filter: Option<&Expr>,
-            rows_examined: &mut u64,
-            emitted: &mut Vec<Vec<Option<Vec<Value>>>>,
-        ) -> Result<(), SqlError> {
-            if idx == sources.len() {
-                if let Some(f) = filter {
-                    let scope = Scope {
-                        bindings,
-                        rows: scope_rows,
-                    };
-                    if truth(&eval(f, ctx, &scope)?) != Truth::True {
-                        return Ok(());
-                    }
-                }
-                emitted.push(scope_rows.clone());
-                return Ok(());
-            }
-            let src = &sources[idx];
-            let cands = {
+    // Pre-resolve column names to positions everywhere except ORDER BY keys:
+    // those resolve output aliases ahead of table columns, so they must stay
+    // named until the projection exists.
+    let mut filter = sel.filter.clone();
+    if let Some(f) = &mut filter {
+        resolve_columns(f, &bindings);
+    }
+    for src in &mut sources {
+        if let Some(on) = &mut src.on {
+            resolve_columns(on, &bindings);
+        }
+    }
+    for (e, _) in &mut item_exprs {
+        resolve_columns(e, &bindings);
+    }
+    let mut group_by = sel.group_by.clone();
+    for g in &mut group_by {
+        resolve_columns(g, &bindings);
+    }
+    let mut having = sel.having.clone();
+    if let Some(h) = &mut having {
+        resolve_columns(h, &bindings);
+    }
+
+    Ok(SelectPlan {
+        sources,
+        bindings,
+        filter,
+        out_cols,
+        item_exprs,
+        aggregate_mode,
+        group_by,
+        having,
+        order_by: sel.order_by.clone(),
+        order_refs_output,
+        distinct: sel.distinct,
+        limit: sel.limit,
+        offset: sel.offset,
+        deps,
+    })
+}
+
+/// Execute a SELECT against the catalog (plan + execute in one step).
+pub fn exec_select(
+    catalog: &Catalog,
+    sel: &SelectStmt,
+    ctx: &EvalCtx,
+) -> Result<QueryResult, SqlError> {
+    let plan = plan_select(catalog, sel)?;
+    exec_select_planned(catalog, &plan, ctx)
+}
+
+/// One aggregation group: accumulators plus the representative scope row
+/// (the group's first, used to evaluate non-aggregate expressions).
+type AggGroup<'t> = (Vec<AggAcc>, Vec<Option<&'t [Value]>>);
+
+/// Execute a previously planned SELECT against the catalog.
+pub fn exec_select_planned<'c>(
+    catalog: &'c Catalog,
+    plan: &SelectPlan,
+    ctx: &EvalCtx,
+) -> Result<QueryResult, SqlError> {
+    // Re-resolve the planned tables against the live catalog.
+    let mut tables: Vec<&'c Table> = Vec::with_capacity(plan.sources.len());
+    for s in &plan.sources {
+        tables.push(
+            catalog
+                .get(&s.table_key)
+                .ok_or_else(|| SqlError::UnknownTable(s.table_key.clone()))?,
+        );
+    }
+    let bindings = &plan.bindings;
+    let out_cols = &plan.out_cols;
+    let item_exprs = &plan.item_exprs;
+
+    // Stream scope rows (with WHERE applied) into a per-mode sink. Rows are
+    // borrowed straight out of storage; nothing is cloned until a sink
+    // decides it must keep something.
+    let mut rows_examined: u64 = 0;
+
+    /// Sink receiving each surviving scope row from the join driver.
+    type RowSink<'s, 't> = dyn FnMut(&[Option<&'t [Value]>]) -> Result<(), SqlError> + 's;
+
+    // Nested-loop join over per-source candidate lists.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse<'t>(
+        sources: &[PlannedSource],
+        tables: &[&'t Table],
+        bindings: &[Binding],
+        idx: usize,
+        scope_rows: &mut Vec<Option<&'t [Value]>>,
+        ctx: &EvalCtx,
+        filter: Option<&Expr>,
+        rows_examined: &mut u64,
+        sink: &mut RowSink<'_, 't>,
+    ) -> Result<(), SqlError> {
+        if idx == sources.len() {
+            if let Some(f) = filter {
                 let scope = Scope {
                     bindings,
                     rows: scope_rows,
                 };
-                candidates(src.table, &src.path, ctx, &scope)?
-            };
-            let mut matched = false;
-            for rid in cands {
-                let row = src.table.get(rid).expect("candidate rid valid").clone();
-                *rows_examined += 1;
-                scope_rows[idx] = Some(row);
-                // Re-check the ON predicate (the path may be a superset).
-                if let Some(on) = &src.on {
-                    let scope = Scope {
-                        bindings,
-                        rows: scope_rows,
-                    };
-                    if truth(&eval(on, ctx, &scope)?) != Truth::True {
-                        scope_rows[idx] = None;
-                        continue;
-                    }
+                if truth(&eval(f, ctx, &scope)?) != Truth::True {
+                    return Ok(());
                 }
-                matched = true;
-                recurse(
-                    sources,
-                    bindings,
-                    idx + 1,
-                    scope_rows,
-                    ctx,
-                    filter,
-                    rows_examined,
-                    emitted,
-                )?;
-                scope_rows[idx] = None;
             }
-            if !matched && src.kind == JoinKind::Left {
-                scope_rows[idx] = None;
-                recurse(
-                    sources,
-                    bindings,
-                    idx + 1,
-                    scope_rows,
-                    ctx,
-                    filter,
-                    rows_examined,
-                    emitted,
-                )?;
-            }
-            Ok(())
+            return sink(scope_rows);
         }
+        let src = &sources[idx];
+        let table = tables[idx];
+        let cands = {
+            let scope = Scope {
+                bindings,
+                rows: scope_rows,
+            };
+            candidates(table, &src.path, ctx, &scope)?
+        };
+        let mut matched = false;
+        for (_rid, row) in cands.rows(table) {
+            *rows_examined += 1;
+            scope_rows[idx] = Some(row);
+            // Re-check the ON predicate (the path may be a superset).
+            if let Some(on) = &src.on {
+                let scope = Scope {
+                    bindings,
+                    rows: scope_rows,
+                };
+                if truth(&eval(on, ctx, &scope)?) != Truth::True {
+                    scope_rows[idx] = None;
+                    continue;
+                }
+            }
+            matched = true;
+            recurse(
+                sources,
+                tables,
+                bindings,
+                idx + 1,
+                scope_rows,
+                ctx,
+                filter,
+                rows_examined,
+                sink,
+            )?;
+            scope_rows[idx] = None;
+        }
+        if !matched && src.kind == JoinKind::Left {
+            scope_rows[idx] = None;
+            recurse(
+                sources,
+                tables,
+                bindings,
+                idx + 1,
+                scope_rows,
+                ctx,
+                filter,
+                rows_examined,
+                sink,
+            )?;
+        }
+        Ok(())
+    }
 
-        let mut scope_rows: Vec<Option<Vec<Value>>> = vec![None; sources.len()];
+    /// Drive the join, feeding each surviving scope row to `sink`.
+    fn drive<'t>(
+        plan: &SelectPlan,
+        tables: &[&'t Table],
+        ctx: &EvalCtx,
+        rows_examined: &mut u64,
+        sink: &mut RowSink<'_, 't>,
+    ) -> Result<(), SqlError> {
+        if plan.sources.is_empty() {
+            // A FROM-less SELECT yields exactly one row over an empty scope;
+            // the padding entry is never read (there are no bindings).
+            return sink(&[None]);
+        }
+        let mut scope_rows: Vec<Option<&'t [Value]>> = vec![None; plan.sources.len()];
         recurse(
-            &sources,
-            &bindings,
+            &plan.sources,
+            tables,
+            &plan.bindings,
             0,
             &mut scope_rows,
             ctx,
-            sel.filter.as_ref(),
-            &mut rows_examined,
-            &mut emitted,
-        )?;
+            plan.filter.as_ref(),
+            rows_examined,
+            sink,
+        )
     }
 
     // Project (and aggregate).
     // Each output row carries its sort keys, computed pre-projection.
     let mut result_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (sort_keys, out_row)
 
-    let order_key_exprs: Vec<&OrderKey> = sel.order_by.iter().collect();
+    let order_key_exprs: Vec<&OrderKey> = plan.order_by.iter().collect();
 
     let compute_sort_keys =
         |out_row: &[Value], scope: &dyn ColumnResolver| -> Result<Vec<Value>, SqlError> {
@@ -459,64 +732,71 @@ pub fn exec_select(
             Ok(keys)
         };
 
-    if aggregate_mode {
-        let specs = collect_agg_specs(&item_exprs, &sel.order_by, sel.having.as_ref());
-        // group key -> (accumulators, representative scope)
-        // (group key, accumulators, representative scope rows)
-        type Group = (Vec<Value>, Vec<AggAcc>, Vec<Option<Vec<Value>>>);
-        let mut groups: Vec<Group> = Vec::new();
-        let mut group_index: BTreeMap<String, usize> = BTreeMap::new();
-
-        for scope_rows in &emitted {
+    if plan.aggregate_mode {
+        let specs = collect_agg_specs(item_exprs, &plan.order_by, plan.having.as_ref());
+        // (accumulators, representative scope rows); output order is group
+        // discovery order, so the index map can be an unordered HashMap.
+        let mut groups: Vec<AggGroup<'c>> = Vec::new();
+        let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+        // Rows stream straight into accumulators; only each group's first row
+        // is kept (as the group's representative scope). A global aggregate
+        // (no GROUP BY) skips the key hashing entirely — one group, found
+        // without a lookup.
+        let global = plan.group_by.is_empty();
+        let mut sink = |scope_rows: &[Option<&'c [Value]>]| -> Result<(), SqlError> {
             let scope = Scope {
-                bindings: &bindings,
+                bindings,
                 rows: scope_rows,
             };
-            let mut key = Vec::with_capacity(sel.group_by.len());
-            for g in &sel.group_by {
-                key.push(eval(g, ctx, &scope)?);
-            }
-            let key_str = key
-                .iter()
-                .map(|v| format!("{v:?}"))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
-            let gi = *group_index.entry(key_str).or_insert_with(|| {
-                groups.push((
-                    key.clone(),
-                    specs.iter().map(AggAcc::new).collect(),
-                    scope_rows.clone(),
-                ));
-                groups.len() - 1
-            });
-            for (acc, spec) in groups[gi].1.iter_mut().zip(&specs) {
+            let gi = if global {
+                if groups.is_empty() {
+                    groups.push((specs.iter().map(AggAcc::new).collect(), scope_rows.to_vec()));
+                }
+                0
+            } else {
+                let mut key = Vec::with_capacity(plan.group_by.len());
+                for g in &plan.group_by {
+                    key.push(ValueKey::from(eval(g, ctx, &scope)?));
+                }
+                let key = GroupKey(key);
+                match group_index.get(&key) {
+                    Some(&gi) => gi,
+                    None => {
+                        groups.push((specs.iter().map(AggAcc::new).collect(), scope_rows.to_vec()));
+                        group_index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                }
+            };
+            for (acc, spec) in groups[gi].0.iter_mut().zip(&specs) {
                 acc.update(spec, ctx, &scope)?;
             }
-        }
+            Ok(())
+        };
+        drive(plan, &tables, ctx, &mut rows_examined, &mut sink)?;
         // A global aggregate over zero rows still yields one group.
-        if groups.is_empty() && sel.group_by.is_empty() {
+        if groups.is_empty() && global {
             groups.push((
-                Vec::new(),
                 specs.iter().map(AggAcc::new).collect(),
                 vec![None; bindings.len()],
             ));
         }
 
-        for (_key, accs, rep_rows) in &groups {
+        for (accs, rep_rows) in &groups {
             let scope = Scope {
-                bindings: &bindings,
+                bindings,
                 rows: rep_rows,
             };
             let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
             // HAVING filters whole groups; aggregates inside it substitute.
-            if let Some(h) = &sel.having {
+            if let Some(h) = &plan.having {
                 let rewritten = substitute_aggs(h, &specs, &agg_values);
                 if truth(&eval(&rewritten, ctx, &scope)?) != Truth::True {
                     continue;
                 }
             }
             let mut out_row = Vec::with_capacity(item_exprs.len());
-            for (e, _) in &item_exprs {
+            for (e, _) in item_exprs {
                 let rewritten = substitute_aggs(e, &specs, &agg_values);
                 out_row.push(eval(&rewritten, ctx, &scope)?);
             }
@@ -539,13 +819,70 @@ pub fn exec_select(
             result_rows.push((keys, out_row));
         }
     } else {
-        for scope_rows in &emitted {
+        // Sorting needs every emitted row at once, so the non-aggregate path
+        // materializes — but into one flat buffer of borrowed row slices
+        // (chunks of `n_srcs`), not a Vec-per-row.
+        let n_srcs = plan.sources.len().max(1);
+        let mut flat: Vec<Option<&'c [Value]>> = Vec::new();
+        let mut sink = |scope_rows: &[Option<&'c [Value]>]| -> Result<(), SqlError> {
+            flat.extend_from_slice(scope_rows);
+            Ok(())
+        };
+        drive(plan, &tables, ctx, &mut rows_examined, &mut sink)?;
+
+        // Windowed fast path: with OFFSET/LIMIT, no DISTINCT, and sort keys
+        // that don't read the projected row, sort the borrowed scope rows
+        // first and project only the window's survivors — projection is the
+        // expensive step (it clones every projected value).
+        let windowed = (plan.limit.is_some() || plan.offset.is_some())
+            && !plan.distinct
+            && !plan.order_refs_output;
+        if windowed {
+            let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(flat.len() / n_srcs);
+            for (i, scope_rows) in flat.chunks(n_srcs).enumerate() {
+                let scope = Scope {
+                    bindings,
+                    rows: scope_rows,
+                };
+                let mut keys = Vec::with_capacity(order_key_exprs.len());
+                for ok in &order_key_exprs {
+                    keys.push(eval(&ok.expr, ctx, &scope)?);
+                }
+                keyed.push((keys, i));
+            }
+            if !plan.order_by.is_empty() {
+                keyed.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(&plan.order_by, ka, kb));
+            }
+            let offset = plan.offset.unwrap_or(0) as usize;
+            let take = plan.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+            let mut rows = Vec::new();
+            for (_, i) in keyed.into_iter().skip(offset).take(take) {
+                let scope = Scope {
+                    bindings,
+                    rows: &flat[i * n_srcs..(i + 1) * n_srcs],
+                };
+                let mut out_row = Vec::with_capacity(item_exprs.len());
+                for (e, _) in item_exprs {
+                    out_row.push(eval(e, ctx, &scope)?);
+                }
+                rows.push(out_row);
+            }
+            return Ok(QueryResult {
+                columns: out_cols.clone(),
+                rows,
+                rows_affected: 0,
+                last_insert_id: None,
+                rows_examined,
+            });
+        }
+
+        for scope_rows in flat.chunks(n_srcs) {
             let scope = Scope {
-                bindings: &bindings,
+                bindings,
                 rows: scope_rows,
             };
             let mut out_row = Vec::with_capacity(item_exprs.len());
-            for (e, _) in &item_exprs {
+            for (e, _) in item_exprs {
                 out_row.push(eval(e, ctx, &scope)?);
             }
             let keys = compute_sort_keys(&out_row, &scope)?;
@@ -554,48 +891,85 @@ pub fn exec_select(
     }
 
     // DISTINCT: keep the first occurrence of each projected row.
-    if sel.distinct {
-        let mut seen = std::collections::HashSet::new();
+    if plan.distinct {
+        let mut seen: std::collections::HashSet<GroupKey> = std::collections::HashSet::new();
         result_rows.retain(|(_, row)| {
-            let key = row
-                .iter()
-                .map(|v| format!("{v:?}"))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
-            seen.insert(key)
+            seen.insert(GroupKey(
+                row.iter().map(|v| ValueKey::from(v.clone())).collect(),
+            ))
         });
     }
 
     // ORDER BY.
-    if !sel.order_by.is_empty() {
-        result_rows.sort_by(|(ka, _), (kb, _)| {
-            for (i, ok) in sel.order_by.iter().enumerate() {
-                let ord = ka[i].index_cmp(&kb[i]);
-                let ord = if ok.desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+    if !plan.order_by.is_empty() {
+        result_rows.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(&plan.order_by, ka, kb));
     }
 
     // OFFSET / LIMIT.
-    let offset = sel.offset.unwrap_or(0) as usize;
+    let offset = plan.offset.unwrap_or(0) as usize;
     let rows: Vec<Vec<Value>> = result_rows
         .into_iter()
         .map(|(_, r)| r)
         .skip(offset)
-        .take(sel.limit.map(|l| l as usize).unwrap_or(usize::MAX))
+        .take(plan.limit.map(|l| l as usize).unwrap_or(usize::MAX))
         .collect();
 
     Ok(QueryResult {
-        columns: out_cols,
+        columns: out_cols.clone(),
         rows,
         rows_affected: 0,
         last_insert_id: None,
         rows_examined,
     })
+}
+
+/// Compare two pre-computed sort-key rows under an ORDER BY spec. `sort_by`
+/// is stable, so equal keys keep emission order with or without deferred
+/// projection.
+fn cmp_sort_keys(order_by: &[OrderKey], ka: &[Value], kb: &[Value]) -> std::cmp::Ordering {
+    for (i, ok) in order_by.iter().enumerate() {
+        let ord = ka[i].index_cmp(&kb[i]);
+        let ord = if ok.desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Exact-value grouping / DISTINCT key. Equality must distinguish exactly
+/// what `Value`'s `Debug` formatting distinguishes — `Int(1)` ≠
+/// `Double(1.0)` ≠ `Timestamp(1)`, `-0.0` ≠ `0.0` — while treating every
+/// NaN as equal to itself, without allocating a formatted string per row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey(Vec<ValueKey>);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Null,
+    Int(i64),
+    /// `f64` bits, with every NaN normalized to one pattern.
+    DoubleBits(u64),
+    Text(String),
+    Bool(bool),
+    Timestamp(i64),
+}
+
+impl From<Value> for ValueKey {
+    fn from(v: Value) -> ValueKey {
+        match v {
+            Value::Null => ValueKey::Null,
+            Value::Int(i) => ValueKey::Int(i),
+            Value::Double(d) => ValueKey::DoubleBits(if d.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                d.to_bits()
+            }),
+            Value::Text(s) => ValueKey::Text(s),
+            Value::Bool(b) => ValueKey::Bool(b),
+            Value::Timestamp(t) => ValueKey::Timestamp(t),
+        }
+    }
 }
 
 /// Execute an EXPLAIN: report each table access with its chosen path,
@@ -878,21 +1252,29 @@ pub fn exec_insert(
     ctx: &EvalCtx,
 ) -> Result<WriteOutcome, SqlError> {
     let table = get_table_mut(catalog, table_name)?;
-    let schema = table.schema().clone();
 
-    // Map insert column list to schema positions.
-    let positions: Vec<usize> = if columns.is_empty() {
-        (0..schema.arity()).collect()
-    } else {
-        let mut out = Vec::with_capacity(columns.len());
-        for c in columns {
-            out.push(
-                schema
-                    .column_index(c)
-                    .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?,
-            );
-        }
-        out
+    // Map insert column list to schema positions. The schema borrows end
+    // before the mutating insert loop starts, so no clone of the schema is
+    // needed.
+    let (arity, positions, pk_auto) = {
+        let schema = table.schema();
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..schema.arity()).collect()
+        } else {
+            let mut out = Vec::with_capacity(columns.len());
+            for c in columns {
+                out.push(
+                    schema
+                        .column_index(c)
+                        .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?,
+                );
+            }
+            out
+        };
+        let pk_auto = schema
+            .pk_index()
+            .filter(|&pk| schema.columns[pk].auto_increment);
+        (schema.arity(), positions, pk_auto)
     };
 
     let mut outcome = WriteOutcome::default();
@@ -904,17 +1286,17 @@ pub fn exec_insert(
                 positions.len()
             )));
         }
-        let mut full = vec![Value::Null; schema.arity()];
+        let mut full = vec![Value::Null; arity];
         for (pos, e) in positions.iter().zip(value_exprs) {
             full[*pos] = eval(e, ctx, &NoColumns)?;
         }
         let rid = table.insert(full)?;
         let stored = table.get(rid).expect("just inserted").clone();
-        if let Some(pk) = schema.pk_index() {
-            if schema.columns[pk].auto_increment {
-                if let Value::Int(v) = stored[pk] {
-                    outcome.result.last_insert_id = Some(v);
-                }
+        if let Some(pk) = pk_auto {
+            // TIMESTAMP auto-increment keys store `Timestamp`; the assigned
+            // id is still reported through last_insert_id.
+            if let Value::Int(v) | Value::Timestamp(v) = stored[pk] {
+                outcome.result.last_insert_id = Some(v);
             }
         }
         outcome.undo.push(UndoEntry {
@@ -955,8 +1337,7 @@ fn matching_rows(
     };
     let cands = candidates(table, &path, ctx, &scope)?;
     let mut out = Vec::new();
-    for rid in cands {
-        let row = table.get(rid).expect("candidate valid").clone();
+    for (rid, row) in cands.rows(table) {
         *rows_examined += 1;
         let rows_holder = [Some(row)];
         let scope = Scope {
@@ -983,15 +1364,22 @@ pub fn exec_update(
     ctx: &EvalCtx,
 ) -> Result<WriteOutcome, SqlError> {
     let table = get_table_mut(catalog, table_name)?;
-    let schema = table.schema().clone();
-    let mut set_positions = Vec::with_capacity(sets.len());
-    for (c, _) in sets {
-        set_positions.push(
-            schema
-                .column_index(c)
-                .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?,
-        );
-    }
+    let (set_positions, bindings) = {
+        let schema = table.schema();
+        let mut set_positions = Vec::with_capacity(sets.len());
+        for (c, _) in sets {
+            set_positions.push(
+                schema
+                    .column_index(c)
+                    .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?,
+            );
+        }
+        let bindings = [Binding {
+            name: table_name.to_string(),
+            columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+        }];
+        (set_positions, bindings)
+    };
 
     let mut outcome = WriteOutcome::default();
     let rids = matching_rows(
@@ -1002,16 +1390,14 @@ pub fn exec_update(
         &mut outcome.result.rows_examined,
     )?;
 
-    let bindings = [Binding {
-        name: table_name.to_string(),
-        columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
-    }];
-
     for rid in rids {
-        let old = table.get(rid).expect("matched row valid").clone();
-        let mut new_row = old.clone();
+        // One clone builds the new image; the SET expressions evaluate
+        // against the borrowed old row.
+        let mut new_row;
         {
-            let rows_holder = [Some(old.clone())];
+            let old = table.get(rid).expect("matched row valid");
+            new_row = old.clone();
+            let rows_holder = [Some(old.as_slice())];
             let scope = Scope {
                 bindings: &bindings,
                 rows: &rows_holder,

@@ -31,6 +31,13 @@ impl<'a> EvalCtx<'a> {
 pub trait ColumnResolver {
     /// Look up `qualifier.name` (or bare `name`).
     fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, SqlError>;
+
+    /// Look up a planner-resolved `(binding, column)` position — the fast
+    /// path for [`Expr::Resolved`]. Resolvers without a positional scope
+    /// reject it (such a node can only reach them through a logic error).
+    fn resolve_idx(&self, binding: usize, col: usize) -> Result<Value, SqlError> {
+        Err(SqlError::UnknownColumn(format!("#{binding}.{col}")))
+    }
 }
 
 /// A resolver for scopes with no columns (e.g. `SELECT 1 + 1`).
@@ -48,6 +55,7 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx, row: &dyn ColumnResolver) -> Result<Valu
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column { qualifier, name } => row.resolve(qualifier.as_deref(), name),
+        Expr::Resolved { binding, col } => row.resolve_idx(*binding, *col),
         Expr::Param(i) => ctx
             .params
             .get(*i)

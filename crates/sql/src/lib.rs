@@ -13,7 +13,9 @@
 //!   `LIMIT`), `UPDATE`, `DELETE`, and transaction control;
 //! * an execution pipeline: lexer → recursive-descent parser → AST →
 //!   heuristic planner (index selection) → executor over in-memory tables
-//!   with B-tree primary and secondary indexes;
+//!   with B-tree primary and secondary indexes, fronted by a per-engine
+//!   statement→plan [`cache`] so repeated statement texts (including every
+//!   statement-format binlog event a slave re-applies) skip the parser;
 //! * sessions with autocommit or explicit transactions and rollback via undo
 //!   logs;
 //! * a binary log with **statement-based** and **row-based** event formats,
@@ -31,6 +33,7 @@
 
 pub mod ast;
 pub mod binlog;
+pub mod cache;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -44,6 +47,7 @@ pub mod storage;
 pub mod value;
 
 pub use binlog::{Binlog, BinlogEvent, BinlogFormat, EventPayload, Lsn};
+pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use engine::{Engine, ForkRole, Session};
 pub use error::SqlError;
 pub use exec::QueryResult;

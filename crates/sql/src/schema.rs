@@ -38,7 +38,9 @@ impl Column {
         self
     }
 
-    /// Mark AUTO_INCREMENT (INT primary keys only; validated by the schema).
+    /// Mark AUTO_INCREMENT (INT or TIMESTAMP primary keys only; validated by
+    /// the schema — TIMESTAMP fills store the counter with Timestamp
+    /// affinity so reads never surface mixed types).
     pub fn auto_increment(mut self) -> Self {
         self.auto_increment = true;
         self
@@ -73,9 +75,11 @@ impl TableSchema {
             if c.primary_key {
                 pk_count += 1;
             }
-            if c.auto_increment && (c.ty != DataType::Int || !c.primary_key) {
+            if c.auto_increment
+                && (!matches!(c.ty, DataType::Int | DataType::Timestamp) || !c.primary_key)
+            {
                 return Err(SqlError::Constraint(format!(
-                    "AUTO_INCREMENT column '{}' must be an INT primary key",
+                    "AUTO_INCREMENT column '{}' must be an INT or TIMESTAMP primary key",
                     c.name
                 )));
             }

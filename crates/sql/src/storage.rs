@@ -111,6 +111,11 @@ pub struct Table {
     /// Unique index over the primary key column, if the schema has one.
     pk: Option<BTreeMap<Key, RowId>>,
     secondary: Vec<SecondaryIndex>,
+    /// Monotone stamp of the last schema-affecting DDL (table creation,
+    /// index creation), assigned by the owning engine. Cached plans record
+    /// the stamp of every table they depend on and are revalidated against
+    /// it, so DDL invalidates exactly the affected cache entries.
+    schema_serial: u64,
 }
 
 impl Table {
@@ -124,12 +129,24 @@ impl Table {
             next_auto_inc: 1,
             pk,
             secondary: Vec::new(),
+            schema_serial: 0,
         }
     }
 
     /// The table's schema.
     pub fn schema(&self) -> &TableSchema {
         &self.schema
+    }
+
+    /// Stamp of the last schema-affecting DDL on this table.
+    pub fn schema_serial(&self) -> u64 {
+        self.schema_serial
+    }
+
+    /// Record a schema-affecting DDL (called by the engine with its own
+    /// monotone DDL counter, so a DROP + re-CREATE never reuses a stamp).
+    pub fn set_schema_serial(&mut self, serial: u64) {
+        self.schema_serial = serial;
     }
 
     /// Number of live rows.
@@ -188,7 +205,10 @@ impl Table {
             let v = std::mem::replace(&mut row[i], Value::Null);
             let mut v = v.coerce_to(col.ty)?;
             if v.is_null() && col.auto_increment {
-                v = Value::Int(self.next_auto_inc);
+                // The fill must respect the column's type affinity: a
+                // TIMESTAMP auto-increment column stores Timestamp, not the
+                // raw counter Int (readers otherwise see mixed types).
+                v = Value::Int(self.next_auto_inc).coerce_to(col.ty)?;
             }
             if v.is_null() && col.not_null {
                 return Err(SqlError::Constraint(format!(
@@ -201,7 +221,7 @@ impl Table {
         // Advance the auto-increment counter past any explicit value.
         if let Some(pk_idx) = self.schema.pk_index() {
             if self.schema.columns[pk_idx].auto_increment {
-                if let Value::Int(v) = row[pk_idx] {
+                if let Value::Int(v) | Value::Timestamp(v) = row[pk_idx] {
                     self.next_auto_inc = self.next_auto_inc.max(v + 1);
                 }
             }
@@ -325,6 +345,12 @@ impl Table {
     /// Iterate all `(rid, row)` pairs in row-id order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> + '_ {
         self.rows.iter().map(|(&rid, row)| (rid, row))
+    }
+
+    /// Concretely-typed variant of [`Table::scan`] for the executor's scan
+    /// fast path, which must name the iterator type to store it in an enum.
+    pub(crate) fn scan_pairs(&self) -> std::collections::btree_map::Iter<'_, RowId, Vec<Value>> {
+        self.rows.iter()
     }
 
     /// Look up row ids by primary key.
@@ -509,6 +535,43 @@ mod tests {
         t.update(r2, row(Some(3), "b", 0.0)).unwrap();
         assert!(t.pk_lookup(&Value::Int(2)).is_none());
         assert!(t.pk_lookup(&Value::Int(3)).is_some());
+    }
+
+    #[test]
+    fn timestamp_auto_increment_respects_type_affinity() {
+        // The auto-increment fill used to store the raw counter Int even in
+        // a TIMESTAMP column, so reads surfaced mixed types.
+        let schema = TableSchema::new(
+            "log",
+            vec![
+                Column::new("ts", DataType::Timestamp)
+                    .primary_key()
+                    .auto_increment(),
+                Column::new("msg", DataType::Text),
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        let r1 = t
+            .insert(vec![Value::Null, Value::Text("a".into())])
+            .unwrap();
+        assert_eq!(t.get(r1).unwrap()[0], Value::Timestamp(1));
+        // Explicit values still advance the counter.
+        t.insert(vec![Value::Int(10), Value::Text("b".into())])
+            .unwrap();
+        let r3 = t
+            .insert(vec![Value::Null, Value::Text("c".into())])
+            .unwrap();
+        assert_eq!(t.get(r3).unwrap()[0], Value::Timestamp(11));
+    }
+
+    #[test]
+    fn schema_serial_set_and_read() {
+        let mut t = table();
+        assert_eq!(t.schema_serial(), 0);
+        t.set_schema_serial(7);
+        assert_eq!(t.schema_serial(), 7);
+        assert_eq!(t.clone().schema_serial(), 7, "serial survives fork clones");
     }
 
     #[test]

@@ -42,7 +42,8 @@ fn arb_event() -> impl Strategy<Value = BinlogEvent> {
         any::<u64>(),
         any::<i64>(),
         prop_oneof![
-            ".{0,200}".prop_map(|sql| EventPayload::Statement { sql }),
+            (".{0,200}", arb_row())
+                .prop_map(|(sql, params)| EventPayload::Statement { sql, params }),
             prop::collection::vec(arb_change(), 0..5)
                 .prop_map(|changes| EventPayload::Rows { changes }),
         ],
