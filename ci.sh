@@ -50,6 +50,15 @@ cmp "$SMOKE/fig5_j1.out" "$SMOKE/fig5_env.out" \
 (cd "$SMOKE" && "$BIN/extensions_consistency" --jobs 2 >ec_j2.out 2>/dev/null)
 cmp "$SMOKE/ec_j1.out" "$SMOKE/ec_j2.out" \
   || { echo "extensions_consistency differs between --jobs 1 and --jobs 2"; exit 1; }
+# E-PA parallel-apply sweep, serial vs 2 workers: the rendered table *and*
+# the results CSV must be byte-identical for any jobs count.
+mkdir -p "$SMOKE/pa_j1" "$SMOKE/pa_j2"
+(cd "$SMOKE/pa_j1" && "$BIN/extensions_parallel_apply" --jobs 1 >pa.out 2>/dev/null)
+(cd "$SMOKE/pa_j2" && "$BIN/extensions_parallel_apply" --jobs 2 >pa.out 2>/dev/null)
+cmp "$SMOKE/pa_j1/pa.out" "$SMOKE/pa_j2/pa.out" \
+  || { echo "extensions_parallel_apply differs between --jobs 1 and --jobs 2"; exit 1; }
+cmp "$SMOKE/pa_j1/results/extensions_parallel_apply.csv" "$SMOKE/pa_j2/results/extensions_parallel_apply.csv" \
+  || { echo "extensions_parallel_apply.csv differs between --jobs 1 and --jobs 2"; exit 1; }
 # obs_slo SLO/alert sweep: the rendered alert timeline *and* the results
 # CSV must be byte-identical for any jobs count.
 mkdir -p "$SMOKE/slo_j1" "$SMOKE/slo_j2"
@@ -103,6 +112,32 @@ print(f"bench_hotpath ok: {b['cache_off_s']:.1f}s cache-off vs "
       f"{b['cache_on_s']:.1f}s cache-on ({b['speedup']:.2f}x)")
 EOF
 
+echo "== bench_apply: scheduler dispatch cost + in-order commit =="
+# bench_apply times the dependency scheduler against the serial pop-one
+# path over 200k synthetic row events, asserts the committed LSN order is
+# identical, and re-renders the quick E-PA sweep at two jobs counts.
+(cd "$SMOKE" && "$BIN/bench_apply" --jobs 2 >/dev/null 2>&1)
+[ -s "$SMOKE/BENCH_apply.json" ] || { echo "BENCH_apply.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_apply.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("bench", "host_cores", "jobs", "events", "serial_dispatch_s",
+            "batched_dispatch_s", "dispatch_overhead", "mean_batch",
+            "sweep_serial_s", "sweep_jobs_s", "in_order", "identical"):
+    if key not in b:
+        sys.exit(f"BENCH_apply.json missing key: {key}")
+if not b["in_order"]:
+    sys.exit("BENCH_apply.json: scheduler broke commit order")
+if not b["identical"]:
+    sys.exit("BENCH_apply.json: E-PA sweep output varies with --jobs")
+if b["mean_batch"] < 1.0:
+    sys.exit("BENCH_apply.json: implausible mean batch size")
+print(f"bench_apply ok: dispatch {b['serial_dispatch_s']:.3f}s serial vs "
+      f"{b['batched_dispatch_s']:.3f}s batched over {b['events']} events "
+      f"({b['dispatch_overhead']:.2f}x, mean batch {b['mean_batch']:.2f})")
+EOF
+
 echo "== trace artifacts regenerate deterministically =="
 # quickstart_trace.json and results/obs_trace.json + obs_series.csv are
 # regenerable (gitignored) artifacts; two fresh regenerations must agree
@@ -135,6 +170,9 @@ echo "== micro-bench contract: disabled telemetry probe stays sub-ns =="
 # micro_substrates carries an explicit 50M-iteration loop that asserts the
 # disabled-path probe costs < 1 ns; a regression panics the bench.
 cargo bench --offline -p amdb-bench --bench micro_substrates | tail -n 4
+
+echo "== micro-bench: apply scheduler dispatch vs serial pop =="
+cargo bench --offline -p amdb-bench --bench micro_apply | tail -n 5
 
 echo "== micro-bench contract: plan-cache hit beats parse+plan by >= 5x =="
 # micro_sql carries an explicit loop that asserts a cached prepare is at

@@ -1,0 +1,72 @@
+//! Micro-benchmarks over the amdb-apply dependency scheduler.
+//!
+//! The headline number: planning one batch is a per-event writeset scan
+//! over a bounded window, so its dispatch cost must stay within a small
+//! constant factor of the serial pop-one path (`workers = 1`), which does
+//! no conflict analysis at all. The other benches scale the two extremes —
+//! an all-disjoint stream (largest batches, most scanning per batch) and
+//! an all-conflicting stream (every batch closes after one event).
+
+use amdb_apply::simulate;
+use amdb_sql::exec::{RowChange, RowChangeKind};
+use amdb_sql::{BinlogEvent, EventPayload, Lsn, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const STREAM: usize = 1_024;
+
+/// A row event writing one row of table `t` with primary key `pk`.
+fn row_event(lsn: u64, pk: i64) -> BinlogEvent {
+    BinlogEvent {
+        lsn: Lsn(lsn),
+        commit_ts_micros: lsn as i64,
+        payload: EventPayload::Rows {
+            changes: vec![RowChange {
+                table: "t".into(),
+                kind: RowChangeKind::Insert {
+                    row: vec![Value::Int(pk), Value::Int(lsn as i64)],
+                },
+            }],
+        },
+    }
+}
+
+/// `STREAM` events with all-distinct keys: every batch fills to the worker
+/// cap and the planner scans the most candidates per batch.
+fn disjoint_stream() -> Vec<BinlogEvent> {
+    (0..STREAM as u64).map(|i| row_event(i, i as i64)).collect()
+}
+
+/// `STREAM` events all touching the same key: every batch closes at length
+/// one — the planner's worst useful-work-to-dispatch ratio.
+fn conflicting_stream() -> Vec<BinlogEvent> {
+    (0..STREAM as u64).map(|i| row_event(i, 7)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let disjoint = disjoint_stream();
+    let conflicting = conflicting_stream();
+    let pk = |_: &str| Some(0usize);
+
+    // The serial baseline: workers = 1 short-circuits to singleton batches
+    // without computing writesets.
+    c.bench_function("apply/dispatch_serial_1k", |b| {
+        b.iter(|| simulate(&disjoint, 1, pk))
+    });
+
+    c.bench_function("apply/dispatch_disjoint_8w_1k", |b| {
+        b.iter(|| simulate(&disjoint, 8, pk))
+    });
+
+    c.bench_function("apply/dispatch_conflicting_8w_1k", |b| {
+        b.iter(|| simulate(&conflicting, 8, pk))
+    });
+
+    // Keyless tables degrade every event to a barrier — the DDL-heavy
+    // worst case.
+    c.bench_function("apply/dispatch_barrier_8w_1k", |b| {
+        b.iter(|| simulate(&disjoint, 8, |_: &str| None))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -201,6 +201,11 @@ struct Stats {
     steady_peak_waiting: usize,
     /// (heartbeat id, emission sim-time) pairs.
     hb_emitted: Vec<(i64, SimTime)>,
+    /// Apply batches dispatched across all slaves (== events applied when
+    /// `apply_workers == 1`; smaller when group commit batches events).
+    apply_batches: u64,
+    /// Binlog events applied across all slaves.
+    apply_events: u64,
 }
 
 /// The simulation world for one benchmark run.
@@ -223,6 +228,13 @@ pub struct Cluster {
     gen: WorkGen,
     hb: HeartbeatPlugin,
     mode: ReplMode,
+    /// Apply workers per slave; 1 = the classic serial SQL thread.
+    apply_workers: usize,
+    /// Writeset-dependency batch planner, shared across slaves (planning is
+    /// a pure function of each relay's queue, so per-slave state is not
+    /// needed and the counters aggregate cluster-wide). Unused when
+    /// `apply_workers == 1`.
+    sched: amdb_apply::ApplyScheduler,
     pending_sync: Vec<SyncWait>,
     parked: HashMap<Ticket, (u32, Operation, SimTime)>,
     rng_think: Rng,
@@ -370,6 +382,8 @@ impl Cluster {
             cost: cfg.cost.clone(),
             client_zone: master_zone,
             mode: cfg.mode,
+            apply_workers: cfg.apply_workers.max(1),
+            sched: amdb_apply::ApplyScheduler::new(cfg.apply_workers.max(1)),
             cfg,
             phases,
             net,
@@ -818,8 +832,21 @@ impl Cluster {
             }
             return;
         }
-        let Some(job) = self.nodes[node_idx].queue.pop_front() else {
-            return;
+        let job = loop {
+            let Some(job) = self.nodes[node_idx].queue.pop_front() else {
+                return;
+            };
+            // One Apply job is enqueued per delivered event, but a group-
+            // commit batch consumes several events at once; wake-ups whose
+            // event was already drained by an earlier batch are skipped.
+            // With `apply_workers == 1` batches have size 1 and this guard
+            // never fires — the serial pipeline is untouched.
+            if let Job::Apply { slave } = &job {
+                if self.relays[*slave].peek_next().is_none() {
+                    continue;
+                }
+            }
+            break job;
         };
         self.nodes[node_idx].busy = true;
         let now = sim.now();
@@ -905,24 +932,58 @@ impl Cluster {
                 });
             }
             Job::Apply { slave } => {
-                let ev = self.relays[slave]
-                    .pop_next()
-                    .expect("apply job implies a queued relay event");
+                // Plan the group-commit batch: a contiguous prefix of at
+                // most `apply_workers` pairwise-non-conflicting events.
+                // Serial apply (workers == 1) bypasses the planner entirely.
+                let batch_len = if self.apply_workers > 1 {
+                    let engine = &self.nodes[node_idx].engine;
+                    let relay = &self.relays[slave];
+                    let plan = self
+                        .sched
+                        .plan_batch(relay.iter(), |t| engine.pk_index_of(t));
+                    plan.len
+                } else {
+                    1
+                };
                 let node = &mut self.nodes[node_idx];
                 let now_micros = node.inst.clock.read(now).0;
-                let res = node
-                    .engine
-                    .apply_event(&ev, now_micros)
-                    .unwrap_or_else(|e| panic!("slave {slave} apply of {:?} failed: {e}", ev.lsn));
-                self.relays[slave].mark_applied(ev.lsn);
-                let demand_us = self.cost.apply_demand_us(&res);
+                let mut results = Vec::with_capacity(batch_len);
+                let mut first_lsn = Lsn(0);
+                let mut last_lsn = Lsn(0);
+                for i in 0..batch_len {
+                    let ev = self.relays[slave]
+                        .pop_next()
+                        .expect("apply job implies a queued relay event");
+                    // The batch applies functionally in LSN order and only
+                    // becomes visible when its CPU demand completes — the
+                    // in-order commit the watermarks rely on.
+                    let res = node
+                        .engine
+                        .apply_event(&ev, now_micros)
+                        .unwrap_or_else(|e| {
+                            panic!("slave {slave} apply of {:?} failed: {e}", ev.lsn)
+                        });
+                    self.relays[slave].mark_applied(ev.lsn);
+                    results.push(res);
+                    if i == 0 {
+                        first_lsn = ev.lsn;
+                    }
+                    last_lsn = ev.lsn;
+                }
+                self.stats.apply_batches += 1;
+                self.stats.apply_events += batch_len as u64;
+                // Every event's row work is charged in full; the batch
+                // shares one dispatch overhead and one commit. A singleton
+                // batch is float-identical to the serial path.
+                let demand_us = self.cost.apply_batch_demand_us(&results);
                 let done = node
                     .inst
                     .cpu
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
-                let lsn = ev.lsn;
                 if let Some(tl) = self.telemetry.as_mut() {
-                    tl.t.waterfall.on_apply_start(slave, lsn.0, now);
+                    for lsn in first_lsn.0..=last_lsn.0 {
+                        tl.t.waterfall.on_apply_start(slave, lsn, now);
+                    }
                 }
                 if self.obs.is_enabled() {
                     self.obs
@@ -935,7 +996,7 @@ impl Cluster {
                     );
                 }
                 sim.schedule_at(done, move |w: &mut Cluster, sim| {
-                    w.apply_done(sim, node_idx, gen, slave, lsn);
+                    w.apply_done(sim, node_idx, gen, slave, first_lsn, last_lsn);
                 });
             }
             Job::Heartbeat => {
@@ -1186,28 +1247,39 @@ impl Cluster {
         self.try_start(sim, node_idx);
     }
 
-    fn apply_done(&mut self, sim: &mut S, node_idx: usize, gen: u64, slave: usize, lsn: Lsn) {
+    fn apply_done(
+        &mut self,
+        sim: &mut S,
+        node_idx: usize,
+        gen: u64,
+        slave: usize,
+        first_lsn: Lsn,
+        last_lsn: Lsn,
+    ) {
         if self.nodes[node_idx].gen != gen {
             return; // slot re-occupied since this apply started
         }
         self.nodes[node_idx].busy = false;
-        // Telemetry: the writeset is live on this slave — close the apply
-        // and end-to-end legs, and end the flow arrow here.
+        // Telemetry: the whole batch commits here, in LSN order — close the
+        // apply and end-to-end legs of every event in it, and end each flow
+        // arrow. (Serial apply: a one-event range, exactly the old shape.)
         if self.telemetry.is_some() {
             let now = sim.now();
-            let hit = self
-                .telemetry
-                .as_mut()
-                .and_then(|tl| tl.t.waterfall.on_applied(slave, lsn.0, now));
-            if let Some(trace) = hit {
-                self.obs.flow(
-                    FlowPhase::End,
-                    Component::Repl,
-                    slave as u32,
-                    "writeset",
-                    now,
-                    trace,
-                );
+            for lsn in first_lsn.0..=last_lsn.0 {
+                let hit = self
+                    .telemetry
+                    .as_mut()
+                    .and_then(|tl| tl.t.waterfall.on_applied(slave, lsn, now));
+                if let Some(trace) = hit {
+                    self.obs.flow(
+                        FlowPhase::End,
+                        Component::Repl,
+                        slave as u32,
+                        "writeset",
+                        now,
+                        trace,
+                    );
+                }
             }
         }
         // The slave's SQL thread finished one event: advance its watermark.
@@ -1230,7 +1302,7 @@ impl Cluster {
                 .delay(self.nodes[node_idx].inst.zone(), self.client_zone);
             let mut completed = Vec::new();
             for (i, wait) in self.pending_sync.iter_mut().enumerate() {
-                if !wait.acked[slave] && lsn >= wait.last_lsn {
+                if !wait.acked[slave] && last_lsn >= wait.last_lsn {
                     wait.acked[slave] = true;
                     wait.latest_ack = wait.latest_ack.max(now + back);
                     if wait.acked.iter().all(|&a| a) {
@@ -1727,6 +1799,8 @@ impl Cluster {
             delays,
             reads_per_slave: self.proxy.reads_per_slave().to_vec(),
             peak_relay_backlog: self.stats.peak_relay_backlog,
+            apply_batches: self.stats.apply_batches,
+            apply_events: self.stats.apply_events,
             pool_stats: (self.pool.total_acquired(), self.pool.total_waited()),
             consistency: self.consistency.as_ref().map(|l| ConsistencyReport {
                 policy: l.cfg.policy.label(),

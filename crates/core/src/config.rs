@@ -158,6 +158,14 @@ pub struct ClusterConfig {
     pub workload: WorkloadConfig,
     pub mode: ReplMode,
     pub format: BinlogFormat,
+    /// Simulated apply workers per slave (1 = the classic serial SQL
+    /// thread, the paper's MySQL setup). With more workers, each slave
+    /// drains its relay in writeset-dependency batches planned by
+    /// `amdb-apply` and amortizes per-event dispatch + commit across the
+    /// batch — in-order commit keeps watermarks sequential. Only the row
+    /// binlog format exposes writesets; statement-format events are
+    /// dependency barriers, so extra workers are a no-op there.
+    pub apply_workers: usize,
     pub balancer: BalancerKind,
     /// Pool size; defaults to one connection per emulated user.
     pub pool_max_active: usize,
@@ -227,6 +235,7 @@ impl Default for ClusterBuilder {
                 workload: WorkloadConfig::paper(50),
                 mode: ReplMode::Async,
                 format: BinlogFormat::Statement,
+                apply_workers: 1,
                 balancer: BalancerKind::RoundRobin,
                 pool_max_active: 0, // 0 = one per user
                 cost: CostModel::default(),
@@ -295,6 +304,18 @@ impl ClusterBuilder {
     /// Binlog format (statement is the paper's setup).
     pub fn format(mut self, f: BinlogFormat) -> Self {
         self.cfg.format = f;
+        self
+    }
+
+    /// Simulated apply workers per slave (1 = serial SQL thread). Pair with
+    /// [`Self::format`]`(BinlogFormat::Row)` — statement events carry no
+    /// writesets, so extra workers change nothing under statement format.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn apply_workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "apply requires at least one worker");
+        self.cfg.apply_workers = n;
         self
     }
 
@@ -441,6 +462,10 @@ mod tests {
         let c = ClusterConfig::builder().build();
         assert_eq!(c.mode, ReplMode::Async);
         assert_eq!(c.format, BinlogFormat::Statement);
+        assert_eq!(
+            c.apply_workers, 1,
+            "serial apply thread is the paper's setup"
+        );
         assert_eq!(c.master_zone.name(), "us-west-1a");
         assert_eq!(c.heartbeat_interval, SimDuration::from_secs(1));
         assert!(c.ntp_interval.is_some());

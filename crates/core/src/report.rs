@@ -101,6 +101,12 @@ pub struct RunReport {
     pub reads_per_slave: Vec<u64>,
     /// Peak relay backlog (events) observed across slaves.
     pub peak_relay_backlog: u64,
+    /// Apply batches dispatched across all slaves over the whole run.
+    /// Equals [`Self::apply_events`] with the serial apply thread
+    /// (`apply_workers == 1`); smaller when group commit batches events.
+    pub apply_batches: u64,
+    /// Binlog events applied across all slaves over the whole run.
+    pub apply_events: u64,
     /// Pool statistics: (total acquired, total that had to wait).
     pub pool_stats: (u64, u64),
     /// Consistency-layer statistics (None unless the run opted in).
@@ -163,6 +169,8 @@ mod tests {
             delays: vec![delay(Some(10.0)), delay(None), delay(Some(20.0))],
             reads_per_slave: vec![],
             peak_relay_backlog: 0,
+            apply_batches: 0,
+            apply_events: 0,
             pool_stats: (0, 0),
             consistency: None,
             sim_events: 0,

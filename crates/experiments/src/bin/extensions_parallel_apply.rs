@@ -1,0 +1,16 @@
+//! Run the parallel-apply extension (E-PA): true read staleness vs the
+//! slave apply-worker count, under the row-format binlog. Pass `--full`
+//! for the paper-scale grid and `--jobs N` (or `AMDB_JOBS=N`) to pick the
+//! worker count.
+use amdb_experiments::sweep::SweepOptions;
+use amdb_experiments::{exec, parallel_apply, write_results_csv, Fidelity};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let jobs = exec::jobs_from_args();
+    let spec = parallel_apply::ParallelApplySpec::paper_set(f);
+    let cells = parallel_apply::run(&spec, &SweepOptions::with_progress(jobs, "[E-PA] "));
+    let t = parallel_apply::table(&spec, &cells);
+    println!("{}", t.render());
+    write_results_csv("extensions", "parallel_apply", &t);
+}

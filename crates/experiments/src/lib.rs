@@ -14,6 +14,7 @@
 //! | [`ablations`] | A1 sync modes, A2 balancers, A3 binlog formats |
 //! | [`extensions`] | E-F failover, E-A staleness-SLO autoscaling |
 //! | [`consistency`] | E-C throughput vs staleness bound (amdb-consistency) |
+//! | [`parallel_apply`] | E-PA staleness vs apply workers (amdb-apply) |
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
 //! | [`obs_slo`] | online SLO/alert sweep with delay-surge attribution |
@@ -27,6 +28,7 @@ pub mod extensions;
 pub mod fig4;
 pub mod obs_report;
 pub mod obs_slo;
+pub mod parallel_apply;
 pub mod perfvar;
 pub mod rtt;
 pub mod sweep;

@@ -70,6 +70,9 @@ pub struct ReplicatedDb {
     slaves: Vec<(Engine, RelayQueue)>,
     /// Logical clock fed to `NOW_MICROS()`; bump via [`Self::set_now_micros`].
     now_micros: i64,
+    /// Simulated apply workers per slave (1 = the classic serial SQL
+    /// thread). See [`Self::set_apply_workers`].
+    apply_workers: usize,
 }
 
 impl ReplicatedDb {
@@ -82,12 +85,31 @@ impl ReplicatedDb {
                 .map(|_| (Engine::new_slave(), RelayQueue::new()))
                 .collect(),
             now_micros: 0,
+            apply_workers: 1,
         }
     }
 
     /// Number of slaves.
     pub fn n_slaves(&self) -> usize {
         self.slaves.len()
+    }
+
+    /// Set the simulated apply-worker count per slave. With `n > 1`,
+    /// [`Self::apply_all`] drains each relay in writeset-dependency batches
+    /// planned by `amdb-apply` (still committing in LSN order); with 1 it
+    /// uses the plain serial loop. Final contents are identical either way —
+    /// the regression tests pin that.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn set_apply_workers(&mut self, n: usize) {
+        assert!(n >= 1, "apply requires at least one worker");
+        self.apply_workers = n;
+    }
+
+    /// Configured apply workers per slave.
+    pub fn apply_workers(&self) -> usize {
+        self.apply_workers
     }
 
     /// Set the logical wall clock used for `NOW_MICROS()` and commit stamps.
@@ -128,10 +150,30 @@ impl ReplicatedDb {
     pub fn apply_all(&mut self) -> Result<usize, SqlError> {
         let mut applied = 0;
         for (engine, relay) in &mut self.slaves {
-            while let Some(ev) = relay.pop_next() {
-                engine.apply_event(&ev, self.now_micros)?;
-                relay.mark_applied(ev.lsn);
-                applied += 1;
+            if self.apply_workers <= 1 {
+                // Classic single SQL thread.
+                while let Some(ev) = relay.pop_next() {
+                    engine.apply_event(&ev, self.now_micros)?;
+                    relay.mark_applied(ev.lsn);
+                    applied += 1;
+                }
+            } else {
+                let mut sched = amdb_apply::ApplyScheduler::new(self.apply_workers);
+                loop {
+                    let plan = sched.plan_batch(relay.iter(), |t| engine.pk_index_of(t));
+                    if plan.len == 0 {
+                        break;
+                    }
+                    // The batch commits in LSN order: pop order *is* LSN
+                    // order, and no later event is touched before every
+                    // earlier one in the batch has applied.
+                    for _ in 0..plan.len {
+                        let ev = relay.pop_next().expect("planned events are queued");
+                        engine.apply_event(&ev, self.now_micros)?;
+                        relay.mark_applied(ev.lsn);
+                        applied += 1;
+                    }
+                }
             }
         }
         Ok(applied)
@@ -309,6 +351,52 @@ mod tests {
         for i in 0..2 {
             let r = db.execute_slave(i, "SELECT v FROM t", &[]).unwrap();
             assert_eq!(r.rows[0][0], Value::Double(2.0));
+        }
+    }
+
+    #[test]
+    fn batched_apply_matches_serial_contents() {
+        let run = |workers: usize| {
+            let mut db = ReplicatedDb::new(BinlogFormat::Row, 2);
+            db.set_apply_workers(workers);
+            db.execute_master("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+                .unwrap();
+            for i in 0..20 {
+                db.execute_master(
+                    "INSERT INTO t VALUES (?, ?)",
+                    &[Value::Int(i), Value::Int(0)],
+                )
+                .unwrap();
+            }
+            // Repeated conflicting updates on a small key range plus a DDL
+            // barrier mid-stream.
+            for i in 0..40 {
+                db.execute_master("UPDATE t SET v = v + 1 WHERE id = ?", &[Value::Int(i % 5)])
+                    .unwrap();
+                if i == 17 {
+                    db.execute_master("CREATE INDEX iv ON t (v)", &[]).unwrap();
+                }
+            }
+            db.pump().unwrap();
+            assert_eq!(
+                db.applied_seq(0),
+                db.master_seq(),
+                "workers={workers}: fully drained"
+            );
+            (
+                db.master().fingerprint(),
+                db.slave(0).fingerprint(),
+                db.slave(1).fingerprint(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.0, serial.1, "slave converged to master contents");
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                run(workers),
+                serial,
+                "workers={workers} diverged from serial apply"
+            );
         }
     }
 

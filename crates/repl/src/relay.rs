@@ -87,6 +87,12 @@ impl RelayQueue {
         self.queue.front()
     }
 
+    /// Iterate queued events oldest-first without consuming them — the
+    /// parallel-apply scheduler's planning view of the queue head.
+    pub fn iter(&self) -> impl Iterator<Item = &BinlogEvent> {
+        self.queue.iter()
+    }
+
     /// Record that `lsn` has been applied.
     pub fn mark_applied(&mut self, lsn: Lsn) {
         debug_assert_eq!(lsn, self.applied_upto, "applies must be in order");

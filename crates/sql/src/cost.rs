@@ -86,6 +86,32 @@ impl CostModel {
             + self.per_row_written_us * res.rows_affected as f64
             + self.slave_commit_us
     }
+
+    /// Demand of applying a *group-commit batch* of shipped events planned
+    /// by `amdb-apply`: every event's row work is still paid in full (one
+    /// CPU core, so parallel workers add no raw capacity), but the batch
+    /// shares a single apply-thread dispatch and a single relaxed commit —
+    /// the amortization that multi-threaded apply actually buys on a
+    /// saturated slave.
+    ///
+    /// A one-event batch delegates to [`Self::apply_demand_us`] so the
+    /// `workers = 1` pipeline is *float-identical* (not merely close) to the
+    /// classic serial apply thread — f64 addition order matters for the
+    /// byte-identical-results contract.
+    pub fn apply_batch_demand_us(&self, results: &[QueryResult]) -> f64 {
+        match results {
+            [] => 0.0,
+            [one] => self.apply_demand_us(one),
+            many => {
+                let mut us = self.apply_overhead_us;
+                for res in many {
+                    us += self.per_row_examined_us * res.rows_examined as f64
+                        + self.per_row_written_us * res.rows_affected as f64;
+                }
+                us + self.slave_commit_us
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +151,37 @@ mod tests {
         assert!(
             apply * 5.0 < master_write,
             "apply {apply} vs master write {master_write}"
+        );
+    }
+
+    #[test]
+    fn singleton_batch_is_float_identical_to_serial_apply() {
+        let m = CostModel::default();
+        let res = result(3, 2);
+        assert_eq!(
+            m.apply_batch_demand_us(std::slice::from_ref(&res))
+                .to_bits(),
+            m.apply_demand_us(&res).to_bits(),
+            "workers=1 must reproduce the serial path bit-for-bit"
+        );
+        assert_eq!(m.apply_batch_demand_us(&[]), 0.0);
+    }
+
+    #[test]
+    fn batch_amortizes_overhead_and_commit_only() {
+        let m = CostModel::default();
+        let batch = [result(0, 1), result(0, 1), result(0, 1), result(0, 1)];
+        let batched = m.apply_batch_demand_us(&batch);
+        let serial: f64 = batch.iter().map(|r| m.apply_demand_us(r)).sum();
+        let saved = serial - batched;
+        let expected = 3.0 * (m.apply_overhead_us + m.slave_commit_us);
+        assert!(
+            (saved - expected).abs() < 1e-9,
+            "batch of 4 saves exactly 3 dispatch+commit charges (saved {saved})"
+        );
+        assert!(
+            batched > m.apply_demand_us(&batch[0]),
+            "row work is never discounted"
         );
     }
 

@@ -184,6 +184,75 @@ impl Engine {
             .map(Table::row_count)
     }
 
+    /// Primary-key column index of a table (`None` if the table has no
+    /// primary key, or does not exist). The parallel-apply scheduler uses
+    /// this to turn row images into conflict keys.
+    pub fn pk_index_of(&self, name: &str) -> Option<usize> {
+        self.catalog
+            .get(&name.to_ascii_lowercase())?
+            .schema()
+            .pk_index()
+    }
+
+    /// Last-writer LSN of the row with primary key `key` (0 = base-load
+    /// data never touched by row apply; `None` = no such row / no pk).
+    pub fn row_version_of(&self, table: &str, key: &Value) -> Option<u64> {
+        let t = self.catalog.get(&table.to_ascii_lowercase())?;
+        let rid = t.pk_lookup(key)?;
+        t.row_version(rid)
+    }
+
+    /// Deterministic 64-bit fingerprint of all table *contents*.
+    ///
+    /// FNV-1a over table names (catalog order — a `BTreeMap`, so sorted),
+    /// row counts, and every row's values in row-id order. Hand-rolled
+    /// because `std`'s `DefaultHasher` is randomized per process and the
+    /// format-equivalence tests need a value comparable across runs.
+    /// Deliberately excludes binlogs, plan caches, auto-increment cursors,
+    /// and row-version stamps: two replicas fingerprint equal iff a client
+    /// reading any table sees identical data.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (name, table) in &self.catalog {
+            eat(name.as_bytes());
+            eat(&(table.row_count() as u64).to_le_bytes());
+            for (_, row) in table.scan() {
+                for v in row {
+                    match v {
+                        Value::Null => eat(&[0]),
+                        Value::Int(i) => {
+                            eat(&[1]);
+                            eat(&i.to_le_bytes());
+                        }
+                        Value::Double(d) => {
+                            eat(&[2]);
+                            eat(&d.to_bits().to_le_bytes());
+                        }
+                        Value::Text(s) => {
+                            eat(&[3]);
+                            eat(&(s.len() as u64).to_le_bytes());
+                            eat(s.as_bytes());
+                        }
+                        Value::Bool(b) => eat(&[4, *b as u8]),
+                        Value::Timestamp(t) => {
+                            eat(&[5]);
+                            eat(&t.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Execute one statement with positional parameters. Parsing and
     /// planning go through the plan cache: repeated statement texts (every
     /// hot-path query, and every statement-format binlog event a slave
@@ -429,8 +498,28 @@ impl Engine {
     }
 
     fn flush_pending(&mut self, session: &mut Session) {
-        for payload in session.pending.drain(..) {
-            self.binlog.append(session.now_micros, payload);
+        // Row payloads flushed together belong to one committed transaction:
+        // coalesce adjacent ones into a single commit-atomic `Rows` event so
+        // the slave applies (and the parallel-apply scheduler batches) whole
+        // transactions, never a prefix of one. Statement payloads keep their
+        // one-event-per-statement shape — statement format replays each
+        // statement against the slave clock individually, and autocommit
+        // flushes (the timed workloads' only case) carry a single payload
+        // either way, so this is a no-op for them.
+        let mut payloads = session.pending.drain(..);
+        if let Some(mut current) = payloads.next() {
+            for payload in payloads {
+                match (&mut current, payload) {
+                    (EventPayload::Rows { changes }, EventPayload::Rows { changes: more }) => {
+                        changes.extend(more);
+                    }
+                    (_, next) => {
+                        let done = std::mem::replace(&mut current, next);
+                        self.binlog.append(session.now_micros, done);
+                    }
+                }
+            }
+            self.binlog.append(session.now_micros, current);
         }
         session.undo.clear();
     }
@@ -481,7 +570,7 @@ impl Engine {
             EventPayload::Rows { changes } => {
                 let mut res = QueryResult::default();
                 for change in changes {
-                    self.apply_row_change(change)?;
+                    self.apply_row_change(change, event.lsn)?;
                     res.rows_affected += 1;
                     res.rows_examined += 1;
                 }
@@ -490,7 +579,7 @@ impl Engine {
         }
     }
 
-    fn apply_row_change(&mut self, change: &RowChange) -> Result<(), SqlError> {
+    fn apply_row_change(&mut self, change: &RowChange, lsn: Lsn) -> Result<(), SqlError> {
         let table = crate::exec::get_table_mut(&mut self.catalog, &change.table)?;
         let pk = table.schema().pk_index();
         let find = |table: &Table, image: &[Value]| -> Option<crate::storage::RowId> {
@@ -504,7 +593,8 @@ impl Engine {
         };
         match &change.kind {
             RowChangeKind::Insert { row } => {
-                table.insert(row.clone())?;
+                let rid = table.insert(row.clone())?;
+                table.stamp_version(rid, lsn.0);
             }
             RowChangeKind::Update { before, after } => {
                 let rid = find(table, before).ok_or_else(|| {
@@ -514,6 +604,7 @@ impl Engine {
                     ))
                 })?;
                 table.update(rid, after.clone())?;
+                table.stamp_version(rid, lsn.0);
             }
             RowChangeKind::Delete { row } => {
                 let rid = find(table, row).ok_or_else(|| {
@@ -873,6 +964,132 @@ mod tests {
             Value::Timestamp(42),
             "row format ships master values verbatim"
         );
+    }
+
+    #[test]
+    fn row_transaction_flushes_one_commit_atomic_event() {
+        let mut master = Engine::new_master(BinlogFormat::Row);
+        let mut ms = Session::new();
+        master
+            .execute_batch(&mut ms, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let head = master.binlog().head();
+        master.execute(&mut ms, "BEGIN", &[]).unwrap();
+        master
+            .execute(&mut ms, "INSERT INTO t VALUES (1, 10)", &[])
+            .unwrap();
+        master
+            .execute(&mut ms, "INSERT INTO t VALUES (2, 20)", &[])
+            .unwrap();
+        master
+            .execute(&mut ms, "UPDATE t SET v = 11 WHERE id = 1", &[])
+            .unwrap();
+        master.execute(&mut ms, "COMMIT", &[]).unwrap();
+        let events = master.binlog_from(head);
+        assert_eq!(
+            events.len(),
+            1,
+            "multi-statement txn commits as one row event"
+        );
+        let EventPayload::Rows { changes } = &events[0].payload else {
+            panic!("expected a Rows payload");
+        };
+        assert_eq!(
+            changes.len(),
+            3,
+            "all three statements' changes ride together"
+        );
+
+        // Statement format keeps one event per statement for the same txn.
+        let mut stmt_master = Engine::new_master(BinlogFormat::Statement);
+        let mut ss = Session::new();
+        stmt_master
+            .execute_batch(&mut ss, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let head = stmt_master.binlog().head();
+        stmt_master.execute(&mut ss, "BEGIN", &[]).unwrap();
+        stmt_master
+            .execute(&mut ss, "INSERT INTO t VALUES (1, 10)", &[])
+            .unwrap();
+        stmt_master
+            .execute(&mut ss, "INSERT INTO t VALUES (2, 20)", &[])
+            .unwrap();
+        stmt_master.execute(&mut ss, "COMMIT", &[]).unwrap();
+        assert_eq!(stmt_master.binlog_from(head).len(), 2);
+    }
+
+    #[test]
+    fn row_apply_stamps_last_writer_lsn() {
+        let mut master = Engine::new_master(BinlogFormat::Row);
+        let mut ms = Session::new();
+        master
+            .execute_batch(&mut ms, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        master
+            .execute(&mut ms, "INSERT INTO t VALUES (1, 10)", &[])
+            .unwrap();
+        master
+            .execute(&mut ms, "INSERT INTO t VALUES (2, 20)", &[])
+            .unwrap();
+        master
+            .execute(&mut ms, "UPDATE t SET v = 11 WHERE id = 1", &[])
+            .unwrap();
+
+        let mut slave = Engine::new_slave();
+        let events = master.binlog_from(Lsn(0)).to_vec();
+        for ev in &events {
+            slave.apply_event(ev, 0).unwrap();
+        }
+        // Events: DDL(0), insert1(1), insert2(2), update1(3).
+        assert_eq!(slave.row_version_of("t", &Value::Int(1)), Some(3));
+        assert_eq!(slave.row_version_of("t", &Value::Int(2)), Some(2));
+        assert_eq!(slave.row_version_of("t", &Value::Int(9)), None);
+        // Master executed locally, never row-applied: base version 0.
+        assert_eq!(master.row_version_of("t", &Value::Int(1)), Some(0));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_provenance() {
+        let mut master = Engine::new_master(BinlogFormat::Row);
+        let mut ms = Session::new();
+        master
+            .execute_batch(&mut ms, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        master
+            .execute(&mut ms, "INSERT INTO t VALUES (1, 10)", &[])
+            .unwrap();
+
+        let mut slave = Engine::new_slave();
+        for ev in master.binlog_from(Lsn(0)).to_vec() {
+            slave.apply_event(&ev, 0).unwrap();
+        }
+        assert_eq!(
+            master.fingerprint(),
+            slave.fingerprint(),
+            "identical contents fingerprint equal despite version-stamp differences"
+        );
+        let before = slave.fingerprint();
+        let mut ss = Session::new();
+        slave
+            .execute(&mut ss, "UPDATE t SET v = 99 WHERE id = 1", &[])
+            .unwrap();
+        assert_ne!(
+            slave.fingerprint(),
+            before,
+            "content change moves the fingerprint"
+        );
+    }
+
+    #[test]
+    fn pk_index_of_reads_live_catalog() {
+        let (e, _) = master();
+        assert_eq!(e.pk_index_of("users"), Some(0));
+        assert_eq!(
+            e.pk_index_of("USERS"),
+            Some(0),
+            "name lookup is case-insensitive"
+        );
+        assert_eq!(e.pk_index_of("nope"), None);
     }
 
     #[test]

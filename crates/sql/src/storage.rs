@@ -116,6 +116,14 @@ pub struct Table {
     /// the stamp of every table they depend on and are revalidated against
     /// it, so DDL invalidates exactly the affected cache entries.
     schema_serial: u64,
+    /// Last-writer LSN per row, stamped by the replica row-apply path (the
+    /// `is_tuple_visible`-style visibility hook for parallel apply): a row
+    /// absent from the map was written by the base load / local execution
+    /// and carries version 0. In-order batch commit keeps each stamp the
+    /// true last writer; [`Table::row_visible_at`] then answers "had LSN x
+    /// been applied, would this row version be visible?" deterministically
+    /// regardless of how many workers raced on the batch.
+    versions: BTreeMap<RowId, u64>,
 }
 
 impl Table {
@@ -130,6 +138,7 @@ impl Table {
             pk,
             secondary: Vec::new(),
             schema_serial: 0,
+            versions: BTreeMap::new(),
         }
     }
 
@@ -317,9 +326,39 @@ impl Table {
         Ok(old)
     }
 
+    /// Stamp a row's last-writer LSN (replica row-apply path).
+    pub fn stamp_version(&mut self, rid: RowId, lsn: u64) {
+        self.versions.insert(rid, lsn);
+    }
+
+    /// Last-writer LSN of a row: 0 for rows never touched by row apply
+    /// (base-load data), `None` when the row does not exist.
+    pub fn row_version(&self, rid: RowId) -> Option<u64> {
+        if !self.rows.contains_key(&rid) {
+            return None;
+        }
+        Some(self.versions.get(&rid).copied().unwrap_or(0))
+    }
+
+    /// Would this row version be visible to a reader positioned at
+    /// `applied_lsn`? True iff its last writer committed at or before that
+    /// LSN — the deterministic visibility rule parallel apply relies on.
+    pub fn row_visible_at(&self, rid: RowId, applied_lsn: u64) -> bool {
+        match self.row_version(rid) {
+            Some(v) => v <= applied_lsn,
+            None => false,
+        }
+    }
+
+    /// Highest last-writer LSN stamped on any live row.
+    pub fn max_row_version(&self) -> u64 {
+        self.versions.values().copied().max().unwrap_or(0)
+    }
+
     /// Delete a row by id; returns the deleted row.
     pub fn delete(&mut self, rid: RowId) -> Option<Vec<Value>> {
         let row = self.rows.remove(&rid)?;
+        self.versions.remove(&rid);
         if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
             pk_map.remove(&Key(row[pk_idx].clone()));
         }

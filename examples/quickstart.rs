@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- --binlog-format row --apply-workers 4
 //! ```
 //!
 //! Shows the untimed replication API (`amdb::repl::ReplicatedDb`): writes go
@@ -22,9 +23,40 @@ use amdb::repl::ReplicatedDb;
 use amdb::sql::{BinlogFormat, Value};
 use amdb::telemetry::AlertKind;
 
+/// `--binlog-format {statement|row}` and `--apply-workers N`. The defaults
+/// (statement, 1) reproduce MySQL's classic serial-apply setup; row format
+/// with N > 1 turns on the writeset-dependency parallel apply scheduler.
+fn parse_args() -> (BinlogFormat, usize) {
+    let (mut format, mut workers) = (BinlogFormat::Statement, 1usize);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--binlog-format" => {
+                format = match args.next().as_deref() {
+                    Some("row") => BinlogFormat::Row,
+                    Some("statement") => BinlogFormat::Statement,
+                    other => panic!("--binlog-format expects statement|row, got {other:?}"),
+                }
+            }
+            "--apply-workers" => {
+                workers = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--apply-workers expects a positive integer")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    (format, workers)
+}
+
 fn main() {
-    // One master, two slaves, MySQL-style statement-based replication.
-    let mut db = ReplicatedDb::new(BinlogFormat::Statement, 2);
+    let (format, workers) = parse_args();
+    // One master, two slaves, MySQL-style replication (statement-based by
+    // default; `--binlog-format row` ships row images instead).
+    let mut db = ReplicatedDb::new(format, 2);
+    db.set_apply_workers(workers);
 
     db.execute_master(
         "CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, \
@@ -95,6 +127,8 @@ fn main() {
             .mix(MixConfig::RW_50_50)
             .data_size(DataSize { scale: 100 })
             .workload(WorkloadConfig::quick(120))
+            .format(format)
+            .apply_workers(workers)
             .observability(ObsConfig {
                 enabled: true,
                 sample_interval_ms: 1_000,

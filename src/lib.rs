@@ -3,6 +3,7 @@
 //! Umbrella crate re-exporting the full workspace. See the `amdb-core` crate
 //! for the high-level API and `DESIGN.md` for the architecture.
 
+pub use amdb_apply as apply;
 pub use amdb_clock as clock;
 pub use amdb_cloud as cloud;
 pub use amdb_cloudstone as cloudstone;
