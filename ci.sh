@@ -138,6 +138,40 @@ print(f"bench_apply ok: dispatch {b['serial_dispatch_s']:.3f}s serial vs "
       f"({b['dispatch_overhead']:.2f}x, mean batch {b['mean_batch']:.2f})")
 EOF
 
+echo "== bench_simcore: sim-core raw speed + output fingerprints =="
+# bench_simcore times the quick grids (best-of-3, serial) against the
+# pre-program baseline and fingerprints every rendered table; the
+# fingerprints are the byte contract for the whole sim-core program
+# (DESIGN.md section 13) and must match the values pinned in
+# crates/experiments/tests/simcore_fingerprint.rs.
+(cd "$SMOKE" && "$BIN/bench_simcore" >/dev/null 2>&1)
+[ -s "$SMOKE/BENCH_simcore.json" ] || { echo "BENCH_simcore.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_simcore.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("bench", "host_cores", "fig2_fig5", "fig3_fig6",
+            "total_baseline_s", "total_current_s", "speedup"):
+    if key not in b:
+        sys.exit(f"BENCH_simcore.json missing key: {key}")
+pinned = {"fig2_fig5": "55294b98a489afbd", "fig3_fig6": "85d2c4117df7430a"}
+for fig, fp in pinned.items():
+    if b[fig]["fingerprint"] != fp:
+        sys.exit(f"BENCH_simcore.json: {fig} fingerprint {b[fig]['fingerprint']} != pinned {fp}")
+print(f"bench_simcore ok: {b['total_baseline_s']:.1f}s pre-program vs "
+      f"{b['total_current_s']:.1f}s current ({b['speedup']:.2f}x), "
+      "fingerprints pinned")
+EOF
+# The release-only fingerprint test re-derives the same bytes through the
+# library path (serial and --jobs 4) — run it explicitly since the debug
+# workspace suite skips it.
+cargo test -q --release --offline -p amdb-experiments --test simcore_fingerprint
+
+echo "== heartbeat regression: row-format delay reads the apply stamp =="
+# Pinned regression for the row-format heartbeat bug (shipped master
+# timestamps measured zero delay); must stay green in isolation.
+cargo test -q --offline -p amdb-repl row_format_delay_reads_apply_stamp_not_shipped_timestamp
+
 echo "== trace artifacts regenerate deterministically =="
 # quickstart_trace.json and results/obs_trace.json + obs_series.csv are
 # regenerable (gitignored) artifacts; two fresh regenerations must agree

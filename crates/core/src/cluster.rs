@@ -30,21 +30,133 @@ use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases, U
 use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, ReadDecision, WatermarkTable};
 use amdb_metrics::{trimmed_mean, OnlineStats, Summary};
 use amdb_net::{NetModel, Proximity, Zone};
-use amdb_obs::{BottleneckReport, Component, FlowPhase, Obs, ResourceUsage};
+use amdb_obs::{BottleneckReport, Component, FlowPhase, MetricId, Obs, ResourceUsage};
 use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
 use amdb_proxy::{
     Balancer, LatencyAware, LeastOutstanding, OpClass as ProxyClass, Proxy, RandomPick, RoundRobin,
     Route,
 };
 use amdb_repl::{collect_samples, HeartbeatPlugin, RelayQueue, ReplMode};
-use amdb_sim::{Rng, Sim, SimDuration, SimTime};
+use amdb_sim::{Event, Rng, Sim, SimDuration, SimTime};
 use amdb_sql::binlog::{BinlogEvent, Lsn};
 use amdb_sql::cost::CostModel;
 use amdb_sql::{Engine, ForkRole, Session};
 use amdb_telemetry::{AlertKind, SloSample, Telemetry};
 use std::collections::HashMap;
 
-type S = Sim<Cluster>;
+pub type S = Sim<Cluster, ClusterEvent>;
+
+/// Boxed fallback event for cold control-plane scheduling (startup wiring,
+/// failover choreography, monitor ticks): anything off the per-operation
+/// hot path stays an ergonomic closure.
+pub type ClusterFn = Box<dyn FnOnce(&mut Cluster, &mut S)>;
+
+/// Typed agenda events for the simulation's hot paths.
+///
+/// The per-operation lifecycle (dispatch → service → respond → think) and
+/// the replication pipeline (ship → deliver → apply) schedule several
+/// events per simulated operation — millions per sweep. Representing them
+/// as enum variants stores their few words of payload inline in the
+/// agenda's slab instead of boxing a fresh closure per event; rare events
+/// ride the [`ClusterEvent::Closure`] escape hatch unchanged.
+pub enum ClusterEvent {
+    /// A job arrives at a node's serial queue after the client→node hop.
+    EnqueueJob { node: usize, job: Job },
+    /// CPU service for a client operation finished on `node_idx`.
+    ClientOpDone {
+        node_idx: usize,
+        gen: u64,
+        user: u32,
+        class: OpClass,
+        issued: SimTime,
+        routed_slave: Option<usize>,
+        trace: u64,
+    },
+    /// CPU service for a slave's apply batch finished.
+    ApplyDone {
+        node_idx: usize,
+        gen: u64,
+        slave: usize,
+        first_lsn: Lsn,
+        last_lsn: Lsn,
+    },
+    /// CPU service for a master housekeeping job (heartbeat) finished.
+    MasterJobDone { node_idx: usize, gen: u64 },
+    /// The response for an operation reaches the client.
+    Respond {
+        user: u32,
+        class: OpClass,
+        issued: SimTime,
+        routed_slave: Option<usize>,
+    },
+    /// A user's think time elapsed; generate the next operation.
+    UserNextOp { user: u32 },
+    /// A shipped binlog batch reaches a slave's relay.
+    Deliver {
+        slave: usize,
+        epoch: u64,
+        events: Vec<BinlogEvent>,
+    },
+    /// A consistency-layer read retries after its wait interval.
+    DispatchWithWait {
+        user: u32,
+        op: Operation,
+        issued: SimTime,
+        waited_ms: f64,
+    },
+    /// Cold-path escape hatch: a boxed closure event.
+    Closure(ClusterFn),
+}
+
+impl Event<Cluster> for ClusterEvent {
+    fn fire(self, w: &mut Cluster, sim: &mut S) {
+        match self {
+            ClusterEvent::EnqueueJob { node, job } => w.enqueue_job(sim, node, job),
+            ClusterEvent::ClientOpDone {
+                node_idx,
+                gen,
+                user,
+                class,
+                issued,
+                routed_slave,
+                trace,
+            } => w.client_op_done(sim, node_idx, gen, user, class, issued, routed_slave, trace),
+            ClusterEvent::ApplyDone {
+                node_idx,
+                gen,
+                slave,
+                first_lsn,
+                last_lsn,
+            } => w.apply_done(sim, node_idx, gen, slave, first_lsn, last_lsn),
+            ClusterEvent::MasterJobDone { node_idx, gen } => w.master_job_done(sim, node_idx, gen),
+            ClusterEvent::Respond {
+                user,
+                class,
+                issued,
+                routed_slave,
+            } => w.respond(sim, user, class, issued, routed_slave),
+            ClusterEvent::UserNextOp { user } => w.user_next_op(sim, user),
+            ClusterEvent::Deliver {
+                slave,
+                epoch,
+                events,
+            } => w.deliver(sim, slave, epoch, events),
+            ClusterEvent::DispatchWithWait {
+                user,
+                op,
+                issued,
+                waited_ms,
+            } => w.dispatch_with_wait(sim, user, op, issued, waited_ms),
+            ClusterEvent::Closure(f) => f(w, sim),
+        }
+    }
+}
+
+impl From<ClusterFn> for ClusterEvent {
+    fn from(f: ClusterFn) -> Self {
+        ClusterEvent::Closure(f)
+    }
+}
 
 /// The active operation generator (the two workload classes).
 enum WorkGen {
@@ -91,7 +203,7 @@ impl Node {
 }
 
 /// Work items served by a node's FIFO CPU.
-enum Job {
+pub enum Job {
     ClientOp {
         user: u32,
         op: Operation,
@@ -209,6 +321,11 @@ struct Stats {
 }
 
 /// The simulation world for one benchmark run.
+/// Slots in a node's cached demand-sketch handle array.
+const SK_READ: usize = 0;
+const SK_WRITE: usize = 1;
+const SK_APPLY: usize = 2;
+
 pub struct Cluster {
     cfg: ClusterConfig,
     phases: Phases,
@@ -255,6 +372,12 @@ pub struct Cluster {
     stats: Stats,
     /// Observability recorder; `Obs::Null` unless `cfg.obs.enabled`.
     obs: Obs,
+    /// Cached per-node handles for the demand sketches on the hot
+    /// job-service path (`SK_READ`/`SK_WRITE`/`SK_APPLY`). Resolved lazily
+    /// on first record so the registry holds exactly the metrics the
+    /// name-addressed probes would create; grows with dynamic slave
+    /// launches.
+    sketch_ids: Vec<[Option<MetricId>; 3]>,
     /// Consistency layer; `None` unless `cfg.consistency` opted in.
     consistency: Option<ConsistencyLayer>,
     /// Telemetry layer; `None` unless `cfg.telemetry.enabled` — every probe
@@ -400,6 +523,26 @@ impl Cluster {
             rng_think: root.derive("think"),
             rng_ntp: root.derive("ntp"),
             stats: Stats::default(),
+            sketch_ids: Vec::new(),
+        }
+    }
+
+    /// Pre-resolved handle for one of a node's demand sketches. Only called
+    /// with tracing on.
+    fn demand_sketch_id(&mut self, node_idx: usize, which: usize, name: &'static str) -> MetricId {
+        if self.sketch_ids.len() <= node_idx {
+            self.sketch_ids.resize(node_idx + 1, [None; 3]);
+        }
+        match self.sketch_ids[node_idx][which] {
+            Some(id) => id,
+            None => {
+                let id = self
+                    .obs
+                    .sketch_handle(Component::Sql, node_idx as u32, name)
+                    .expect("demand sketches are only recorded with tracing on");
+                self.sketch_ids[node_idx][which] = Some(id);
+                id
+            }
         }
     }
 
@@ -435,7 +578,7 @@ impl Cluster {
         let start = self.phases.load_start();
         for u in 0..users {
             let at = start + SimDuration::from_micros(ramp.as_micros() * u as u64 / users as u64);
-            sim.schedule_at(at, move |w: &mut Cluster, sim| w.user_next_op(sim, u));
+            sim.schedule_event_at(at, ClusterEvent::UserNextOp { user: u });
         }
 
         // Planned slave failures (availability experiments).
@@ -746,10 +889,13 @@ impl Cluster {
                         layer.wait_ms_total += recheck_ms;
                         self.obs.incr(Component::Proxy, 0, "consistency_waits", 1);
                         let next_waited = waited_ms + recheck_ms;
-                        sim.schedule_in(
+                        sim.schedule_event_in(
                             SimDuration::from_millis_f64(recheck_ms),
-                            move |w: &mut Cluster, sim| {
-                                w.dispatch_with_wait(sim, user, op, issued, next_waited);
+                            ClusterEvent::DispatchWithWait {
+                                user,
+                                op,
+                                issued,
+                                waited_ms: next_waited,
                             },
                         );
                         return;
@@ -784,19 +930,19 @@ impl Cluster {
         let delay = self
             .net
             .delay(self.client_zone, self.nodes[node_idx].inst.zone());
-        sim.schedule_in(delay, move |w: &mut Cluster, sim| {
-            w.enqueue_job(
-                sim,
-                node_idx,
-                Job::ClientOp {
+        sim.schedule_event_in(
+            delay,
+            ClusterEvent::EnqueueJob {
+                node: node_idx,
+                job: Job::ClientOp {
                     user,
                     op,
                     issued,
                     routed_slave,
                     trace,
                 },
-            );
-        });
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -918,18 +1064,27 @@ impl Cluster {
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
                 let class = op.class;
                 if self.obs.is_enabled() {
-                    let (span, hist) = match class {
-                        OpClass::Read => ("serve_read", "demand_read_us"),
-                        OpClass::Write => ("serve_write", "demand_write_us"),
+                    let (span, which, hist) = match class {
+                        OpClass::Read => ("serve_read", SK_READ, "demand_read_us"),
+                        OpClass::Write => ("serve_write", SK_WRITE, "demand_write_us"),
                     };
                     self.obs
                         .span(Component::Cpu, node_idx as u32, span, now, done);
-                    self.obs
-                        .observe_sketch(Component::Sql, node_idx as u32, hist, demand_us);
+                    let id = self.demand_sketch_id(node_idx, which, hist);
+                    self.obs.observe_sketch_id(id, demand_us);
                 }
-                sim.schedule_at(done, move |w: &mut Cluster, sim| {
-                    w.client_op_done(sim, node_idx, gen, user, class, issued, routed_slave, trace);
-                });
+                sim.schedule_event_at(
+                    done,
+                    ClusterEvent::ClientOpDone {
+                        node_idx,
+                        gen,
+                        user,
+                        class,
+                        issued,
+                        routed_slave,
+                        trace,
+                    },
+                );
             }
             Job::Apply { slave } => {
                 // Plan the group-commit batch: a contiguous prefix of at
@@ -988,16 +1143,19 @@ impl Cluster {
                 if self.obs.is_enabled() {
                     self.obs
                         .span(Component::Repl, slave as u32, "apply", now, done);
-                    self.obs.observe_sketch(
-                        Component::Sql,
-                        node_idx as u32,
-                        "demand_apply_us",
-                        demand_us,
-                    );
+                    let id = self.demand_sketch_id(node_idx, SK_APPLY, "demand_apply_us");
+                    self.obs.observe_sketch_id(id, demand_us);
                 }
-                sim.schedule_at(done, move |w: &mut Cluster, sim| {
-                    w.apply_done(sim, node_idx, gen, slave, first_lsn, last_lsn);
-                });
+                sim.schedule_event_at(
+                    done,
+                    ClusterEvent::ApplyDone {
+                        node_idx,
+                        gen,
+                        slave,
+                        first_lsn,
+                        last_lsn,
+                    },
+                );
             }
             Job::Heartbeat => {
                 let (sql, params) = self.hb.next_insert();
@@ -1019,9 +1177,7 @@ impl Cluster {
                     .cpu
                     .submit(now, SimDuration::from_micros(demand_us.round() as u64));
                 self.obs.span(Component::Repl, 0, "heartbeat", now, done);
-                sim.schedule_at(done, move |w: &mut Cluster, sim| {
-                    w.master_job_done(sim, node_idx, gen);
-                });
+                sim.schedule_event_at(done, ClusterEvent::MasterJobDone { node_idx, gen });
             }
         }
     }
@@ -1119,9 +1275,15 @@ impl Cluster {
                         first_ack = first_ack.min(d + back);
                     }
                     let at = first_ack.max(now);
-                    sim.schedule_at(at, move |w: &mut Cluster, sim| {
-                        w.respond(sim, user, class, issued, routed_slave);
-                    });
+                    sim.schedule_event_at(
+                        at,
+                        ClusterEvent::Respond {
+                            user,
+                            class,
+                            issued,
+                            routed_slave,
+                        },
+                    );
                     self.try_start(sim, node_idx);
                     return;
                 }
@@ -1176,9 +1338,15 @@ impl Cluster {
         };
         let back = self.net.delay(from, self.client_zone);
         let respond_at = at.max(sim.now()) + back;
-        sim.schedule_at(respond_at, move |w: &mut Cluster, sim| {
-            w.respond(sim, user, class, issued, routed_slave);
-        });
+        sim.schedule_event_at(
+            respond_at,
+            ClusterEvent::Respond {
+                user,
+                class,
+                issued,
+                routed_slave,
+            },
+        );
     }
 
     fn respond(
@@ -1235,7 +1403,7 @@ impl Cluster {
             self.rng_think
                 .exp(self.cfg.workload.think_time.as_secs_f64()),
         );
-        sim.schedule_in(think, move |w: &mut Cluster, sim| w.user_next_op(sim, user));
+        sim.schedule_event_in(think, ClusterEvent::UserNextOp { user });
     }
 
     fn master_job_done(&mut self, sim: &mut S, node_idx: usize, gen: u64) {
@@ -1315,9 +1483,15 @@ impl Cluster {
                 let at = wait.latest_ack;
                 let (user, class, issued, routed) =
                     (wait.user, wait.class, wait.issued, wait.routed_slave);
-                sim.schedule_at(at.max(now), move |w: &mut Cluster, sim| {
-                    w.respond(sim, user, class, issued, routed);
-                });
+                sim.schedule_event_at(
+                    at.max(now),
+                    ClusterEvent::Respond {
+                        user,
+                        class,
+                        issued,
+                        routed_slave: routed,
+                    },
+                );
             }
         }
         self.try_start(sim, node_idx);
@@ -1358,9 +1532,14 @@ impl Cluster {
             deliveries.push((s, at));
             let evs = events.clone();
             let epoch = self.repl_epoch;
-            sim.schedule_at(at, move |w: &mut Cluster, sim| {
-                w.deliver(sim, s, epoch, evs)
-            });
+            sim.schedule_event_at(
+                at,
+                ClusterEvent::Deliver {
+                    slave: s,
+                    epoch,
+                    events: evs,
+                },
+            );
         }
         deliveries
     }

@@ -1,0 +1,138 @@
+//! Sim-core raw-speed benchmark: times the quick-fidelity fig2/fig5 and
+//! fig3/fig6 sweeps serially on the current sim core and compares against
+//! the pre-optimization baseline measured on this host before the slab
+//! agenda / hot-path data-structure program landed. Also fingerprints the
+//! rendered output so any speedup that changes a single byte fails loudly.
+//!
+//! ```text
+//! cargo run --release -p amdb-experiments --bin bench_simcore [-- --full]
+//! ```
+//!
+//! Writes `BENCH_simcore.json`. `--full` additionally reports the full
+//! paper-run baseline from ROADMAP.md for context (it does not re-run the
+//! ~1 h serial paper grid).
+use amdb_experiments::{sweep, Fidelity};
+use std::time::Instant;
+
+/// Pre-optimization serial wall-clock on this host: the fastest of four
+/// runs of the pre-PR binary interleaved with the current one in the same
+/// session (same quick grids, `--jobs 1`, release build, quiet host).
+/// Best-of-N on both sides because the workload is deterministic — the
+/// minimum is the measurement least polluted by scheduler noise.
+const BASELINE_FIG2_FIG5_S: f64 = 2.028;
+const BASELINE_FIG3_FIG6_S: f64 = 8.570;
+/// Serial full paper run, pre-optimization (ROADMAP.md / PR 2 measurement).
+const BASELINE_FULL_PAPER_S: f64 = 3785.0;
+
+/// Render every table of a sweep result into one string — the byte-level
+/// identity the determinism contract promises.
+fn render_all(results: &[sweep::PlacementResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.throughput.render());
+        out.push('\n');
+        out.push_str(&r.delay.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// FNV-1a over the rendered bytes: the output fingerprint pinned across the
+/// old and new sim cores.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Repetitions per grid; best-of-N is reported. Three is enough to shake
+/// off a bad scheduler quantum on a one-core host without tripling CI cost
+/// too badly.
+const REPS: usize = 3;
+
+fn time_grid(spec: &sweep::SweepSpec) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut fp = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let results = sweep::run_sweep(spec, &sweep::SweepOptions::serial());
+        let secs = t0.elapsed().as_secs_f64();
+        let this_fp = fnv64(render_all(&results).as_bytes());
+        match fp {
+            None => fp = Some(this_fp),
+            Some(prev) => assert_eq!(
+                prev, this_fp,
+                "sweep output changed between repetitions — sim core is nondeterministic"
+            ),
+        }
+        best = best.min(secs);
+    }
+    (best, fp.expect("REPS >= 1"))
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let spec25 = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
+    let (s25, fp25) = time_grid(&spec25);
+    eprintln!("[bench_simcore] fig2/fig5 quick serial (best of {REPS}): {s25:.3}s fp={fp25:016x}");
+
+    let spec36 = sweep::SweepSpec::fig3_fig6(Fidelity::Quick);
+    let (s36, fp36) = time_grid(&spec36);
+    eprintln!("[bench_simcore] fig3/fig6 quick serial (best of {REPS}): {s36:.3}s fp={fp36:016x}");
+
+    let total = s25 + s36;
+    let baseline_total = BASELINE_FIG2_FIG5_S + BASELINE_FIG3_FIG6_S;
+    let speedup = |base: f64, cur: f64| {
+        if base > 0.0 {
+            base / cur.max(1e-9)
+        } else {
+            1.0
+        }
+    };
+
+    let full_note = if full {
+        format!(
+            ",\n  \"full_paper_baseline_s\": {BASELINE_FULL_PAPER_S:.1},\n  \
+             \"full_paper_note\": \"pre-PR serial paper run on this host (ROADMAP.md)\""
+        )
+    } else {
+        String::new()
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sim-core quick grids, serial best-of-{}, pre-PR baseline vs current\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"fig2_fig5\": {{ \"baseline_s\": {:.3}, \"current_s\": {:.3}, \"speedup\": {:.2}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"fig3_fig6\": {{ \"baseline_s\": {:.3}, \"current_s\": {:.3}, \"speedup\": {:.2}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"total_baseline_s\": {:.3},\n",
+            "  \"total_current_s\": {:.3},\n",
+            "  \"speedup\": {:.2}{}\n",
+            "}}\n"
+        ),
+        REPS,
+        host_cores,
+        BASELINE_FIG2_FIG5_S,
+        s25,
+        speedup(BASELINE_FIG2_FIG5_S, s25),
+        fp25,
+        BASELINE_FIG3_FIG6_S,
+        s36,
+        speedup(BASELINE_FIG3_FIG6_S, s36),
+        fp36,
+        baseline_total,
+        total,
+        speedup(baseline_total, total),
+        full_note,
+    );
+    std::fs::write("BENCH_simcore.json", &json).expect("write BENCH_simcore.json");
+    println!("{json}");
+}

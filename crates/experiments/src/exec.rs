@@ -94,7 +94,27 @@ impl ProgressSink {
 ///
 /// `jobs <= 1` runs inline on the calling thread (no pool), which is also
 /// the path the determinism tests compare against.
+///
+/// The worker count is additionally capped at the host's available
+/// parallelism: threads beyond the core count cannot overlap any work, they
+/// only add scheduling and synchronization overhead (on a single-core host,
+/// `--jobs 2` measured *slower* than serial — speedup 0.67×). Results are
+/// byte-identical either way, so the clamp is purely a wall-clock fix.
 pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, progress: &Progress, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &ProgressSink) -> R + Sync,
+{
+    let cap = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    parallel_map_capped(items, jobs.min(cap), progress, f)
+}
+
+/// [`parallel_map`] without the host-parallelism clamp — the test hook that
+/// keeps the pool path exercised even on single-core hosts.
+fn parallel_map_capped<T, R, F>(items: &[T], jobs: usize, progress: &Progress, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -167,7 +187,7 @@ mod tests {
     #[test]
     fn results_come_back_in_item_order() {
         let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, 8, &Progress::Silent, |i, &x, _| {
+        let out = parallel_map_capped(&items, 8, &Progress::Silent, |i, &x, _| {
             // Stagger completion: later items finish earlier.
             if i % 7 == 0 {
                 std::thread::yield_now();
@@ -181,10 +201,10 @@ mod tests {
     fn serial_and_parallel_agree() {
         let items: Vec<u32> = (0..37).collect();
         let f = |_: usize, &x: &u32, _: &ProgressSink| x.wrapping_mul(2654435761) >> 3;
-        let serial = parallel_map(&items, 1, &Progress::Silent, f);
+        let serial = parallel_map_capped(&items, 1, &Progress::Silent, f);
         for jobs in [2, 3, 8, 64] {
             assert_eq!(
-                parallel_map(&items, jobs, &Progress::Silent, f),
+                parallel_map_capped(&items, jobs, &Progress::Silent, f),
                 serial,
                 "jobs={jobs} must match serial"
             );
@@ -194,10 +214,10 @@ mod tests {
     #[test]
     fn empty_input_and_oversubscription() {
         let none: Vec<u8> = Vec::new();
-        assert!(parallel_map(&none, 4, &Progress::Silent, |_, &x, _| x).is_empty());
+        assert!(parallel_map_capped(&none, 4, &Progress::Silent, |_, &x, _| x).is_empty());
         let one = [7u8];
         assert_eq!(
-            parallel_map(&one, 999, &Progress::Silent, |_, &x, _| x),
+            parallel_map_capped(&one, 999, &Progress::Silent, |_, &x, _| x),
             vec![7]
         );
     }
@@ -205,7 +225,7 @@ mod tests {
     #[test]
     fn progress_lines_are_emitted_without_panicking() {
         let items: Vec<u32> = (0..10).collect();
-        let out = parallel_map(
+        let out = parallel_map_capped(
             &items,
             4,
             &Progress::Stderr("[exec-test] "),
@@ -215,6 +235,16 @@ mod tests {
             },
         );
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn public_entry_clamps_to_host_parallelism_without_changing_results() {
+        let items: Vec<u32> = (0..25).collect();
+        let f = |_: usize, &x: &u32, _: &ProgressSink| x.wrapping_mul(3);
+        assert_eq!(
+            parallel_map(&items, usize::MAX, &Progress::Silent, f),
+            parallel_map_capped(&items, 1, &Progress::Silent, f),
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use bottleneck::{BottleneckReport, ResourceUsage};
 pub use chrome::chrome_trace_json;
-pub use registry::{Metric, MetricKey, MetricsRegistry};
+pub use registry::{Metric, MetricId, MetricKey, MetricsRegistry};
 pub use trace::{FlowPhase, NullRecorder, Record, Recorder, TraceRecorder};
 
 use amdb_sim::SimTime;
@@ -236,6 +236,53 @@ impl Obs {
     pub fn observe_sketch(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
         if let Obs::Trace(t) = self {
             t.registry_mut().observe_sketch(comp, inst, name, value);
+        }
+    }
+
+    /// Pre-resolve a sketch handle for a hot probe site. Returns `None` when
+    /// tracing is off; the metric is created on resolution, so resolve lazily
+    /// (at first record, not at construction) to keep exports identical to
+    /// the name-addressed path.
+    pub fn sketch_handle(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+    ) -> Option<MetricId> {
+        match self {
+            Obs::Trace(t) => Some(t.registry_mut().sketch_handle(comp, inst, name)),
+            _ => None,
+        }
+    }
+
+    /// Pre-resolve a counter handle for a hot probe site (`None` when off;
+    /// same lazy-resolution caveat as [`Self::sketch_handle`]).
+    pub fn counter_handle(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+    ) -> Option<MetricId> {
+        match self {
+            Obs::Trace(t) => Some(t.registry_mut().counter_handle(comp, inst, name)),
+            _ => None,
+        }
+    }
+
+    /// Record into a pre-resolved sketch — one array index instead of a
+    /// keyed map lookup per observation.
+    #[inline]
+    pub fn observe_sketch_id(&mut self, id: MetricId, value: f64) {
+        if let Obs::Trace(t) = self {
+            t.registry_mut().observe_sketch_id(id, value);
+        }
+    }
+
+    /// Add to a pre-resolved counter.
+    #[inline]
+    pub fn incr_id(&mut self, id: MetricId, by: u64) {
+        if let Obs::Trace(t) = self {
+            t.registry_mut().incr_id(id, by);
         }
     }
 

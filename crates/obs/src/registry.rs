@@ -36,11 +36,23 @@ pub enum Metric {
     Sketch(QuantileSketch),
 }
 
+/// Pre-resolved handle to one registered metric: a direct index into the
+/// registry's slot vector, skipping the per-probe `BTreeMap` descent (and
+/// its three-word key comparisons). Handles are only valid for the registry
+/// that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
 /// Deterministically ordered collection of counters, gauges, series, and
 /// histograms.
+///
+/// Storage is split: `slots` holds the metric values (probe writes are an
+/// index away), `index` maps keys to slots and — being a `BTreeMap` —
+/// fixes every export's iteration order regardless of registration order.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    metrics: BTreeMap<MetricKey, Metric>,
+    index: BTreeMap<MetricKey, usize>,
+    slots: Vec<Metric>,
 }
 
 impl MetricsRegistry {
@@ -53,17 +65,70 @@ impl MetricsRegistry {
         MetricKey { comp, inst, name }
     }
 
+    /// Slot index for a key, creating the metric via `mk` on first use.
+    fn slot_of(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        mk: impl FnOnce() -> Metric,
+    ) -> usize {
+        match self.index.entry(Self::key(comp, inst, name)) {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                let i = self.slots.len();
+                self.slots.push(mk());
+                v.insert(i);
+                i
+            }
+        }
+    }
+
+    /// Pre-resolve a counter handle (creating the counter at zero). Hot
+    /// probes hold the [`MetricId`] and call [`Self::incr_id`] per event.
+    pub fn counter_handle(&mut self, comp: Component, inst: u32, name: &'static str) -> MetricId {
+        MetricId(self.slot_of(comp, inst, name, || Metric::Counter(0)))
+    }
+
+    /// Pre-resolve a sketch handle (creating the sketch on first call).
+    pub fn sketch_handle(&mut self, comp: Component, inst: u32, name: &'static str) -> MetricId {
+        MetricId(self.slot_of(comp, inst, name, || {
+            Metric::Sketch(QuantileSketch::latency())
+        }))
+    }
+
+    /// Add `by` to a pre-resolved counter.
+    ///
+    /// # Panics
+    /// Panics if the handle names a non-counter (handle/probe kind bug).
+    #[inline]
+    pub fn incr_id(&mut self, id: MetricId, by: u64) {
+        match &mut self.slots[id.0] {
+            Metric::Counter(c) => *c += by,
+            other => panic!("MetricId does not name a counter: {other:?}"),
+        }
+    }
+
+    /// Record into a pre-resolved sketch.
+    ///
+    /// # Panics
+    /// Panics if the handle names a non-sketch (handle/probe kind bug).
+    #[inline]
+    pub fn observe_sketch_id(&mut self, id: MetricId, value: f64) {
+        match &mut self.slots[id.0] {
+            Metric::Sketch(s) => s.record(value),
+            other => panic!("MetricId does not name a sketch: {other:?}"),
+        }
+    }
+
     /// Add `by` to a counter, creating it at zero on first use.
     ///
     /// # Panics
     /// Panics if the key is already registered as a different metric kind
     /// (probe bug: one name, one kind).
     pub fn incr(&mut self, comp: Component, inst: u32, name: &'static str, by: u64) {
-        match self
-            .metrics
-            .entry(Self::key(comp, inst, name))
-            .or_insert(Metric::Counter(0))
-        {
+        let i = self.slot_of(comp, inst, name, || Metric::Counter(0));
+        match &mut self.slots[i] {
             Metric::Counter(c) => *c += by,
             other => panic!("metric {comp}/{inst}/{name} is not a counter: {other:?}"),
         }
@@ -71,13 +136,11 @@ impl MetricsRegistry {
 
     /// Set a gauge; tracks the maximum across all writes.
     pub fn gauge(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
-        match self
-            .metrics
-            .entry(Self::key(comp, inst, name))
-            .or_insert(Metric::Gauge {
-                last: value,
-                max: value,
-            }) {
+        let i = self.slot_of(comp, inst, name, || Metric::Gauge {
+            last: value,
+            max: value,
+        });
+        match &mut self.slots[i] {
             Metric::Gauge { last, max } => {
                 *last = value;
                 if value > *max {
@@ -90,11 +153,8 @@ impl MetricsRegistry {
 
     /// Append a `(t_seconds, value)` sample to a time series.
     pub fn sample(&mut self, comp: Component, inst: u32, name: &'static str, t: f64, value: f64) {
-        match self
-            .metrics
-            .entry(Self::key(comp, inst, name))
-            .or_insert_with(|| Metric::Series(TimeSeries::new()))
-        {
+        let i = self.slot_of(comp, inst, name, || Metric::Series(TimeSeries::new()));
+        match &mut self.slots[i] {
             Metric::Series(s) => s.push(t, value),
             other => panic!("metric {comp}/{inst}/{name} is not a series: {other:?}"),
         }
@@ -114,11 +174,10 @@ impl MetricsRegistry {
         hi: f64,
         buckets: usize,
     ) {
-        match self
-            .metrics
-            .entry(Self::key(comp, inst, name))
-            .or_insert_with(|| Metric::Histogram(Histogram::new(lo, hi, buckets)))
-        {
+        let i = self.slot_of(comp, inst, name, || {
+            Metric::Histogram(Histogram::new(lo, hi, buckets))
+        });
+        match &mut self.slots[i] {
             Metric::Histogram(h) => h.record(value),
             other => panic!("metric {comp}/{inst}/{name} is not a histogram: {other:?}"),
         }
@@ -129,11 +188,10 @@ impl MetricsRegistry {
     /// Unlike [`Self::observe`] the memory is bounded and the quantile
     /// estimate tracks the exact percentile to within one bucket width.
     pub fn observe_sketch(&mut self, comp: Component, inst: u32, name: &'static str, value: f64) {
-        match self
-            .metrics
-            .entry(Self::key(comp, inst, name))
-            .or_insert_with(|| Metric::Sketch(QuantileSketch::latency()))
-        {
+        let i = self.slot_of(comp, inst, name, || {
+            Metric::Sketch(QuantileSketch::latency())
+        });
+        match &mut self.slots[i] {
             Metric::Sketch(s) => s.record(value),
             other => panic!("metric {comp}/{inst}/{name} is not a sketch: {other:?}"),
         }
@@ -141,7 +199,9 @@ impl MetricsRegistry {
 
     /// Look up a metric.
     pub fn get(&self, comp: Component, inst: u32, name: &'static str) -> Option<&Metric> {
-        self.metrics.get(&Self::key(comp, inst, name))
+        self.index
+            .get(&Self::key(comp, inst, name))
+            .map(|&i| &self.slots[i])
     }
 
     /// Counter value, or 0 when absent / not a counter.
@@ -167,17 +227,17 @@ impl MetricsRegistry {
 
     /// All metrics in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &Metric)> {
-        self.metrics.iter()
+        self.index.iter().map(|(k, &i)| (k, &self.slots[i]))
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics.len()
+        self.index.len()
     }
 
     /// True when nothing has been registered.
     pub fn is_empty(&self) -> bool {
-        self.metrics.is_empty()
+        self.index.is_empty()
     }
 
     /// Scalar summary table: one row per counter/gauge/histogram (series are
@@ -194,7 +254,7 @@ impl MetricsRegistry {
                 "max".into(),
             ],
         );
-        for (k, m) in &self.metrics {
+        for (k, m) in self.iter() {
             let (kind, value, max) = match m {
                 Metric::Counter(c) => ("counter", c.to_string(), "-".to_string()),
                 Metric::Gauge { last, max } => ("gauge", format!("{last:.3}"), format!("{max:.3}")),
@@ -242,7 +302,7 @@ impl MetricsRegistry {
                 "value".into(),
             ],
         );
-        for (k, m) in &self.metrics {
+        for (k, m) in self.iter() {
             let Metric::Series(s) = m else { continue };
             for &(ts, v) in s.points() {
                 t.push_row(vec![
@@ -329,6 +389,31 @@ mod tests {
         let mut r = MetricsRegistry::new();
         r.gauge(Component::Cpu, 0, "x", 1.0);
         r.incr(Component::Cpu, 0, "x", 1);
+    }
+
+    #[test]
+    fn handles_alias_the_name_addressed_metric() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter_handle(Component::Proxy, 0, "routed");
+        r.incr_id(c, 2);
+        r.incr(Component::Proxy, 0, "routed", 3);
+        assert_eq!(r.counter_value(Component::Proxy, 0, "routed"), 5);
+        let s = r.sketch_handle(Component::Sql, 1, "demand_read_us");
+        r.observe_sketch_id(s, 10.0);
+        r.observe_sketch(Component::Sql, 1, "demand_read_us", 20.0);
+        let Some(Metric::Sketch(sk)) = r.get(Component::Sql, 1, "demand_read_us") else {
+            panic!("expected sketch");
+        };
+        assert_eq!(sk.count(), 2);
+        assert_eq!(r.sketch_handle(Component::Sql, 1, "demand_read_us"), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name a counter")]
+    fn handle_kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        let s = r.sketch_handle(Component::Repl, 0, "x");
+        r.incr_id(MetricId(s.0), 1);
     }
 
     #[test]

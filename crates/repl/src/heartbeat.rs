@@ -1,13 +1,18 @@
 //! The paper's replication-delay instrumentation (§III-A).
 //!
 //! A `heartbeat` table is created on every replica. A plug-in inserts a row
-//! `(global id, NOW_MICROS())` on the **master** once per second. The insert
-//! replicates *statement-based*, so each slave re-executes it and commits
-//! the same global id with **its own** local microsecond timestamp. The
-//! replication delay of heartbeat `i` on a slave is then
-//! `slave_ts(i) − master_ts(i)` — polluted by the clock offset between the
-//! two VMs, which the paper cancels by reporting *relative* delay (loaded
-//! minus idle, both 5 %-per-tail trimmed; see `amdb-metrics::trimmed_mean`).
+//! `(global id, NOW_MICROS())` on the **master** once per second. Under
+//! *statement* replication each slave re-executes the insert and commits the
+//! same global id with **its own** local microsecond timestamp; under *row*
+//! replication the shipped row image carries the master's timestamp
+//! verbatim, so the slave-side instant is read from the engine's
+//! out-of-band apply stamp instead ([`amdb_sql::Engine::apply_time_of`] —
+//! without it every row-format heartbeat measured a delay of exactly zero).
+//! The replication delay of heartbeat `i` on a slave is then
+//! `slave_time(i) − master_ts(i)` — polluted by the clock offset between
+//! the two VMs, which the paper cancels by reporting *relative* delay
+//! (loaded minus idle, both 5 %-per-tail trimmed; see
+//! `amdb-metrics::trimmed_mean`).
 
 use amdb_sql::{Engine, Session, SqlError, Value};
 
@@ -110,7 +115,15 @@ pub fn collect_samples(
     let mut out = Vec::with_capacity(slave_map.len());
     for row in &m.rows {
         let (id, master_ts) = to_pair(row)?;
-        if let Some(&slave_ts) = slave_map.get(&id) {
+        if let Some(&stored_ts) = slave_map.get(&id) {
+            // Row-applied heartbeats stored the master's timestamp verbatim;
+            // their true local commit instant lives in the apply stamp.
+            // Statement-applied heartbeats re-evaluated NOW_MICROS() against
+            // the slave clock, so the stored value already is that instant.
+            let slave_ts = slave
+                .apply_time_of(HEARTBEAT_TABLE, &Value::Int(id))
+                .map(|at| at as i64)
+                .unwrap_or(stored_ts);
             out.push(HeartbeatSample {
                 id,
                 master_ts_micros: master_ts,
@@ -166,6 +179,43 @@ mod tests {
             assert!(
                 (s.delay_ms() - 250.0).abs() < 1e-9,
                 "delay {}",
+                s.delay_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn row_format_delay_reads_apply_stamp_not_shipped_timestamp() {
+        // Regression: under ROW binlog format the shipped heartbeat row
+        // carries the master's timestamp verbatim, so reading delay from
+        // stored data alone reported exactly 0 ms for every heartbeat no
+        // matter how far the slave lagged.
+        let mut master = Engine::new_master(BinlogFormat::Row);
+        let mut slave = Engine::new_slave();
+        let mut ms = Session::new();
+        master.execute_batch(&mut ms, HEARTBEAT_SCHEMA).unwrap();
+
+        let mut hb = HeartbeatPlugin::new();
+        for t in 1..=3i64 {
+            ms.now_micros = t * 1_000_000;
+            let (sql, params) = hb.next_insert();
+            master.execute(&mut ms, &sql, &params).unwrap();
+        }
+        // Slave applies each heartbeat 250 ms of slave-local clock later.
+        let events: Vec<_> = master.binlog_from(Lsn(0)).to_vec();
+        slave.apply_event(&events[0], 0).unwrap();
+        for (i, ev) in events[1..].iter().enumerate() {
+            let slave_now = (i as i64 + 1) * 1_000_000 + 250_000;
+            slave.apply_event(ev, slave_now).unwrap();
+        }
+
+        let samples = collect_samples(&mut master, &mut slave).unwrap();
+        assert_eq!(samples.len(), 3);
+        for s in &samples {
+            assert!(
+                (s.delay_ms() - 250.0).abs() < 1e-9,
+                "row-format heartbeat {} must show the real 250 ms lag, got {} ms",
+                s.id,
                 s.delay_ms()
             );
         }

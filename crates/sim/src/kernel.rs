@@ -1,35 +1,57 @@
-//! The event loop: a time-ordered agenda of closures over a world `W`.
+//! The event loop: a time-ordered agenda of typed events over a world `W`.
+//!
+//! The agenda is a slab of pending events indexed by a 4-ary implicit
+//! min-heap of packed `(time, seq)` keys, plus a same-instant batch buffer.
+//! Compared to the original `BinaryHeap<Box<dyn FnOnce>>` agenda this
+//! executes the identical event order (the keys are the same) while keeping
+//! the schedule→pop→execute cycle allocation-free for typed events: slab
+//! slots and heap entries are recycled, and events scheduled *at* the
+//! current instant while a batch is draining append to the batch directly
+//! without touching the heap at all.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 
-/// An event: a one-shot closure receiving the world and the kernel (so it can
-/// schedule follow-ups).
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
-
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// A typed simulation event: fired once with the world and the kernel (so it
+/// can schedule follow-ups). World crates define an `enum` of their hot
+/// events and keep a boxed-closure variant as the escape hatch for cold
+/// paths; [`BoxedEvent`] is the degenerate "everything is a closure" case
+/// that preserves the original kernel API.
+pub trait Event<W>: Sized {
+    /// Execute the event.
+    fn fire(self, world: &mut W, sim: &mut Sim<W, Self>);
 }
 
-// Order by (time, seq); the heap is a max-heap so invert the comparison.
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// An event closure: the escape hatch payload (and the default event type).
+pub type EventFn<W, E = BoxedEvent<W>> = Box<dyn FnOnce(&mut W, &mut Sim<W, E>)>;
+
+/// The default event type: a boxed one-shot closure, exactly the original
+/// kernel's representation.
+pub struct BoxedEvent<W>(pub EventFn<W>);
+
+impl<W> Event<W> for BoxedEvent<W> {
+    fn fire(self, world: &mut W, sim: &mut Sim<W, Self>) {
+        (self.0)(world, sim)
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl<W> From<EventFn<W>> for BoxedEvent<W> {
+    fn from(f: EventFn<W>) -> Self {
+        BoxedEvent(f)
     }
 }
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse: earliest (at, seq) is the heap maximum.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+/// Heap key: `(time, seq)` packed so one `u128` compare orders the agenda.
+/// `seq` is monotone per kernel, which makes same-instant ordering FIFO.
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    ((at.as_micros() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn key_time(key: u128) -> u64 {
+    (key >> 64) as u64
 }
 
 /// Discrete-event simulation kernel.
@@ -43,7 +65,7 @@ impl<W> Ord for Scheduled<W> {
 /// use amdb_sim::{Sim, SimDuration, SimTime};
 ///
 /// struct World { ticks: u32 }
-/// let mut sim = Sim::new();
+/// let mut sim: Sim<World> = Sim::new();
 /// let mut world = World { ticks: 0 };
 /// sim.schedule_in(SimDuration::from_secs(1), |w: &mut World, sim| {
 ///     w.ticks += 1;
@@ -52,27 +74,44 @@ impl<W> Ord for Scheduled<W> {
 /// sim.run(&mut world);
 /// assert_eq!(world.ticks, 1);
 /// ```
-pub struct Sim<W> {
+pub struct Sim<W, E = BoxedEvent<W>> {
     now: SimTime,
     seq: u64,
     executed: u64,
-    agenda: BinaryHeap<Scheduled<W>>,
+    /// 4-ary implicit min-heap of `(packed key, slab slot)`. Entries are two
+    /// machine words, so sifts move no event payloads.
+    heap: Vec<(u128, u32)>,
+    /// Event payloads, addressed by heap entries. `None` slots are free.
+    slab: Vec<Option<E>>,
+    /// Free slab slots, reused LIFO.
+    free: Vec<u32>,
+    /// Events at the *current* instant, drained front-to-back. Filling it
+    /// pops the heap in `(at, seq)` order, and any event scheduled at the
+    /// current instant while the batch is non-empty has a larger `seq` than
+    /// everything in it — so appending preserves the exact global order the
+    /// heap alone would have produced, minus the heap traffic.
+    batch: VecDeque<E>,
+    _world: PhantomData<fn(&mut W)>,
 }
 
-impl<W> Default for Sim<W> {
+impl<W, E: Event<W>> Default for Sim<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Sim<W> {
+impl<W, E: Event<W>> Sim<W, E> {
     /// A kernel at time zero with an empty agenda.
     pub fn new() -> Self {
         Self {
             now: SimTime::ZERO,
             seq: 0,
             executed: 0,
-            agenda: BinaryHeap::new(),
+            heap: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            batch: VecDeque::new(),
+            _world: PhantomData,
         }
     }
 
@@ -88,46 +127,68 @@ impl<W> Sim<W> {
 
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
-        self.agenda.len()
+        self.heap.len() + self.batch.len()
     }
 
-    /// Schedule an event at an absolute instant.
+    /// Schedule a typed event at an absolute instant.
     ///
     /// # Panics
     /// Panics when `at` is in the past — scheduling into the past would make
     /// the run order undefined.
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+    pub fn schedule_event_at(&mut self, at: SimTime, ev: E) {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.agenda.push(Scheduled {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        if at == self.now && !self.batch.is_empty() {
+            // Same-instant fast path: the batch already holds every pending
+            // event at `now` in seq order, all with smaller seqs.
+            self.batch.push_back(ev);
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                self.slab.push(Some(ev));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.heap.push((pack(at, seq), slot));
+        self.sift_up(self.heap.len() - 1);
     }
 
-    /// Schedule an event after a relative delay.
-    pub fn schedule_in(
-        &mut self,
-        delay: SimDuration,
-        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
-    ) {
-        self.schedule_at(self.now + delay, f);
+    /// Schedule a typed event after a relative delay.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, ev: E) {
+        self.schedule_event_at(self.now + delay, ev);
     }
 
     /// Run one event if any is pending; returns whether one ran.
     pub fn step(&mut self, world: &mut W) -> bool {
-        match self.agenda.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
-                self.executed += 1;
-                (ev.f)(world, self);
-                true
+        let ev = match self.batch.pop_front() {
+            Some(ev) => ev,
+            None => {
+                let Some((at, ev)) = self.pop_min() else {
+                    return false;
+                };
+                debug_assert!(at >= self.now);
+                self.now = at;
+                // Move every other event at this instant into the batch;
+                // they pop in seq order, so the batch is FIFO-correct.
+                while let Some(&(key, _)) = self.heap.first() {
+                    if key_time(key) != at.as_micros() {
+                        break;
+                    }
+                    let (_, e) = self.pop_min().expect("peeked entry");
+                    self.batch.push_back(e);
+                }
+                ev
             }
-            None => false,
-        }
+        };
+        self.executed += 1;
+        ev.fire(world, self);
+        true
     }
 
     /// Run until the agenda is empty.
@@ -139,8 +200,8 @@ impl<W> Sim<W> {
     /// Events scheduled beyond `end` remain pending.
     pub fn run_until(&mut self, world: &mut W, end: SimTime) {
         loop {
-            match self.agenda.peek() {
-                Some(ev) if ev.at <= end => {
+            match self.next_at() {
+                Some(at) if at <= end => {
                     self.step(world);
                 }
                 _ => break,
@@ -149,6 +210,93 @@ impl<W> Sim<W> {
         if end > self.now {
             self.now = end;
         }
+    }
+
+    /// Instant of the next pending event, if any.
+    fn next_at(&self) -> Option<SimTime> {
+        if !self.batch.is_empty() {
+            return Some(self.now);
+        }
+        self.heap
+            .first()
+            .map(|&(key, _)| SimTime::from_micros(key_time(key)))
+    }
+
+    fn pop_min(&mut self) -> Option<(SimTime, E)> {
+        let &(key, slot) = self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let ev = self.slab[slot as usize].take().expect("live slot");
+        self.free.push(slot);
+        Some((SimTime::from_micros(key_time(key)), ev))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let item = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[parent].0 <= item.0 {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = item;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let item = self.heap[i];
+        loop {
+            let first = i * 4 + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            let mut best_key = self.heap[first].0;
+            for c in first + 1..(first + 4).min(len) {
+                if self.heap[c].0 < best_key {
+                    best = c;
+                    best_key = self.heap[c].0;
+                }
+            }
+            if item.0 <= best_key {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = item;
+    }
+}
+
+/// Closure scheduling: available whenever the event type has a boxed-closure
+/// escape hatch (the default [`BoxedEvent`], or a world enum with a
+/// `From<Box<dyn FnOnce..>>` closure variant). This keeps the original
+/// closure API source-compatible for every caller.
+impl<W, E> Sim<W, E>
+where
+    E: Event<W> + From<Box<dyn FnOnce(&mut W, &mut Sim<W, E>)>>,
+{
+    /// Schedule a closure event at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics when `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W, E>) + 'static) {
+        let boxed: EventFn<W, E> = Box::new(f);
+        self.schedule_event_at(at, E::from(boxed));
+    }
+
+    /// Schedule a closure event after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W, E>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, f);
     }
 }
 
@@ -208,6 +356,25 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_scheduling_appends_to_batch() {
+        // Three events at t=1; the first schedules a fourth *at* t=1 while
+        // the batch holds the other two — it must run last, after them.
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut W, s| {
+            w.log.push((0, "a"));
+            s.schedule_at(SimTime::from_secs(1), |w: &mut W, _| {
+                w.log.push((0, "late"));
+            });
+        });
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut W, _| w.log.push((0, "b")));
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut W, _| w.log.push((0, "c")));
+        sim.run(&mut w);
+        let names: Vec<_> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c", "late"]);
+    }
+
+    #[test]
     fn run_until_stops_and_advances_clock() {
         let mut sim: Sim<W> = Sim::new();
         let mut w = W::default();
@@ -240,6 +407,55 @@ mod tests {
         let mut sim: Sim<W> = Sim::new();
         let mut w = W::default();
         assert!(!sim.step(&mut w));
+    }
+
+    #[test]
+    fn typed_events_fire_without_boxing() {
+        enum Tick {
+            Once(&'static str),
+            Chain(u32),
+        }
+        #[derive(Default)]
+        struct Counter {
+            fired: Vec<String>,
+        }
+        impl Event<Counter> for Tick {
+            fn fire(self, w: &mut Counter, sim: &mut Sim<Counter, Tick>) {
+                match self {
+                    Tick::Once(name) => w.fired.push(name.to_string()),
+                    Tick::Chain(n) => {
+                        w.fired.push(format!("chain{n}"));
+                        if n > 0 {
+                            sim.schedule_event_in(SimDuration::from_micros(10), Tick::Chain(n - 1));
+                        }
+                    }
+                }
+            }
+        }
+        let mut sim: Sim<Counter, Tick> = Sim::new();
+        let mut w = Counter::default();
+        sim.schedule_event_at(SimTime::from_micros(5), Tick::Once("a"));
+        sim.schedule_event_at(SimTime::from_micros(1), Tick::Chain(2));
+        sim.run(&mut w);
+        assert_eq!(w.fired, vec!["chain2", "a", "chain1", "chain0"]);
+        assert_eq!(sim.events_executed(), 4);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        for round in 0..100u64 {
+            sim.schedule_at(SimTime::from_micros(round + 1), |w: &mut W, _| {
+                w.log.push((0, "e"))
+            });
+            sim.step(&mut w);
+        }
+        assert!(
+            sim.slab.len() <= 2,
+            "slab grew to {} slots for a 1-deep agenda",
+            sim.slab.len()
+        );
     }
 
     #[test]

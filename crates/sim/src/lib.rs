@@ -26,7 +26,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
-pub use kernel::Sim;
+pub use kernel::{BoxedEvent, Event, EventFn, Sim};
 pub use resource::FifoCpu;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -6,8 +6,8 @@ use crate::binlog::{Binlog, BinlogEvent, BinlogFormat, EventPayload, Lsn};
 use crate::cache::{CacheStats, CachedPlan, PlanCache};
 use crate::error::SqlError;
 use crate::exec::{
-    exec_delete, exec_insert, exec_select, exec_select_planned, exec_update, plan_select, Catalog,
-    QueryResult, RowChange, RowChangeKind, Undo, UndoEntry, WriteOutcome,
+    exec_delete, exec_insert, exec_select, exec_select_planned, exec_update, plan_select, Capture,
+    Catalog, QueryResult, RowChange, RowChangeKind, Undo, UndoEntry, WriteOutcome,
 };
 use crate::expr::EvalCtx;
 use crate::parser::parse;
@@ -200,6 +200,20 @@ impl Engine {
         let t = self.catalog.get(&table.to_ascii_lowercase())?;
         let rid = t.pk_lookup(key)?;
         t.row_version(rid)
+    }
+
+    /// Local apply instant (µs on this replica's clock) of the row with
+    /// primary key `key`, if it was written through the row-apply path.
+    /// `None` for locally-executed rows: under the *statement* binlog format
+    /// the re-executed INSERT materializes the slave's own clock into the
+    /// stored timestamp, so no out-of-band stamp is needed — but under the
+    /// *row* format the shipped image carries the master's timestamp
+    /// verbatim, and reading delay from stored data alone would make every
+    /// heartbeat look like it arrived instantly.
+    pub fn apply_time_of(&self, table: &str, key: &Value) -> Option<u64> {
+        let t = self.catalog.get(&table.to_ascii_lowercase())?;
+        let rid = t.pk_lookup(key)?;
+        t.applied_at_of(rid)
     }
 
     /// Deterministic 64-bit fingerprint of all table *contents*.
@@ -427,7 +441,8 @@ impl Engine {
                 columns,
                 rows,
             } => {
-                let out = exec_insert(&mut self.catalog, table, columns, rows, &ctx)?;
+                let cap = self.write_capture(session);
+                let out = exec_insert(&mut self.catalog, table, columns, rows, &ctx, cap)?;
                 self.finish_write(session, sql, plan.param_count, params, out)
             }
             Statement::Update {
@@ -435,13 +450,25 @@ impl Engine {
                 sets,
                 filter,
             } => {
-                let out = exec_update(&mut self.catalog, table, sets, filter.as_ref(), &ctx)?;
+                let cap = self.write_capture(session);
+                let out = exec_update(&mut self.catalog, table, sets, filter.as_ref(), &ctx, cap)?;
                 self.finish_write(session, sql, plan.param_count, params, out)
             }
             Statement::Delete { table, filter } => {
-                let out = exec_delete(&mut self.catalog, table, filter.as_ref(), &ctx)?;
+                let cap = self.write_capture(session);
+                let out = exec_delete(&mut self.catalog, table, filter.as_ref(), &ctx, cap)?;
                 self.finish_write(session, sql, plan.param_count, params, out)
             }
+        }
+    }
+
+    /// What a write must capture for *this* engine and session: undo only
+    /// inside an explicit transaction, row images only when this engine
+    /// row-logs. Autocommit statement-format writes skip both.
+    fn write_capture(&self, session: &Session) -> Capture {
+        Capture {
+            undo: session.in_txn,
+            changes: self.log_writes && self.format == BinlogFormat::Row,
         }
     }
 
@@ -534,7 +561,7 @@ impl Engine {
                     table.delete(rid);
                 }
                 Undo::Updated(rid, old) => {
-                    let _ = table.update(rid, old);
+                    let _ = table.update(rid, old.to_vec());
                 }
                 Undo::Deleted(rid, old) => {
                     table.restore(rid, old);
@@ -570,7 +597,7 @@ impl Engine {
             EventPayload::Rows { changes } => {
                 let mut res = QueryResult::default();
                 for change in changes {
-                    self.apply_row_change(change, event.lsn)?;
+                    self.apply_row_change(change, event.lsn, now_micros)?;
                     res.rows_affected += 1;
                     res.rows_examined += 1;
                 }
@@ -579,7 +606,12 @@ impl Engine {
         }
     }
 
-    fn apply_row_change(&mut self, change: &RowChange, lsn: Lsn) -> Result<(), SqlError> {
+    fn apply_row_change(
+        &mut self,
+        change: &RowChange,
+        lsn: Lsn,
+        now_micros: i64,
+    ) -> Result<(), SqlError> {
         let table = crate::exec::get_table_mut(&mut self.catalog, &change.table)?;
         let pk = table.schema().pk_index();
         let find = |table: &Table, image: &[Value]| -> Option<crate::storage::RowId> {
@@ -587,7 +619,7 @@ impl Engine {
                 Some(pk_idx) => table.pk_lookup(&image[pk_idx]),
                 None => table
                     .scan()
-                    .find(|(_, row)| row.as_slice() == image)
+                    .find(|(_, row)| *row == image)
                     .map(|(rid, _)| rid),
             }
         };
@@ -595,6 +627,7 @@ impl Engine {
             RowChangeKind::Insert { row } => {
                 let rid = table.insert(row.clone())?;
                 table.stamp_version(rid, lsn.0);
+                table.stamp_applied_at(rid, now_micros.max(0) as u64);
             }
             RowChangeKind::Update { before, after } => {
                 let rid = find(table, before).ok_or_else(|| {
@@ -605,6 +638,7 @@ impl Engine {
                 })?;
                 table.update(rid, after.clone())?;
                 table.stamp_version(rid, lsn.0);
+                table.stamp_applied_at(rid, now_micros.max(0) as u64);
             }
             RowChangeKind::Delete { row } => {
                 let rid = find(table, row).ok_or_else(|| {
@@ -773,7 +807,7 @@ mod tests {
                 &[],
             )
             .unwrap();
-        assert_eq!(r.columns, vec!["name"]);
+        assert_eq!(r.columns.as_ref(), ["name"]);
         assert_eq!(
             r.rows,
             vec![vec![Value::from("bob")], vec![Value::from("carol")]]

@@ -2,7 +2,7 @@
 
 use crate::ast::*;
 use crate::error::SqlError;
-use crate::expr::{eval, truth, ColumnResolver, EvalCtx, NoColumns, Truth};
+use crate::expr::{eval, eval_cow, eval_truth, ColumnResolver, EvalCtx, NoColumns, Truth};
 use crate::plan::{choose_path, Path};
 use crate::storage::{RowId, Table};
 use crate::value::Value;
@@ -12,25 +12,37 @@ use std::ops::Bound;
 /// The table catalog: lower-cased table name → table.
 pub type Catalog = BTreeMap<String, Table>;
 
+/// Catalog key for a table name: lower-cased, but borrowed when the name is
+/// already lower-case (the overwhelmingly common case on the hot path, where
+/// the per-statement allocation would otherwise add up).
+pub fn table_key(name: &str) -> std::borrow::Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
+}
+
 /// Look up a table (case-insensitive).
 pub fn get_table<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table, SqlError> {
     catalog
-        .get(&name.to_ascii_lowercase())
+        .get(table_key(name).as_ref())
         .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
 }
 
 /// Look up a table mutably (case-insensitive).
 pub fn get_table_mut<'a>(catalog: &'a mut Catalog, name: &str) -> Result<&'a mut Table, SqlError> {
     catalog
-        .get_mut(&name.to_ascii_lowercase())
+        .get_mut(table_key(name).as_ref())
         .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
 }
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryResult {
-    /// Output column names (SELECT only).
-    pub columns: Vec<String>,
+    /// Output column names (SELECT only). Shared out of the cached plan —
+    /// cloning a result header is a refcount bump, not a `Vec<String>`.
+    pub columns: std::sync::Arc<[String]>,
     /// Result rows (SELECT only).
     pub rows: Vec<Vec<Value>>,
     /// Rows inserted/updated/deleted.
@@ -49,15 +61,16 @@ pub struct UndoEntry {
     pub undo: Undo,
 }
 
-/// One reversible mutation.
+/// One reversible mutation. Old images are the storage layer's shared
+/// `Arc<[Value]>` handles, so logging undo never copies a row.
 #[derive(Debug, Clone)]
 pub enum Undo {
     /// Row was inserted; undo deletes it.
     Inserted(RowId),
     /// Row was updated; undo restores the old image.
-    Updated(RowId, Vec<Value>),
+    Updated(RowId, std::sync::Arc<[Value]>),
     /// Row was deleted; undo re-inserts the old image.
-    Deleted(RowId, Vec<Value>),
+    Deleted(RowId, std::sync::Arc<[Value]>),
 }
 
 /// A captured row mutation for row-based binlogging.
@@ -90,15 +103,38 @@ pub struct WriteOutcome {
     pub changes: Vec<RowChange>,
 }
 
+/// What a write statement must materialize beyond the data mutation itself.
+/// Undo entries only matter inside an explicit transaction and row-change
+/// images only when a master logs in row format; the dominant autocommit
+/// statement-format path needs neither, so the executor skips the per-row
+/// image clones entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct Capture {
+    /// Keep undo entries (session is inside an explicit transaction).
+    pub undo: bool,
+    /// Keep row-change images (row-format binlogging on a master).
+    pub changes: bool,
+}
+
+impl Capture {
+    /// Capture everything — the conservative default for direct callers.
+    pub const ALL: Capture = Capture {
+        undo: true,
+        changes: true,
+    };
+}
+
 // ---------------------------------------------------------------------------
 // Scopes
 // ---------------------------------------------------------------------------
 
-/// One bound table in a FROM clause.
+/// One bound table in a FROM clause. Column names are the table's shared
+/// list ([`Table::col_names`]): binding a table costs a refcount bump, not
+/// one `String` clone per column.
 #[derive(Debug, Clone)]
 struct Binding {
     name: String,
-    columns: Vec<String>,
+    columns: std::sync::Arc<[String]>,
 }
 
 /// Row scope across all FROM bindings; `None` = NULL-extended (LEFT JOIN) or
@@ -156,6 +192,13 @@ impl ColumnResolver for Scope<'_> {
             None => Value::Null,
         })
     }
+
+    fn resolve_idx_ref(&self, binding: usize, col: usize) -> Result<&Value, SqlError> {
+        Ok(match self.rows[binding] {
+            Some(row) => &row[col],
+            None => &crate::expr::NULL_VALUE,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,7 +248,7 @@ impl Iterator for IdIter<'_> {
 
 enum CandsIter<'t, 'c> {
     Ids(&'t Table, IdIter<'c>),
-    Scan(std::collections::btree_map::Iter<'t, RowId, Vec<Value>>),
+    Scan(crate::storage::ScanIter<'t>),
 }
 
 impl<'t> Iterator for CandsIter<'t, '_> {
@@ -214,9 +257,9 @@ impl<'t> Iterator for CandsIter<'t, '_> {
         match self {
             CandsIter::Ids(table, ids) => {
                 let rid = ids.next()?;
-                Some((rid, table.get(rid).expect("candidate rid valid").as_slice()))
+                Some((rid, table.get(rid).expect("candidate rid valid")))
             }
-            CandsIter::Scan(it) => it.next().map(|(&rid, row)| (rid, row.as_slice())),
+            CandsIter::Scan(it) => it.next(),
         }
     }
 }
@@ -230,16 +273,23 @@ fn candidates<'t>(
     ctx: &EvalCtx,
     scope: &Scope<'_>,
 ) -> Result<Cands<'t>, SqlError> {
-    let eval_key = |key: &Expr| -> Result<Option<Value>, SqlError> {
-        match eval(key, ctx, scope) {
+    // Keys evaluate through the borrowing evaluator: an equality probe
+    // against a `Text` literal or parameter must not clone the string just
+    // to hash it.
+    fn eval_key<'e>(
+        key: &'e Expr,
+        ctx: &'e EvalCtx,
+        scope: &'e Scope<'_>,
+    ) -> Result<Option<std::borrow::Cow<'e, Value>>, SqlError> {
+        match eval_cow(key, ctx, scope) {
             Ok(v) => Ok(Some(v)),
             Err(SqlError::UnknownColumn(_)) => Ok(None), // not evaluable yet
             Err(e) => Err(e),
         }
-    };
+    }
     Ok(match path {
         Path::FullScan => Cands::Scan,
-        Path::PkEq { key } => match eval_key(key)? {
+        Path::PkEq { key } => match eval_key(key, ctx, scope)? {
             Some(v) if !v.is_null() => match table.pk_lookup(&v) {
                 Some(rid) => Cands::One(rid),
                 None => Cands::Empty,
@@ -247,7 +297,7 @@ fn candidates<'t>(
             Some(_) => Cands::Empty,
             None => Cands::Scan,
         },
-        Path::IndexEq { column, key } => match eval_key(key)? {
+        Path::IndexEq { column, key } => match eval_key(key, ctx, scope)? {
             Some(v) if !v.is_null() => {
                 let ix = table.index_on(*column).expect("planned index exists");
                 Cands::Slice(ix.lookup_eq(&v))
@@ -329,7 +379,7 @@ pub struct SelectPlan {
     sources: Vec<PlannedSource>,
     bindings: Vec<Binding>,
     filter: Option<Expr>,
-    out_cols: Vec<String>,
+    out_cols: std::sync::Arc<[String]>,
     item_exprs: Vec<(Expr, String)>, // (expr, name) expanded
     aggregate_mode: bool,
     group_by: Vec<Expr>,
@@ -447,12 +497,7 @@ pub fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<SelectPlan, Sq
         ));
         bindings.push(Binding {
             name: base_binding,
-            columns: base_table
-                .schema()
-                .columns
-                .iter()
-                .map(|c| c.name.clone())
-                .collect(),
+            columns: base_table.col_names(),
         });
         for j in &from.joins {
             let t = get_table(catalog, &j.table.table)?;
@@ -466,7 +511,7 @@ pub fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<SelectPlan, Sq
             deps.push((j.table.table.to_ascii_lowercase(), t.schema_serial()));
             bindings.push(Binding {
                 name: binding,
-                columns: t.schema().columns.iter().map(|c| c.name.clone()).collect(),
+                columns: t.col_names(),
             });
         }
     }
@@ -478,7 +523,7 @@ pub fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<SelectPlan, Sq
         match item {
             SelectItem::Wildcard => {
                 for (bi, b) in bindings.iter().enumerate() {
-                    for c in &b.columns {
+                    for c in b.columns.iter() {
                         out_cols.push(c.clone());
                         item_exprs.push((
                             Expr::Column {
@@ -544,7 +589,7 @@ pub fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<SelectPlan, Sq
         sources,
         bindings,
         filter,
-        out_cols,
+        out_cols: out_cols.into(),
         item_exprs,
         aggregate_mode,
         group_by,
@@ -618,7 +663,7 @@ pub fn exec_select_planned<'c>(
                     bindings,
                     rows: scope_rows,
                 };
-                if truth(&eval(f, ctx, &scope)?) != Truth::True {
+                if eval_truth(f, ctx, &scope)? != Truth::True {
                     return Ok(());
                 }
             }
@@ -643,7 +688,7 @@ pub fn exec_select_planned<'c>(
                     bindings,
                     rows: scope_rows,
                 };
-                if truth(&eval(on, ctx, &scope)?) != Truth::True {
+                if eval_truth(on, ctx, &scope)? != Truth::True {
                     scope_rows[idx] = None;
                     continue;
                 }
@@ -791,7 +836,7 @@ pub fn exec_select_planned<'c>(
             // HAVING filters whole groups; aggregates inside it substitute.
             if let Some(h) = &plan.having {
                 let rewritten = substitute_aggs(h, &specs, &agg_values);
-                if truth(&eval(&rewritten, ctx, &scope)?) != Truth::True {
+                if eval_truth(&rewritten, ctx, &scope)? != Truth::True {
                     continue;
                 }
             }
@@ -976,7 +1021,7 @@ impl From<Value> for ValueKey {
 /// mirroring the planner decisions `exec_select` would make.
 pub fn explain_select(catalog: &Catalog, sel: &SelectStmt) -> Result<QueryResult, SqlError> {
     let mut res = QueryResult {
-        columns: vec!["table".into(), "binding".into(), "access".into()],
+        columns: vec!["table".into(), "binding".into(), "access".into()].into(),
         ..QueryResult::default()
     };
     let Some(from) = &sel.from else {
@@ -1250,6 +1295,7 @@ pub fn exec_insert(
     columns: &[String],
     rows: &[Vec<Expr>],
     ctx: &EvalCtx,
+    cap: Capture,
 ) -> Result<WriteOutcome, SqlError> {
     let table = get_table_mut(catalog, table_name)?;
 
@@ -1278,6 +1324,7 @@ pub fn exec_insert(
     };
 
     let mut outcome = WriteOutcome::default();
+    let key = table_key(table_name);
     for value_exprs in rows {
         if value_exprs.len() != positions.len() {
             return Err(SqlError::Constraint(format!(
@@ -1291,7 +1338,7 @@ pub fn exec_insert(
             full[*pos] = eval(e, ctx, &NoColumns)?;
         }
         let rid = table.insert(full)?;
-        let stored = table.get(rid).expect("just inserted").clone();
+        let stored = table.get(rid).expect("just inserted");
         if let Some(pk) = pk_auto {
             // TIMESTAMP auto-increment keys store `Timestamp`; the assigned
             // id is still reported through last_insert_id.
@@ -1299,14 +1346,20 @@ pub fn exec_insert(
                 outcome.result.last_insert_id = Some(v);
             }
         }
-        outcome.undo.push(UndoEntry {
-            table: table_name.to_ascii_lowercase(),
-            undo: Undo::Inserted(rid),
-        });
-        outcome.changes.push(RowChange {
-            table: table_name.to_ascii_lowercase(),
-            kind: RowChangeKind::Insert { row: stored },
-        });
+        if cap.undo {
+            outcome.undo.push(UndoEntry {
+                table: key.clone().into_owned(),
+                undo: Undo::Inserted(rid),
+            });
+        }
+        if cap.changes {
+            outcome.changes.push(RowChange {
+                table: key.clone().into_owned(),
+                kind: RowChangeKind::Insert {
+                    row: stored.to_vec(),
+                },
+            });
+        }
         outcome.result.rows_affected += 1;
     }
     Ok(outcome)
@@ -1323,12 +1376,7 @@ fn matching_rows(
     let path = choose_path(table, binding, filter);
     let bindings = [Binding {
         name: binding.to_string(),
-        columns: table
-            .schema()
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect(),
+        columns: table.col_names(),
     }];
     let empty_rows = [None];
     let scope = Scope {
@@ -1345,7 +1393,7 @@ fn matching_rows(
             rows: &rows_holder,
         };
         let keep = match filter {
-            Some(f) => truth(&eval(f, ctx, &scope)?) == Truth::True,
+            Some(f) => eval_truth(f, ctx, &scope)? == Truth::True,
             None => true,
         };
         if keep {
@@ -1362,6 +1410,7 @@ pub fn exec_update(
     sets: &[(String, Expr)],
     filter: Option<&Expr>,
     ctx: &EvalCtx,
+    cap: Capture,
 ) -> Result<WriteOutcome, SqlError> {
     let table = get_table_mut(catalog, table_name)?;
     let (set_positions, bindings) = {
@@ -1376,7 +1425,7 @@ pub fn exec_update(
         }
         let bindings = [Binding {
             name: table_name.to_string(),
-            columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+            columns: table.col_names(),
         }];
         (set_positions, bindings)
     };
@@ -1390,14 +1439,15 @@ pub fn exec_update(
         &mut outcome.result.rows_examined,
     )?;
 
+    let key = table_key(table_name);
     for rid in rids {
         // One clone builds the new image; the SET expressions evaluate
         // against the borrowed old row.
         let mut new_row;
         {
             let old = table.get(rid).expect("matched row valid");
-            new_row = old.clone();
-            let rows_holder = [Some(old.as_slice())];
+            new_row = old.to_vec();
+            let rows_holder = [Some(old)];
             let scope = Scope {
                 bindings: &bindings,
                 rows: &rows_holder,
@@ -1407,18 +1457,28 @@ pub fn exec_update(
             }
         }
         let old_row = table.update(rid, new_row)?;
-        let stored = table.get(rid).expect("updated row valid").clone();
-        outcome.undo.push(UndoEntry {
-            table: table_name.to_ascii_lowercase(),
-            undo: Undo::Updated(rid, old_row.clone()),
-        });
-        outcome.changes.push(RowChange {
-            table: table_name.to_ascii_lowercase(),
-            kind: RowChangeKind::Update {
-                before: old_row,
-                after: stored,
-            },
-        });
+        if cap.changes {
+            // Shipped images are owned copies; the undo log shares the Arc.
+            let after = table.get(rid).expect("updated row valid").to_vec();
+            if cap.undo {
+                outcome.undo.push(UndoEntry {
+                    table: key.clone().into_owned(),
+                    undo: Undo::Updated(rid, old_row.clone()),
+                });
+            }
+            outcome.changes.push(RowChange {
+                table: key.clone().into_owned(),
+                kind: RowChangeKind::Update {
+                    before: old_row.to_vec(),
+                    after,
+                },
+            });
+        } else if cap.undo {
+            outcome.undo.push(UndoEntry {
+                table: key.clone().into_owned(),
+                undo: Undo::Updated(rid, old_row),
+            });
+        }
         outcome.result.rows_affected += 1;
     }
     Ok(outcome)
@@ -1430,6 +1490,7 @@ pub fn exec_delete(
     table_name: &str,
     filter: Option<&Expr>,
     ctx: &EvalCtx,
+    cap: Capture,
 ) -> Result<WriteOutcome, SqlError> {
     let table = get_table_mut(catalog, table_name)?;
     let mut outcome = WriteOutcome::default();
@@ -1440,16 +1501,30 @@ pub fn exec_delete(
         ctx,
         &mut outcome.result.rows_examined,
     )?;
+    let key = table_key(table_name);
     for rid in rids {
         let row = table.delete(rid).expect("matched row valid");
-        outcome.undo.push(UndoEntry {
-            table: table_name.to_ascii_lowercase(),
-            undo: Undo::Deleted(rid, row.clone()),
-        });
-        outcome.changes.push(RowChange {
-            table: table_name.to_ascii_lowercase(),
-            kind: RowChangeKind::Delete { row },
-        });
+        match (cap.undo, cap.changes) {
+            (true, true) => {
+                outcome.undo.push(UndoEntry {
+                    table: key.clone().into_owned(),
+                    undo: Undo::Deleted(rid, row.clone()),
+                });
+                outcome.changes.push(RowChange {
+                    table: key.clone().into_owned(),
+                    kind: RowChangeKind::Delete { row: row.to_vec() },
+                });
+            }
+            (true, false) => outcome.undo.push(UndoEntry {
+                table: key.clone().into_owned(),
+                undo: Undo::Deleted(rid, row),
+            }),
+            (false, true) => outcome.changes.push(RowChange {
+                table: key.clone().into_owned(),
+                kind: RowChangeKind::Delete { row: row.to_vec() },
+            }),
+            (false, false) => {}
+        }
         outcome.result.rows_affected += 1;
     }
     Ok(outcome)

@@ -3,7 +3,11 @@
 use crate::ast::{is_aggregate_name, BinOp, Expr, UnOp};
 use crate::error::SqlError;
 use crate::value::Value;
+use std::borrow::Cow;
 use std::cmp::Ordering;
+
+/// Shared NULL for resolvers that hand out references (NULL-extended rows).
+pub(crate) static NULL_VALUE: Value = Value::Null;
 
 /// Evaluation context: bound parameters plus the session clock reading.
 ///
@@ -38,6 +42,16 @@ pub trait ColumnResolver {
     fn resolve_idx(&self, binding: usize, col: usize) -> Result<Value, SqlError> {
         Err(SqlError::UnknownColumn(format!("#{binding}.{col}")))
     }
+
+    /// Borrowing variant of [`ColumnResolver::resolve_idx`]: returns a
+    /// reference into the scoped row instead of a clone, so predicate
+    /// evaluation over Text columns costs no allocation. Resolvers that can
+    /// hand out references override this; the default signals "no borrowed
+    /// scope" and [`eval_cow`] falls back to the owning path.
+    fn resolve_idx_ref(&self, binding: usize, col: usize) -> Result<&Value, SqlError> {
+        let _ = (binding, col);
+        Err(SqlError::Unsupported("no borrowed scope".into()))
+    }
 }
 
 /// A resolver for scopes with no columns (e.g. `SELECT 1 + 1`).
@@ -50,50 +64,74 @@ impl ColumnResolver for NoColumns {
     }
 }
 
-/// Evaluate an expression to a value.
+/// Evaluate an expression to an owned value.
 pub fn eval(expr: &Expr, ctx: &EvalCtx, row: &dyn ColumnResolver) -> Result<Value, SqlError> {
+    eval_cow(expr, ctx, row).map(Cow::into_owned)
+}
+
+/// Evaluate an expression's SQL truth without materializing the value —
+/// the predicate fast path (filters, JOIN conditions, HAVING).
+pub fn eval_truth(expr: &Expr, ctx: &EvalCtx, row: &dyn ColumnResolver) -> Result<Truth, SqlError> {
+    let v = eval_cow(expr, ctx, row)?;
+    Ok(truth(&v))
+}
+
+/// Evaluate an expression, borrowing the result where it already lives in
+/// the row scope, the parameter list, or the expression tree itself
+/// (planner-resolved columns, params, literals). Comparisons and predicates
+/// over Text columns therefore allocate nothing; only computed values
+/// (arithmetic, functions) are owned.
+pub fn eval_cow<'e>(
+    expr: &'e Expr,
+    ctx: &'e EvalCtx,
+    row: &'e dyn ColumnResolver,
+) -> Result<Cow<'e, Value>, SqlError> {
     match expr {
-        Expr::Literal(v) => Ok(v.clone()),
-        Expr::Column { qualifier, name } => row.resolve(qualifier.as_deref(), name),
-        Expr::Resolved { binding, col } => row.resolve_idx(*binding, *col),
+        Expr::Literal(v) => Ok(Cow::Borrowed(v)),
+        Expr::Column { qualifier, name } => row.resolve(qualifier.as_deref(), name).map(Cow::Owned),
+        Expr::Resolved { binding, col } => match row.resolve_idx_ref(*binding, *col) {
+            Ok(v) => Ok(Cow::Borrowed(v)),
+            Err(SqlError::Unsupported(_)) => row.resolve_idx(*binding, *col).map(Cow::Owned),
+            Err(e) => Err(e),
+        },
         Expr::Param(i) => ctx
             .params
             .get(*i)
-            .cloned()
+            .map(Cow::Borrowed)
             .ok_or_else(|| SqlError::BadParameter(format!("parameter ?{} not bound", i + 1))),
         Expr::Unary(op, inner) => {
-            let v = eval(inner, ctx, row)?;
+            let v = eval_cow(inner, ctx, row)?;
             match op {
-                UnOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Double(d) => Ok(Value::Double(-d)),
+                UnOp::Neg => match v.as_ref() {
+                    Value::Null => Ok(Cow::Owned(Value::Null)),
+                    Value::Int(i) => Ok(Cow::Owned(Value::Int(-i))),
+                    Value::Double(d) => Ok(Cow::Owned(Value::Double(-d))),
                     other => Err(SqlError::TypeMismatch(format!("cannot negate {other:?}"))),
                 },
-                UnOp::Not => match truth(&v) {
-                    Truth::True => Ok(Value::Bool(false)),
-                    Truth::False => Ok(Value::Bool(true)),
-                    Truth::Unknown => Ok(Value::Null),
-                },
+                UnOp::Not => Ok(Cow::Owned(match truth(&v) {
+                    Truth::True => Value::Bool(false),
+                    Truth::False => Value::Bool(true),
+                    Truth::Unknown => Value::Null,
+                })),
             }
         }
         Expr::Binary(a, op, b) => eval_binary(a, *op, b, ctx, row),
-        Expr::Func { name, args, star } => eval_func(name, args, *star, ctx, row),
+        Expr::Func { name, args, star } => eval_func(name, args, *star, ctx, row).map(Cow::Owned),
         Expr::IsNull { expr, negated } => {
-            let v = eval(expr, ctx, row)?;
-            Ok(Value::Bool(v.is_null() != *negated))
+            let v = eval_cow(expr, ctx, row)?;
+            Ok(Cow::Owned(Value::Bool(v.is_null() != *negated)))
         }
         Expr::Like {
             expr,
             pattern,
             negated,
         } => {
-            let v = eval(expr, ctx, row)?;
-            let p = eval(pattern, ctx, row)?;
-            match (v, p) {
-                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            let v = eval_cow(expr, ctx, row)?;
+            let p = eval_cow(pattern, ctx, row)?;
+            match (v.as_ref(), p.as_ref()) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Cow::Owned(Value::Null)),
                 (Value::Text(s), Value::Text(pat)) => {
-                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                    Ok(Cow::Owned(Value::Bool(like_match(s, pat) != *negated)))
                 }
                 (a, b) => Err(SqlError::TypeMismatch(format!(
                     "LIKE requires text operands, got {a:?} LIKE {b:?}"
@@ -105,38 +143,38 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx, row: &dyn ColumnResolver) -> Result<Valu
             list,
             negated,
         } => {
-            let v = eval(expr, ctx, row)?;
+            let v = eval_cow(expr, ctx, row)?;
             if v.is_null() {
-                return Ok(Value::Null);
+                return Ok(Cow::Owned(Value::Null));
             }
             let mut saw_null = false;
             for item in list {
-                let iv = eval(item, ctx, row)?;
+                let iv = eval_cow(item, ctx, row)?;
                 if iv.is_null() {
                     saw_null = true;
                     continue;
                 }
                 if v.sql_cmp(&iv) == Some(Ordering::Equal) {
-                    return Ok(Value::Bool(!negated));
+                    return Ok(Cow::Owned(Value::Bool(!negated)));
                 }
             }
             if saw_null {
-                Ok(Value::Null)
+                Ok(Cow::Owned(Value::Null))
             } else {
-                Ok(Value::Bool(*negated))
+                Ok(Cow::Owned(Value::Bool(*negated)))
             }
         }
         Expr::Between { expr, lo, hi } => {
-            let v = eval(expr, ctx, row)?;
-            let l = eval(lo, ctx, row)?;
-            let h = eval(hi, ctx, row)?;
+            let v = eval_cow(expr, ctx, row)?;
+            let l = eval_cow(lo, ctx, row)?;
+            let h = eval_cow(hi, ctx, row)?;
             if v.is_null() || l.is_null() || h.is_null() {
-                return Ok(Value::Null);
+                return Ok(Cow::Owned(Value::Null));
             }
             let ge = v.sql_cmp(&l).map(|o| o != Ordering::Less);
             let le = v.sql_cmp(&h).map(|o| o != Ordering::Greater);
             match (ge, le) {
-                (Some(a), Some(b)) => Ok(Value::Bool(a && b)),
+                (Some(a), Some(b)) => Ok(Cow::Owned(Value::Bool(a && b))),
                 _ => Err(SqlError::TypeMismatch(
                     "BETWEEN operands incomparable".into(),
                 )),
@@ -167,43 +205,48 @@ pub fn truth(v: &Value) -> Truth {
     }
 }
 
-fn eval_binary(
-    a: &Expr,
+fn eval_binary<'e>(
+    a: &'e Expr,
     op: BinOp,
-    b: &Expr,
-    ctx: &EvalCtx,
-    row: &dyn ColumnResolver,
-) -> Result<Value, SqlError> {
+    b: &'e Expr,
+    ctx: &'e EvalCtx,
+    row: &'e dyn ColumnResolver,
+) -> Result<Cow<'e, Value>, SqlError> {
+    let owned = |v: Value| Ok(Cow::Owned(v));
     match op {
         BinOp::And => {
-            let l = truth(&eval(a, ctx, row)?);
+            let lv = eval_cow(a, ctx, row)?;
+            let l = truth(&lv);
             if l == Truth::False {
-                return Ok(Value::Bool(false));
+                return owned(Value::Bool(false));
             }
-            let r = truth(&eval(b, ctx, row)?);
-            Ok(match (l, r) {
+            let rv = eval_cow(b, ctx, row)?;
+            let r = truth(&rv);
+            owned(match (l, r) {
                 (Truth::True, Truth::True) => Value::Bool(true),
                 (_, Truth::False) => Value::Bool(false),
                 _ => Value::Null,
             })
         }
         BinOp::Or => {
-            let l = truth(&eval(a, ctx, row)?);
+            let lv = eval_cow(a, ctx, row)?;
+            let l = truth(&lv);
             if l == Truth::True {
-                return Ok(Value::Bool(true));
+                return owned(Value::Bool(true));
             }
-            let r = truth(&eval(b, ctx, row)?);
-            Ok(match (l, r) {
+            let rv = eval_cow(b, ctx, row)?;
+            let r = truth(&rv);
+            owned(match (l, r) {
                 (_, Truth::True) => Value::Bool(true),
                 (Truth::False, Truth::False) => Value::Bool(false),
                 _ => Value::Null,
             })
         }
         BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-            let l = eval(a, ctx, row)?;
-            let r = eval(b, ctx, row)?;
+            let l = eval_cow(a, ctx, row)?;
+            let r = eval_cow(b, ctx, row)?;
             match l.sql_cmp(&r) {
-                None => Ok(Value::Null),
+                None => owned(Value::Null),
                 Some(ord) => {
                     let res = match op {
                         BinOp::Eq => ord == Ordering::Equal,
@@ -214,19 +257,19 @@ fn eval_binary(
                         BinOp::GtEq => ord != Ordering::Less,
                         _ => unreachable!(),
                     };
-                    Ok(Value::Bool(res))
+                    owned(Value::Bool(res))
                 }
             }
         }
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            let l = eval(a, ctx, row)?;
-            let r = eval(b, ctx, row)?;
-            arith(l, op, r)
+            let l = eval_cow(a, ctx, row)?;
+            let r = eval_cow(b, ctx, row)?;
+            arith(&l, op, &r).map(Cow::Owned)
         }
     }
 }
 
-fn arith(l: Value, op: BinOp, r: Value) -> Result<Value, SqlError> {
+fn arith(l: &Value, op: BinOp, r: &Value) -> Result<Value, SqlError> {
     use Value::*;
     if l.is_null() || r.is_null() {
         return Ok(Null);
@@ -243,7 +286,7 @@ fn arith(l: Value, op: BinOp, r: Value) -> Result<Value, SqlError> {
         let (b, bi) = f(r)?;
         Some((a, b, ai && bi))
     };
-    let (a, b, both_int) = as_pair(&l, &r).ok_or_else(|| {
+    let (a, b, both_int) = as_pair(l, r).ok_or_else(|| {
         SqlError::TypeMismatch(format!("arithmetic on non-numeric values {l:?}, {r:?}"))
     })?;
     let v = match op {

@@ -1,10 +1,28 @@
-//! In-memory table storage with primary and secondary B-tree indexes.
+//! In-memory table storage: a slot-vector row heap with purpose-built
+//! primary/secondary indexes.
+//!
+//! Row ids are dense and monotone, so the row heap is a `Vec<Option<row>>`
+//! addressed directly by id — `get`/`insert`/`scan` touch no tree nodes.
+//! Row images are `Arc<[Value]>` and the secondary-index set is
+//! table-level copy-on-write, so forking an engine off the template (once
+//! per replica per grid cell) shares every row and index instead of
+//! deep-cloning strings and tree nodes; a fork pays for exactly the rows
+//! it later writes. Primary keys on INT or
+//! TIMESTAMP columns (every table the Cloudstone workload creates) go
+//! through [`IntMap`], a fixed-seed open-addressing `i64 → rid` map whose
+//! probe is one multiply, a shift and a compare — no `Value` clone, no
+//! canonicalization, no hasher state. Non-integer primary keys and all
+//! secondary indexes use ordered `BTreeMap`s keyed by `index_cmp`; those
+//! trees are small and cache-hot here, and a general `HashMap`-over-`Value`
+//! design measured 35–45% slower end-to-end because per-probe key cloning
+//! and multi-word hashing cost more than the whole short B-tree descent.
 
 use crate::error::SqlError;
 use crate::schema::TableSchema;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// Internal row identifier (stable across updates, unique per table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,7 +49,220 @@ impl Ord for Key {
     }
 }
 
-/// A secondary index over one column.
+/// Sentinel rid marking an empty [`IntMap`] slot (row ids are dense counters
+/// and can never reach `u64::MAX`).
+const INT_EMPTY: u64 = u64::MAX;
+
+/// Fixed-seed open-addressing map from `i64` primary keys to row ids.
+///
+/// This is the hot index of the whole simulator: every indexed predicate the
+/// Cloudstone workload issues is an equality on an INT/TIMESTAMP primary
+/// key. A probe is one Fibonacci multiply, a shift, and a short linear scan
+/// over a flat `(key, rid)` slot array. Determinism: the layout depends only
+/// on the insert/delete history (fixed multiplier, no per-process seed), so
+/// `fork`ed replicas behave identically.
+#[derive(Debug, Clone)]
+struct IntMap {
+    /// `(key, rid)` slots; `rid == INT_EMPTY` marks a free slot. The length
+    /// is always a power of two.
+    slots: Box<[(i64, u64)]>,
+    len: usize,
+}
+
+impl IntMap {
+    const MIN_CAP: usize = 16;
+
+    fn new() -> Self {
+        Self {
+            slots: vec![(0, INT_EMPTY); Self::MIN_CAP].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: i64) -> usize {
+        // Fibonacci hashing, indexing by the multiply's HIGH bits: the low
+        // bits of `key * odd` barely scramble `key`'s own low bits, so
+        // sequential auto-increment keys would otherwise collide in runs.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.slots.len().trailing_zeros())) as usize
+    }
+
+    #[inline]
+    fn get(&self, key: i64) -> Option<u64> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            let (k, r) = self.slots[i];
+            if r == INT_EMPTY {
+                return None;
+            }
+            if k == key {
+                return Some(r);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `key → rid` if the key is absent; returns `false` (leaving the
+    /// map untouched) if the key is already present. One probe both checks
+    /// and claims.
+    fn try_insert(&mut self, key: i64, rid: u64) -> bool {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            let (k, r) = self.slots[i];
+            if r == INT_EMPTY {
+                self.slots[i] = (key, rid);
+                self.len += 1;
+                return true;
+            }
+            if k == key {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Remove `key`, backward-shifting the tail of its probe chain so
+    /// lookups never need tombstones.
+    fn remove(&mut self, key: i64) -> Option<u64> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            let (k, r) = self.slots[i];
+            if r == INT_EMPTY {
+                return None;
+            }
+            if k == key {
+                let mut free = i;
+                let mut j = i;
+                loop {
+                    j = (j + 1) & mask;
+                    let (kj, rj) = self.slots[j];
+                    if rj == INT_EMPTY {
+                        break;
+                    }
+                    // Shift `j` into the hole iff the hole does not sit
+                    // between the entry's ideal bucket and its current slot
+                    // (cyclic-distance comparison).
+                    let ideal = self.bucket(kj);
+                    if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(free) & mask) {
+                        self.slots[free] = (kj, rj);
+                        free = j;
+                    }
+                }
+                self.slots[free] = (0, INT_EMPTY);
+                self.len -= 1;
+                return Some(r);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![(0, INT_EMPTY); doubled].into_boxed_slice(),
+        );
+        self.len = 0;
+        for (k, r) in old.into_vec() {
+            if r != INT_EMPTY {
+                let claimed = self.try_insert(k, r);
+                debug_assert!(claimed, "keys are unique by construction");
+            }
+        }
+    }
+
+    /// Live `(key, rid)` pairs in slot order (NOT key order).
+    fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.slots
+            .iter()
+            .filter(|&&(_, r)| r != INT_EMPTY)
+            .map(|&(k, r)| (k, r))
+    }
+}
+
+/// The `i64` an index probe value maps to in an [`IntMap`]-backed index, or
+/// `None` when no stored integer key can be `index_cmp`-equal to the probe
+/// (fractional doubles, text, NULL, booleans — such probes simply miss).
+#[inline]
+fn int_key(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) | Value::Timestamp(i) => Some(*i),
+        Value::Double(d) => {
+            // `i64::MAX as f64` rounds up to 2^63, so the upper comparison
+            // is exclusive; `i64::MIN as f64` is exact.
+            if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d < i64::MAX as f64 {
+                Some(*d as i64)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Primary-key index. Tables whose pk column is INT or TIMESTAMP (all of
+/// them, in this workload) use the open-addressing [`IntMap`]; any other pk
+/// type — or an integer-keyed table that somehow receives a non-integer key
+/// — uses the ordered fallback (see [`Table::degrade_pk`]).
+#[derive(Debug, Clone)]
+enum PkIndex {
+    Ints(IntMap),
+    General(BTreeMap<Key, RowId>),
+}
+
+impl PkIndex {
+    /// Row id stored under a probe value, if any.
+    #[inline]
+    fn probe(&self, key: &Value) -> Option<RowId> {
+        match self {
+            PkIndex::Ints(m) => m.get(int_key(key)?).map(RowId),
+            PkIndex::General(m) => m.get(&Key(key.clone())).copied(),
+        }
+    }
+
+    /// Claim `key → rid`; `false` if the key is taken. Callers must route
+    /// non-integer keys away from the `Ints` arm first ([`Table::degrade_pk`]).
+    fn try_insert(&mut self, key: &Value, rid: RowId) -> bool {
+        match self {
+            PkIndex::Ints(m) => {
+                let k = int_key(key).expect("non-integer pk keys degrade the index first");
+                m.try_insert(k, rid.0)
+            }
+            PkIndex::General(m) => match m.entry(Key(key.clone())) {
+                std::collections::btree_map::Entry::Occupied(_) => false,
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(rid);
+                    true
+                }
+            },
+        }
+    }
+
+    fn remove(&mut self, key: &Value) {
+        match self {
+            PkIndex::Ints(m) => {
+                if let Some(k) = int_key(key) {
+                    m.remove(k);
+                }
+            }
+            PkIndex::General(m) => {
+                m.remove(&Key(key.clone()));
+            }
+        }
+    }
+}
+
+/// A secondary index over one column: an ordered map keyed by `index_cmp`.
+/// These trees are small (distinct key counts in the hundreds) and
+/// cache-hot; a hashed variant measured slower because per-probe key cloning
+/// and hashing cost more than the whole B-tree descent.
 #[derive(Debug, Clone)]
 pub struct SecondaryIndex {
     pub name: String,
@@ -51,14 +282,17 @@ impl SecondaryIndex {
     }
 
     fn insert(&mut self, key: Value, rid: RowId) -> Result<(), SqlError> {
-        let entry = self.map.entry(Key(key.clone())).or_default();
-        if self.unique && !entry.is_empty() && !key.is_null() {
-            return Err(SqlError::DuplicateKey(format!(
-                "unique index '{}' value {key}",
-                self.name
-            )));
+        if self.unique && !key.is_null() {
+            if let Some(v) = self.map.get(&Key(key.clone())) {
+                if !v.is_empty() {
+                    return Err(SqlError::DuplicateKey(format!(
+                        "unique index '{}' value {key}",
+                        self.name
+                    )));
+                }
+            }
         }
-        entry.push(rid);
+        self.map.entry(Key(key)).or_default().push(rid);
         Ok(())
     }
 
@@ -71,7 +305,8 @@ impl SecondaryIndex {
         }
     }
 
-    /// Row ids with exactly this key value.
+    /// Row ids with exactly this key value (posting-list order = insertion
+    /// order, i.e. ascending row id for rows indexed at backfill).
     pub fn lookup_eq(&self, key: &Value) -> &[RowId] {
         self.map
             .get(&Key(key.clone()))
@@ -79,19 +314,14 @@ impl SecondaryIndex {
             .unwrap_or(&[])
     }
 
-    /// Row ids within an inclusive/exclusive bound range.
+    /// Row ids within an inclusive/exclusive bound range, in key order.
     pub fn lookup_range(
         &self,
         lo: Bound<&Value>,
         hi: Bound<&Value>,
     ) -> impl Iterator<Item = RowId> + '_ {
-        let conv = |b: Bound<&Value>| match b {
-            Bound::Included(v) => Bound::Included(Key(v.clone())),
-            Bound::Excluded(v) => Bound::Excluded(Key(v.clone())),
-            Bound::Unbounded => Bound::Unbounded,
-        };
         self.map
-            .range((conv(lo), conv(hi)))
+            .range((key_bound(lo), key_bound(hi)))
             .flat_map(|(_, rids)| rids.iter().copied())
     }
 
@@ -101,50 +331,108 @@ impl SecondaryIndex {
     }
 }
 
+#[inline]
+fn key_bound(b: Bound<&Value>) -> Bound<Key> {
+    match b {
+        Bound::Included(v) => Bound::Included(Key(v.clone())),
+        Bound::Excluded(v) => Bound::Excluded(Key(v.clone())),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[inline]
+fn key_in_bounds(k: &Value, lo: Bound<&Value>, hi: Bound<&Value>) -> bool {
+    use std::cmp::Ordering::*;
+    let above_lo = match lo {
+        Bound::Included(v) => !matches!(k.index_cmp(v), Less),
+        Bound::Excluded(v) => matches!(k.index_cmp(v), Greater),
+        Bound::Unbounded => true,
+    };
+    let below_hi = match hi {
+        Bound::Included(v) => !matches!(k.index_cmp(v), Greater),
+        Bound::Excluded(v) => matches!(k.index_cmp(v), Less),
+        Bound::Unbounded => true,
+    };
+    above_lo && below_hi
+}
+
 /// A heap of rows plus indexes, validated against a schema.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: BTreeMap<RowId, Vec<Value>>,
+    /// Column names shared out to query scopes: schemas are immutable after
+    /// creation, so every statement binding this table can hold the same
+    /// allocation instead of cloning one `String` per column per statement.
+    col_names: std::sync::Arc<[String]>,
+    /// Row heap addressed by row id: ids are dense and monotone, so slot `i`
+    /// holds row `RowId(i)` (or `None` after a delete — ids are never
+    /// reused, keeping scan order stable and fingerprints reproducible).
+    /// Images are `Arc`-shared so a forked table clones pointers, not rows.
+    rows: Vec<Option<Arc<[Value]>>>,
+    /// Live-row count (`rows` minus the `None` slots).
+    live: usize,
     next_rowid: u64,
     next_auto_inc: i64,
     /// Unique index over the primary key column, if the schema has one.
-    pk: Option<BTreeMap<Key, RowId>>,
-    secondary: Vec<SecondaryIndex>,
+    pk: Option<PkIndex>,
+    /// Copy-on-write: shared with the fork source until this table's first
+    /// index mutation (`Arc::make_mut`), so read-only tables never pay the
+    /// tree deep-clone.
+    secondary: Arc<Vec<SecondaryIndex>>,
     /// Monotone stamp of the last schema-affecting DDL (table creation,
     /// index creation), assigned by the owning engine. Cached plans record
     /// the stamp of every table they depend on and are revalidated against
     /// it, so DDL invalidates exactly the affected cache entries.
     schema_serial: u64,
     /// Last-writer LSN per row, stamped by the replica row-apply path (the
-    /// `is_tuple_visible`-style visibility hook for parallel apply): a row
-    /// absent from the map was written by the base load / local execution
-    /// and carries version 0. In-order batch commit keeps each stamp the
-    /// true last writer; [`Table::row_visible_at`] then answers "had LSN x
-    /// been applied, would this row version be visible?" deterministically
-    /// regardless of how many workers raced on the batch.
-    versions: BTreeMap<RowId, u64>,
+    /// `is_tuple_visible`-style visibility hook for parallel apply): slot 0
+    /// means "written by base load / local execution" and carries version 0.
+    /// In-order batch commit keeps each stamp the true last writer;
+    /// [`Table::row_visible_at`] then answers "had LSN x been applied, would
+    /// this row version be visible?" deterministically regardless of how
+    /// many workers raced on the batch.
+    versions: Vec<u64>,
+    /// Local apply time (µs of simulated time) per row, stamped by the
+    /// replica row-apply path alongside `versions`. 0 means "never
+    /// row-applied". This is what heartbeat delay measurement reads: under
+    /// the row binlog format the shipped row image carries the *master's*
+    /// materialized timestamp verbatim, so the slave-side apply instant must
+    /// be recorded out of band.
+    applied_at: Vec<u64>,
 }
 
 impl Table {
     /// Empty table for a schema.
     pub fn new(schema: TableSchema) -> Self {
-        let pk = schema.pk_index().map(|_| BTreeMap::new());
+        let pk = schema.pk_index().map(|i| match schema.columns[i].ty {
+            DataType::Int | DataType::Timestamp => PkIndex::Ints(IntMap::new()),
+            _ => PkIndex::General(BTreeMap::new()),
+        });
+        let col_names: std::sync::Arc<[String]> =
+            schema.columns.iter().map(|c| c.name.clone()).collect();
         Self {
             schema,
-            rows: BTreeMap::new(),
+            col_names,
+            rows: Vec::new(),
+            live: 0,
             next_rowid: 0,
             next_auto_inc: 1,
             pk,
-            secondary: Vec::new(),
+            secondary: Arc::new(Vec::new()),
             schema_serial: 0,
-            versions: BTreeMap::new(),
+            versions: Vec::new(),
+            applied_at: Vec::new(),
         }
     }
 
     /// The table's schema.
     pub fn schema(&self) -> &TableSchema {
         &self.schema
+    }
+
+    /// Shared column-name list (one allocation for the table's lifetime).
+    pub fn col_names(&self) -> std::sync::Arc<[String]> {
+        self.col_names.clone()
     }
 
     /// Stamp of the last schema-affecting DDL on this table.
@@ -160,7 +448,7 @@ impl Table {
 
     /// Number of live rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 
     /// The next auto-increment value that would be assigned.
@@ -181,10 +469,10 @@ impl Table {
         }
         assert!(column < self.schema.arity(), "index column out of range");
         let mut ix = SecondaryIndex::new(name, column, unique);
-        for (&rid, row) in &self.rows {
+        for (rid, row) in self.scan() {
             ix.insert(row[column].clone(), rid)?;
         }
-        self.secondary.push(ix);
+        Arc::make_mut(&mut self.secondary).push(ix);
         Ok(())
     }
 
@@ -238,24 +526,51 @@ impl Table {
         Ok(row)
     }
 
+    /// Store `row` in the slot for `rid`, growing the heap as needed.
+    fn put_slot(&mut self, rid: RowId, row: Arc<[Value]>) {
+        let i = rid.0 as usize;
+        if i >= self.rows.len() {
+            self.rows.resize_with(i + 1, || None);
+        }
+        if self.rows[i].is_none() {
+            self.live += 1;
+        }
+        self.rows[i] = Some(row);
+    }
+
     /// Insert a full-width row; returns its row id.
     pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, SqlError> {
         let row = self.validate(row)?;
         let rid = RowId(self.next_rowid);
 
-        // Primary key uniqueness.
-        if let (Some(pk_map), Some(pk_idx)) = (&self.pk, self.schema.pk_index()) {
-            let key = Key(row[pk_idx].clone());
-            if pk_map.contains_key(&key) {
+        // Primary key uniqueness: a single probe both checks and claims the
+        // slot (the claim is undone below on the rare secondary unique
+        // violation, keeping failed inserts free of side effects).
+        let pk_idx = self.schema.pk_index();
+        if let (Some(PkIndex::Ints(_)), Some(pki)) = (self.pk.as_ref(), pk_idx) {
+            if int_key(&row[pki]).is_none() {
+                self.degrade_pk();
+            }
+        }
+        let pk_claimed = if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, pk_idx) {
+            if !pk_map.try_insert(&row[pk_idx], rid) {
                 return Err(SqlError::DuplicateKey(format!(
                     "primary key {} in '{}'",
                     row[pk_idx], self.schema.name
                 )));
             }
-        }
-        // Secondary unique checks before any mutation.
-        for ix in &self.secondary {
+            true
+        } else {
+            false
+        };
+        // Secondary unique checks before any index mutation.
+        for ix in self.secondary.iter() {
             if ix.unique && !row[ix.column].is_null() && !ix.lookup_eq(&row[ix.column]).is_empty() {
+                if pk_claimed {
+                    if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, pk_idx) {
+                        pk_map.remove(&row[pk_idx]);
+                    }
+                }
                 return Err(SqlError::DuplicateKey(format!(
                     "unique index '{}' value {}",
                     ix.name, row[ix.column]
@@ -264,80 +579,122 @@ impl Table {
         }
 
         self.next_rowid += 1;
-        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
-            pk_map.insert(Key(row[pk_idx].clone()), rid);
-        }
-        for ix in &mut self.secondary {
+        for ix in Arc::make_mut(&mut self.secondary) {
             ix.insert(row[ix.column].clone(), rid)
                 .expect("uniqueness pre-checked");
         }
-        self.rows.insert(rid, row);
+        self.put_slot(rid, Arc::from(row));
         Ok(rid)
     }
 
     /// Fetch a row by id.
-    pub fn get(&self, rid: RowId) -> Option<&Vec<Value>> {
-        self.rows.get(&rid)
+    #[inline]
+    pub fn get(&self, rid: RowId) -> Option<&[Value]> {
+        match self.rows.get(rid.0 as usize)? {
+            Some(row) => Some(row),
+            None => None,
+        }
     }
 
-    /// Replace a row in place (same id). Returns the old row.
-    pub fn update(&mut self, rid: RowId, new_row: Vec<Value>) -> Result<Vec<Value>, SqlError> {
+    /// Replace a row in place (same id). Returns the old image (shared, not
+    /// cloned — undo logs hold it for free).
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Value>) -> Result<Arc<[Value]>, SqlError> {
         let new_row = self.validate(new_row)?;
-        let old = self
-            .rows
-            .get(&rid)
-            .cloned()
-            .ok_or_else(|| SqlError::Constraint(format!("no row {rid:?}")))?;
-
-        if let Some(pk_idx) = self.schema.pk_index() {
-            if old[pk_idx] != new_row[pk_idx] {
-                let pk_map = self.pk.as_ref().expect("pk map exists");
-                if pk_map.contains_key(&Key(new_row[pk_idx].clone())) {
+        // All fallible checks run against the *borrowed* old row; only once
+        // they pass is the old image moved out of its slot, so the common
+        // path never clones a row.
+        {
+            let old = self
+                .rows
+                .get(rid.0 as usize)
+                .and_then(Option::as_ref)
+                .ok_or_else(|| SqlError::Constraint(format!("no row {rid:?}")))?;
+            if let Some(pk_idx) = self.schema.pk_index() {
+                if old[pk_idx] != new_row[pk_idx] {
+                    let pk_map = self.pk.as_ref().expect("pk map exists");
+                    if pk_map.probe(&new_row[pk_idx]).is_some() {
+                        return Err(SqlError::DuplicateKey(format!(
+                            "primary key {} in '{}'",
+                            new_row[pk_idx], self.schema.name
+                        )));
+                    }
+                }
+            }
+            for ix in self.secondary.iter() {
+                if ix.unique
+                    && old[ix.column] != new_row[ix.column]
+                    && !new_row[ix.column].is_null()
+                    && !ix.lookup_eq(&new_row[ix.column]).is_empty()
+                {
                     return Err(SqlError::DuplicateKey(format!(
-                        "primary key {} in '{}'",
-                        new_row[pk_idx], self.schema.name
+                        "unique index '{}' value {}",
+                        ix.name, new_row[ix.column]
                     )));
                 }
             }
         }
-        for ix in &self.secondary {
-            if ix.unique
-                && old[ix.column] != new_row[ix.column]
-                && !new_row[ix.column].is_null()
-                && !ix.lookup_eq(&new_row[ix.column]).is_empty()
-            {
-                return Err(SqlError::DuplicateKey(format!(
-                    "unique index '{}' value {}",
-                    ix.name, new_row[ix.column]
-                )));
+
+        // Degrade (cold, at most once per table) before the old image is
+        // detached: the rebuild scans the row heap.
+        if let Some(pk_idx) = self.schema.pk_index() {
+            if matches!(self.pk, Some(PkIndex::Ints(_))) && int_key(&new_row[pk_idx]).is_none() {
+                self.degrade_pk();
             }
         }
-
+        let old = self.rows[rid.0 as usize].take().expect("checked above");
         if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
-            pk_map.remove(&Key(old[pk_idx].clone()));
-            pk_map.insert(Key(new_row[pk_idx].clone()), rid);
+            if old[pk_idx] != new_row[pk_idx] {
+                pk_map.remove(&old[pk_idx]);
+                let claimed = pk_map.try_insert(&new_row[pk_idx], rid);
+                debug_assert!(claimed, "uniqueness pre-checked");
+            }
         }
-        for ix in &mut self.secondary {
+        for ix in Arc::make_mut(&mut self.secondary) {
             ix.remove(&old[ix.column], rid);
             ix.insert(new_row[ix.column].clone(), rid)
                 .expect("uniqueness pre-checked");
         }
-        self.rows.insert(rid, new_row);
+        // The slot stayed logically occupied throughout, so `live` is
+        // untouched (`put_slot` would miscount the momentarily-empty slot).
+        self.rows[rid.0 as usize] = Some(Arc::from(new_row));
         Ok(old)
     }
 
     /// Stamp a row's last-writer LSN (replica row-apply path).
     pub fn stamp_version(&mut self, rid: RowId, lsn: u64) {
-        self.versions.insert(rid, lsn);
+        let i = rid.0 as usize;
+        if i >= self.versions.len() {
+            self.versions.resize(i + 1, 0);
+        }
+        self.versions[i] = lsn;
     }
 
     /// Last-writer LSN of a row: 0 for rows never touched by row apply
     /// (base-load data), `None` when the row does not exist.
     pub fn row_version(&self, rid: RowId) -> Option<u64> {
-        if !self.rows.contains_key(&rid) {
-            return None;
+        self.get(rid)?;
+        Some(self.versions.get(rid.0 as usize).copied().unwrap_or(0))
+    }
+
+    /// Stamp the local apply instant (µs simulated time) of a row-applied
+    /// write — read back by heartbeat delay measurement, where the stored
+    /// row carries the *master's* timestamp.
+    pub fn stamp_applied_at(&mut self, rid: RowId, at_micros: u64) {
+        let i = rid.0 as usize;
+        if i >= self.applied_at.len() {
+            self.applied_at.resize(i + 1, 0);
         }
-        Some(self.versions.get(&rid).copied().unwrap_or(0))
+        self.applied_at[i] = at_micros;
+    }
+
+    /// Local apply instant of a row, if it was written through the row-apply
+    /// path (`None` for base-load / locally-executed rows).
+    pub fn applied_at_of(&self, rid: RowId) -> Option<u64> {
+        self.get(rid)?;
+        match self.applied_at.get(rid.0 as usize).copied().unwrap_or(0) {
+            0 => None,
+            at => Some(at),
+        }
     }
 
     /// Would this row version be visible to a reader positioned at
@@ -352,17 +709,30 @@ impl Table {
 
     /// Highest last-writer LSN stamped on any live row.
     pub fn max_row_version(&self) -> u64 {
-        self.versions.values().copied().max().unwrap_or(0)
+        self.versions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.rows.get(i).map(Option::is_some).unwrap_or(false))
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Delete a row by id; returns the deleted row.
-    pub fn delete(&mut self, rid: RowId) -> Option<Vec<Value>> {
-        let row = self.rows.remove(&rid)?;
-        self.versions.remove(&rid);
-        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
-            pk_map.remove(&Key(row[pk_idx].clone()));
+    /// Delete a row by id; returns the deleted image (shared, not cloned).
+    pub fn delete(&mut self, rid: RowId) -> Option<Arc<[Value]>> {
+        let i = rid.0 as usize;
+        let row = self.rows.get_mut(i)?.take()?;
+        self.live -= 1;
+        if i < self.versions.len() {
+            self.versions[i] = 0;
         }
-        for ix in &mut self.secondary {
+        if i < self.applied_at.len() {
+            self.applied_at[i] = 0;
+        }
+        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
+            pk_map.remove(&row[pk_idx]);
+        }
+        for ix in Arc::make_mut(&mut self.secondary) {
             ix.remove(&row[ix.column], rid);
         }
         Some(row)
@@ -370,46 +740,98 @@ impl Table {
 
     /// Re-insert a row under a specific id (used by transaction rollback;
     /// the row must have been previously validated by this table).
-    pub fn restore(&mut self, rid: RowId, row: Vec<Value>) {
-        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
-            pk_map.insert(Key(row[pk_idx].clone()), rid);
+    pub fn restore(&mut self, rid: RowId, row: Arc<[Value]>) {
+        if let (Some(PkIndex::Ints(_)), Some(pk_idx)) = (self.pk.as_ref(), self.schema.pk_index()) {
+            if int_key(&row[pk_idx]).is_none() {
+                self.degrade_pk();
+            }
         }
-        for ix in &mut self.secondary {
+        if let (Some(pk_map), Some(pk_idx)) = (&mut self.pk, self.schema.pk_index()) {
+            let _ = pk_map.try_insert(&row[pk_idx], rid);
+        }
+        for ix in Arc::make_mut(&mut self.secondary) {
             let _ = ix.insert(row[ix.column].clone(), rid);
         }
-        self.rows.insert(rid, row);
+        self.put_slot(rid, row);
         self.next_rowid = self.next_rowid.max(rid.0 + 1);
     }
 
     /// Iterate all `(rid, row)` pairs in row-id order.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> + '_ {
-        self.rows.iter().map(|(&rid, row)| (rid, row))
+    pub fn scan(&self) -> ScanIter<'_> {
+        ScanIter {
+            inner: self.rows.iter().enumerate(),
+        }
     }
 
     /// Concretely-typed variant of [`Table::scan`] for the executor's scan
     /// fast path, which must name the iterator type to store it in an enum.
-    pub(crate) fn scan_pairs(&self) -> std::collections::btree_map::Iter<'_, RowId, Vec<Value>> {
-        self.rows.iter()
+    pub(crate) fn scan_pairs(&self) -> ScanIter<'_> {
+        self.scan()
     }
 
     /// Look up row ids by primary key.
+    #[inline]
     pub fn pk_lookup(&self, key: &Value) -> Option<RowId> {
-        self.pk.as_ref()?.get(&Key(key.clone())).copied()
+        self.pk.as_ref()?.probe(key)
     }
 
-    /// Look up row ids by primary key range.
+    /// Look up row ids by primary key range, in key order. The `IntMap` arm
+    /// collects and sorts on demand — the workload's indexed predicates are
+    /// all equalities, so pk ranges are off the hot path by construction.
     pub fn pk_range(
         &self,
         lo: Bound<&Value>,
         hi: Bound<&Value>,
-    ) -> Option<impl Iterator<Item = RowId> + '_> {
-        let pk = self.pk.as_ref()?;
-        let conv = |b: Bound<&Value>| match b {
-            Bound::Included(v) => Bound::Included(Key(v.clone())),
-            Bound::Excluded(v) => Bound::Excluded(Key(v.clone())),
-            Bound::Unbounded => Bound::Unbounded,
+    ) -> Option<std::vec::IntoIter<RowId>> {
+        let ids: Vec<RowId> = match self.pk.as_ref()? {
+            PkIndex::Ints(m) => {
+                let mut hits: Vec<(i64, u64)> = m
+                    .iter()
+                    .filter(|&(k, _)| key_in_bounds(&Value::Int(k), lo, hi))
+                    .collect();
+                hits.sort_unstable_by_key(|&(k, _)| k);
+                hits.into_iter().map(|(_, r)| RowId(r)).collect()
+            }
+            PkIndex::General(m) => m
+                .range((key_bound(lo), key_bound(hi)))
+                .map(|(_, &rid)| rid)
+                .collect(),
         };
-        Some(pk.range((conv(lo), conv(hi))).map(|(_, &rid)| rid))
+        Some(ids.into_iter())
+    }
+
+    /// Rebuild the pk index as the ordered fallback. Cold and at most once
+    /// per table: reached only if a non-integer key arrives at an
+    /// `IntMap`-backed index, which `validate`'s column-type coercion makes
+    /// unreachable for the workload's schemas.
+    fn degrade_pk(&mut self) {
+        let pk_idx = self.schema.pk_index().expect("degrade implies a pk");
+        let mut m = BTreeMap::new();
+        for (i, slot) in self.rows.iter().enumerate() {
+            if let Some(row) = slot {
+                m.insert(Key(row[pk_idx].clone()), RowId(i as u64));
+            }
+        }
+        self.pk = Some(PkIndex::General(m));
+    }
+}
+
+/// Row-id-order iterator over the live rows of a [`Table`].
+pub struct ScanIter<'t> {
+    inner: std::iter::Enumerate<std::slice::Iter<'t, Option<Arc<[Value]>>>>,
+}
+
+impl<'t> Iterator for ScanIter<'t> {
+    type Item = (RowId, &'t [Value]);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, slot) in self.inner.by_ref() {
+            if let Some(row) = slot {
+                return Some((RowId(i as u64), row));
+            }
+        }
+        None
     }
 }
 
@@ -522,6 +944,20 @@ mod tests {
     }
 
     #[test]
+    fn cross_type_numeric_keys_probe_equal() {
+        // Int-keyed pk probed with Double and Timestamp representations of
+        // the same number must hit (index_cmp calls them equal, so the
+        // IntMap probe conversion must agree).
+        let mut t = table();
+        t.insert(row(Some(7), "u", 0.0)).unwrap();
+        assert!(t.pk_lookup(&Value::Int(7)).is_some());
+        assert!(t.pk_lookup(&Value::Double(7.0)).is_some());
+        assert!(t.pk_lookup(&Value::Timestamp(7)).is_some());
+        assert!(t.pk_lookup(&Value::Double(7.5)).is_none());
+        assert!(t.pk_lookup(&Value::Double(-0.0)).is_none());
+    }
+
+    #[test]
     fn secondary_index_tracks_updates_and_deletes() {
         let mut t = table();
         t.create_index("idx_name", 1, false).unwrap();
@@ -561,6 +997,27 @@ mod tests {
             t.create_index("idx", 2, false),
             Err(SqlError::DuplicateIndex(_))
         ));
+    }
+
+    #[test]
+    fn secondary_range_scan_sorted() {
+        let mut t = table();
+        t.create_index("idx_name", 1, false).unwrap();
+        for (i, name) in ["delta", "alpha", "carol", "bravo"].iter().enumerate() {
+            t.insert(row(Some(i as i64 + 1), name, 0.0)).unwrap();
+        }
+        let ix = t.index_on(1).unwrap();
+        let names: Vec<String> = ix
+            .lookup_range(
+                Bound::Included(&Value::Text("alpha".into())),
+                Bound::Excluded(&Value::Text("delta".into())),
+            )
+            .map(|rid| match &t.get(rid).unwrap()[1] {
+                Value::Text(s) => s.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["alpha", "bravo", "carol"], "key order");
     }
 
     #[test]
@@ -622,5 +1079,97 @@ mod tests {
         t.restore(rid, old);
         assert_eq!(t.row_count(), 1);
         assert_eq!(t.pk_lookup(&Value::Int(1)), Some(rid));
+    }
+
+    #[test]
+    fn intmap_matches_btreemap_model() {
+        let mut m = IntMap::new();
+        let mut model: BTreeMap<i64, u64> = BTreeMap::new();
+        // A deterministic LCG drives a mixed insert/remove workload over a
+        // small key range to force collisions, growth and chain shifts.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for step in 0..20_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = ((state >> 33) % 512) as i64 - 256;
+            if state & 1 == 0 {
+                let inserted = m.try_insert(key, step);
+                assert_eq!(inserted, !model.contains_key(&key), "step {step} key {key}");
+                if inserted {
+                    model.insert(key, step);
+                }
+            } else {
+                assert_eq!(m.remove(key), model.remove(&key), "step {step} key {key}");
+            }
+            assert_eq!(m.len, model.len());
+        }
+        for (&k, &v) in &model {
+            assert_eq!(m.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(m.get(9_999), None);
+    }
+
+    #[test]
+    fn intmap_sequential_keys_survive_backward_shift_deletion() {
+        // Sequential auto-increment keys are the common case; deleting every
+        // other one exercises the backward-shift chains repeatedly.
+        let mut m = IntMap::new();
+        for k in 0..1000 {
+            assert!(m.try_insert(k, k as u64));
+        }
+        assert!(!m.try_insert(500, 7), "duplicate claim must fail");
+        for k in (0..1000).step_by(2) {
+            assert_eq!(m.remove(k), Some(k as u64));
+        }
+        for k in 0..1000 {
+            let expect = if k % 2 == 0 { None } else { Some(k as u64) };
+            assert_eq!(m.get(k), expect, "key {k}");
+        }
+        assert_eq!(m.remove(1), Some(1));
+        assert_eq!(m.remove(1), None);
+    }
+
+    #[test]
+    fn text_pk_uses_ordered_fallback() {
+        let schema = TableSchema::new(
+            "kv",
+            vec![
+                Column::new("k", DataType::Text).primary_key(),
+                Column::new("v", DataType::Int),
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (k, v) in [("b", 2), ("a", 1), ("c", 3)] {
+            t.insert(vec![Value::Text(k.into()), Value::Int(v)])
+                .unwrap();
+        }
+        let err = t
+            .insert(vec![Value::Text("a".into()), Value::Int(9)])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+        let rid = t.pk_lookup(&Value::Text("b".into())).unwrap();
+        assert_eq!(t.get(rid).unwrap()[1], Value::Int(2));
+        let keys: Vec<String> = t
+            .pk_range(Bound::Unbounded, Bound::Excluded(&Value::Text("c".into())))
+            .unwrap()
+            .map(|rid| match &t.get(rid).unwrap()[0] {
+                Value::Text(s) => s.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(keys, vec!["a", "b"], "range in key order");
+    }
+
+    #[test]
+    fn applied_at_stamps_follow_row_lifecycle() {
+        let mut t = table();
+        let rid = t.insert(row(Some(1), "a", 0.0)).unwrap();
+        assert_eq!(t.applied_at_of(rid), None, "local insert is unstamped");
+        t.stamp_applied_at(rid, 123_456);
+        assert_eq!(t.applied_at_of(rid), Some(123_456));
+        t.delete(rid);
+        assert_eq!(t.applied_at_of(rid), None, "stamp dies with the row");
     }
 }

@@ -210,7 +210,7 @@ fn select_without_from() {
     let r = e
         .execute(&mut s, "SELECT 1 + 1 AS two, UPPER('x')", &[])
         .unwrap();
-    assert_eq!(r.columns, vec!["two", "upper"]);
+    assert_eq!(r.columns.as_ref(), ["two", "upper"]);
     assert_eq!(r.rows, vec![vec![Value::Int(2), Value::from("X")]]);
 }
 

@@ -93,7 +93,7 @@ fn explain_reports_access_paths() {
     let r = e
         .execute(&mut s, "EXPLAIN SELECT * FROM orders WHERE id = 3", &[])
         .unwrap();
-    assert_eq!(r.columns, vec!["table", "binding", "access"]);
+    assert_eq!(r.columns.as_ref(), ["table", "binding", "access"]);
     assert_eq!(r.rows[0][2], Value::from("pk eq"));
 
     let r = e
