@@ -68,6 +68,18 @@ cmp "$SMOKE/slo_j1/obs_slo.out" "$SMOKE/slo_j2/obs_slo.out" \
   || { echo "obs_slo output differs between --jobs 1 and --jobs 2"; exit 1; }
 cmp "$SMOKE/slo_j1/results/obs_slo_alerts.csv" "$SMOKE/slo_j2/results/obs_slo_alerts.csv" \
   || { echo "obs_slo_alerts.csv differs between --jobs 1 and --jobs 2"; exit 1; }
+# fig2_sharded scale-out + cross-shard ablation: the rendered tables *and*
+# every results CSV must be byte-identical for any jobs count.
+mkdir -p "$SMOKE/sh_j1" "$SMOKE/sh_j2"
+(cd "$SMOKE/sh_j1" && "$BIN/fig2_sharded" --jobs 1 >sharded.out 2>/dev/null)
+(cd "$SMOKE/sh_j2" && "$BIN/fig2_sharded" --jobs 2 >sharded.out 2>/dev/null)
+cmp "$SMOKE/sh_j1/sharded.out" "$SMOKE/sh_j2/sharded.out" \
+  || { echo "fig2_sharded output differs between --jobs 1 and --jobs 2"; exit 1; }
+for csv in fig2_sharded.csv fig2_sharded_p95.csv \
+           fig2_sharded_cross_ablation.csv fig2_sharded_cross_ablation_p95.csv; do
+  cmp "$SMOKE/sh_j1/results/$csv" "$SMOKE/sh_j2/results/$csv" \
+    || { echo "$csv differs between --jobs 1 and --jobs 2"; exit 1; }
+done
 
 echo "== bench_sweep: serial vs parallel wall-clock =="
 (cd "$SMOKE" && "$BIN/bench_sweep" --jobs 2 >/dev/null)
@@ -166,6 +178,29 @@ EOF
 # library path (serial and --jobs 4) — run it explicitly since the debug
 # workspace suite skips it.
 cargo test -q --release --offline -p amdb-experiments --test simcore_fingerprint
+
+echo "== bench_sharded: sharded-tree wall-clock + output fingerprints =="
+# bench_sharded times the quick fig2_sharded grid at shards {1, 4}
+# (best-of-3, serial), asserts repetition-identical rendered tables, and
+# records the N-tree dispatch overhead.
+(cd "$SMOKE" && "$BIN/bench_sharded" >/dev/null 2>&1)
+[ -s "$SMOKE/BENCH_sharded.json" ] || { echo "BENCH_sharded.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_sharded.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("bench", "host_cores", "shards1", "shards4", "total_current_s",
+            "tree_overhead_x"):
+    if key not in b:
+        sys.exit(f"BENCH_sharded.json missing key: {key}")
+for grid in ("shards1", "shards4"):
+    for key in ("current_s", "fingerprint"):
+        if key not in b[grid]:
+            sys.exit(f"BENCH_sharded.json missing key: {grid}.{key}")
+print(f"bench_sharded ok: {b['shards1']['current_s']:.2f}s at 1 shard vs "
+      f"{b['shards4']['current_s']:.2f}s at 4 shards "
+      f"({b['tree_overhead_x']:.2f}x tree overhead)")
+EOF
 
 echo "== heartbeat regression: row-format delay reads the apply stamp =="
 # Pinned regression for the row-format heartbeat bug (shipped master

@@ -1,0 +1,136 @@
+//! Shard-key extraction for the Cloudstone operation mix.
+//!
+//! The sharded front proxy (amdb-shard / amdb-core::sharded) partitions the
+//! events-calendar schema by *entity*: an operation's shard is derived from
+//! the primary entity it touches. Each operation type declares which
+//! parameter carries that entity id, so extraction is a table lookup over
+//! `Operation::name` — no SQL parsing on the hot path.
+//!
+//! Keyspaces are disjoint (`User(7)` and `Event(7)` may map to different
+//! shards): every entity id is mixed with a keyspace tag before hashing.
+//! Cross-entity references inside a write (e.g. `join_event` names both an
+//! event and a user) shard by the row the write *inserts into* — the event —
+//! so each event's comment/attendee rows colocate with the event row and
+//! event-detail reads stay single-shard.
+
+use crate::ops::Operation;
+use amdb_sql::Value;
+
+/// The entity keyspace + id an operation shards by.
+///
+/// Distinct variants are distinct keyspaces: the shard map mixes the
+/// variant's tag into the hash so equal ids in different keyspaces are
+/// uncorrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardKey {
+    /// users.id — person detail, registration.
+    User(i64),
+    /// events.id — event detail and all event-anchored writes.
+    Event(i64),
+    /// tags.id — tag search.
+    Tag(i64),
+    /// events.zip — the upcoming-by-zip browse.
+    Zip(i64),
+}
+
+impl ShardKey {
+    /// Keyspace tag mixed into the shard hash (stable across versions —
+    /// changing a tag remaps every key in that keyspace).
+    pub fn space_tag(&self) -> u64 {
+        match self {
+            ShardKey::User(_) => 1,
+            ShardKey::Event(_) => 2,
+            ShardKey::Tag(_) => 3,
+            ShardKey::Zip(_) => 4,
+        }
+    }
+
+    /// The raw entity id.
+    pub fn id(&self) -> i64 {
+        match *self {
+            ShardKey::User(v) | ShardKey::Event(v) | ShardKey::Tag(v) | ShardKey::Zip(v) => v,
+        }
+    }
+}
+
+fn int_param(op: &Operation, stmt: usize, param: usize) -> i64 {
+    match op.statements[stmt].1[param] {
+        Value::Int(v) => v,
+        ref other => panic!(
+            "op '{}' statement {stmt} param {param}: expected Int shard key, got {other:?}",
+            op.name
+        ),
+    }
+}
+
+/// Extract the shard key of a Cloudstone (or web10) operation.
+///
+/// Returns `None` for operations with no meaningful entity key (the web10
+/// read-mostly contrast mix); the front pins those to shard 0.
+///
+/// Parameter positions are tied to the constructors in [`crate::ops`]:
+/// `add_comment`'s statement params are `(cid, eid, uid, rating)` — the
+/// *second* param is the event id, not the first.
+pub fn shard_key_of(op: &Operation) -> Option<ShardKey> {
+    let key = match op.name {
+        "upcoming_by_zip" => ShardKey::Zip(int_param(op, 0, 0)),
+        "tag_search" => ShardKey::Tag(int_param(op, 0, 0)),
+        "event_detail" | "add_event" | "join_event" => ShardKey::Event(int_param(op, 0, 0)),
+        "add_comment" => ShardKey::Event(int_param(op, 0, 1)),
+        "person_detail" | "add_person" => ShardKey::User(int_param(op, 0, 0)),
+        _ => return None,
+    };
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::build_template;
+    use crate::ops::{MixConfig, OpGenerator};
+    use crate::schema::DataSize;
+    use amdb_sim::Rng;
+
+    #[test]
+    fn every_cloudstone_op_has_a_key() {
+        let mut rng = Rng::new(3);
+        let (_, counters) = build_template(DataSize { scale: 10 }, &mut rng);
+        let mut g = OpGenerator::new(counters, rng.derive("ops"));
+        for _ in 0..2_000 {
+            let op = g.generate(MixConfig::RW_50_50);
+            let key = shard_key_of(&op)
+                .unwrap_or_else(|| panic!("op '{}' produced no shard key", op.name));
+            assert!(key.id() >= 0, "op '{}' key {key:?}", op.name);
+        }
+    }
+
+    #[test]
+    fn add_comment_keys_on_the_event_not_the_comment_id() {
+        let mut rng = Rng::new(3);
+        let (_, counters) = build_template(DataSize { scale: 10 }, &mut rng);
+        let mut g = OpGenerator::new(counters, rng.derive("ops"));
+        let mut seen = 0;
+        while seen < 50 {
+            let op = g.generate_write();
+            if op.name != "add_comment" {
+                continue;
+            }
+            seen += 1;
+            let eid = match op.statements[0].1[1] {
+                Value::Int(v) => v,
+                _ => unreachable!(),
+            };
+            assert_eq!(shard_key_of(&op), Some(ShardKey::Event(eid)));
+        }
+    }
+
+    #[test]
+    fn web10_ops_have_no_key() {
+        let op = Operation {
+            name: "w10_product_detail",
+            class: crate::ops::OpClass::Read,
+            statements: vec![],
+        };
+        assert_eq!(shard_key_of(&op), None);
+    }
+}

@@ -27,7 +27,9 @@ use crate::report::{ConsistencyReport, DelayReport, RunReport};
 use amdb_clock::WALL_EPOCH_MICROS;
 use amdb_cloud::{Instance, InstanceType, Provider};
 use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases, UserSessions};
-use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, ReadDecision, WatermarkTable};
+use amdb_consistency::{
+    ConsistencyConfig, ConsistencyPolicy, ReadDecision, SessionToken, WatermarkTable,
+};
 use amdb_metrics::{trimmed_mean, OnlineStats, Summary};
 use amdb_net::{NetModel, Proximity, Zone};
 use amdb_obs::{BottleneckReport, Component, FlowPhase, MetricId, Obs, ResourceUsage};
@@ -49,7 +51,73 @@ pub type S = Sim<Cluster, ClusterEvent>;
 /// Boxed fallback event for cold control-plane scheduling (startup wiring,
 /// failover choreography, monitor ticks): anything off the per-operation
 /// hot path stays an ergonomic closure.
-pub type ClusterFn = Box<dyn FnOnce(&mut Cluster, &mut S)>;
+pub type ClusterFn = Box<dyn FnOnce(&mut Cluster, &mut dyn ClusterHost)>;
+
+/// A completed injected operation, reported back to the sharded front
+/// router (see [`ClusterHost::notify_front`]).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedDone {
+    /// The front's operation id (one id per logical op; scatter-gather
+    /// reuses it across every fan-out leg).
+    pub id: u64,
+    /// Slave index that served the op, `None` for the master.
+    pub routed_slave: Option<usize>,
+    /// Heartbeat-observed staleness of the serving replica at response time
+    /// (ms); 0 for master-served legs. The front's gather judges scatter
+    /// legs against its consistency policy with exactly the signal an
+    /// application-managed router would have.
+    pub staleness_ms: f64,
+}
+
+/// The scheduling surface a [`Cluster`] runs against.
+///
+/// A standalone cluster runs directly on its own kernel ([`S`] implements
+/// this by delegation). A sharded world runs N independent clusters on one
+/// shared kernel — each tree sees a host that wraps its events with its
+/// shard id, so every tree shares one clock and one global event order
+/// (same-instant ties stay FIFO across shards, which keeps sharded runs
+/// deterministic and `shards = 1` byte-identical to the standalone path).
+/// Cluster code never touches the kernel directly; everything schedules
+/// through this trait.
+pub trait ClusterHost {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedule a typed cluster event at an absolute instant.
+    fn schedule_event_at(&mut self, at: SimTime, ev: ClusterEvent);
+    /// Deliver a completed injected operation back to the front router at
+    /// `at`. Only a sharded host routes these; a standalone cluster never
+    /// injects, so its kernel implementation is unreachable.
+    fn notify_front(&mut self, at: SimTime, done: InjectedDone);
+
+    /// Schedule a typed cluster event after a delay.
+    fn schedule_event_in(&mut self, d: SimDuration, ev: ClusterEvent) {
+        let at = self.now() + d;
+        self.schedule_event_at(at, ev);
+    }
+    /// Schedule a boxed closure event at an absolute instant (cold paths).
+    fn schedule_at(&mut self, at: SimTime, f: ClusterFn) {
+        self.schedule_event_at(at, ClusterEvent::Closure(f));
+    }
+    /// Schedule a boxed closure event after a delay (cold paths).
+    fn schedule_in(&mut self, d: SimDuration, f: ClusterFn) {
+        let at = self.now() + d;
+        self.schedule_event_at(at, ClusterEvent::Closure(f));
+    }
+}
+
+impl ClusterHost for S {
+    fn now(&self) -> SimTime {
+        Sim::now(self)
+    }
+
+    fn schedule_event_at(&mut self, at: SimTime, ev: ClusterEvent) {
+        Sim::schedule_event_at(self, at, ev);
+    }
+
+    fn notify_front(&mut self, _at: SimTime, _done: InjectedDone) {
+        unreachable!("injected operations only exist under a sharded host");
+    }
+}
 
 /// Typed agenda events for the simulation's hot paths.
 ///
@@ -104,12 +172,31 @@ pub enum ClusterEvent {
         issued: SimTime,
         waited_ms: f64,
     },
+    /// CPU service for a front-injected operation finished on `node_idx`
+    /// (sharded worlds only).
+    InjectedOpDone {
+        node_idx: usize,
+        gen: u64,
+        id: u64,
+        class: OpClass,
+        routed_slave: Option<usize>,
+        trace: u64,
+    },
     /// Cold-path escape hatch: a boxed closure event.
     Closure(ClusterFn),
 }
 
 impl Event<Cluster> for ClusterEvent {
     fn fire(self, w: &mut Cluster, sim: &mut S) {
+        self.fire_on(w, sim);
+    }
+}
+
+impl ClusterEvent {
+    /// Dispatch against any host. The standalone kernel's [`Event`] impl
+    /// and the sharded world's per-tree dispatch both land here, so the two
+    /// execution paths share one event semantics.
+    pub(crate) fn fire_on(self, w: &mut Cluster, sim: &mut dyn ClusterHost) {
         match self {
             ClusterEvent::EnqueueJob { node, job } => w.enqueue_job(sim, node, job),
             ClusterEvent::ClientOpDone {
@@ -147,14 +234,16 @@ impl Event<Cluster> for ClusterEvent {
                 issued,
                 waited_ms,
             } => w.dispatch_with_wait(sim, user, op, issued, waited_ms),
+            ClusterEvent::InjectedOpDone {
+                node_idx,
+                gen,
+                id,
+                class,
+                routed_slave,
+                trace,
+            } => w.injected_op_done(sim, node_idx, gen, id, class, routed_slave, trace),
             ClusterEvent::Closure(f) => f(w, sim),
         }
-    }
-}
-
-impl From<ClusterFn> for ClusterEvent {
-    fn from(f: ClusterFn) -> Self {
-        ClusterEvent::Closure(f)
     }
 }
 
@@ -213,6 +302,14 @@ pub enum Job {
         /// Telemetry trace id for tracked writes (0 = untracked).
         trace: u64,
     },
+    /// A front-injected operation (sharded worlds): no tree-local user; the
+    /// completion is reported to the front via [`ClusterHost::notify_front`].
+    Injected {
+        id: u64,
+        op: Operation,
+        routed_slave: Option<usize>,
+        trace: u64,
+    },
     /// Apply the next relay-queue event on slave `slave`.
     Apply { slave: usize },
     /// Master heartbeat insert.
@@ -248,6 +345,10 @@ struct ConsistencyLayer {
     /// True staleness (vs the master binlog) of every slave-served read,
     /// measured at CPU-service start.
     served_staleness: OnlineStats,
+    /// Session token shared by all front-injected operations (sharded
+    /// worlds): the front is one logical client of the tree, so its
+    /// session guarantees span all injected ops.
+    injected: SessionToken,
 }
 
 impl ConsistencyLayer {
@@ -262,6 +363,7 @@ impl ConsistencyLayer {
             sla_violations: 0,
             sla_violations_steady: 0,
             served_staleness: OnlineStats::new(),
+            injected: SessionToken::new(),
         }
     }
 }
@@ -367,6 +469,8 @@ pub struct Cluster {
     repl_epoch: u64,
     /// Write ops parked while the master is down (failover in progress).
     awaiting_master: Vec<(u32, Operation, SimTime)>,
+    /// Front-injected ops parked while the master is down (sharded worlds).
+    awaiting_master_injected: Vec<(u64, Operation)>,
     /// Committed-but-unreplicated writes lost in failovers (§II data loss).
     lost_writes: u64,
     stats: Stats,
@@ -436,11 +540,14 @@ impl Cluster {
             nodes.push(Node::new(inst, engine));
         }
 
+        // `starting_at(0)` is exactly the historical default constructor;
+        // a sharded front staggers each tree's cursor by its shard id.
+        let cursor = cfg.balancer_start;
         let balancer: Box<dyn Balancer> = match cfg.balancer {
-            BalancerKind::RoundRobin => Box::new(RoundRobin::default()),
+            BalancerKind::RoundRobin => Box::new(RoundRobin::starting_at(cursor)),
             BalancerKind::Random => Box::new(RandomPick::new(root.derive("balancer"))),
-            BalancerKind::LeastOutstanding => Box::new(LeastOutstanding::default()),
-            BalancerKind::LatencyAware => Box::new(LatencyAware::default()),
+            BalancerKind::LeastOutstanding => Box::new(LeastOutstanding::starting_at(cursor)),
+            BalancerKind::LatencyAware => Box::new(LatencyAware::starting_at(cursor)),
         };
         let proxy = Proxy::new(cfg.n_slaves, balancer);
 
@@ -501,9 +608,10 @@ impl Cluster {
             last_scale_action: SimTime::ZERO,
             repl_epoch: 0,
             awaiting_master: Vec::new(),
+            awaiting_master_injected: Vec::new(),
             lost_writes: 0,
             cost: cfg.cost.clone(),
-            client_zone: master_zone,
+            client_zone: cfg.client_zone.unwrap_or(master_zone),
             mode: cfg.mode,
             apply_workers: cfg.apply_workers.max(1),
             sched: amdb_apply::ApplyScheduler::new(cfg.apply_workers.max(1)),
@@ -555,7 +663,7 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Schedule the full timeline: NTP, heartbeats, users, window markers.
-    pub fn schedule_timeline(&mut self, sim: &mut S) {
+    pub fn schedule_timeline(&mut self, sim: &mut dyn ClusterHost) {
         // Initial NTP sync for everyone (instances boot disciplined once),
         // then the periodic chain if configured.
         for i in 0..self.nodes.len() {
@@ -564,13 +672,17 @@ impl Cluster {
             ntp.sync(clock, SimTime::ZERO, &mut self.rng_ntp);
         }
         if let Some(interval) = self.cfg.ntp_interval {
-            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
-                w.ntp_tick(sim, interval)
-            });
+            sim.schedule_in(
+                interval,
+                Box::new(move |w: &mut Cluster, sim| w.ntp_tick(sim, interval)),
+            );
         }
 
         // Heartbeats from t=0 (idle baseline needs them).
-        sim.schedule_at(SimTime::ZERO, |w: &mut Cluster, sim| w.heartbeat_tick(sim));
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(|w: &mut Cluster, sim| w.heartbeat_tick(sim)),
+        );
 
         // Users, staggered linearly over the ramp-up.
         let users = self.cfg.workload.concurrent_users;
@@ -585,67 +697,91 @@ impl Cluster {
         for fault in self.cfg.faults.clone() {
             let fail_at = SimTime::ZERO + fault.fail_at;
             let slave = fault.slave;
-            sim.schedule_at(fail_at, move |w: &mut Cluster, sim| {
-                w.fail_slave(sim, slave);
-            });
+            sim.schedule_at(
+                fail_at,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.fail_slave(sim, slave);
+                }),
+            );
             if let Some(after) = fault.recover_after {
-                sim.schedule_at(fail_at + after, move |w: &mut Cluster, sim| {
-                    w.replace_slave(sim, slave);
-                });
+                sim.schedule_at(
+                    fail_at + after,
+                    Box::new(move |w: &mut Cluster, sim| {
+                        w.replace_slave(sim, slave);
+                    }),
+                );
             }
         }
 
         // Planned master failure with automatic failover.
         if let Some(mf) = self.cfg.master_fault.clone() {
             let fail_at = SimTime::ZERO + mf.fail_at;
-            sim.schedule_at(fail_at, move |w: &mut Cluster, sim| {
-                w.fail_master(sim);
-            });
-            sim.schedule_at(fail_at + mf.detection_delay, |w: &mut Cluster, sim| {
-                w.promote_best_slave(sim);
-            });
+            sim.schedule_at(
+                fail_at,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.fail_master(sim);
+                }),
+            );
+            sim.schedule_at(
+                fail_at + mf.detection_delay,
+                Box::new(|w: &mut Cluster, sim| {
+                    w.promote_best_slave(sim);
+                }),
+            );
         }
 
         // Staleness-driven autoscaling controller.
         if let Some(auto) = self.cfg.autoscale.clone() {
             let interval = auto.check_interval;
-            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
-                w.autoscale_tick(sim, auto.clone());
-            });
+            sim.schedule_in(
+                interval,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.autoscale_tick(sim, auto.clone());
+                }),
+            );
         }
 
         // Measurement window markers.
-        sim.schedule_at(self.phases.steady_start(), |w: &mut Cluster, sim| {
-            let now = sim.now();
-            for node in &mut w.nodes {
-                node.inst.cpu.reset_window(now);
-            }
-            w.stats.steady_peak_queue = vec![0; w.nodes.len()];
-            w.obs.instant(Component::Cluster, 0, "steady_start", now);
-        });
-        sim.schedule_at(self.phases.steady_end(), |w: &mut Cluster, sim| {
-            let now = sim.now();
-            w.stats.master_util = w.nodes[0].inst.cpu.utilization(now);
-            w.stats.slave_utils = w.nodes[1..]
-                .iter()
-                .map(|n| n.inst.cpu.utilization(now))
-                .collect();
-            w.obs.instant(Component::Cluster, 0, "steady_end", now);
-        });
+        sim.schedule_at(
+            self.phases.steady_start(),
+            Box::new(|w: &mut Cluster, sim| {
+                let now = sim.now();
+                for node in &mut w.nodes {
+                    node.inst.cpu.reset_window(now);
+                }
+                w.stats.steady_peak_queue = vec![0; w.nodes.len()];
+                w.obs.instant(Component::Cluster, 0, "steady_start", now);
+            }),
+        );
+        sim.schedule_at(
+            self.phases.steady_end(),
+            Box::new(|w: &mut Cluster, sim| {
+                let now = sim.now();
+                w.stats.master_util = w.nodes[0].inst.cpu.utilization(now);
+                w.stats.slave_utils = w.nodes[1..]
+                    .iter()
+                    .map(|n| n.inst.cpu.utilization(now))
+                    .collect();
+                w.obs.instant(Component::Cluster, 0, "steady_end", now);
+            }),
+        );
 
         // Observability sampler: periodic gauges for queue depths,
         // utilization, pool occupancy, relay backlogs, and staleness.
         if self.obs.is_enabled() {
             let interval = SimDuration::from_millis(self.cfg.obs.sample_interval_ms.max(1));
-            sim.schedule_at(SimTime::ZERO, move |w: &mut Cluster, sim| {
-                w.obs_sample_tick(sim, interval);
-            });
+            sim.schedule_at(
+                SimTime::ZERO,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.obs_sample_tick(sim, interval);
+                }),
+            );
         }
     }
 
     /// Periodic observability sample: one counter record per tracked gauge.
     /// Only scheduled when observability is enabled.
-    fn obs_sample_tick(&mut self, sim: &mut S, interval: SimDuration) {
+    fn obs_sample_tick(&mut self, sim: &mut dyn ClusterHost, interval: SimDuration) {
         let now = sim.now();
         for (i, node) in self.nodes.iter().enumerate() {
             let depth = node.queue.len() + usize::from(node.busy);
@@ -695,9 +831,12 @@ impl Cluster {
         }
         self.telemetry_sample_tick(now);
         if now + interval <= self.phases.hard_end() {
-            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
-                w.obs_sample_tick(sim, interval);
-            });
+            sim.schedule_in(
+                interval,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.obs_sample_tick(sim, interval);
+                }),
+            );
         }
     }
 
@@ -806,24 +945,28 @@ impl Cluster {
         }
     }
 
-    fn ntp_tick(&mut self, sim: &mut S, interval: SimDuration) {
+    fn ntp_tick(&mut self, sim: &mut dyn ClusterHost, interval: SimDuration) {
         let now = sim.now();
         for node in &mut self.nodes {
             let (clock, ntp) = (&mut node.inst.clock, &mut node.inst.ntp);
             ntp.sync(clock, now, &mut self.rng_ntp);
         }
         if now + interval <= self.phases.hard_end() {
-            sim.schedule_in(interval, move |w: &mut Cluster, sim| {
-                w.ntp_tick(sim, interval)
-            });
+            sim.schedule_in(
+                interval,
+                Box::new(move |w: &mut Cluster, sim| w.ntp_tick(sim, interval)),
+            );
         }
     }
 
-    fn heartbeat_tick(&mut self, sim: &mut S) {
+    fn heartbeat_tick(&mut self, sim: &mut dyn ClusterHost) {
         self.enqueue_job(sim, 0, Job::Heartbeat);
         let interval = self.cfg.heartbeat_interval;
         if sim.now() + interval <= self.phases.hard_end() {
-            sim.schedule_in(interval, |w: &mut Cluster, sim| w.heartbeat_tick(sim));
+            sim.schedule_in(
+                interval,
+                Box::new(|w: &mut Cluster, sim| w.heartbeat_tick(sim)),
+            );
         }
     }
 
@@ -831,7 +974,7 @@ impl Cluster {
     // Users
     // ------------------------------------------------------------------
 
-    fn user_next_op(&mut self, sim: &mut S, user: u32) {
+    fn user_next_op(&mut self, sim: &mut dyn ClusterHost, user: u32) {
         if sim.now() >= self.phases.load_end() {
             return; // ramp-down: user retires
         }
@@ -850,7 +993,7 @@ impl Cluster {
         }
     }
 
-    fn dispatch(&mut self, sim: &mut S, user: u32, op: Operation, issued: SimTime) {
+    fn dispatch(&mut self, sim: &mut dyn ClusterHost, user: u32, op: Operation, issued: SimTime) {
         self.dispatch_with_wait(sim, user, op, issued, 0.0);
     }
 
@@ -859,7 +1002,7 @@ impl Cluster {
     /// wait-for-catchup parks of the same read (0 on first attempt).
     fn dispatch_with_wait(
         &mut self,
-        sim: &mut S,
+        sim: &mut dyn ClusterHost,
         user: u32,
         op: Operation,
         issued: SimTime,
@@ -945,11 +1088,83 @@ impl Cluster {
         );
     }
 
+    /// Entry point for a sharded front-end: inject one operation into this
+    /// tree, identified by an opaque `id` the host correlates on completion.
+    /// Mirrors `dispatch_with_wait`, except the finished op is reported via
+    /// `ClusterHost::notify_front` instead of driving a user loop. Injected
+    /// reads share one tree-wide session token, and a `WaitRetry` decision
+    /// degrades to a master redirect — the front holds no per-leg retry
+    /// timer, so waiting is traded for the master's fresh copy.
+    pub(crate) fn inject_op(&mut self, sim: &mut dyn ClusterHost, id: u64, op: Operation) {
+        let class = match op.class {
+            OpClass::Read => ProxyClass::Read,
+            OpClass::Write => ProxyClass::Write,
+        };
+        let route = match (&mut self.consistency, class) {
+            (Some(layer), ProxyClass::Read) => {
+                let now_ms = sim.now().as_millis_f64();
+                let decision =
+                    layer
+                        .cfg
+                        .decide_read(&mut self.proxy, &layer.wm, &layer.injected, now_ms, 0.0);
+                match decision {
+                    ReadDecision::Route(r) => r,
+                    ReadDecision::RedirectMaster | ReadDecision::WaitRetry { .. } => {
+                        layer.redirects_master += 1;
+                        self.obs
+                            .incr(Component::Proxy, 0, "consistency_redirect_master", 1);
+                        Route::Master
+                    }
+                }
+            }
+            _ => self.proxy.route(class),
+        };
+        let (node_idx, routed_slave) = match route {
+            Route::Master => {
+                if self.nodes[0].failed {
+                    // Failover in progress: park until promotion completes.
+                    self.awaiting_master_injected.push((id, op));
+                    return;
+                }
+                self.obs.incr(Component::Proxy, 0, "routed_to_master", 1);
+                (0, None)
+            }
+            Route::Slave(s) => {
+                self.obs.incr(Component::Proxy, s as u32, "routed_reads", 1);
+                (self.slave_node(s), Some(s))
+            }
+        };
+        let now = sim.now();
+        // Telemetry: injected writes open their causal trace at injection —
+        // the front's routing hop already happened, so issue == route time.
+        let trace = match self.telemetry.as_mut() {
+            Some(tl) if op.class == OpClass::Write && routed_slave.is_none() => {
+                tl.t.waterfall.begin_write(now, now)
+            }
+            _ => 0,
+        };
+        let delay = self
+            .net
+            .delay(self.client_zone, self.nodes[node_idx].inst.zone());
+        sim.schedule_event_in(
+            delay,
+            ClusterEvent::EnqueueJob {
+                node: node_idx,
+                job: Job::Injected {
+                    id,
+                    op,
+                    routed_slave,
+                    trace,
+                },
+            },
+        );
+    }
+
     // ------------------------------------------------------------------
     // Node job queue
     // ------------------------------------------------------------------
 
-    fn enqueue_job(&mut self, sim: &mut S, node: usize, job: Job) {
+    fn enqueue_job(&mut self, sim: &mut dyn ClusterHost, node: usize, job: Job) {
         self.nodes[node].queue.push_back(job);
         if self.phases.in_steady(sim.now()) {
             if let Some(peak) = self.stats.steady_peak_queue.get_mut(node) {
@@ -960,7 +1175,7 @@ impl Cluster {
         self.try_start(sim, node);
     }
 
-    fn try_start(&mut self, sim: &mut S, node_idx: usize) {
+    fn try_start(&mut self, sim: &mut dyn ClusterHost, node_idx: usize) {
         if self.nodes[node_idx].busy {
             return;
         }
@@ -969,11 +1184,14 @@ impl Cluster {
             // an immediate error response so their users retry elsewhere.
             let dropped: Vec<Job> = self.nodes[node_idx].queue.drain(..).collect();
             for job in dropped {
-                if let Job::ClientOp {
-                    user, op, issued, ..
-                } = job
-                {
-                    self.retry_elsewhere(sim, user, op, issued);
+                match job {
+                    Job::ClientOp {
+                        user, op, issued, ..
+                    } => self.retry_elsewhere(sim, user, op, issued),
+                    // Injected ops re-route through the proxy, which has
+                    // already marked this replica dead.
+                    Job::Injected { id, op, .. } => self.inject_op(sim, id, op),
+                    _ => {}
                 }
             }
             return;
@@ -1006,81 +1224,34 @@ impl Cluster {
                 routed_slave,
                 trace,
             } => {
-                // Telemetry: a slave-served read observes everything the
-                // slave has applied — close the first-read leg of any write
-                // trace it newly covers (service start is where statements
-                // execute functionally).
-                if self.telemetry.is_some() {
-                    if let Some(s) = routed_slave {
-                        let upto = self.relays[s].applied_upto().0;
-                        if let Some(tl) = self.telemetry.as_mut() {
-                            tl.t.waterfall.on_slave_read(s, upto, now);
-                        }
-                    }
-                }
-                // Consistency accounting: the *true* staleness a slave read
-                // observes is fixed here, at service start, where statements
-                // execute functionally. Pure measurement — no events, no RNG.
-                if self.consistency.is_some() && op.class == OpClass::Read {
-                    if let Some(s) = routed_slave {
-                        let st_ms = self.true_staleness_ms(s, now);
-                        let steady = self.phases.in_steady(now);
-                        if let Some(layer) = self.consistency.as_mut() {
-                            layer.served_staleness.push(st_ms);
-                            if let ConsistencyPolicy::BoundedStaleness { max_ms } = layer.cfg.policy
-                            {
-                                if st_ms > max_ms {
-                                    layer.sla_violations += 1;
-                                    if steady {
-                                        layer.sla_violations_steady += 1;
-                                    }
-                                    self.obs.incr(
-                                        Component::Proxy,
-                                        s as u32,
-                                        "consistency_sla_violation",
-                                        1,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-                let lsn_before = if trace != 0 {
-                    self.nodes[node_idx].engine.binlog().head().0
-                } else {
-                    0
-                };
-                let demand_us = self.exec_client_op(node_idx, &op, now);
-                if trace != 0 {
-                    let lsn_after = self.nodes[node_idx].engine.binlog().head().0;
-                    if let Some(tl) = self.telemetry.as_mut() {
-                        tl.t.waterfall
-                            .on_service_start(trace, now, lsn_before, lsn_after);
-                    }
-                }
-                let done = self.nodes[node_idx]
-                    .inst
-                    .cpu
-                    .submit(now, SimDuration::from_micros(demand_us.round() as u64));
-                let class = op.class;
-                if self.obs.is_enabled() {
-                    let (span, which, hist) = match class {
-                        OpClass::Read => ("serve_read", SK_READ, "demand_read_us"),
-                        OpClass::Write => ("serve_write", SK_WRITE, "demand_write_us"),
-                    };
-                    self.obs
-                        .span(Component::Cpu, node_idx as u32, span, now, done);
-                    let id = self.demand_sketch_id(node_idx, which, hist);
-                    self.obs.observe_sketch_id(id, demand_us);
-                }
+                let done = self.start_client_service(node_idx, &op, routed_slave, trace, now);
                 sim.schedule_event_at(
                     done,
                     ClusterEvent::ClientOpDone {
                         node_idx,
                         gen,
                         user,
-                        class,
+                        class: op.class,
                         issued,
+                        routed_slave,
+                        trace,
+                    },
+                );
+            }
+            Job::Injected {
+                id,
+                op,
+                routed_slave,
+                trace,
+            } => {
+                let done = self.start_client_service(node_idx, &op, routed_slave, trace, now);
+                sim.schedule_event_at(
+                    done,
+                    ClusterEvent::InjectedOpDone {
+                        node_idx,
+                        gen,
+                        id,
+                        class: op.class,
                         routed_slave,
                         trace,
                     },
@@ -1205,6 +1376,87 @@ impl Cluster {
         demand_us
     }
 
+    /// Begin functional service of a client-visible operation on `node_idx`:
+    /// telemetry/consistency service-start accounting, functional statement
+    /// execution, and CPU submission. Returns the completion time. Shared by
+    /// user-loop ops (`Job::ClientOp`) and front-injected ops
+    /// (`Job::Injected`), which differ only in their completion events.
+    fn start_client_service(
+        &mut self,
+        node_idx: usize,
+        op: &Operation,
+        routed_slave: Option<usize>,
+        trace: u64,
+        now: SimTime,
+    ) -> SimTime {
+        // Telemetry: a slave-served read observes everything the
+        // slave has applied — close the first-read leg of any write
+        // trace it newly covers (service start is where statements
+        // execute functionally).
+        if self.telemetry.is_some() {
+            if let Some(s) = routed_slave {
+                let upto = self.relays[s].applied_upto().0;
+                if let Some(tl) = self.telemetry.as_mut() {
+                    tl.t.waterfall.on_slave_read(s, upto, now);
+                }
+            }
+        }
+        // Consistency accounting: the *true* staleness a slave read
+        // observes is fixed here, at service start, where statements
+        // execute functionally. Pure measurement — no events, no RNG.
+        if self.consistency.is_some() && op.class == OpClass::Read {
+            if let Some(s) = routed_slave {
+                let st_ms = self.true_staleness_ms(s, now);
+                let steady = self.phases.in_steady(now);
+                if let Some(layer) = self.consistency.as_mut() {
+                    layer.served_staleness.push(st_ms);
+                    if let ConsistencyPolicy::BoundedStaleness { max_ms } = layer.cfg.policy {
+                        if st_ms > max_ms {
+                            layer.sla_violations += 1;
+                            if steady {
+                                layer.sla_violations_steady += 1;
+                            }
+                            self.obs.incr(
+                                Component::Proxy,
+                                s as u32,
+                                "consistency_sla_violation",
+                                1,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let lsn_before = if trace != 0 {
+            self.nodes[node_idx].engine.binlog().head().0
+        } else {
+            0
+        };
+        let demand_us = self.exec_client_op(node_idx, op, now);
+        if trace != 0 {
+            let lsn_after = self.nodes[node_idx].engine.binlog().head().0;
+            if let Some(tl) = self.telemetry.as_mut() {
+                tl.t.waterfall
+                    .on_service_start(trace, now, lsn_before, lsn_after);
+            }
+        }
+        let done = self.nodes[node_idx]
+            .inst
+            .cpu
+            .submit(now, SimDuration::from_micros(demand_us.round() as u64));
+        if self.obs.is_enabled() {
+            let (span, which, hist) = match op.class {
+                OpClass::Read => ("serve_read", SK_READ, "demand_read_us"),
+                OpClass::Write => ("serve_write", SK_WRITE, "demand_write_us"),
+            };
+            self.obs
+                .span(Component::Cpu, node_idx as u32, span, now, done);
+            let id = self.demand_sketch_id(node_idx, which, hist);
+            self.obs.observe_sketch_id(id, demand_us);
+        }
+        done
+    }
+
     // ------------------------------------------------------------------
     // Completions
     // ------------------------------------------------------------------
@@ -1212,7 +1464,7 @@ impl Cluster {
     #[allow(clippy::too_many_arguments)]
     fn client_op_done(
         &mut self,
-        sim: &mut S,
+        sim: &mut dyn ClusterHost,
         node_idx: usize,
         gen: u64,
         user: u32,
@@ -1323,9 +1575,98 @@ impl Cluster {
         self.try_start(sim, node_idx);
     }
 
+    /// Completion of a front-injected op: mirrors `client_op_done`, but the
+    /// finished op flows back to the host front instead of a user loop, and
+    /// writes always respond at commit — the sharded front's durability
+    /// contract is async regardless of `ReplMode`, because a scatter leg
+    /// cannot block on per-tree sync acks without a front-side ack protocol
+    /// (documented in DESIGN.md §14).
+    #[allow(clippy::too_many_arguments)]
+    fn injected_op_done(
+        &mut self,
+        sim: &mut dyn ClusterHost,
+        node_idx: usize,
+        gen: u64,
+        id: u64,
+        class: OpClass,
+        routed_slave: Option<usize>,
+        trace: u64,
+    ) {
+        if self.nodes[node_idx].gen != gen {
+            // Slot swapped mid-service (failover); the functional work is
+            // done, so just deliver the completion to the front.
+            let now = sim.now();
+            self.injected_response(sim, now, id, routed_slave);
+            return;
+        }
+        self.nodes[node_idx].busy = false;
+        let now = sim.now();
+
+        // Session guarantees for the tree-wide injected token.
+        if self.consistency.is_some() {
+            let seq = match (class, routed_slave) {
+                (OpClass::Read, Some(s)) => self.relays[s].applied_upto().0,
+                _ => self.nodes[0].engine.binlog().head().0,
+            };
+            if let Some(layer) = self.consistency.as_mut() {
+                match class {
+                    OpClass::Write => layer.injected.observe_write(seq),
+                    OpClass::Read => layer.injected.observe_read(seq),
+                }
+            }
+        }
+
+        if node_idx == 0 {
+            if trace != 0 {
+                let committed = self
+                    .telemetry
+                    .as_mut()
+                    .and_then(|tl| tl.t.waterfall.on_commit(trace, now));
+                if committed.is_some() {
+                    self.obs
+                        .flow(FlowPhase::Start, Component::Cpu, 0, "writeset", now, trace);
+                }
+            }
+            // Master job: commit point — ship new binlog events.
+            self.ship_new(sim);
+        }
+
+        self.injected_response(sim, now, id, routed_slave);
+        self.try_start(sim, node_idx);
+    }
+
+    /// Deliver an injected op's completion to the host front after the
+    /// serving-replica→client network hop (mirrors `schedule_response`).
+    fn injected_response(
+        &mut self,
+        sim: &mut dyn ClusterHost,
+        at: SimTime,
+        id: u64,
+        routed_slave: Option<usize>,
+    ) {
+        let from = match routed_slave {
+            Some(s) => self.nodes[self.slave_node(s)].inst.zone(),
+            None => self.nodes[0].inst.zone(),
+        };
+        let staleness_ms = match routed_slave {
+            Some(s) => self.observed_staleness_ms(s),
+            None => 0.0,
+        };
+        let back = self.net.delay(from, self.client_zone);
+        let respond_at = at.max(sim.now()) + back;
+        sim.notify_front(
+            respond_at,
+            InjectedDone {
+                id,
+                routed_slave,
+                staleness_ms,
+            },
+        );
+    }
+
     fn schedule_response(
         &mut self,
-        sim: &mut S,
+        sim: &mut dyn ClusterHost,
         at: SimTime,
         user: u32,
         class: OpClass,
@@ -1351,7 +1692,7 @@ impl Cluster {
 
     fn respond(
         &mut self,
-        sim: &mut S,
+        sim: &mut dyn ClusterHost,
         user: u32,
         class: OpClass,
         issued: SimTime,
@@ -1406,7 +1747,7 @@ impl Cluster {
         sim.schedule_event_in(think, ClusterEvent::UserNextOp { user });
     }
 
-    fn master_job_done(&mut self, sim: &mut S, node_idx: usize, gen: u64) {
+    fn master_job_done(&mut self, sim: &mut dyn ClusterHost, node_idx: usize, gen: u64) {
         if self.nodes[node_idx].gen != gen {
             return; // deposed master's heartbeat: nothing to ship
         }
@@ -1417,7 +1758,7 @@ impl Cluster {
 
     fn apply_done(
         &mut self,
-        sim: &mut S,
+        sim: &mut dyn ClusterHost,
         node_idx: usize,
         gen: u64,
         slave: usize,
@@ -1503,7 +1844,7 @@ impl Cluster {
 
     /// Ship all unshipped binlog events to every slave. Returns the
     /// per-slave delivery times of this batch.
-    fn ship_new(&mut self, sim: &mut S) -> Vec<(usize, SimTime)> {
+    fn ship_new(&mut self, sim: &mut dyn ClusterHost) -> Vec<(usize, SimTime)> {
         let head = self.nodes[0].engine.binlog().head();
         // GTID-style watermarks: stamp every newly committed sequence with
         // the commit (= ship-point) time. Monotone no-op when nothing is new.
@@ -1544,7 +1885,13 @@ impl Cluster {
         deliveries
     }
 
-    fn deliver(&mut self, sim: &mut S, slave: usize, epoch: u64, events: Vec<BinlogEvent>) {
+    fn deliver(
+        &mut self,
+        sim: &mut dyn ClusterHost,
+        slave: usize,
+        epoch: u64,
+        events: Vec<BinlogEvent>,
+    ) {
         if epoch != self.repl_epoch {
             return; // shipped by a master deposed since; its log is void
         }
@@ -1599,14 +1946,20 @@ impl Cluster {
 
     /// A client op was aimed at a node that failed before serving it; the
     /// driver reroutes it through the proxy (counting it as a retry).
-    fn retry_elsewhere(&mut self, sim: &mut S, user: u32, op: Operation, issued: SimTime) {
+    fn retry_elsewhere(
+        &mut self,
+        sim: &mut dyn ClusterHost,
+        user: u32,
+        op: Operation,
+        issued: SimTime,
+    ) {
         // The original routing decremented nothing; outstanding counts for
         // the dead slave are reset by fail_slave. Re-dispatch afresh.
         self.dispatch(sim, user, op, issued);
     }
 
     /// Kill slave `s`: it stops serving reads and applying writesets.
-    pub fn fail_slave(&mut self, sim: &mut S, s: usize) {
+    pub fn fail_slave(&mut self, sim: &mut dyn ClusterHost, s: usize) {
         let node_idx = self.slave_node(s);
         if self.nodes[node_idx].failed {
             return;
@@ -1624,7 +1977,7 @@ impl Cluster {
 
     /// Replace a failed slave: launch a fresh VM in the same zone, seed it
     /// from a master snapshot, and re-enter rotation after the initial sync.
-    pub fn replace_slave(&mut self, sim: &mut S, s: usize) {
+    pub fn replace_slave(&mut self, sim: &mut dyn ClusterHost, s: usize) {
         let node_idx = self.slave_node(s);
         let zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
         let inst = match self.cfg.pin_slave_host {
@@ -1658,7 +2011,7 @@ impl Cluster {
     /// waiting for acks are answered immediately (their commit outcome on
     /// the dead master is already fixed; clients observe an error-and-retry
     /// as a completed interaction here).
-    pub fn fail_master(&mut self, sim: &mut S) {
+    pub fn fail_master(&mut self, sim: &mut dyn ClusterHost) {
         if self.nodes[0].failed {
             return;
         }
@@ -1670,9 +2023,12 @@ impl Cluster {
             let (user, class, issued, routed) =
                 (wait.user, wait.class, wait.issued, wait.routed_slave);
             let now = sim.now();
-            sim.schedule_at(now, move |w: &mut Cluster, sim| {
-                w.respond(sim, user, class, issued, routed);
-            });
+            sim.schedule_at(
+                now,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.respond(sim, user, class, issued, routed);
+                }),
+            );
         }
         // Drop queued master work (heartbeats pause; client writes that were
         // already queued re-enter dispatch and park).
@@ -1682,7 +2038,7 @@ impl Cluster {
     /// Automatic failover: promote the most up-to-date slave to master,
     /// count the lost writes, resynchronize every other slave from the new
     /// master's snapshot, and release parked writes.
-    pub fn promote_best_slave(&mut self, sim: &mut S) {
+    pub fn promote_best_slave(&mut self, sim: &mut dyn ClusterHost) {
         debug_assert!(self.nodes[0].failed, "promotion without a dead master");
         let Some(best) = (0..self.relays.len())
             .filter(|&s| !self.nodes[self.slave_node(s)].failed)
@@ -1719,18 +2075,31 @@ impl Cluster {
         for node in [0usize, best_node] {
             let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
             for job in orphans {
-                if let Job::ClientOp {
-                    user,
-                    op,
-                    issued,
-                    routed_slave,
-                    ..
-                } = job
-                {
-                    if let Some(rs) = routed_slave {
-                        self.proxy.read_done(rs, 1.0);
+                match job {
+                    Job::ClientOp {
+                        user,
+                        op,
+                        issued,
+                        routed_slave,
+                        ..
+                    } => {
+                        if let Some(rs) = routed_slave {
+                            self.proxy.read_done(rs, 1.0);
+                        }
+                        self.dispatch(sim, user, op, issued);
                     }
-                    self.dispatch(sim, user, op, issued);
+                    Job::Injected {
+                        id,
+                        op,
+                        routed_slave,
+                        ..
+                    } => {
+                        if let Some(rs) = routed_slave {
+                            self.proxy.read_done(rs, 1.0);
+                        }
+                        self.inject_op(sim, id, op);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -1742,6 +2111,7 @@ impl Cluster {
         if let Some(layer) = self.consistency.as_mut() {
             layer.wm.reset_all(0);
             layer.sessions.reset_all();
+            layer.injected = SessionToken::new();
         }
         self.repl_epoch += 1;
         self.shipped_upto = Lsn(0);
@@ -1761,18 +2131,31 @@ impl Cluster {
                 // would hang; push them back through the proxy.
                 let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
                 for job in orphans {
-                    if let Job::ClientOp {
-                        user,
-                        op,
-                        issued,
-                        routed_slave,
-                        ..
-                    } = job
-                    {
-                        if let Some(rs) = routed_slave {
-                            self.proxy.read_done(rs, 1.0);
+                    match job {
+                        Job::ClientOp {
+                            user,
+                            op,
+                            issued,
+                            routed_slave,
+                            ..
+                        } => {
+                            if let Some(rs) = routed_slave {
+                                self.proxy.read_done(rs, 1.0);
+                            }
+                            self.dispatch(sim, user, op, issued);
                         }
-                        self.dispatch(sim, user, op, issued);
+                        Job::Injected {
+                            id,
+                            op,
+                            routed_slave,
+                            ..
+                        } => {
+                            if let Some(rs) = routed_slave {
+                                self.proxy.read_done(rs, 1.0);
+                            }
+                            self.inject_op(sim, id, op);
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -1791,10 +2174,20 @@ impl Cluster {
         for (user, op, issued) in std::mem::take(&mut self.awaiting_master) {
             self.dispatch(sim, user, op, issued);
         }
+        for (id, op) in std::mem::take(&mut self.awaiting_master_injected) {
+            self.inject_op(sim, id, op);
+        }
+    }
+
+    /// Record a per-leg read completion in this tree's proxy latency EWMA —
+    /// the sharded front calls this once per scatter leg so each tree's
+    /// latency-aware balancer sees the latencies it actually produced.
+    pub(crate) fn note_read_done(&mut self, s: usize, latency_ms: f64) {
+        self.proxy.read_done(s, latency_ms);
     }
 
     /// Launch an additional slave (scale-out). Returns its index.
-    pub fn add_slave(&mut self, sim: &mut S, sync_duration: SimDuration) -> usize {
+    pub fn add_slave(&mut self, sim: &mut dyn ClusterHost, sync_duration: SimDuration) -> usize {
         let zone = self.cfg.placement.slave_zone(self.cfg.master_zone);
         let inst = match self.cfg.pin_slave_host {
             Some(m) => self.provider.launch_on_host(zone, InstanceType::Small, m),
@@ -1819,11 +2212,14 @@ impl Cluster {
         self.events_log
             .push((sim.now(), format!("slave {s} launched (autoscale)")));
         // Serve reads once the initial sync window elapses.
-        sim.schedule_in(sync_duration, move |w: &mut Cluster, sim| {
-            w.proxy.set_alive(s, true);
-            w.events_log
-                .push((sim.now(), format!("slave {s} in rotation")));
-        });
+        sim.schedule_in(
+            sync_duration,
+            Box::new(move |w: &mut Cluster, sim| {
+                w.proxy.set_alive(s, true);
+                w.events_log
+                    .push((sim.now(), format!("slave {s} in rotation")));
+            }),
+        );
         s
     }
 
@@ -1869,7 +2265,7 @@ impl Cluster {
         }
     }
 
-    fn autoscale_tick(&mut self, sim: &mut S, auto: crate::config::AutoscaleConfig) {
+    fn autoscale_tick(&mut self, sim: &mut dyn ClusterHost, auto: crate::config::AutoscaleConfig) {
         let now = sim.now();
         if now < self.phases.load_end() {
             let worst = (0..self.relays.len())
@@ -1881,9 +2277,12 @@ impl Cluster {
                 self.last_scale_action = now;
                 self.add_slave(sim, auto.sync_duration);
             }
-            sim.schedule_in(auto.check_interval, move |w: &mut Cluster, sim| {
-                w.autoscale_tick(sim, auto.clone());
-            });
+            sim.schedule_in(
+                auto.check_interval,
+                Box::new(move |w: &mut Cluster, sim| {
+                    w.autoscale_tick(sim, auto.clone());
+                }),
+            );
         }
     }
 

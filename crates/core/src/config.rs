@@ -167,6 +167,19 @@ pub struct ClusterConfig {
     /// dependency barriers, so extra workers are a no-op there.
     pub apply_workers: usize,
     pub balancer: BalancerKind,
+    /// Starting cursor for rotating balancers (round-robin and the
+    /// tie-break cursors of least-outstanding / latency-aware), taken
+    /// modulo the slave count. A sharded front sets each tree's cursor to
+    /// its shard id so cold-start picks — and scatter-gather fan-out legs —
+    /// do not herd onto the same slave index on every tree. 0 (the
+    /// default) is the historical behaviour.
+    pub balancer_start: usize,
+    /// Where the clients (the emulated-user network endpoint) live.
+    /// `None` (the default) places them in the master's zone, the paper's
+    /// setup. A sharded front overrides this so every tree measures
+    /// client hops from the *front's* zone even when its master is placed
+    /// elsewhere.
+    pub client_zone: Option<Zone>,
     /// Pool size; defaults to one connection per emulated user.
     pub pool_max_active: usize,
     pub cost: CostModel,
@@ -237,6 +250,8 @@ impl Default for ClusterBuilder {
                 format: BinlogFormat::Statement,
                 apply_workers: 1,
                 balancer: BalancerKind::RoundRobin,
+                balancer_start: 0,
+                client_zone: None,
                 pool_max_active: 0, // 0 = one per user
                 cost: CostModel::default(),
                 net: NetConfig::default(),
@@ -322,6 +337,18 @@ impl ClusterBuilder {
     /// Proxy balancing policy.
     pub fn balancer(mut self, b: BalancerKind) -> Self {
         self.cfg.balancer = b;
+        self
+    }
+
+    /// Starting cursor for rotating balancers (modulo the slave count).
+    pub fn balancer_start(mut self, cursor: usize) -> Self {
+        self.cfg.balancer_start = cursor;
+        self
+    }
+
+    /// Place the clients in a specific zone (default: the master's zone).
+    pub fn client_zone(mut self, z: Zone) -> Self {
+        self.cfg.client_zone = Some(z);
         self
     }
 

@@ -25,6 +25,7 @@
 pub mod cluster;
 pub mod config;
 pub mod report;
+pub mod sharded;
 
 pub use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, FallbackPolicy};
 pub use amdb_obs::ObsConfig;
@@ -35,3 +36,4 @@ pub use config::{
     Placement, WorkloadKind,
 };
 pub use report::{ConsistencyReport, DelayReport, RunReport};
+pub use sharded::{run_sharded_cluster, run_sharded_with_template, ShardedConfig, ShardedReport};

@@ -1,0 +1,683 @@
+//! Sharded replication trees: N independent master+slaves clusters behind
+//! one shard-aware front, all on one simulated clock.
+//!
+//! The paper's single-master architecture saturates once the write stream
+//! fills one CPU (fig2's ceiling). This module goes past that ceiling by
+//! partitioning the Cloudstone keyspace across `shards` replication trees
+//! with a deterministic [`ShardMap`] (jump consistent hash + range
+//! overrides, see `amdb-shard`) and routing every operation at a front
+//! proxy:
+//!
+//! * **single-shard ops** (the common case — every Cloudstone op carries a
+//!   shard key) go to the owning tree alone;
+//! * a configurable fraction of reads are **scatter-gathered**: fanned out
+//!   to every tree, each leg judged against the front's consistency policy
+//!   ([`Gather`]), the op completing when the last leg responds.
+//!
+//! # One kernel, N trees
+//!
+//! All trees share one discrete-event kernel: each tree's events are
+//! wrapped as [`ShardedEvent::Tree`] and dispatched back through
+//! [`ClusterEvent::fire_on`] with a per-tree [`TreeHost`], so a tree cannot
+//! tell whether it runs standalone or sharded. With `shards = 1` the world
+//! degenerates to exactly the standalone cluster: same seed, same RNG
+//! stream labels, same event order — byte-identical reports (pinned by a
+//! test below).
+//!
+//! # Determinism
+//!
+//! Each tree derives its seed from
+//! `(seed, shard_id, placement, slaves, users)`, so a tree's internal
+//! randomness is decoupled from its siblings and stable across sweeps. The
+//! front draws from its own `"ops"`/`"think"`/`"cross"` streams. No
+//! ambient randomness, no wall clock: the same config yields the same
+//! report bit-for-bit at any `--jobs` level.
+//!
+//! # Durability contract for injected writes
+//!
+//! Injected writes always respond at master commit (async), regardless of
+//! the tree's `ReplMode` — a scatter leg cannot block on per-tree sync
+//! acks without a front-side ack protocol (DESIGN.md §14).
+
+use crate::cluster::{Cluster, ClusterEvent, ClusterHost, InjectedDone};
+use crate::config::{ClusterConfig, WorkloadKind};
+use crate::report::RunReport;
+use amdb_cloudstone::{
+    build_template, shard_key_of, DataCounters, MixConfig, OpClass, OpGenerator, Operation, Phases,
+};
+use amdb_consistency::ConsistencyPolicy;
+use amdb_metrics::Summary;
+use amdb_net::Zone;
+use amdb_obs::{Component, FlowPhase, Obs};
+use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
+use amdb_shard::{Gather, RangeOverride, ShardMap};
+use amdb_sim::{Event, Rng, Sim, SimDuration, SimTime};
+use amdb_sql::Engine;
+use std::collections::HashMap;
+
+pub type ShardedSim = Sim<ShardedWorld, ShardedEvent>;
+
+/// Configuration of a sharded run: a per-tree template plus the front's
+/// sharding knobs. `base.workload.concurrent_users` is the *total* user
+/// count — users live at the front, not in any tree.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of independent replication trees.
+    pub shards: u32,
+    /// Per-tree template (slaves, placement, data size, phases, seed, …).
+    pub base: ClusterConfig,
+    /// Fraction of reads scatter-gathered across every shard (writes are
+    /// always single-shard; the schema gives every write one owner).
+    pub cross_shard_read_fraction: f64,
+    /// Cycle tree masters across zone letters a–d (`shards > 1` only), so
+    /// shard scale-out also spreads masters across failure domains.
+    pub spread_masters: bool,
+    /// Range-override table pinning id ranges to chosen shards.
+    pub overrides: Vec<RangeOverride>,
+}
+
+impl ShardedConfig {
+    /// A sharded config with the default knobs: no cross-shard reads,
+    /// masters spread across zones, no overrides.
+    pub fn new(shards: u32, base: ClusterConfig) -> Self {
+        Self {
+            shards,
+            base,
+            cross_shard_read_fraction: 0.0,
+            spread_masters: true,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Set the scatter-gathered read fraction.
+    pub fn cross_shard_read_fraction(mut self, f: f64) -> Self {
+        self.cross_shard_read_fraction = f;
+        self
+    }
+
+    /// Enable/disable master zone spreading.
+    pub fn spread_masters(mut self, yes: bool) -> Self {
+        self.spread_masters = yes;
+        self
+    }
+
+    /// Install a range-override table.
+    pub fn overrides(mut self, overrides: Vec<RangeOverride>) -> Self {
+        self.overrides = overrides;
+        self
+    }
+}
+
+/// Tree `k`'s seed: the base seed verbatim for a single shard (bit-identity
+/// with the standalone cluster), otherwise a stream derived from the
+/// sharding-relevant shape of the run so per-shard randomness is stable
+/// under sweeps and decoupled across shards.
+fn tree_seed(cfg: &ShardedConfig, k: u32) -> u64 {
+    if cfg.shards == 1 {
+        return cfg.base.seed;
+    }
+    Rng::new(cfg.base.seed)
+        .derive(&format!(
+            "shard/{k}/{:?}/slaves={}/users={}",
+            cfg.base.placement, cfg.base.n_slaves, cfg.base.workload.concurrent_users
+        ))
+        .next_u64()
+}
+
+/// Tree `k`'s cluster config: the base template with no users of its own
+/// (the front drives it via injection), its balancer cursor staggered by
+/// shard id, and — under `spread_masters` — its master cycled across zone
+/// letters while clients (the front) stay in the base master zone.
+fn tree_config(cfg: &ShardedConfig, k: u32) -> ClusterConfig {
+    let mut c = cfg.base.clone();
+    c.workload.concurrent_users = 0;
+    c.balancer_start = k as usize;
+    c.seed = tree_seed(cfg, k);
+    if cfg.spread_masters && cfg.shards > 1 {
+        let letters = ['a', 'b', 'c', 'd'];
+        c.master_zone = Zone::new(cfg.base.master_zone.region, letters[k as usize % 4]);
+    }
+    c.client_zone = Some(cfg.base.master_zone);
+    c
+}
+
+/// Agenda events of the sharded world.
+pub enum ShardedEvent {
+    /// An event of tree `k`, dispatched through its [`TreeHost`].
+    Tree(u32, ClusterEvent),
+    /// A front user's think time elapsed; generate the next operation.
+    UserNextOp { user: u32 },
+    /// Tree `shard` completed one injected operation (one scatter leg, or a
+    /// whole single-shard op).
+    OpDone { shard: u32, done: InjectedDone },
+}
+
+impl Event<ShardedWorld> for ShardedEvent {
+    fn fire(self, w: &mut ShardedWorld, sim: &mut ShardedSim) {
+        match self {
+            ShardedEvent::Tree(k, ev) => {
+                let mut host = TreeHost { sim, shard: k };
+                ev.fire_on(&mut w.trees[k as usize], &mut host);
+            }
+            ShardedEvent::UserNextOp { user } => w.user_next_op(sim, user),
+            ShardedEvent::OpDone { shard, done } => w.op_done(sim, shard, done),
+        }
+    }
+}
+
+/// The [`ClusterHost`] one tree sees: wraps the tree's events with its
+/// shard id so N trees multiplex onto one kernel, and routes injected-op
+/// completions back to the front.
+struct TreeHost<'a> {
+    sim: &'a mut ShardedSim,
+    shard: u32,
+}
+
+impl ClusterHost for TreeHost<'_> {
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn schedule_event_at(&mut self, at: SimTime, ev: ClusterEvent) {
+        self.sim
+            .schedule_event_at(at, ShardedEvent::Tree(self.shard, ev));
+    }
+
+    fn notify_front(&mut self, at: SimTime, done: InjectedDone) {
+        self.sim.schedule_event_at(
+            at,
+            ShardedEvent::OpDone {
+                shard: self.shard,
+                done,
+            },
+        );
+    }
+}
+
+/// One in-flight front operation (single-shard: one leg; scattered: one
+/// leg per shard under the same id).
+struct InFlight {
+    user: u32,
+    class: OpClass,
+    issued: SimTime,
+    /// Legs still outstanding.
+    pending: u32,
+    /// True while every completed leg was slave-served (mirrors the
+    /// standalone `routed_slave.is_some()` slave-read accounting).
+    all_slave: bool,
+    /// Scatter legs only: per-leg consistency filter + staleness tracking.
+    gather: Option<Gather<()>>,
+}
+
+#[derive(Default)]
+struct FrontStats {
+    steady_ops: u64,
+    steady_reads: u64,
+    steady_writes: u64,
+    steady_slave_reads: u64,
+    latencies_ms: Vec<f64>,
+    steady_peak_waiting: usize,
+    scatter_reads: u64,
+    scatter_reads_steady: u64,
+    scatter_legs: u64,
+    /// Scatter legs dropped by the per-leg consistency filter.
+    scatter_filtered_legs: u64,
+}
+
+/// The shard-aware front: user loops, connection pool, shard map, and the
+/// scatter-gather router. Plays the role the user/pool half of `Cluster`
+/// plays standalone — deliberately mirroring its order of operations so a
+/// one-shard world replays the standalone event sequence exactly.
+struct Front {
+    phases: Phases,
+    mix: MixConfig,
+    think_time: SimDuration,
+    users: u32,
+    map: ShardMap,
+    cross_fraction: f64,
+    /// Policy scatter legs are judged against (the base consistency
+    /// policy; `Eventual` when no consistency layer is configured).
+    leg_policy: ConsistencyPolicy,
+    gen: OpGenerator,
+    pool: SimPool,
+    parked: HashMap<Ticket, (u32, Operation, SimTime)>,
+    rng_think: Rng,
+    rng_cross: Rng,
+    next_id: u64,
+    inflight: HashMap<u64, InFlight>,
+    stats: FrontStats,
+    obs: Obs,
+}
+
+/// The sharded simulation world: one front, N trees.
+pub struct ShardedWorld {
+    front: Front,
+    trees: Vec<Cluster>,
+}
+
+impl ShardedWorld {
+    fn new(cfg: &ShardedConfig, template: &Engine, counters: DataCounters) -> Self {
+        assert!(cfg.shards >= 1, "a sharded world needs at least one tree");
+        assert!(
+            matches!(cfg.base.workload_kind, WorkloadKind::Cloudstone),
+            "the sharded front routes the Cloudstone workload"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.cross_shard_read_fraction),
+            "cross_shard_read_fraction must be a probability"
+        );
+        let trees: Vec<Cluster> = (0..cfg.shards)
+            .map(|k| Cluster::with_template(tree_config(cfg, k), template, counters.clone()))
+            .collect();
+        let root = Rng::new(cfg.base.seed);
+        let users = cfg.base.workload.concurrent_users;
+        let pool_size = if cfg.base.pool_max_active == 0 {
+            users as usize
+        } else {
+            cfg.base.pool_max_active
+        };
+        let front = Front {
+            phases: cfg.base.workload.phases,
+            mix: cfg.base.mix,
+            think_time: cfg.base.workload.think_time,
+            users,
+            map: ShardMap::with_overrides(cfg.shards, cfg.overrides.clone()),
+            cross_fraction: cfg.cross_shard_read_fraction,
+            leg_policy: cfg
+                .base
+                .consistency
+                .as_ref()
+                .map_or(ConsistencyPolicy::Eventual, |c| c.policy),
+            gen: OpGenerator::new(counters, root.derive("ops")),
+            pool: SimPool::new(PoolConfig {
+                max_active: pool_size,
+            }),
+            parked: HashMap::new(),
+            rng_think: root.derive("think"),
+            rng_cross: root.derive("cross"),
+            next_id: 1,
+            inflight: HashMap::new(),
+            stats: FrontStats::default(),
+            obs: Obs::from_config(&cfg.base.obs),
+        };
+        Self { front, trees }
+    }
+
+    /// Schedule every tree's timeline, then the front's users. Tree
+    /// timelines come first so same-instant control events (heartbeat @ 0,
+    /// window markers) keep their standalone seq order; user events are
+    /// staggered strictly inside the ramp and never tie with them.
+    fn schedule_timeline(&mut self, sim: &mut ShardedSim) {
+        for k in 0..self.trees.len() {
+            let mut host = TreeHost {
+                sim: &mut *sim,
+                shard: k as u32,
+            };
+            self.trees[k].schedule_timeline(&mut host);
+        }
+        let users = self.front.users;
+        let ramp = self.front.phases.ramp_up;
+        let start = self.front.phases.load_start();
+        for u in 0..users {
+            let at = start + SimDuration::from_micros(ramp.as_micros() * u as u64 / users as u64);
+            sim.schedule_event_at(at, ShardedEvent::UserNextOp { user: u });
+        }
+    }
+
+    fn user_next_op(&mut self, sim: &mut ShardedSim, user: u32) {
+        let now = sim.now();
+        if now >= self.front.phases.load_end() {
+            return; // ramp-down: user retires
+        }
+        let op = self.front.gen.generate(self.front.mix);
+        match self.front.pool.acquire(now) {
+            Acquire::Ready => self.dispatch_front(sim, user, op, now),
+            Acquire::Queued(t) => {
+                self.front.obs.incr(Component::Pool, 0, "checkout_waits", 1);
+                if self.front.phases.in_steady(now) {
+                    self.front.stats.steady_peak_waiting = self
+                        .front
+                        .stats
+                        .steady_peak_waiting
+                        .max(self.front.pool.waiting());
+                }
+                self.front.parked.insert(t, (user, op, now));
+            }
+        }
+    }
+
+    /// Route one operation: scatter a chosen fraction of reads across every
+    /// tree, send everything else to the shard that owns its key.
+    fn dispatch_front(&mut self, sim: &mut ShardedSim, user: u32, op: Operation, issued: SimTime) {
+        let id = self.front.next_id;
+        self.front.next_id += 1;
+        let n = self.trees.len();
+        // Gated on `n > 1` so a one-shard run never consults the cross
+        // stream — part of the shards=1 identity contract.
+        let scatter = n > 1
+            && op.class == OpClass::Read
+            && self.front.cross_fraction > 0.0
+            && self.front.rng_cross.chance(self.front.cross_fraction);
+        if scatter {
+            self.front.stats.scatter_reads += 1;
+            if self.front.phases.in_steady(issued) {
+                self.front.stats.scatter_reads_steady += 1;
+            }
+            self.front.stats.scatter_legs += n as u64;
+            self.front.obs.flow(
+                FlowPhase::Start,
+                Component::Proxy,
+                0,
+                "scatter_gather",
+                issued,
+                id,
+            );
+            self.front.inflight.insert(
+                id,
+                InFlight {
+                    user,
+                    class: op.class,
+                    issued,
+                    pending: n as u32,
+                    all_slave: true,
+                    gather: Some(Gather::new(n, self.front.leg_policy)),
+                },
+            );
+            for k in 0..n {
+                let mut host = TreeHost {
+                    sim: &mut *sim,
+                    shard: k as u32,
+                };
+                self.trees[k].inject_op(&mut host, id, op.clone());
+            }
+        } else {
+            let shard = self.front.map.shard_of_opt(shard_key_of(&op)) as usize;
+            self.front.inflight.insert(
+                id,
+                InFlight {
+                    user,
+                    class: op.class,
+                    issued,
+                    pending: 1,
+                    all_slave: true,
+                    gather: None,
+                },
+            );
+            let mut host = TreeHost {
+                sim: &mut *sim,
+                shard: shard as u32,
+            };
+            self.trees[shard].inject_op(&mut host, id, op);
+        }
+    }
+
+    /// One leg of an in-flight op completed on `shard`. Mirrors the
+    /// standalone `respond` exactly (per-leg balancer feedback, then stats,
+    /// pool handoff, think) so a one-shard world replays its sequence.
+    fn op_done(&mut self, sim: &mut ShardedSim, shard: u32, done: InjectedDone) {
+        let now = sim.now();
+        let fl = self
+            .front
+            .inflight
+            .get_mut(&done.id)
+            .expect("completion for an unknown op id");
+        let leg_latency_ms = (now - fl.issued).as_millis_f64();
+        if done.routed_slave.is_none() {
+            fl.all_slave = false;
+        }
+        if let Some(g) = fl.gather.as_mut() {
+            g.offer(shard as usize, done.staleness_ms, Vec::new());
+        }
+        fl.pending -= 1;
+        let pending = fl.pending;
+        // Per-leg feedback into the serving tree's balancer, exactly as the
+        // standalone respond path does before touching stats.
+        if let Some(s) = done.routed_slave {
+            self.trees[shard as usize].note_read_done(s, leg_latency_ms);
+        }
+        if pending > 0 {
+            return;
+        }
+        let fl = self
+            .front
+            .inflight
+            .remove(&done.id)
+            .expect("entry existed above");
+        if let Some(g) = &fl.gather {
+            debug_assert!(g.is_complete(), "final leg completes the gather");
+            self.front.stats.scatter_filtered_legs += u64::from(g.filtered_legs());
+            self.front.obs.flow(
+                FlowPhase::End,
+                Component::Proxy,
+                0,
+                "scatter_gather",
+                now,
+                done.id,
+            );
+        }
+        let latency_ms = (now - fl.issued).as_millis_f64();
+        if self.front.phases.in_steady(now) {
+            self.front.stats.steady_ops += 1;
+            match fl.class {
+                OpClass::Read => {
+                    self.front.stats.steady_reads += 1;
+                    if fl.all_slave {
+                        self.front.stats.steady_slave_reads += 1;
+                    }
+                }
+                OpClass::Write => self.front.stats.steady_writes += 1,
+            }
+            self.front.stats.latencies_ms.push(latency_ms);
+        }
+        // Return the connection; hand it straight to a parked user if any.
+        if let Some(ticket) = self.front.pool.release(now) {
+            if let Some((u2, op2, issued2)) = self.front.parked.remove(&ticket) {
+                self.front.obs.observe_sketch(
+                    Component::Pool,
+                    0,
+                    "checkout_wait_ms",
+                    (now - issued2).as_millis_f64(),
+                );
+                self.dispatch_front(sim, u2, op2, issued2);
+            }
+        }
+        // Think, then next op.
+        let think = SimDuration::from_secs_f64(
+            self.front
+                .rng_think
+                .exp(self.front.think_time.as_secs_f64()),
+        );
+        sim.schedule_event_at(now + think, ShardedEvent::UserNextOp { user: fl.user });
+    }
+
+    /// Assemble the sharded report (after the simulation has drained).
+    fn report(&mut self, sim_events: u64) -> ShardedReport {
+        let phases = self.front.phases;
+        let steady_secs = (phases.steady_end() - phases.steady_start()).as_secs_f64();
+        // Per-tree sim_events are meaningless on a shared kernel: report 0.
+        let per_shard: Vec<RunReport> = self.trees.iter_mut().map(|t| t.report(0)).collect();
+        let per_shard_bottleneck: Vec<String> = self
+            .trees
+            .iter()
+            .map(|t| {
+                t.bottleneck_report()
+                    .busiest()
+                    .map_or_else(|| "-".to_string(), |r| r.label.clone())
+            })
+            .collect();
+        let s = &self.front.stats;
+        ShardedReport {
+            shards: self.trees.len() as u32,
+            users: self.front.users,
+            steady_ops: s.steady_ops,
+            steady_reads: s.steady_reads,
+            steady_writes: s.steady_writes,
+            steady_slave_reads: s.steady_slave_reads,
+            throughput_ops_s: s.steady_ops as f64 / steady_secs,
+            latency_ms: Summary::of(&s.latencies_ms),
+            scatter_reads: s.scatter_reads,
+            scatter_reads_steady: s.scatter_reads_steady,
+            scatter_legs: s.scatter_legs,
+            scatter_filtered_legs: s.scatter_filtered_legs,
+            pool_stats: (
+                self.front.pool.total_acquired(),
+                self.front.pool.total_waited(),
+            ),
+            peak_pool_waiting: s.steady_peak_waiting,
+            per_shard,
+            per_shard_bottleneck,
+            sim_events,
+        }
+    }
+}
+
+/// The report of one sharded run: front-side aggregates plus each tree's
+/// full [`RunReport`] and its busiest steady-window resource.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    pub shards: u32,
+    pub users: u32,
+    pub steady_ops: u64,
+    pub steady_reads: u64,
+    pub steady_writes: u64,
+    pub steady_slave_reads: u64,
+    pub throughput_ops_s: f64,
+    pub latency_ms: Option<Summary>,
+    /// Scatter-gathered reads issued over the whole run / steady window.
+    pub scatter_reads: u64,
+    pub scatter_reads_steady: u64,
+    /// Fan-out legs issued (== scatter_reads × shards).
+    pub scatter_legs: u64,
+    /// Legs dropped by the per-leg consistency filter.
+    pub scatter_filtered_legs: u64,
+    /// (total acquired, total waited) at the front's connection pool.
+    pub pool_stats: (u64, u64),
+    /// Peak pool-waiter count over the steady window.
+    pub peak_pool_waiting: usize,
+    /// One standalone-format report per tree (tree `users` is 0 — users
+    /// live at the front; steady op counts are front-side).
+    pub per_shard: Vec<RunReport>,
+    /// Busiest steady-window resource per tree ("master cpu", …).
+    pub per_shard_bottleneck: Vec<String>,
+    pub sim_events: u64,
+}
+
+impl ShardedReport {
+    /// Label of the most-loaded tree's busiest resource, prefixed with its
+    /// shard index ("s2: master cpu") — the cluster-wide bottleneck name.
+    pub fn busiest_shard_label(&self) -> String {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, r) in self.per_shard.iter().enumerate() {
+            let u = r.master_utilization;
+            if best.is_none_or(|(_, b)| u > b) {
+                best = Some((k, u));
+            }
+        }
+        match best {
+            Some((k, _)) => format!("s{k}: {}", self.per_shard_bottleneck[k]),
+            None => "-".to_string(),
+        }
+    }
+}
+
+/// Execute one sharded run for `cfg` and return its report.
+pub fn run_sharded_cluster(cfg: ShardedConfig) -> ShardedReport {
+    let root = Rng::new(cfg.base.seed);
+    let mut load_rng = root.derive("load");
+    let (template, counters) = build_template(cfg.base.data_size, &mut load_rng);
+    run_sharded_with_template(&cfg, &template, counters)
+}
+
+/// Like [`run_sharded_cluster`], but forking every tree off a pre-built
+/// template database (sweeps load the template once per data size).
+pub fn run_sharded_with_template(
+    cfg: &ShardedConfig,
+    template: &Engine,
+    counters: DataCounters,
+) -> ShardedReport {
+    let mut sim: ShardedSim = Sim::new();
+    let mut world = ShardedWorld::new(cfg, template, counters);
+    world.schedule_timeline(&mut sim);
+    sim.run(&mut world);
+    let events = sim.events_executed();
+    world.report(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::run_cluster;
+    use amdb_cloudstone::{DataSize, WorkloadConfig};
+
+    fn quick_cfg(users: u32, slaves: usize, seed: u64) -> ClusterConfig {
+        ClusterConfig::builder()
+            .slaves(slaves)
+            .workload(WorkloadConfig::quick(users))
+            .data_size(DataSize { scale: 30 })
+            .seed(seed)
+            .build()
+    }
+
+    /// The headline identity: one shard replays the standalone cluster's
+    /// event sequence bit-for-bit — same ops, same routing, same latencies,
+    /// same heartbeat-measured replication delays.
+    #[test]
+    fn one_shard_is_bit_identical_to_the_standalone_cluster() {
+        let base = quick_cfg(40, 2, 7);
+        let solo = run_cluster(base.clone());
+        let sharded = run_sharded_cluster(ShardedConfig::new(1, base));
+        assert_eq!(sharded.steady_ops, solo.steady_ops);
+        assert_eq!(sharded.steady_reads, solo.steady_reads);
+        assert_eq!(sharded.steady_writes, solo.steady_writes);
+        assert_eq!(sharded.steady_slave_reads, solo.steady_slave_reads);
+        assert_eq!(
+            sharded.throughput_ops_s.to_bits(),
+            solo.throughput_ops_s.to_bits()
+        );
+        assert_eq!(
+            format!("{:?}", sharded.latency_ms),
+            format!("{:?}", solo.latency_ms)
+        );
+        let tree = &sharded.per_shard[0];
+        assert_eq!(
+            format!("{:?}", tree.delays),
+            format!("{:?}", solo.delays),
+            "replication-delay measurements must match"
+        );
+        assert_eq!(tree.reads_per_slave, solo.reads_per_slave);
+        assert_eq!(sharded.scatter_reads, 0, "one shard never scatters");
+        assert_eq!(sharded.pool_stats, solo.pool_stats);
+    }
+
+    /// With no cross-shard reads every op goes to exactly one tree, and the
+    /// shard map spreads the keyspace so every tree serves traffic.
+    #[test]
+    fn zero_cross_fraction_routes_single_shard_and_spreads_load() {
+        let base = quick_cfg(16, 1, 11);
+        let r = run_sharded_cluster(ShardedConfig::new(2, base));
+        assert_eq!(r.scatter_reads, 0);
+        assert_eq!(r.scatter_legs, 0);
+        assert_eq!(r.per_shard.len(), 2);
+        for (k, tree) in r.per_shard.iter().enumerate() {
+            let reads: u64 = tree.reads_per_slave.iter().sum();
+            assert!(reads > 0, "shard {k} served no slave reads");
+        }
+        assert!(r.steady_ops > 0);
+    }
+
+    /// Scatter-gather fans a read out to every tree under one id, and the
+    /// whole sharded world is deterministic run-to-run.
+    #[test]
+    fn scatter_gather_fans_out_and_is_deterministic() {
+        let mk = || ShardedConfig::new(3, quick_cfg(12, 1, 13)).cross_shard_read_fraction(0.3);
+        let a = run_sharded_cluster(mk());
+        let b = run_sharded_cluster(mk());
+        assert!(a.scatter_reads > 0, "30% of reads should scatter");
+        assert_eq!(a.scatter_legs, a.scatter_reads * 3);
+        assert!(a.scatter_reads_steady <= a.scatter_reads);
+        assert_eq!(a.steady_ops, b.steady_ops);
+        assert_eq!(a.scatter_reads, b.scatter_reads);
+        assert_eq!(a.throughput_ops_s.to_bits(), b.throughput_ops_s.to_bits());
+        assert_eq!(format!("{:?}", a.latency_ms), format!("{:?}", b.latency_ms));
+    }
+}

@@ -1,0 +1,89 @@
+//! Sharded-sweep benchmark: times the quick-fidelity fig2_sharded grid at
+//! shard counts {1, 4} serially and fingerprints the rendered output, so a
+//! perf regression or a determinism break in the sharded world fails
+//! loudly in CI.
+//!
+//! ```text
+//! cargo run --release -p amdb-experiments --bin bench_sharded
+//! ```
+//!
+//! Writes `BENCH_sharded.json` (schema-checked by ci.sh).
+use amdb_experiments::{sharded, sweep, Fidelity};
+use std::time::Instant;
+
+/// FNV-1a over the rendered bytes: the output fingerprint pinned across
+/// runs (and across `--jobs` counts, checked separately by ci.sh).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Repetitions per grid; best-of-N is reported (the workload is
+/// deterministic, so the minimum is the least-polluted measurement).
+const REPS: usize = 3;
+
+fn time_grid(spec: &sharded::ShardedSweepSpec) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut fp = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = sharded::run_sharded_sweep(spec, &sweep::SweepOptions::serial());
+        let secs = t0.elapsed().as_secs_f64();
+        let rendered = format!("{}\n{}\n", r.throughput.render(), r.latency_p95.render());
+        let this_fp = fnv64(rendered.as_bytes());
+        match fp {
+            None => fp = Some(this_fp),
+            Some(prev) => assert_eq!(
+                prev, this_fp,
+                "sharded sweep output changed between repetitions — nondeterminism"
+            ),
+        }
+        best = best.min(secs);
+    }
+    (best, fp.expect("REPS >= 1"))
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let base = sharded::ShardedSweepSpec::scaleout(Fidelity::Quick);
+
+    let mut one = base.clone();
+    one.shards = vec![1];
+    let (s1, fp1) = time_grid(&one);
+    eprintln!("[bench_sharded] 1 shard quick serial (best of {REPS}): {s1:.3}s fp={fp1:016x}");
+
+    let mut four = base.clone();
+    four.shards = vec![4];
+    let (s4, fp4) = time_grid(&four);
+    eprintln!("[bench_sharded] 4 shards quick serial (best of {REPS}): {s4:.3}s fp={fp4:016x}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fig2_sharded quick grid, serial best-of-{}, shards 1 vs 4\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"shards1\": {{ \"current_s\": {:.3}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"shards4\": {{ \"current_s\": {:.3}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"total_current_s\": {:.3},\n",
+            "  \"tree_overhead_x\": {:.2}\n",
+            "}}\n"
+        ),
+        REPS,
+        host_cores,
+        s1,
+        fp1,
+        s4,
+        fp4,
+        s1 + s4,
+        s4 / s1.max(1e-9),
+    );
+    std::fs::write("BENCH_sharded.json", &json).expect("write BENCH_sharded.json");
+    println!("{json}");
+}

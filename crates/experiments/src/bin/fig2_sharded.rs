@@ -1,0 +1,106 @@
+//! fig2_sharded: throughput scale-out past the single-master ceiling.
+//!
+//! Sweeps shard counts {1, 2, 4, 8} over a user grid reaching 10⁵ users
+//! (fig2's architecture flat-lines near 200), then runs the cross-shard
+//! read ablation (0% / 5% / 20% of reads scatter-gathered at 4 shards) to
+//! quantify the scatter-gather tax. Default runs a thinned quick grid;
+//! pass `--full` for the paper-scale grid, `--shards N` to restrict the
+//! scale-out sweep to one shard count, and `--jobs N` (or `AMDB_JOBS=N`)
+//! to pick the worker count. Output is byte-identical for every jobs
+//! count.
+use amdb_experiments::{exec, sharded, sweep, Fidelity};
+use amdb_metrics::Table;
+
+/// `--shards N` / `--shards=N`: restrict the scale-out sweep to one shard
+/// count (the cell bytes are unchanged — per-cell seeds don't depend on
+/// which grid rows run).
+fn shards_from_args() -> Option<u32> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<u32>().ok()) {
+                return Some(n.max(1));
+            }
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            if let Ok(n) = v.parse::<u32>() {
+                return Some(n.max(1));
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let jobs = exec::jobs_from_args();
+
+    // The scale-out grid.
+    let mut spec = sharded::ShardedSweepSpec::scaleout(fidelity);
+    if let Some(n) = shards_from_args() {
+        spec.shards = vec![n];
+    }
+    let opts = sweep::SweepOptions::with_progress(jobs, "[fig2_sharded] ");
+    let r = sharded::run_sharded_sweep(&spec, &opts);
+    println!("{}", r.throughput.render());
+    println!("{}", r.latency_p95.render());
+    amdb_experiments::write_results_csv("fig2", "sharded", &r.throughput);
+    amdb_experiments::write_results_csv("fig2", "sharded_p95", &r.latency_p95);
+
+    // The cross-shard read ablation: same trees and user streams per arm
+    // (cell seeds exclude the fraction); only the scattered fraction moves.
+    let fractions = sharded::ShardedSweepSpec::ablation_fractions();
+    let mut arms = Vec::with_capacity(fractions.len());
+    for &cross in &fractions {
+        let spec = sharded::ShardedSweepSpec::cross_ablation(fidelity, cross);
+        let opts = sweep::SweepOptions::with_progress(jobs, "[fig2_sharded ablation] ");
+        arms.push((cross, sharded::run_sharded_sweep(&spec, &opts)));
+    }
+
+    // One combined table: rows = users, cols = cross fractions.
+    let users = sharded::ShardedSweepSpec::cross_ablation(fidelity, 0.0).users;
+    let shards = sharded::ShardedSweepSpec::cross_ablation(fidelity, 0.0).shards[0];
+    let mut header = vec!["users".to_string()];
+    for &cross in &fractions {
+        header.push(format!("cross {}%", (cross * 100.0).round() as u32));
+    }
+    let mut tput = Table::new(
+        format!("fig2_sharded — throughput vs cross-shard read fraction ({shards} shards, ops/s)"),
+        header.clone(),
+    );
+    let mut p95 = Table::new(
+        format!("fig2_sharded — p95 latency vs cross-shard read fraction ({shards} shards, ms)"),
+        header,
+    );
+    for (ui, &u) in users.iter().enumerate() {
+        let t_cells: Vec<Option<f64>> = arms
+            .iter()
+            .map(|(_, r)| Some(r.reports[0][ui].throughput_ops_s))
+            .collect();
+        tput.push_float_row(u.to_string(), &t_cells, 1);
+        let l_cells: Vec<Option<f64>> = arms
+            .iter()
+            .map(|(_, r)| r.reports[0][ui].latency_ms.as_ref().map(|s| s.p95))
+            .collect();
+        p95.push_float_row(u.to_string(), &l_cells, 1);
+    }
+    println!("{}", tput.render());
+    println!("{}", p95.render());
+    amdb_experiments::write_results_csv("fig2_sharded", "cross_ablation", &tput);
+    amdb_experiments::write_results_csv("fig2_sharded", "cross_ablation_p95", &p95);
+
+    // Scatter accounting per arm (stderr: diagnostic, not part of the
+    // deterministic stdout contract is unnecessary — it is deterministic).
+    for (cross, r) in &arms {
+        let (reads, legs, filtered) = r.reports[0].iter().fold((0, 0, 0), |acc, rep| {
+            (
+                acc.0 + rep.scatter_reads,
+                acc.1 + rep.scatter_legs,
+                acc.2 + rep.scatter_filtered_legs,
+            )
+        });
+        println!(
+            "ablation cross={:.0}%: {reads} scattered reads, {legs} legs, {filtered} filtered",
+            cross * 100.0
+        );
+    }
+}

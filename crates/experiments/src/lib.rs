@@ -15,6 +15,7 @@
 //! | [`extensions`] | E-F failover, E-A staleness-SLO autoscaling |
 //! | [`consistency`] | E-C throughput vs staleness bound (amdb-consistency) |
 //! | [`parallel_apply`] | E-PA staleness vs apply workers (amdb-apply) |
+//! | [`sharded`] | fig2_sharded scale-out past the single-master ceiling (amdb-shard) |
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
 //! | [`obs_slo`] | online SLO/alert sweep with delay-surge attribution |
@@ -31,6 +32,7 @@ pub mod obs_slo;
 pub mod parallel_apply;
 pub mod perfvar;
 pub mod rtt;
+pub mod sharded;
 pub mod sweep;
 
 /// Write a results table as CSV under `results/` (best-effort: failures to

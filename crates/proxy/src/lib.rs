@@ -72,6 +72,17 @@ pub struct RoundRobin {
     next: usize,
 }
 
+impl RoundRobin {
+    /// Round-robin whose first pick starts at `cursor` (modulo the slave
+    /// count at pick time). A sharded front instantiates one proxy per
+    /// replication tree; identical cursors would make every tree's first
+    /// pick — and every scatter-gather fan-out's legs — herd onto the same
+    /// slave index across shards, so each tree staggers its cursor.
+    pub fn starting_at(cursor: usize) -> Self {
+        Self { next: cursor }
+    }
+}
+
 impl Balancer for RoundRobin {
     fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
         if slaves.is_empty() {
@@ -165,6 +176,15 @@ pub struct LeastOutstanding {
     next: usize,
 }
 
+impl LeastOutstanding {
+    /// Policy whose rotating tie-break cursor starts at `cursor` (see
+    /// [`RoundRobin::starting_at`]): at cold start all slaves are an exact
+    /// tie, so the cursor alone decides the first pick.
+    pub fn starting_at(cursor: usize) -> Self {
+        Self { next: cursor }
+    }
+}
+
 impl Balancer for LeastOutstanding {
     fn pick(&mut self, slaves: &[SlaveStatus]) -> Option<usize> {
         pick_min_rotating(slaves, &mut self.next, |s| s.outstanding)
@@ -183,6 +203,14 @@ impl Balancer for LeastOutstanding {
 #[derive(Debug, Default)]
 pub struct LatencyAware {
     next: usize,
+}
+
+impl LatencyAware {
+    /// Policy whose rotating tie-break cursor starts at `cursor` (see
+    /// [`RoundRobin::starting_at`]).
+    pub fn starting_at(cursor: usize) -> Self {
+        Self { next: cursor }
+    }
 }
 
 impl Balancer for LatencyAware {
@@ -607,6 +635,55 @@ mod tests {
         p.read_done(0, 10.0);
         let e = p.slave_status(0).ewma_latency_ms;
         assert!((e - 2.0).abs() < 1e-12, "smoothed from 0.0, got {e}");
+    }
+
+    /// Regression (shard fan-out herding): N proxies with default-cursor
+    /// balancers all make the *same* first pick, so a scatter-gather read
+    /// fanned out across N shard trees lands every leg on slave index 0 of
+    /// its tree — the same class of bug as the old `min_by` slave-0 bias,
+    /// one level up. Staggered cursors must spread the cold-start picks.
+    #[test]
+    fn staggered_cursors_decorrelate_first_picks_across_proxies() {
+        fn make(kind: usize, cursor: usize) -> Box<dyn Balancer> {
+            match kind {
+                0 => Box::new(RoundRobin::starting_at(cursor)),
+                1 => Box::new(LeastOutstanding::starting_at(cursor)),
+                _ => Box::new(LatencyAware::starting_at(cursor)),
+            }
+        }
+        for kind in 0..3 {
+            let n_shards = 4;
+            let n_slaves = 4;
+            let mut first_picks = Vec::new();
+            for shard in 0..n_shards {
+                let mut p = Proxy::new(n_slaves, make(kind, shard));
+                let Route::Slave(i) = p.route(OpClass::Read) else {
+                    panic!("live slaves exist")
+                };
+                first_picks.push(i);
+            }
+            // Each tree's first (cold-start, all-tied) pick differs.
+            let distinct: std::collections::BTreeSet<usize> = first_picks.iter().copied().collect();
+            assert_eq!(
+                distinct.len(),
+                n_shards,
+                "cold-start picks herd: {first_picks:?}"
+            );
+        }
+    }
+
+    /// The cursor is taken modulo the slave count, so shard counts larger
+    /// than the slave count wrap instead of panicking or pinning.
+    #[test]
+    fn starting_cursor_wraps_past_slave_count() {
+        let mut p = Proxy::new(2, Box::new(RoundRobin::starting_at(7)));
+        assert_eq!(p.route(OpClass::Read), Route::Slave(1));
+        assert_eq!(p.route(OpClass::Read), Route::Slave(0));
+        let mut p = Proxy::new(2, Box::new(LeastOutstanding::starting_at(5)));
+        let Route::Slave(i) = p.route(OpClass::Read) else {
+            panic!()
+        };
+        assert_eq!(i, 1, "cursor 5 over 2 slaves starts at 1");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The scatter-gather merge buffer: per-leg consistency filtering and a
+//! deterministic ordered merge of partial results.
+
+use amdb_consistency::ConsistencyPolicy;
+
+/// One shard's partial result for a scattered read.
+#[derive(Debug, Clone)]
+struct Leg<T> {
+    staleness_ms: f64,
+    rows: Vec<T>,
+}
+
+/// Collects the partial results of one scattered read, one leg per shard.
+///
+/// Legs arrive in any order (trees complete independently); each is judged
+/// against the gather's [`ConsistencyPolicy`] — under
+/// `BoundedStaleness { max_ms }`, a leg whose serving replica was more than
+/// `max_ms` stale is *filtered*: its rows are dropped from the merge and it
+/// counts toward [`Gather::filtered_legs`]. Filtering never blocks
+/// completion — a scattered read finishes when every leg has reported,
+/// fresh or not (the front has no per-leg retry protocol; see DESIGN.md
+/// §14).
+///
+/// [`Gather::merge_by`] returns the surviving rows in deterministic order:
+/// sorted by the caller's key, ties broken by (shard, arrival position
+/// within the leg) — a stable k-way merge independent of leg arrival order.
+#[derive(Debug)]
+pub struct Gather<T> {
+    policy: ConsistencyPolicy,
+    legs: Vec<Option<Leg<T>>>,
+    arrived: usize,
+    filtered: u32,
+}
+
+impl<T> Gather<T> {
+    /// A gather expecting one leg per shard in `[0, fanout)`.
+    pub fn new(fanout: usize, policy: ConsistencyPolicy) -> Self {
+        assert!(fanout > 0, "a gather needs at least one leg");
+        Self {
+            policy,
+            legs: (0..fanout).map(|_| None).collect(),
+            arrived: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Record shard `shard`'s partial result, served at `staleness_ms`
+    /// behind the master. Returns `true` when this was the last outstanding
+    /// leg. Panics on a duplicate or out-of-range leg — each shard reports
+    /// exactly once.
+    pub fn offer(&mut self, shard: usize, staleness_ms: f64, rows: Vec<T>) -> bool {
+        let slot = &mut self.legs[shard];
+        assert!(slot.is_none(), "shard {shard} reported twice");
+        let keep = match self.policy {
+            ConsistencyPolicy::BoundedStaleness { max_ms } => staleness_ms <= max_ms,
+            _ => true,
+        };
+        *slot = Some(Leg {
+            staleness_ms,
+            rows: if keep { rows } else { Vec::new() },
+        });
+        if !keep {
+            self.filtered += 1;
+        }
+        self.arrived += 1;
+        self.arrived == self.legs.len()
+    }
+
+    /// Whether every leg has reported.
+    pub fn is_complete(&self) -> bool {
+        self.arrived == self.legs.len()
+    }
+
+    /// Legs dropped by the consistency filter so far.
+    pub fn filtered_legs(&self) -> u32 {
+        self.filtered
+    }
+
+    /// The worst (largest) staleness among arrived legs, filtered or not.
+    pub fn max_staleness_ms(&self) -> f64 {
+        self.legs
+            .iter()
+            .flatten()
+            .map(|l| l.staleness_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Consume the gather and return the surviving rows ordered by `key`,
+    /// ties broken by (shard index, position within the leg). Requires
+    /// completion — merging a partial gather is a protocol bug.
+    pub fn merge_by<K: Ord>(self, key: impl Fn(&T) -> K) -> Vec<T> {
+        assert!(self.is_complete(), "merge before all legs arrived");
+        let mut tagged: Vec<(K, usize, usize, T)> = Vec::new();
+        for (shard, leg) in self.legs.into_iter().enumerate() {
+            let leg = leg.expect("complete gather has every leg");
+            for (pos, row) in leg.rows.into_iter().enumerate() {
+                tagged.push((key(&row), shard, pos, row));
+            }
+        }
+        tagged.sort_by(|a, b| (&a.0, a.1, a.2).cmp(&(&b.0, b.1, b.2)));
+        tagged.into_iter().map(|(_, _, _, row)| row).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_key_with_shard_tiebreak() {
+        let mut g = Gather::new(3, ConsistencyPolicy::Eventual);
+        // Legs arrive out of shard order; equal keys must still merge in
+        // shard order, preserving within-leg positions.
+        assert!(!g.offer(2, 0.0, vec![(5, "c0"), (9, "c1")]));
+        assert!(!g.offer(0, 0.0, vec![(5, "a0"), (7, "a1")]));
+        assert!(g.offer(1, 0.0, vec![(5, "b0")]));
+        let merged = g.merge_by(|r| r.0);
+        let tags: Vec<&str> = merged.iter().map(|r| r.1).collect();
+        assert_eq!(tags, ["a0", "b0", "c0", "a1", "c1"]);
+    }
+
+    #[test]
+    fn bounded_staleness_filters_stale_legs() {
+        let mut g = Gather::new(2, ConsistencyPolicy::BoundedStaleness { max_ms: 100.0 });
+        g.offer(0, 50.0, vec![1, 2]);
+        assert!(g.offer(1, 250.0, vec![3, 4]));
+        assert_eq!(g.filtered_legs(), 1);
+        assert_eq!(g.max_staleness_ms(), 250.0);
+        assert_eq!(g.merge_by(|&v| v), vec![1, 2]);
+    }
+
+    #[test]
+    fn eventual_keeps_every_leg() {
+        let mut g = Gather::new(2, ConsistencyPolicy::Eventual);
+        g.offer(1, 1e6, vec![9]);
+        g.offer(0, 0.0, vec![1]);
+        assert_eq!(g.filtered_legs(), 0);
+        assert_eq!(g.merge_by(|&v| v), vec![1, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reported twice")]
+    fn duplicate_leg_panics() {
+        let mut g: Gather<u8> = Gather::new(2, ConsistencyPolicy::Eventual);
+        g.offer(0, 0.0, vec![]);
+        g.offer(0, 0.0, vec![]);
+    }
+}
