@@ -80,6 +80,21 @@ for csv in fig2_sharded.csv fig2_sharded_p95.csv \
   cmp "$SMOKE/sh_j1/results/$csv" "$SMOKE/sh_j2/results/$csv" \
     || { echo "$csv differs between --jobs 1 and --jobs 2"; exit 1; }
 done
+# fleet_report (the fleet observability plane): per-shard top tables, the
+# fleet alert timeline, and the OpenMetrics dump must all be byte-identical
+# for any jobs count.
+mkdir -p "$SMOKE/fl_j1" "$SMOKE/fl_j2"
+(cd "$SMOKE/fl_j1" && "$BIN/fleet_report" --jobs 1 >fleet.out 2>/dev/null)
+(cd "$SMOKE/fl_j2" && "$BIN/fleet_report" --jobs 2 >fleet.out 2>/dev/null)
+cmp "$SMOKE/fl_j1/fleet.out" "$SMOKE/fl_j2/fleet.out" \
+  || { echo "fleet_report output differs between --jobs 1 and --jobs 2"; exit 1; }
+for art in fleet_report.csv fleet_alerts.csv fleet_metrics.prom; do
+  cmp "$SMOKE/fl_j1/results/$art" "$SMOKE/fl_j2/results/$art" \
+    || { echo "$art differs between --jobs 1 and --jobs 2"; exit 1; }
+done
+# The exposition dump must be well-formed OpenMetrics text: ends in # EOF.
+tail -n 1 "$SMOKE/fl_j1/results/fleet_metrics.prom" | grep -qx '# EOF' \
+  || { echo "fleet_metrics.prom does not end with # EOF"; exit 1; }
 
 echo "== bench_sweep: serial vs parallel wall-clock =="
 (cd "$SMOKE" && "$BIN/bench_sweep" --jobs 2 >/dev/null)
@@ -202,6 +217,36 @@ print(f"bench_sharded ok: {b['shards1']['current_s']:.2f}s at 1 shard vs "
       f"({b['tree_overhead_x']:.2f}x tree overhead)")
 EOF
 
+echo "== bench_obs: disabled probes + tsdb-on telemetry overhead =="
+# bench_obs asserts the two cost contracts of the observability plane:
+# disabled probes compile to a discriminant test (sub-ns each) and the
+# attached time-series store keeps the telemetry quick grid within 5%
+# while producing bit-identical run results.
+(cd "$SMOKE" && "$BIN/bench_obs" >/dev/null 2>&1)
+[ -s "$SMOKE/BENCH_obs.json" ] || { echo "BENCH_obs.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_obs.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("bench", "host_cores", "disabled_probe_ns", "tsdb_off", "tsdb_on",
+            "tsdb_overhead_x"):
+    if key not in b:
+        sys.exit(f"BENCH_obs.json missing key: {key}")
+for grid in ("tsdb_off", "tsdb_on"):
+    for key in ("current_s", "fingerprint"):
+        if key not in b[grid]:
+            sys.exit(f"BENCH_obs.json missing key: {grid}.{key}")
+if b["disabled_probe_ns"] >= 4.0:
+    sys.exit(f"BENCH_obs.json: disabled probe volley {b['disabled_probe_ns']:.3f} ns "
+             "(4 probes must stay sub-ns each)")
+if b["tsdb_off"]["fingerprint"] != b["tsdb_on"]["fingerprint"]:
+    sys.exit("BENCH_obs.json: attaching the tsdb changed run results")
+if b["tsdb_overhead_x"] > 1.05:
+    sys.exit(f"BENCH_obs.json: tsdb overhead {b['tsdb_overhead_x']:.3f}x > 1.05x budget")
+print(f"bench_obs ok: {b['disabled_probe_ns']:.3f} ns disabled volley, "
+      f"tsdb {b['tsdb_overhead_x']:.3f}x on the telemetry quick grid")
+EOF
+
 echo "== heartbeat regression: row-format delay reads the apply stamp =="
 # Pinned regression for the row-format heartbeat bug (shipped master
 # timestamps measured zero delay); must stay green in isolation.
@@ -235,10 +280,11 @@ for art in obs_trace.json obs_series.csv; do
   fi
 done
 
-echo "== micro-bench contract: disabled telemetry probe stays sub-ns =="
-# micro_substrates carries an explicit 50M-iteration loop that asserts the
-# disabled-path probe costs < 1 ns; a regression panics the bench.
-cargo bench --offline -p amdb-bench --bench micro_substrates | tail -n 4
+echo "== micro-bench contract: disabled telemetry + tsdb probes stay sub-ns =="
+# micro_substrates carries explicit 50M-iteration loops that assert the
+# disabled-path flow probe and tsdb probe each cost < 1 ns; a regression
+# panics the bench.
+cargo bench --offline -p amdb-bench --bench micro_substrates | tail -n 5
 
 echo "== micro-bench: apply scheduler dispatch vs serial pop =="
 cargo bench --offline -p amdb-bench --bench micro_apply | tail -n 5

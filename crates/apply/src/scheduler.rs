@@ -27,6 +27,35 @@ use amdb_sql::{BinlogEvent, Lsn};
 
 use crate::writeset::{writeset_of, TableInterner, Writeset};
 
+/// Why the planner closed a batch where it did — the per-batch
+/// attribution the apply tracing pipeline records, separating "the queue
+/// ran dry" from the two real parallelism limits (writeset conflicts and
+/// worker capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchBound {
+    /// The relay queue ran out before any limit was hit.
+    Drained,
+    /// A writeset conflict with the next queued event closed the batch.
+    Conflict,
+    /// The batch filled every worker while more events were waiting.
+    Capacity,
+    /// The batch is a lone serial barrier event (statement/DDL or a
+    /// keyless-table change).
+    Barrier,
+}
+
+impl BatchBound {
+    /// Stable lowercase label for metrics and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BatchBound::Drained => "drained",
+            BatchBound::Conflict => "conflict",
+            BatchBound::Capacity => "capacity",
+            BatchBound::Barrier => "barrier",
+        }
+    }
+}
+
 /// One planned apply batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ApplyPlan {
@@ -35,6 +64,8 @@ pub struct ApplyPlan {
     /// True when the batch is a lone barrier event (statement/DDL or a
     /// keyless-table change) that must apply serially.
     pub barrier: bool,
+    /// What closed the batch.
+    pub bound: BatchBound,
 }
 
 /// Cumulative planning counters, for reports and benches.
@@ -119,6 +150,7 @@ impl ApplyScheduler {
             return ApplyPlan {
                 len: 0,
                 barrier: false,
+                bound: BatchBound::Drained,
             };
         };
         let first_ws = writeset_of(first, &mut self.interner, &pk_of);
@@ -130,6 +162,7 @@ impl ApplyScheduler {
             return ApplyPlan {
                 len: 1,
                 barrier: true,
+                bound: BatchBound::Barrier,
             };
         }
 
@@ -155,14 +188,19 @@ impl ApplyScheduler {
         self.stats.batches += 1;
         self.stats.events += len as u64;
         self.stats.largest_batch = self.stats.largest_batch.max(len as u64);
-        if bounded_by_conflict {
+        let bound = if bounded_by_conflict {
             self.stats.conflict_bounded += 1;
+            BatchBound::Conflict
         } else if len >= self.workers && saw_more {
             self.stats.capacity_bounded += 1;
-        }
+            BatchBound::Capacity
+        } else {
+            BatchBound::Drained
+        };
         ApplyPlan {
             len,
             barrier: false,
+            bound,
         }
     }
 }
@@ -239,7 +277,8 @@ mod tests {
             plan,
             ApplyPlan {
                 len: 0,
-                barrier: false
+                barrier: false,
+                bound: BatchBound::Drained,
             }
         );
         assert_eq!(s.stats().batches, 0);
@@ -345,6 +384,33 @@ mod tests {
             assert_eq!(stats.events, 40);
             assert!(stats.largest_batch as usize <= workers);
         }
+    }
+
+    #[test]
+    fn plans_name_what_closed_the_batch() {
+        let mut s = ApplyScheduler::new(2);
+        let events = [
+            row_event(0, "t", 1),
+            row_event(1, "t", 2),
+            row_event(2, "t", 1),
+        ];
+        // Filled both workers with lsn 2 still waiting: capacity.
+        assert_eq!(s.plan_batch(events.iter(), pk0).bound, BatchBound::Capacity);
+        // Conflict with the in-flight pk closes the next batch.
+        let conflicted = [row_event(0, "t", 5), row_event(1, "t", 5)];
+        assert_eq!(
+            s.plan_batch(conflicted.iter(), pk0).bound,
+            BatchBound::Conflict
+        );
+        // Queue shorter than the worker count: drained.
+        assert_eq!(
+            s.plan_batch(events[..1].iter(), pk0).bound,
+            BatchBound::Drained
+        );
+        // Lone barrier event.
+        let ddl = [stmt_event(0, "CREATE INDEX i ON t (v)")];
+        assert_eq!(s.plan_batch(ddl.iter(), pk0).bound, BatchBound::Barrier);
+        assert_eq!(BatchBound::Conflict.as_str(), "conflict");
     }
 
     #[test]

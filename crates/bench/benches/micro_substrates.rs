@@ -125,6 +125,18 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The time-series plane shares the contract: a disabled tsdb probe is
+    // the same single discriminant test.
+    c.bench_function("obs/tsdb_observe_disabled_null", |b| {
+        let mut obs = Obs::default();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(3);
+            obs.tsdb_observe(Component::Repl, 0, "apply_batch_len", t, 4.0);
+            obs.is_enabled()
+        })
+    });
+
     // The harness above only prints its measurements, so the zero-cost
     // contract is asserted here explicitly: a disabled flow probe must
     // average under a nanosecond.
@@ -159,6 +171,38 @@ fn bench(c: &mut Criterion) {
         );
         println!(
             "telemetry/probe_disabled_null explicit loop    {per:.4} ns/probe (< 1 ns contract)"
+        );
+    }
+
+    // Same explicit sub-nanosecond assertion for the disabled tsdb probe.
+    {
+        use std::hint::black_box;
+        let mut obs = black_box(Obs::default());
+        const ITERS: u64 = 50_000_000;
+        let start = std::time::Instant::now();
+        for i in 0..ITERS {
+            black_box(i);
+        }
+        let base = start.elapsed();
+        let start = std::time::Instant::now();
+        for i in 0..ITERS {
+            obs.tsdb_observe(
+                Component::Repl,
+                0,
+                "apply_batch_len",
+                SimTime::from_micros(black_box(i)),
+                4.0,
+            );
+        }
+        let with_probe = start.elapsed();
+        black_box(&obs);
+        let per = with_probe.saturating_sub(base).as_nanos() as f64 / ITERS as f64;
+        assert!(
+            per < 1.0,
+            "disabled tsdb probe must be sub-nanosecond, measured {per:.3} ns"
+        );
+        println!(
+            "obs/tsdb_observe_disabled_null explicit loop   {per:.4} ns/probe (< 1 ns contract)"
         );
     }
 }

@@ -788,13 +788,13 @@ impl Cluster {
             let inst = i as u32;
             self.obs
                 .counter(Component::Cpu, inst, "queue_depth", now, depth as f64);
-            self.obs.counter(
-                Component::Cpu,
-                inst,
-                "utilization",
-                now,
-                node.inst.cpu.utilization(now),
-            );
+            let util = node.inst.cpu.utilization(now);
+            self.obs
+                .counter(Component::Cpu, inst, "utilization", now, util);
+            // Curated fleet-plane series: per-node utilization drives the
+            // fleet rollups, so it is opted into the time-series store.
+            self.obs
+                .tsdb_record(Component::Cpu, inst, "utilization", now, util);
         }
         self.obs
             .counter(Component::Pool, 0, "active", now, self.pool.active() as f64);
@@ -807,20 +807,16 @@ impl Cluster {
         );
         for s in 0..self.relays.len() {
             let inst = s as u32;
-            self.obs.counter(
-                Component::Repl,
-                inst,
-                "relay_depth",
-                now,
-                self.relays[s].backlog() as f64,
-            );
-            self.obs.counter(
-                Component::Repl,
-                inst,
-                "staleness_ms",
-                now,
-                self.observed_staleness_ms(s),
-            );
+            let depth = self.relays[s].backlog() as f64;
+            self.obs
+                .counter(Component::Repl, inst, "relay_depth", now, depth);
+            self.obs
+                .tsdb_record(Component::Repl, inst, "relay_depth", now, depth);
+            let stale = self.observed_staleness_ms(s);
+            self.obs
+                .counter(Component::Repl, inst, "staleness_ms", now, stale);
+            self.obs
+                .tsdb_record(Component::Repl, inst, "staleness_ms", now, stale);
             self.obs.counter(
                 Component::Proxy,
                 inst,
@@ -828,6 +824,16 @@ impl Cluster {
                 now,
                 self.proxy.slave_status(s).outstanding as f64,
             );
+            // Head-of-queue relay age: how stale is the work this slave has
+            // not even started, in master wall-clock terms.
+            if let Some(ts) = self.relays[s].oldest_commit_ts_micros() {
+                let now_wall = self.nodes[0].inst.clock.read(now).0;
+                let age_ms = (now_wall - ts).max(0) as f64 / 1000.0;
+                self.obs
+                    .counter(Component::Repl, inst, "relay_age_ms", now, age_ms);
+                self.obs
+                    .tsdb_record(Component::Repl, inst, "relay_age_ms", now, age_ms);
+            }
         }
         self.telemetry_sample_tick(now);
         if now + interval <= self.phases.hard_end() {
@@ -937,12 +943,20 @@ impl Cluster {
         tl.prev_at = now;
         tl.prev_ops = ops;
         tl.prev_sla = sla_now;
+        let wf_evicted = tl.t.waterfall.evicted;
         // Alert onsets land in the trace as cluster-level instants.
         for a in &fired {
             if a.kind == AlertKind::Fire {
                 self.obs.instant(Component::Cluster, a.inst, a.rule, a.at);
             }
         }
+        // Cumulative FIFO-evicted waterfall traces: a flat-zero series means
+        // every staleness trace survived; any rise makes silent trace loss
+        // visible (and names when the fan-out outran the inflight cap).
+        self.obs
+            .counter(Component::Cluster, 0, "wf_evicted", now, wf_evicted as f64);
+        self.obs
+            .tsdb_record(Component::Cluster, 0, "wf_evicted", now, wf_evicted as f64);
     }
 
     fn ntp_tick(&mut self, sim: &mut dyn ClusterHost, interval: SimDuration) {
@@ -1261,15 +1275,15 @@ impl Cluster {
                 // Plan the group-commit batch: a contiguous prefix of at
                 // most `apply_workers` pairwise-non-conflicting events.
                 // Serial apply (workers == 1) bypasses the planner entirely.
-                let batch_len = if self.apply_workers > 1 {
+                let (batch_len, bound) = if self.apply_workers > 1 {
                     let engine = &self.nodes[node_idx].engine;
                     let relay = &self.relays[slave];
                     let plan = self
                         .sched
                         .plan_batch(relay.iter(), |t| engine.pk_index_of(t));
-                    plan.len
+                    (plan.len, Some(plan.bound))
                 } else {
-                    1
+                    (1, None)
                 };
                 let node = &mut self.nodes[node_idx];
                 let now_micros = node.inst.clock.read(now).0;
@@ -1316,6 +1330,85 @@ impl Cluster {
                         .span(Component::Repl, slave as u32, "apply", now, done);
                     let id = self.demand_sketch_id(node_idx, SK_APPLY, "demand_apply_us");
                     self.obs.observe_sketch_id(id, demand_us);
+                    if let Some(bound) = bound {
+                        // Parallel apply: decompose the batch into per-worker
+                        // spans (one per event, real per-event demand), name
+                        // what closed the batch, and measure each worker's
+                        // in-order-commit wait — the time its event sat done
+                        // but invisible while the batch's LSN-order commit
+                        // waited on the slowest sibling.
+                        let batch_id = self.stats.apply_batches;
+                        let slave_u = slave as u32;
+                        let bound_counter = match bound {
+                            amdb_apply::BatchBound::Drained => "apply_batch_drained",
+                            amdb_apply::BatchBound::Conflict => "apply_conflict_bounded",
+                            amdb_apply::BatchBound::Capacity => "apply_capacity_bounded",
+                            amdb_apply::BatchBound::Barrier => "apply_barrier",
+                        };
+                        self.obs.incr(Component::Repl, slave_u, bound_counter, 1);
+                        // Service start: `done` minus the batch demand (the
+                        // CPU may have queued the job behind earlier work).
+                        let start =
+                            SimTime::from_micros(done.as_micros() - demand_us.round() as u64);
+                        self.obs.flow(
+                            FlowPhase::Start,
+                            Component::Repl,
+                            slave_u,
+                            "apply_batch",
+                            start,
+                            batch_id,
+                        );
+                        for (w, res) in results.iter().enumerate() {
+                            let worker_inst = slave_u * 100 + w as u32;
+                            let ev_us = self.cost.apply_demand_us(res);
+                            let w_end =
+                                SimTime::from_micros(start.as_micros() + ev_us.round() as u64);
+                            self.obs.span(
+                                Component::Repl,
+                                worker_inst,
+                                "apply_worker",
+                                start,
+                                w_end,
+                            );
+                            self.obs.flow(
+                                FlowPhase::Step,
+                                Component::Repl,
+                                worker_inst,
+                                "apply_batch",
+                                w_end,
+                                batch_id,
+                            );
+                            let wait_ms = (done - w_end).as_millis_f64();
+                            self.obs.observe_sketch(
+                                Component::Repl,
+                                slave_u,
+                                "apply_commit_wait_ms",
+                                wait_ms,
+                            );
+                            self.obs.tsdb_observe(
+                                Component::Repl,
+                                worker_inst,
+                                "apply_worker_busy_us",
+                                done,
+                                ev_us,
+                            );
+                        }
+                        self.obs.flow(
+                            FlowPhase::End,
+                            Component::Repl,
+                            slave_u,
+                            "apply_batch",
+                            done,
+                            batch_id,
+                        );
+                        self.obs.tsdb_observe(
+                            Component::Repl,
+                            slave_u,
+                            "apply_batch_len",
+                            done,
+                            batch_len as f64,
+                        );
+                    }
                 }
                 sim.schedule_event_at(
                     done,

@@ -36,4 +36,7 @@ pub use config::{
     Placement, WorkloadKind,
 };
 pub use report::{ConsistencyReport, DelayReport, RunReport};
-pub use sharded::{run_sharded_cluster, run_sharded_with_template, ShardedConfig, ShardedReport};
+pub use sharded::{
+    run_sharded_cluster, run_sharded_observed, run_sharded_telemetry, run_sharded_with_template,
+    FleetObsBundle, ShardedConfig, ShardedReport,
+};

@@ -48,11 +48,12 @@ use amdb_cloudstone::{
 use amdb_consistency::ConsistencyPolicy;
 use amdb_metrics::Summary;
 use amdb_net::Zone;
-use amdb_obs::{Component, FlowPhase, Obs};
+use amdb_obs::{Component, FlowPhase, Obs, Tsdb};
 use amdb_pool::{Acquire, PoolConfig, SimPool, Ticket};
 use amdb_shard::{Gather, RangeOverride, ShardMap};
 use amdb_sim::{Event, Rng, Sim, SimDuration, SimTime};
 use amdb_sql::Engine;
+use amdb_telemetry::FleetTelemetry;
 use std::collections::HashMap;
 
 pub type ShardedSim = Sim<ShardedWorld, ShardedEvent>;
@@ -133,6 +134,12 @@ fn tree_config(cfg: &ShardedConfig, k: u32) -> ClusterConfig {
     c.workload.concurrent_users = 0;
     c.balancer_start = k as usize;
     c.seed = tree_seed(cfg, k);
+    // Stamp the tree's telemetry with its fleet coordinates: alerts fire as
+    // `(shard, component, instance)` and the waterfall's inflight cap
+    // scales with the fan-out (shards=1 leaves both at their standalone
+    // defaults — part of the identity contract).
+    c.telemetry.shard = k;
+    c.telemetry.shards = cfg.shards;
     if cfg.spread_masters && cfg.shards > 1 {
         let letters = ['a', 'b', 'c', 'd'];
         c.master_zone = Zone::new(cfg.base.master_zone.region, letters[k as usize % 4]);
@@ -422,14 +429,45 @@ impl ShardedWorld {
             .get_mut(&done.id)
             .expect("completion for an unknown op id");
         let leg_latency_ms = (now - fl.issued).as_millis_f64();
+        let issued = fl.issued;
         if done.routed_slave.is_none() {
             fl.all_slave = false;
         }
-        if let Some(g) = fl.gather.as_mut() {
-            g.offer(shard as usize, done.staleness_ms, Vec::new());
-        }
+        let scattered = if let Some(g) = fl.gather.as_mut() {
+            g.offer_at(
+                shard as usize,
+                done.staleness_ms,
+                Vec::new(),
+                now.as_micros(),
+            );
+            true
+        } else {
+            false
+        };
         fl.pending -= 1;
         let pending = fl.pending;
+        if scattered && self.front.obs.is_enabled() {
+            // One span per scatter leg, linked into the op's flow arrow:
+            // the waterfall shows which tree each leg ran on and how long
+            // the front waited on it.
+            self.front
+                .obs
+                .span(Component::Proxy, shard, "scatter_leg", issued, now);
+            self.front.obs.flow(
+                FlowPhase::Step,
+                Component::Proxy,
+                shard,
+                "scatter_gather",
+                now,
+                done.id,
+            );
+            self.front.obs.observe_sketch(
+                Component::Proxy,
+                shard,
+                "scatter_leg_ms",
+                leg_latency_ms,
+            );
+        }
         // Per-leg feedback into the serving tree's balancer, exactly as the
         // standalone respond path does before touching stats.
         if let Some(s) = done.routed_slave {
@@ -454,6 +492,23 @@ impl ShardedWorld {
                 now,
                 done.id,
             );
+            if self.front.obs.is_enabled() {
+                // Scatter-gather tax decomposition: name the leg the whole
+                // read waited on, and record slowest−fastest arrival — the
+                // latency the fan-out cost over a single-shard read.
+                if let Some((slowest, _)) = g.slowest_leg() {
+                    self.front
+                        .obs
+                        .incr(Component::Proxy, slowest as u32, "scatter_slowest", 1);
+                }
+                let tax_ms = g.leg_spread_us() as f64 / 1000.0;
+                self.front
+                    .obs
+                    .observe_sketch(Component::Proxy, 0, "scatter_tax_ms", tax_ms);
+                self.front
+                    .obs
+                    .tsdb_observe(Component::Proxy, 0, "scatter_tax_ms", now, tax_ms);
+            }
         }
         let latency_ms = (now - fl.issued).as_millis_f64();
         if self.front.phases.in_steady(now) {
@@ -488,6 +543,35 @@ impl ShardedWorld {
                 .exp(self.front.think_time.as_secs_f64()),
         );
         sim.schedule_event_at(now + think, ShardedEvent::UserNextOp { user: fl.user });
+    }
+
+    /// Detach every observability artifact of the run into one fleet
+    /// bundle: per-tree recorders and time-series stores, the front's
+    /// recorder, and the per-shard telemetry rollup. Call after the
+    /// simulation has drained (and after [`Self::report`]).
+    fn take_fleet_obs(&mut self) -> FleetObsBundle {
+        let mut telemetry = FleetTelemetry::new();
+        let mut tsdbs = Vec::new();
+        let mut trees = Vec::with_capacity(self.trees.len());
+        for (k, tree) in self.trees.iter_mut().enumerate() {
+            if let Some(t) = tree.take_telemetry() {
+                telemetry.absorb(k as u32, t);
+            }
+            let mut o = tree.take_obs();
+            if let Some(db) = o.take_tsdb() {
+                tsdbs.push((k as u32, db));
+            }
+            trees.push(o);
+        }
+        let mut front = std::mem::take(&mut self.front.obs);
+        let front_tsdb = front.take_tsdb();
+        FleetObsBundle {
+            front,
+            trees,
+            tsdbs,
+            front_tsdb,
+            telemetry,
+        }
     }
 
     /// Assemble the sharded report (after the simulation has drained).
@@ -580,6 +664,54 @@ impl ShardedReport {
     }
 }
 
+/// Every observability artifact of one sharded run, detached from the
+/// (dropped) world: the scatter-gather front's recorder, one recorder per
+/// tree, the per-tree time-series stores, and the fleet telemetry rollup.
+pub struct FleetObsBundle {
+    /// The front's recorder: scatter-gather flows/spans, per-leg latency
+    /// sketches, slowest-shard counters, and the front pool metrics.
+    pub front: Obs,
+    /// Per-tree recorders in shard order (registry + trace events; their
+    /// time-series stores are detached into [`Self::tsdbs`]).
+    pub trees: Vec<Obs>,
+    /// Per-tree time-series stores `(shard, store)` — per-shard series.
+    pub tsdbs: Vec<(u32, Tsdb)>,
+    /// The front recorder's own store (scatter-tax series), when attached.
+    pub front_tsdb: Option<Tsdb>,
+    /// Per-shard telemetry bundles (waterfalls + SLO engines) rolled into
+    /// the fleet view; empty when telemetry was off.
+    pub telemetry: FleetTelemetry,
+}
+
+impl FleetObsBundle {
+    /// The fleet-wide rollup store: every per-shard store merged with the
+    /// front's. Colliding `(component, instance, metric)` tracks fold —
+    /// sketch cells merge, value cells pool their sums — so each track
+    /// reads as the fleet aggregate of that metric per interval.
+    pub fn fleet_tsdb(&self) -> Option<Tsdb> {
+        let mut acc: Option<Tsdb> = None;
+        for db in self
+            .tsdbs
+            .iter()
+            .map(|(_, db)| db)
+            .chain(self.front_tsdb.iter())
+        {
+            match acc.as_mut() {
+                Some(a) => a.merge(db),
+                None => acc = Some(db.clone()),
+            }
+        }
+        acc
+    }
+
+    /// Shard `k`'s detached time-series store, if any.
+    pub fn shard_tsdb(&self, k: u32) -> Option<&Tsdb> {
+        self.tsdbs
+            .iter()
+            .find_map(|(s, db)| (*s == k).then_some(db))
+    }
+}
+
 /// Execute one sharded run for `cfg` and return its report.
 pub fn run_sharded_cluster(cfg: ShardedConfig) -> ShardedReport {
     let root = Rng::new(cfg.base.seed);
@@ -601,6 +733,37 @@ pub fn run_sharded_with_template(
     sim.run(&mut world);
     let events = sim.events_executed();
     world.report(events)
+}
+
+/// Like [`run_sharded_cluster`], but with observability forced on: returns
+/// the report plus the detached [`FleetObsBundle`] (recorders + per-shard
+/// time-series stores).
+pub fn run_sharded_observed(mut cfg: ShardedConfig) -> (ShardedReport, FleetObsBundle) {
+    cfg.base.obs.enabled = true;
+    run_sharded_collected(cfg)
+}
+
+/// Like [`run_sharded_observed`], but with telemetry enabled on every tree
+/// too: each tree runs its own waterfall + shard-stamped SLO engine, rolled
+/// into the bundle's [`FleetTelemetry`].
+pub fn run_sharded_telemetry(mut cfg: ShardedConfig) -> (ShardedReport, FleetObsBundle) {
+    cfg.base.obs.enabled = true;
+    cfg.base.telemetry.enabled = true;
+    run_sharded_collected(cfg)
+}
+
+fn run_sharded_collected(cfg: ShardedConfig) -> (ShardedReport, FleetObsBundle) {
+    let root = Rng::new(cfg.base.seed);
+    let mut load_rng = root.derive("load");
+    let (template, counters) = build_template(cfg.base.data_size, &mut load_rng);
+    let mut sim: ShardedSim = Sim::new();
+    let mut world = ShardedWorld::new(&cfg, &template, counters);
+    world.schedule_timeline(&mut sim);
+    sim.run(&mut world);
+    let events = sim.events_executed();
+    let report = world.report(events);
+    let bundle = world.take_fleet_obs();
+    (report, bundle)
 }
 
 #[cfg(test)]

@@ -11,32 +11,15 @@
 use amdb_experiments::{exec, sharded, sweep, Fidelity};
 use amdb_metrics::Table;
 
-/// `--shards N` / `--shards=N`: restrict the scale-out sweep to one shard
-/// count (the cell bytes are unchanged — per-cell seeds don't depend on
-/// which grid rows run).
-fn shards_from_args() -> Option<u32> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--shards" {
-            if let Some(n) = args.next().and_then(|v| v.parse::<u32>().ok()) {
-                return Some(n.max(1));
-            }
-        } else if let Some(v) = a.strip_prefix("--shards=") {
-            if let Ok(n) = v.parse::<u32>() {
-                return Some(n.max(1));
-            }
-        }
-    }
-    None
-}
-
 fn main() {
     let fidelity = Fidelity::from_args();
     let jobs = exec::jobs_from_args();
 
-    // The scale-out grid.
+    // The scale-out grid. `--shards N` restricts it to one shard count
+    // (cell bytes are unchanged — per-cell seeds don't depend on which
+    // grid rows run).
     let mut spec = sharded::ShardedSweepSpec::scaleout(fidelity);
-    if let Some(n) = shards_from_args() {
+    if let Some(n) = exec::shards_from_args() {
         spec.shards = vec![n];
     }
     let opts = sweep::SweepOptions::with_progress(jobs, "[fig2_sharded] ");

@@ -1,0 +1,52 @@
+//! fleet_report: the fleet observability plane end to end — sharded runs
+//! (4 trees, 4 apply workers per slave, row-format binlog, 20% scattered
+//! reads) rendered as per-shard "top" tables, the fleet alert timeline,
+//! and an OpenMetrics exposition dump.
+//!
+//! Usage: `cargo run --release -p amdb-experiments --bin fleet_report --
+//! [--full] [--jobs N] [--shards N]`
+//!
+//! Writes `results/fleet_report.csv` (all cells' top rows),
+//! `results/fleet_alerts.csv` (the fleet alert timeline of the last cell),
+//! and `results/fleet_metrics.prom` (the last cell's OpenMetrics dump, one
+//! labeled part per shard plus the front). Stdout and every artifact are
+//! byte-identical for any `--jobs` count.
+
+use amdb_experiments::sweep::SweepOptions;
+use amdb_experiments::{exec, fleet, write_results_csv, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let jobs = exec::jobs_from_args();
+    let mut spec = fleet::FleetSpec::paper_set(fidelity);
+    if let Some(n) = exec::shards_from_args() {
+        spec.shards = n;
+    }
+    let cells = fleet::run(&spec, &SweepOptions::with_progress(jobs, "[fleet_report] "));
+
+    for cell in &cells {
+        println!("{}", fleet::top_table(&spec, cell).render());
+    }
+    write_results_csv("fleet", "report", &fleet::combined_table(&spec, &cells));
+
+    let last = cells.last().expect("the grid has at least one cell");
+    let alerts = last.bundle.telemetry.alert_table();
+    println!("{}", alerts.render());
+    write_results_csv("fleet", "alerts", &alerts);
+
+    if let Some(db) = last.bundle.fleet_tsdb() {
+        println!(
+            "fleet tsdb: {} tracks, {} slot(s) evicted, ~{} KiB",
+            db.len(),
+            db.total_evicted(),
+            db.state_bytes() / 1024
+        );
+    }
+
+    let dump = fleet::openmetrics_dump(last);
+    let path = std::path::Path::new("results").join("fleet_metrics.prom");
+    match std::fs::write(&path, &dump) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), dump.len()),
+        Err(e) => eprintln!("{}: {e}", path.display()),
+    }
+}

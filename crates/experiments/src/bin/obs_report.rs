@@ -3,10 +3,59 @@
 //! cell as Chrome-trace JSON (`results/obs_trace.json` — open it in
 //! `chrome://tracing` or Perfetto) plus the sampled time series as CSV.
 //!
-//! Usage: `cargo run --release -p amdb-experiments --bin obs_report [--full]`
+//! Usage: `cargo run --release -p amdb-experiments --bin obs_report
+//! [--full] [--shards N]`. With `--shards N` (N > 1) each cell runs behind
+//! an N-tree sharded front: per-shard bottlenecks, the fleet time-series
+//! rollup (`results/obs_series_shardsN.csv`), and the front's
+//! scatter-gather trace (`results/obs_trace_shardsN.json`).
 
-use amdb_experiments::obs_report::run_observed_cell;
-use amdb_experiments::Fidelity;
+use amdb_experiments::obs_report::{run_observed_cell, run_observed_sharded_cell};
+use amdb_experiments::{exec, Fidelity};
+
+fn sharded_main(shards: u32, users: u32, slave_counts: &[usize], dir: &std::path::Path) {
+    let mut last = None;
+    for &slaves in slave_counts {
+        eprintln!("obs_report: running shards={shards} slaves={slaves} users={users} ...");
+        let (report, bundle) = run_observed_sharded_cell(shards, slaves, users, 42);
+        println!(
+            "== {shards} shards × {slaves} slave{}, {} users ({:.1} ops/s steady) ==",
+            if slaves == 1 { "" } else { "s" },
+            users,
+            report.throughput_ops_s
+        );
+        for (k, label) in report.per_shard_bottleneck.iter().enumerate() {
+            println!("  shard {k}: bottleneck {label}");
+        }
+        println!(
+            "  cluster-wide: {} ({} scatter reads, {} legs)",
+            report.busiest_shard_label(),
+            report.scatter_reads,
+            report.scatter_legs
+        );
+        println!();
+        last = Some(bundle);
+    }
+    let bundle = last.expect("at least one cell ran");
+    if let Some(fleet) = bundle.fleet_tsdb() {
+        let path = dir.join(format!("obs_series_shards{shards}.csv"));
+        let csv = fleet.csv();
+        match std::fs::write(&path, &csv) {
+            Ok(()) => println!("wrote {} ({} bytes)", path.display(), csv.len()),
+            Err(e) => eprintln!("{}: {e}", path.display()),
+        }
+    }
+    if let Some(json) = bundle.front.chrome_trace() {
+        let path = dir.join(format!("obs_trace_shards{shards}.json"));
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!(
+                "wrote {} ({} bytes) — load in chrome://tracing or Perfetto",
+                path.display(),
+                json.len()
+            ),
+            Err(e) => eprintln!("{}: {e}", path.display()),
+        }
+    }
+}
 
 fn main() {
     let fidelity = Fidelity::from_args();
@@ -18,6 +67,11 @@ fn main() {
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("results/: {e}");
+    }
+
+    if let Some(shards) = exec::shards_from_args().filter(|&n| n > 1) {
+        sharded_main(shards, users, &slave_counts, dir);
+        return;
     }
 
     let mut last = None;

@@ -3,8 +3,11 @@
 //! fires attributed to the saturated resource at surge onset.
 //!
 //! Usage: `cargo run --release -p amdb-experiments --bin obs_slo --
-//! [--full] [--jobs N]`. Output (and `results/obs_slo_alerts.csv`) is
-//! byte-identical for any jobs count.
+//! [--full] [--jobs N] [--shards N]`. Output (and
+//! `results/obs_slo_alerts.csv`) is byte-identical for any jobs count.
+//! With `--shards N` (N > 1) every cell runs behind an N-tree sharded
+//! front instead: alerts carry `(shard, component, instance)` and land in
+//! `results/obs_slo_alerts_shardsN.csv` — the flat CSV is untouched.
 
 use amdb_experiments::sweep::SweepOptions;
 use amdb_experiments::{exec, obs_slo, write_results_csv, Fidelity};
@@ -13,6 +16,17 @@ fn main() {
     let f = Fidelity::from_args();
     let jobs = exec::jobs_from_args();
     let spec = obs_slo::ObsSloSpec::paper_set(f);
+    if let Some(shards) = exec::shards_from_args().filter(|&n| n > 1) {
+        let cells = obs_slo::run_sharded(
+            &spec,
+            shards,
+            &SweepOptions::with_progress(jobs, "[obs_slo] "),
+        );
+        let t = obs_slo::sharded_table(&spec, shards, &cells);
+        println!("{}", t.render());
+        write_results_csv("obs_slo", &format!("alerts_shards{shards}"), &t);
+        return;
+    }
     let cells = obs_slo::run(&spec, &SweepOptions::with_progress(jobs, "[obs_slo] "));
     let t = obs_slo::table(&spec, &cells);
     println!("{}", t.render());

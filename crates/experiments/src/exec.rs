@@ -50,6 +50,25 @@ pub fn jobs_from_args() -> usize {
     default_jobs()
 }
 
+/// `--shards N` / `--shards=N` from argv: binaries that support a sharded
+/// front use it to pick (or restrict to) one shard count. `None` when the
+/// flag is absent — the binary's flat/default path.
+pub fn shards_from_args() -> Option<u32> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<u32>().ok()) {
+                return Some(n.max(1));
+            }
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            if let Ok(n) = v.parse::<u32>() {
+                return Some(n.max(1));
+            }
+        }
+    }
+    None
+}
+
 /// Where progress lines go.
 #[derive(Debug, Clone)]
 pub enum Progress {

@@ -19,6 +19,7 @@
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
 //! | [`obs_slo`] | online SLO/alert sweep with delay-surge attribution |
+//! | [`fleet`] | fleet_report: per-shard top table + OpenMetrics dump |
 //! | [`exec`]    | deterministic parallel executor behind the sweeps |
 
 pub mod ablations;
@@ -27,6 +28,7 @@ pub mod consistency;
 pub mod exec;
 pub mod extensions;
 pub mod fig4;
+pub mod fleet;
 pub mod obs_report;
 pub mod obs_slo;
 pub mod parallel_apply;

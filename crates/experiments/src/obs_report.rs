@@ -10,7 +10,11 @@
 
 use crate::calib::paper_cost_model;
 use amdb_cloudstone::{DataSize, MixConfig, Phases, WorkloadConfig};
-use amdb_core::{run_cluster_observed, ClusterConfig, RunReport};
+use amdb_core::sharded::FleetObsBundle;
+use amdb_core::{
+    run_cluster_observed, run_sharded_observed, ClusterConfig, RunReport, ShardedConfig,
+    ShardedReport,
+};
 use amdb_obs::{BottleneckReport, Obs, ObsConfig};
 
 /// Fig2-style cell (50/50 mix, data size 300, quick phases) with
@@ -27,6 +31,7 @@ pub fn observed_cell_config(slaves: usize, users: u32, seed: u64) -> ClusterConf
         .observability(ObsConfig {
             enabled: true,
             sample_interval_ms: 500,
+            tsdb: true,
         })
         .seed(seed)
         .build()
@@ -51,6 +56,21 @@ pub fn run_observed_cell(slaves: usize, users: u32, seed: u64) -> ObservedCell {
         bottleneck,
         obs,
     }
+}
+
+/// Run the same observed cell behind a `shards`-tree sharded front:
+/// returns the sharded report plus the fleet bundle (per-tree recorders,
+/// per-shard time-series stores, scatter-gather front trace). A fifth of
+/// the reads scatter so the front's leg waterfalls have mass.
+pub fn run_observed_sharded_cell(
+    shards: u32,
+    slaves: usize,
+    users: u32,
+    seed: u64,
+) -> (ShardedReport, FleetObsBundle) {
+    let cfg = ShardedConfig::new(shards, observed_cell_config(slaves, users, seed))
+        .cross_shard_read_fraction(0.20);
+    run_sharded_observed(cfg)
 }
 
 #[cfg(test)]

@@ -85,6 +85,7 @@ impl ObsSloSpec {
             .observability(ObsConfig {
                 enabled: true,
                 sample_interval_ms: self.sample_interval_ms,
+                tsdb: true,
             })
             .telemetry_on(true)
             .seed(self.cell_seed(placement, slaves, users))
@@ -174,6 +175,133 @@ pub fn run(spec: &ObsSloSpec, opts: &SweepOptions) -> Vec<ObsSloCell> {
             },
         )
         .collect()
+}
+
+/// One sharded cell's outcome: the sharded report plus the fleet alert
+/// rollup (per-tree SLO engines merged into one shard-stamped timeline).
+pub struct ObsSloShardedCell {
+    pub placement: Placement,
+    pub slaves: usize,
+    pub users: u32,
+    pub report: amdb_core::ShardedReport,
+    pub fleet: amdb_telemetry::FleetTelemetry,
+}
+
+/// Run the sweep's grid with every cell wrapped in a `shards`-tree sharded
+/// front (no scatter-gather: the story here is per-shard surge attribution,
+/// `(shard, component, instance)` on every alert).
+pub fn run_sharded(spec: &ObsSloSpec, shards: u32, opts: &SweepOptions) -> Vec<ObsSloShardedCell> {
+    let mut cells: Vec<(Placement, usize, u32)> = Vec::new();
+    for &placement in &spec.placements {
+        for &slaves in &spec.slave_counts {
+            for &users in &spec.user_counts {
+                cells.push((placement, slaves, users));
+            }
+        }
+    }
+    let results = parallel_map(
+        &cells,
+        opts.jobs,
+        &opts.progress,
+        move |_, &(placement, slaves, users), sink| {
+            let base = spec.cell_config(placement, slaves, users);
+            let label = placement.label(base.master_zone);
+            let (report, bundle) =
+                amdb_core::run_sharded_telemetry(amdb_core::ShardedConfig::new(shards, base));
+            sink.emit(format!(
+                "{label} shards={shards} slaves={slaves} users={users}: {:.1} ops/s, \
+                 {} fleet alert transition(s)",
+                report.throughput_ops_s,
+                bundle.telemetry.alerts().len(),
+            ));
+            (report, bundle.telemetry)
+        },
+    );
+    cells
+        .into_iter()
+        .zip(results)
+        .map(
+            |((placement, slaves, users), (report, fleet))| ObsSloShardedCell {
+                placement,
+                slaves,
+                users,
+                report,
+                fleet,
+            },
+        )
+        .collect()
+}
+
+/// Render the sharded sweep as an alert table: the flat table's columns
+/// plus a `shard` column, fires paired per `(shard, rule, inst)`.
+pub fn sharded_table(
+    spec: &ObsSloSpec,
+    shards: u32,
+    cells: &[ObsSloShardedCell],
+) -> amdb_metrics::Table {
+    let mut t = amdb_metrics::Table::new(
+        format!("{} — fleet alert timeline ({shards} shards)", spec.name),
+        vec![
+            "placement".into(),
+            "slaves".into(),
+            "users".into(),
+            "shard".into(),
+            "rule".into(),
+            "inst".into(),
+            "t_fire (s)".into(),
+            "t_clear (s)".into(),
+            "value".into(),
+            "attribution".into(),
+        ],
+    );
+    let zone = amdb_core::ClusterConfig::builder().build().master_zone;
+    for c in cells {
+        let alerts = c.fleet.alerts();
+        let mut open: std::collections::BTreeMap<(u32, &str, u32), usize> = Default::default();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for a in alerts {
+            match a.kind {
+                AlertKind::Fire => {
+                    rows.push(vec![
+                        c.placement.label(zone),
+                        c.slaves.to_string(),
+                        c.users.to_string(),
+                        a.shard.to_string(),
+                        a.rule.to_string(),
+                        a.inst.to_string(),
+                        format!("{:.2}", a.at.as_secs_f64()),
+                        "-".into(),
+                        format!("{:.1}", a.value),
+                        a.attribution.clone().unwrap_or_else(|| "-".into()),
+                    ]);
+                    open.insert((a.shard, a.rule, a.inst), rows.len() - 1);
+                }
+                AlertKind::Clear => {
+                    if let Some(i) = open.remove(&(a.shard, a.rule, a.inst)) {
+                        rows[i][7] = format!("{:.2}", a.at.as_secs_f64());
+                    }
+                }
+            }
+        }
+        if rows.is_empty() {
+            rows.push(vec![
+                c.placement.label(zone),
+                c.slaves.to_string(),
+                c.users.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "no alerts".into(),
+            ]);
+        }
+        for row in rows {
+            t.push_row(row);
+        }
+    }
+    t
 }
 
 /// Render the sweep as an alert table: one row per fire, with the matching

@@ -246,6 +246,18 @@ impl QuantileSketch {
         self.max_seen = self.max_seen.max(other.max_seen);
     }
 
+    /// Fold an iterator of sketches into one with the latency layout — the
+    /// fleet-rollup shape: per-shard leg sketches in, one fleet-wide
+    /// distribution out. Panics (via [`Self::merge`]) if any input uses a
+    /// different layout.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a QuantileSketch>) -> QuantileSketch {
+        let mut out = QuantileSketch::latency();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
     /// Bytes of counter state currently allocated (bounded by
     /// `max_buckets × 8`), for memory accounting in reports.
     pub fn state_bytes(&self) -> usize {
@@ -263,6 +275,22 @@ impl Default for QuantileSketch {
 mod tests {
     use super::*;
     use crate::percentile_sorted;
+
+    #[test]
+    fn merged_folds_many_sketches_like_one() {
+        let mut whole = QuantileSketch::latency();
+        let mut parts = vec![QuantileSketch::latency(); 3];
+        for i in 0..300 {
+            let v = (i % 97) as f64 + 0.5;
+            whole.record(v);
+            parts[i % 3].record(v);
+        }
+        let fleet = QuantileSketch::merged(parts.iter());
+        assert_eq!(fleet.count(), whole.count());
+        assert_eq!(fleet.sum(), whole.sum());
+        assert_eq!(fleet.quantile(0.95), whole.quantile(0.95));
+        assert_eq!(QuantileSketch::merged([].into_iter()).count(), 0);
+    }
 
     fn assert_within_one_bucket(sketch: &QuantileSketch, sorted: &[f64], p: f64) {
         let exact = percentile_sorted(sorted, p).unwrap();

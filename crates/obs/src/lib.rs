@@ -15,6 +15,12 @@
 //!   histograms (reusing [`amdb_metrics`]) keyed by `(component, instance,
 //!   name)` in a `BTreeMap`, so iteration order — and therefore every
 //!   export — is deterministic;
+//! * [`Tsdb`] — a fixed-interval, bounded-memory time-series store whose
+//!   per-slot cells merge across shard trees, the substrate for fleet
+//!   rollups (per-shard and fleet-wide staleness/throughput/utilization
+//!   series queryable at run end);
+//! * [`openmetrics_text`] / [`openmetrics_text_multi`] — OpenMetrics text
+//!   exposition of one registry or a whole fleet of shard-tagged ones;
 //! * [`chrome_trace_json`] — Chrome trace-format (`chrome://tracing`,
 //!   Perfetto) JSON export of the record stream;
 //! * [`BottleneckReport`] — per-instance utilization / queue-depth rows over
@@ -25,13 +31,17 @@
 
 pub mod bottleneck;
 pub mod chrome;
+pub mod openmetrics;
 pub mod registry;
 pub mod trace;
+pub mod tsdb;
 
 pub use bottleneck::{BottleneckReport, ResourceUsage};
 pub use chrome::chrome_trace_json;
+pub use openmetrics::{openmetrics_text, openmetrics_text_multi};
 pub use registry::{Metric, MetricId, MetricKey, MetricsRegistry};
 pub use trace::{FlowPhase, NullRecorder, Record, Recorder, TraceRecorder};
+pub use tsdb::{Tsdb, TsdbCell, TsdbTrack};
 
 use amdb_sim::SimTime;
 
@@ -97,6 +107,10 @@ pub struct ObsConfig {
     /// utilizations, pool occupancy, and staleness gauges (milliseconds of
     /// simulated time).
     pub sample_interval_ms: u64,
+    /// Attach the fixed-interval time-series store ([`Tsdb`], slotted on
+    /// `sample_interval_ms`) so counter samples and explicit tsdb probes
+    /// build mergeable per-interval series. Only meaningful when `enabled`.
+    pub tsdb: bool,
 }
 
 impl Default for ObsConfig {
@@ -104,6 +118,7 @@ impl Default for ObsConfig {
         Self {
             enabled: false,
             sample_interval_ms: 250,
+            tsdb: true,
         }
     }
 }
@@ -142,7 +157,11 @@ impl Obs {
     /// Build from a config knob.
     pub fn from_config(cfg: &ObsConfig) -> Self {
         if cfg.enabled {
-            Self::trace()
+            let mut t = TraceRecorder::new();
+            if cfg.tsdb {
+                t.enable_tsdb(cfg.sample_interval_ms.max(1));
+            }
+            Obs::Trace(Box::new(t))
         } else {
             Obs::Null
         }
@@ -304,6 +323,55 @@ impl Obs {
         }
     }
 
+    /// Record a distribution observation into the time-series store, when
+    /// one is attached (sketch cell in the interval slot covering `at`).
+    /// Use for bounded-rate sites — batch completions, leg arrivals — not
+    /// per-event hot paths.
+    #[inline]
+    pub fn tsdb_observe(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    ) {
+        if let Obs::Trace(t) = self {
+            t.tsdb_observe(comp, inst, name, at, value);
+        }
+    }
+
+    /// Record a scalar sample (gauge, utilization, backlog) into the
+    /// time-series store, when one is attached. The store is a curated
+    /// plane: counters do not mirror into it automatically — a series is
+    /// opted in with this probe at its (bounded-rate) sampling site.
+    #[inline]
+    pub fn tsdb_record(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    ) {
+        if let Obs::Trace(t) = self {
+            t.tsdb_record(comp, inst, name, at, value);
+        }
+    }
+
+    /// The attached time-series store, when enabled and configured.
+    pub fn tsdb(&self) -> Option<&Tsdb> {
+        self.recorder().and_then(TraceRecorder::tsdb)
+    }
+
+    /// Detach the time-series store for fleet-level merging.
+    pub fn take_tsdb(&mut self) -> Option<Tsdb> {
+        match self {
+            Obs::Trace(t) => t.take_tsdb(),
+            Obs::Null => None,
+        }
+    }
+
     /// The collected recorder, if enabled.
     pub fn recorder(&self) -> Option<&TraceRecorder> {
         match self {
@@ -380,5 +448,22 @@ mod tests {
     fn obs_from_config_honours_knob() {
         assert!(!Obs::from_config(&ObsConfig::default()).is_enabled());
         assert!(Obs::from_config(&ObsConfig::enabled()).is_enabled());
+    }
+
+    #[test]
+    fn obs_from_config_attaches_tsdb_on_request() {
+        let mut on = Obs::from_config(&ObsConfig::enabled());
+        assert!(on.tsdb().is_some(), "tsdb defaults on when tracing");
+        assert_eq!(on.tsdb().unwrap().interval_ms(), 250);
+        on.tsdb_observe(Component::Repl, 0, "lat", SimTime::from_millis(1), 3.0);
+        assert_eq!(on.take_tsdb().unwrap().len(), 1);
+        assert!(on.tsdb().is_none(), "take detaches");
+
+        let off = Obs::from_config(&ObsConfig {
+            tsdb: false,
+            ..ObsConfig::enabled()
+        });
+        assert!(off.is_enabled() && off.tsdb().is_none());
+        assert!(Obs::from_config(&ObsConfig::default()).tsdb().is_none());
     }
 }

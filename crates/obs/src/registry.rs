@@ -10,7 +10,7 @@ use amdb_metrics::{Histogram, QuantileSketch, Table, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Registry key: which metric on which component instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MetricKey {
     /// Owning component.
     pub comp: Component,

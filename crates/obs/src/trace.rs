@@ -6,6 +6,7 @@
 //! it — is bit-identical across same-seed runs.
 
 use crate::registry::MetricsRegistry;
+use crate::tsdb::Tsdb;
 use crate::Component;
 use amdb_sim::{SimDuration, SimTime};
 
@@ -136,17 +137,27 @@ impl Recorder for NullRecorder {
     }
 }
 
-/// Collects records in order and carries the metrics registry.
+/// Collects records in order and carries the metrics registry, plus an
+/// optional fixed-interval time-series store fed by explicit tsdb probes.
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
     records: Vec<Record>,
     registry: MetricsRegistry,
+    tsdb: Option<Tsdb>,
 }
 
 impl TraceRecorder {
-    /// Empty recorder.
+    /// Empty recorder (no tsdb).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a fixed-interval [`Tsdb`]. The store is a curated plane:
+    /// explicit [`Self::tsdb_record`] calls feed value tracks and
+    /// [`Self::tsdb_observe`] calls feed sketch tracks — plain counter
+    /// probes do not touch it.
+    pub fn enable_tsdb(&mut self, interval_ms: u64) {
+        self.tsdb = Some(Tsdb::new(interval_ms));
     }
 
     /// All records in recording order.
@@ -162,6 +173,49 @@ impl TraceRecorder {
     /// Mutable registry access (used by the [`crate::Obs`] metric probes).
     pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.registry
+    }
+
+    /// The attached time-series store, when enabled.
+    pub fn tsdb(&self) -> Option<&Tsdb> {
+        self.tsdb.as_ref()
+    }
+
+    /// Detach the time-series store (fleet collection merges per-tree
+    /// stores after a run).
+    pub fn take_tsdb(&mut self) -> Option<Tsdb> {
+        self.tsdb.take()
+    }
+
+    /// Record a distribution observation into a tsdb sketch track. A no-op
+    /// without an attached store — callers probe unconditionally.
+    pub fn tsdb_observe(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    ) {
+        if let Some(db) = &mut self.tsdb {
+            db.observe(comp, inst, name, at, value);
+        }
+    }
+
+    /// Record a scalar sample into a tsdb value track. A no-op without an
+    /// attached store — callers probe unconditionally. This is the opt-in
+    /// for tick-rate gauges (utilization, staleness, backlog) that the
+    /// fleet rollups read.
+    pub fn tsdb_record(
+        &mut self,
+        comp: Component,
+        inst: u32,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    ) {
+        if let Some(db) = &mut self.tsdb {
+            db.record(comp, inst, name, at, value);
+        }
     }
 }
 
@@ -199,7 +253,11 @@ impl Recorder for TraceRecorder {
 
     fn counter(&mut self, comp: Component, inst: u32, name: &'static str, at: SimTime, value: f64) {
         // Mirror counter samples into the registry as a time series so CSV
-        // export sees them without a second probe at the call site.
+        // export sees them without a second probe at the call site. The
+        // tsdb is NOT fed here: it is a curated plane — callers opt a
+        // series in with an explicit [`Self::tsdb_record`], which keeps the
+        // store's footprint (and the per-sample cost of every counter
+        // probe) proportional to what the fleet rollups actually read.
         self.registry
             .sample(comp, inst, name, at.as_micros() as f64 / 1e6, value);
         self.records.push(Record::Counter {
@@ -263,6 +321,38 @@ mod tests {
             panic!("expected series");
         };
         assert_eq!(s.points(), &[(2.0, 7.0)]);
+    }
+
+    #[test]
+    fn tsdb_is_an_explicit_opt_in_plane() {
+        let mut t = TraceRecorder::new();
+        t.tsdb_record(Component::Pool, 0, "waiters", SimTime::from_millis(10), 1.0);
+        assert!(t.tsdb().is_none(), "tsdb is opt-in");
+        t.enable_tsdb(250);
+        t.tsdb_record(Component::Pool, 0, "waiters", SimTime::from_millis(20), 7.0);
+        t.tsdb_observe(Component::Repl, 1, "lat_ms", SimTime::from_millis(20), 4.0);
+        // Counters feed the registry/trace only — the store is curated, so
+        // a plain counter probe must not grow it.
+        t.counter(Component::Pool, 0, "waiters", SimTime::from_millis(20), 7.0);
+        t.counter(
+            Component::Cpu,
+            0,
+            "queue_depth",
+            SimTime::from_millis(20),
+            3.0,
+        );
+        let db = t.tsdb().unwrap();
+        assert_eq!(db.len(), 2, "only explicit tsdb probes create tracks");
+        assert_eq!(db.mean_series(Component::Pool, 0, "waiters"), [(0.0, 7.0)]);
+        let track = db.track(Component::Repl, 1, "lat_ms").unwrap();
+        assert_eq!(track.samples().next().unwrap().1.count(), 1);
+        // The registry series is unaffected by the tsdb.
+        let crate::registry::Metric::Series(s) =
+            t.registry().get(Component::Pool, 0, "waiters").unwrap()
+        else {
+            panic!("expected series");
+        };
+        assert_eq!(s.points().len(), 1);
     }
 
     #[test]

@@ -104,6 +104,14 @@ impl RelayQueue {
     pub fn backlog(&self) -> u64 {
         self.received_upto.0 - self.applied_upto.0
     }
+
+    /// Master commit timestamp (µs) of the oldest still-queued event —
+    /// `now − oldest_commit_ts` is the head-of-queue relay age, the
+    /// fleet-telemetry gauge for "how stale is the work this slave has
+    /// not even started". `None` when the queue is drained.
+    pub fn oldest_commit_ts_micros(&self) -> Option<i64> {
+        self.queue.front().map(|ev| ev.commit_ts_micros)
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +128,17 @@ mod tests {
                 params: vec![],
             },
         }
+    }
+
+    #[test]
+    fn oldest_commit_ts_tracks_queue_head() {
+        let mut r = RelayQueue::new();
+        assert_eq!(r.oldest_commit_ts_micros(), None);
+        r.receive([ev(0), ev(1)]);
+        assert_eq!(r.oldest_commit_ts_micros(), Some(0));
+        let popped = r.pop_next().unwrap();
+        r.mark_applied(popped.lsn);
+        assert_eq!(r.oldest_commit_ts_micros(), Some(1));
     }
 
     #[test]

@@ -8,6 +8,9 @@ use amdb_consistency::ConsistencyPolicy;
 struct Leg<T> {
     staleness_ms: f64,
     rows: Vec<T>,
+    /// Simulated arrival time (µs) recorded by [`Gather::offer_at`];
+    /// 0 for untimed offers.
+    arrival_us: u64,
 }
 
 /// Collects the partial results of one scattered read, one leg per shard.
@@ -49,6 +52,13 @@ impl<T> Gather<T> {
     /// leg. Panics on a duplicate or out-of-range leg — each shard reports
     /// exactly once.
     pub fn offer(&mut self, shard: usize, staleness_ms: f64, rows: Vec<T>) -> bool {
+        self.offer_at(shard, staleness_ms, rows, 0)
+    }
+
+    /// [`Self::offer`] with the leg's simulated arrival time (µs), so the
+    /// completed gather can name its slowest and fastest legs — the
+    /// scatter-gather tax decomposition.
+    pub fn offer_at(&mut self, shard: usize, staleness_ms: f64, rows: Vec<T>, at_us: u64) -> bool {
         let slot = &mut self.legs[shard];
         assert!(slot.is_none(), "shard {shard} reported twice");
         let keep = match self.policy {
@@ -58,6 +68,7 @@ impl<T> Gather<T> {
         *slot = Some(Leg {
             staleness_ms,
             rows: if keep { rows } else { Vec::new() },
+            arrival_us: at_us,
         });
         if !keep {
             self.filtered += 1;
@@ -83,6 +94,37 @@ impl<T> Gather<T> {
             .flatten()
             .map(|l| l.staleness_ms)
             .fold(0.0, f64::max)
+    }
+
+    /// `(shard, arrival µs)` of the last-arriving leg so far — the leg the
+    /// whole scattered read waited on. Ties break to the lowest shard
+    /// index. `None` before any leg arrives (or when offers were untimed
+    /// it degenerates to shard order).
+    pub fn slowest_leg(&self) -> Option<(usize, u64)> {
+        self.legs
+            .iter()
+            .enumerate()
+            .filter_map(|(s, l)| l.as_ref().map(|l| (s, l.arrival_us)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// `(shard, arrival µs)` of the first-arriving leg so far; ties break
+    /// to the lowest shard index.
+    pub fn fastest_leg(&self) -> Option<(usize, u64)> {
+        self.legs
+            .iter()
+            .enumerate()
+            .filter_map(|(s, l)| l.as_ref().map(|l| (s, l.arrival_us)))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    /// Slowest-minus-fastest arrival (µs) — what scattering cost over a
+    /// single-shard read that would have finished with the fastest leg.
+    pub fn leg_spread_us(&self) -> u64 {
+        match (self.slowest_leg(), self.fastest_leg()) {
+            (Some((_, hi)), Some((_, lo))) => hi - lo,
+            _ => 0,
+        }
     }
 
     /// Consume the gather and return the surviving rows ordered by `key`,
@@ -136,6 +178,18 @@ mod tests {
         g.offer(0, 0.0, vec![1]);
         assert_eq!(g.filtered_legs(), 0);
         assert_eq!(g.merge_by(|&v| v), vec![1, 9]);
+    }
+
+    #[test]
+    fn timed_offers_name_slowest_and_fastest_legs() {
+        let mut g = Gather::new(3, ConsistencyPolicy::Eventual);
+        assert_eq!(g.slowest_leg(), None);
+        g.offer_at(1, 0.0, vec![1], 500);
+        g.offer_at(0, 0.0, vec![2], 2_000);
+        assert!(g.offer_at(2, 0.0, vec![3], 500));
+        assert_eq!(g.slowest_leg(), Some((0, 2_000)));
+        assert_eq!(g.fastest_leg(), Some((1, 500)), "tie breaks low shard");
+        assert_eq!(g.leg_spread_us(), 1_500);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Fleet-level telemetry rollup across shard trees.
+//!
+//! Each shard tree runs its own [`Telemetry`] bundle — waterfall plus
+//! per-shard [`SloEngine`](crate::SloEngine) — and the sharded front never
+//! synchronizes them during a run (that would serialize the trees). After
+//! the run, [`FleetTelemetry`] absorbs the per-tree bundles and answers
+//! fleet questions:
+//!
+//! * a merged alert timeline naming every transition `(shard, component,
+//!   instance)`, sorted deterministically by `(time, shard, rule,
+//!   instance)`;
+//! * fleet-wide staleness-leg distributions, folded from the per-shard
+//!   [`QuantileSketch`]es with [`QuantileSketch::merged`];
+//! * total FIFO-evicted traces, so silent trace loss anywhere in the
+//!   fleet is visible in one number.
+
+use crate::slo::{AlertEvent, AlertKind};
+use crate::Telemetry;
+use amdb_metrics::{QuantileSketch, Table};
+
+/// Per-shard telemetry bundles collected after a sharded run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTelemetry {
+    shards: Vec<(u32, Telemetry)>,
+}
+
+impl FleetTelemetry {
+    /// Empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take ownership of shard `shard`'s telemetry bundle.
+    pub fn absorb(&mut self, shard: u32, t: Telemetry) {
+        self.shards.push((shard, t));
+        self.shards.sort_by_key(|(s, _)| *s);
+    }
+
+    /// Number of absorbed shard bundles.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True before any bundle is absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Per-shard bundles in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = (u32, &Telemetry)> {
+        self.shards.iter().map(|(s, t)| (*s, t))
+    }
+
+    /// The merged fleet alert timeline, sorted by `(time, shard, rule,
+    /// instance)` — a total, deterministic order regardless of absorb
+    /// order.
+    pub fn alerts(&self) -> Vec<&AlertEvent> {
+        let mut out: Vec<&AlertEvent> = self
+            .shards
+            .iter()
+            .flat_map(|(_, t)| t.slo.alerts().iter())
+            .collect();
+        out.sort_by_key(|a| (a.at, a.shard, a.rule, a.inst));
+        out
+    }
+
+    /// `(shard, rule, instance)` triples currently firing, fleet-wide.
+    pub fn firing(&self) -> Vec<(u32, &'static str, u32)> {
+        self.shards
+            .iter()
+            .flat_map(|(s, t)| t.slo.firing().into_iter().map(move |(r, i)| (*s, r, i)))
+            .collect()
+    }
+
+    /// Fleet-wide end-to-end replication-delay distribution (commit →
+    /// applied), folded over every shard's every slave.
+    pub fn merged_e2e(&self) -> QuantileSketch {
+        QuantileSketch::merged(
+            self.shards
+                .iter()
+                .flat_map(|(_, t)| t.waterfall.legs().iter().map(|l| &l.e2e_ms)),
+        )
+    }
+
+    /// Fleet-wide apply-leg distribution (SQL-thread pickup → applied).
+    pub fn merged_apply(&self) -> QuantileSketch {
+        QuantileSketch::merged(
+            self.shards
+                .iter()
+                .flat_map(|(_, t)| t.waterfall.legs().iter().map(|l| &l.apply_ms)),
+        )
+    }
+
+    /// Fleet-wide relay-queue-wait distribution (delivery → pickup).
+    pub fn merged_queue(&self) -> QuantileSketch {
+        QuantileSketch::merged(
+            self.shards
+                .iter()
+                .flat_map(|(_, t)| t.waterfall.legs().iter().map(|l| &l.queue_ms)),
+        )
+    }
+
+    /// Writes traced to commit across the fleet.
+    pub fn total_committed(&self) -> u64 {
+        self.shards.iter().map(|(_, t)| t.waterfall.committed).sum()
+    }
+
+    /// Traces lost to the FIFO caps across the fleet.
+    pub fn total_evicted(&self) -> u64 {
+        self.shards.iter().map(|(_, t)| t.waterfall.evicted).sum()
+    }
+
+    /// The fleet alert timeline as a table — the per-tree
+    /// [`Telemetry::alert_table`] columns plus a leading `shard` column.
+    pub fn alert_table(&self) -> Table {
+        let mut t = Table::new(
+            "fleet alert timeline",
+            vec![
+                "t (s)".into(),
+                "shard".into(),
+                "rule".into(),
+                "metric".into(),
+                "inst".into(),
+                "event".into(),
+                "value".into(),
+                "attribution".into(),
+            ],
+        );
+        for a in self.alerts() {
+            t.push_row(vec![
+                format!("{:.3}", a.at.as_micros() as f64 / 1e6),
+                a.shard.to_string(),
+                a.rule.to_string(),
+                a.metric.as_str().to_string(),
+                a.inst.to_string(),
+                match a.kind {
+                    AlertKind::Fire => "FIRE".into(),
+                    AlertKind::Clear => "clear".into(),
+                },
+                format!("{:.1}", a.value),
+                a.attribution.clone().unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{Direction, SloMetric, SloRule, SloSample};
+    use crate::TelemetryConfig;
+    use amdb_obs::Component;
+    use amdb_obs::ResourceUsage;
+    use amdb_sim::SimTime;
+
+    fn surge_rule() -> SloRule {
+        SloRule {
+            name: "delay_surge",
+            metric: SloMetric::ReplicationDelayMs,
+            direction: Direction::Above,
+            fire_at: 100.0,
+            clear_at: 25.0,
+            window: 1,
+            arm_above: None,
+        }
+    }
+
+    fn shard_telemetry(shard: u32, fire_at_ms: u64) -> Telemetry {
+        let cfg = TelemetryConfig {
+            enabled: true,
+            rules: vec![surge_rule()],
+            shard,
+            shards: 4,
+            ..TelemetryConfig::default()
+        };
+        let mut t = Telemetry::new(&cfg, 1);
+        let rows = [ResourceUsage {
+            comp: Component::Cpu,
+            inst: 1,
+            label: "slave0 cpu".into(),
+            utilization: 0.97,
+            peak_queue: 3,
+        }];
+        t.slo.observe(&SloSample {
+            at: SimTime::from_millis(fire_at_ms),
+            delay_ms: &[400.0],
+            cpu_util: &[],
+            pool_waiting: 0.0,
+            ops_per_s: 0.0,
+            sla_violation_rate: 0.0,
+            rows: &rows,
+            rtt_ms: 16.0,
+            rtt_class: "same zone",
+        });
+        // Seed one waterfall trace so leg merges have mass.
+        let tr = t.waterfall.begin_write(SimTime::ZERO, SimTime::ZERO);
+        t.waterfall
+            .on_service_start(tr, SimTime::from_millis(1), 0, 1);
+        t.waterfall.on_commit(tr, SimTime::from_millis(2));
+        t.waterfall.on_deliver(0, 1, SimTime::from_millis(3));
+        t.waterfall.on_apply_start(0, 1, SimTime::from_millis(3));
+        t.waterfall
+            .on_applied(0, 1, SimTime::from_millis(4 + shard as u64));
+        t
+    }
+
+    #[test]
+    fn fleet_timeline_orders_by_time_then_shard() {
+        let mut f = FleetTelemetry::new();
+        // Absorb out of order; shard 2 fires earlier than shard 0.
+        f.absorb(2, shard_telemetry(2, 100));
+        f.absorb(0, shard_telemetry(0, 500));
+        assert_eq!(f.len(), 2);
+        let alerts = f.alerts();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!((alerts[0].shard, alerts[0].inst), (2, 0));
+        assert_eq!(alerts[1].shard, 0);
+        assert_eq!(
+            f.firing(),
+            vec![(0, "delay_surge", 0), (2, "delay_surge", 0)]
+        );
+        let csv = f.alert_table().to_csv();
+        assert!(csv.contains("0.100,2,delay_surge,replication_delay_ms,0,FIRE"));
+        assert!(csv.contains("0.500,0,delay_surge"));
+    }
+
+    #[test]
+    fn merged_legs_fold_every_shard() {
+        let mut f = FleetTelemetry::new();
+        f.absorb(0, shard_telemetry(0, 100));
+        f.absorb(1, shard_telemetry(1, 100));
+        assert_eq!(f.total_committed(), 2);
+        assert_eq!(f.total_evicted(), 0);
+        let e2e = f.merged_e2e();
+        assert_eq!(e2e.count(), 2, "one applied write per shard");
+        // Shard 0 applied at 2 ms delay, shard 1 at 3 ms.
+        assert!(e2e.max().unwrap() > e2e.min().unwrap());
+        assert_eq!(f.merged_apply().count(), 2);
+        assert_eq!(f.merged_queue().count(), 2);
+    }
+}

@@ -27,14 +27,16 @@
 //! no `Telemetry` at all and every probe site is a single `Option`
 //! discriminant test, preserving the `Obs::Null` zero-cost path.
 
+pub mod fleet;
 pub mod slo;
 pub mod waterfall;
 
+pub use fleet::FleetTelemetry;
 pub use slo::{
     attribute_surge, paper_rules, AlertEvent, AlertKind, Direction, SloEngine, SloMetric, SloRule,
     SloSample,
 };
-pub use waterfall::{ClientLeg, SlaveLeg, StalenessWaterfall};
+pub use waterfall::{ClientLeg, SlaveLeg, StalenessWaterfall, DEFAULT_MAX_INFLIGHT};
 
 use amdb_metrics::Table;
 use amdb_obs::bottleneck::DEFAULT_SATURATION_THRESHOLD;
@@ -50,6 +52,14 @@ pub struct TelemetryConfig {
     /// Utilization at which surge attribution considers a resource
     /// saturated (the bottleneck attributor's threshold).
     pub saturation_threshold: f64,
+    /// Which shard tree this telemetry instance watches (0 unsharded);
+    /// stamped into every alert so fleet timelines name `(shard,
+    /// component, instance)`.
+    pub shard: u32,
+    /// Total shard trees in the fleet. A sharded front multiplies the
+    /// outstanding write traces by its fan-out, so the waterfall's FIFO
+    /// eviction cap scales with this count.
+    pub shards: u32,
 }
 
 impl Default for TelemetryConfig {
@@ -58,6 +68,8 @@ impl Default for TelemetryConfig {
             enabled: false,
             rules: paper_rules(),
             saturation_threshold: DEFAULT_SATURATION_THRESHOLD,
+            shard: 0,
+            shards: 1,
         }
     }
 }
@@ -80,11 +92,15 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
-    /// Build from the knob for a cluster with `n_slaves` slaves.
+    /// Build from the knob for a cluster with `n_slaves` slaves. The
+    /// waterfall's FIFO cap scales with the fleet's shard count so a
+    /// scatter-gather front fanning out to N trees keeps the same
+    /// per-tree trace retention as an unsharded cluster.
     pub fn new(cfg: &TelemetryConfig, n_slaves: usize) -> Self {
+        let cap = DEFAULT_MAX_INFLIGHT * cfg.shards.max(1) as usize;
         Self {
-            waterfall: StalenessWaterfall::new(n_slaves),
-            slo: SloEngine::new(cfg.rules.clone(), cfg.saturation_threshold),
+            waterfall: StalenessWaterfall::with_inflight_cap(n_slaves, cap),
+            slo: SloEngine::new(cfg.rules.clone(), cfg.saturation_threshold).with_shard(cfg.shard),
         }
     }
 

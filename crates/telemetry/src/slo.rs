@@ -163,6 +163,9 @@ pub enum AlertKind {
 pub struct AlertEvent {
     pub rule: &'static str,
     pub metric: SloMetric,
+    /// Shard tree the engine watches (0 for an unsharded cluster), so a
+    /// fleet aggregator can name alerts as `(shard, component, instance)`.
+    pub shard: u32,
     /// Instance the rule fired for (slave index, node index, or 0).
     pub inst: u32,
     pub kind: AlertKind,
@@ -210,6 +213,7 @@ struct RuleState {
 pub struct SloEngine {
     rules: Vec<SloRule>,
     saturation_threshold: f64,
+    shard: u32,
     state: BTreeMap<(usize, u32), RuleState>,
     alerts: Vec<AlertEvent>,
 }
@@ -220,9 +224,22 @@ impl SloEngine {
         Self {
             rules,
             saturation_threshold,
+            shard: 0,
             state: BTreeMap::new(),
             alerts: Vec::new(),
         }
+    }
+
+    /// Stamp every alert this engine emits with `shard` — one engine runs
+    /// per shard tree, and the fleet aggregator merges their timelines.
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// The shard this engine's alerts are attributed to.
+    pub fn shard(&self) -> u32 {
+        self.shard
     }
 
     /// The configured rules.
@@ -324,6 +341,7 @@ impl SloEngine {
         let ev = AlertEvent {
             rule: rule.name,
             metric: rule.metric,
+            shard: self.shard,
             inst,
             kind,
             at: s.at,
@@ -427,6 +445,17 @@ mod tests {
         assert_eq!(evs[0].kind, AlertKind::Clear);
         assert_eq!(evs[0].attribution, None);
         assert_eq!(e.alerts().len(), 2);
+    }
+
+    #[test]
+    fn shard_stamp_lands_on_every_alert() {
+        let mut e = SloEngine::new(vec![delay_rule(100.0, 25.0, 1)], 0.9).with_shard(3);
+        assert_eq!(e.shard(), 3);
+        let rows = [row(Component::Cpu, 1, "slave0 cpu", 1.0)];
+        let evs = e.observe(&sample(0, &[500.0], &rows));
+        assert_eq!(evs[0].shard, 3);
+        let mut plain = SloEngine::new(vec![delay_rule(100.0, 25.0, 1)], 0.9);
+        assert_eq!(plain.observe(&sample(0, &[500.0], &rows))[0].shard, 0);
     }
 
     #[test]

@@ -27,8 +27,11 @@ use amdb_metrics::{QuantileSketch, Table};
 use amdb_sim::SimTime;
 use std::collections::BTreeMap;
 
-/// Hard cap on in-flight write traces; oldest evict first beyond this.
-const MAX_INFLIGHT: usize = 8192;
+/// Default cap on in-flight write traces; oldest evict first beyond this.
+/// Sized for one replication tree — a sharded front multiplies outstanding
+/// traces by the fan-out, so `Telemetry::new` scales the per-instance cap
+/// with the shard count via [`StalenessWaterfall::with_inflight_cap`].
+pub const DEFAULT_MAX_INFLIGHT: usize = 8192;
 
 /// A write that has been dispatched but not yet committed.
 #[derive(Debug, Clone)]
@@ -122,11 +125,18 @@ pub struct StalenessWaterfall {
     pub committed: u64,
     /// Writes evicted by the FIFO cap before completing all stages.
     pub evicted: u64,
+    /// FIFO cap applied to both the pending and in-flight maps.
+    max_inflight: usize,
 }
 
 impl StalenessWaterfall {
-    /// Empty waterfall for `n_slaves` slaves.
+    /// Empty waterfall for `n_slaves` slaves with the default cap.
     pub fn new(n_slaves: usize) -> Self {
+        Self::with_inflight_cap(n_slaves, DEFAULT_MAX_INFLIGHT)
+    }
+
+    /// Empty waterfall with an explicit FIFO eviction cap (≥ 1).
+    pub fn with_inflight_cap(n_slaves: usize, cap: usize) -> Self {
         Self {
             next_trace: 0,
             pending: BTreeMap::new(),
@@ -139,7 +149,13 @@ impl StalenessWaterfall {
             },
             committed: 0,
             evicted: 0,
+            max_inflight: cap.max(1),
         }
+    }
+
+    /// The FIFO eviction cap in force.
+    pub fn inflight_cap(&self) -> usize {
+        self.max_inflight
     }
 
     /// Number of slaves currently tracked.
@@ -213,7 +229,7 @@ impl StalenessWaterfall {
         );
         // Writes orphaned before commit (failover drains) never call
         // `on_commit`; cap the map so they cannot accumulate.
-        while self.pending.len() > MAX_INFLIGHT {
+        while self.pending.len() > self.max_inflight {
             self.pending.pop_first();
             self.evicted += 1;
         }
@@ -251,7 +267,7 @@ impl StalenessWaterfall {
                 },
             );
         }
-        while self.inflight.len() > MAX_INFLIGHT {
+        while self.inflight.len() > self.max_inflight {
             self.inflight.pop_first();
             self.evicted += 1;
         }
@@ -498,13 +514,30 @@ mod tests {
     #[test]
     fn fifo_cap_bounds_inflight_memory() {
         let mut w = StalenessWaterfall::new(1);
-        for i in 0..(MAX_INFLIGHT as u64 + 100) {
+        for i in 0..(DEFAULT_MAX_INFLIGHT as u64 + 100) {
             let tr = w.begin_write(t(0), t(0));
             w.on_service_start(tr, t(0), i, i + 1);
             w.on_commit(tr, t(0));
         }
-        assert_eq!(w.inflight(), MAX_INFLIGHT);
+        assert_eq!(w.inflight(), DEFAULT_MAX_INFLIGHT);
         assert_eq!(w.evicted, 100);
+    }
+
+    #[test]
+    fn inflight_cap_scales_with_constructor() {
+        let mut w = StalenessWaterfall::with_inflight_cap(1, 16);
+        assert_eq!(w.inflight_cap(), 16);
+        for i in 0..40u64 {
+            let tr = w.begin_write(t(0), t(0));
+            w.on_service_start(tr, t(0), i, i + 1);
+            w.on_commit(tr, t(0));
+        }
+        assert_eq!(w.inflight(), 16);
+        assert_eq!(w.evicted, 24);
+        assert_eq!(
+            StalenessWaterfall::with_inflight_cap(1, 0).inflight_cap(),
+            1
+        );
     }
 
     #[test]

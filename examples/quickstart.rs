@@ -132,6 +132,7 @@ fn main() {
             .observability(ObsConfig {
                 enabled: true,
                 sample_interval_ms: 1_000,
+                tsdb: true,
             })
             .seed(42)
             .build(),

@@ -19,6 +19,7 @@ fn observed_cfg(users: u32, slaves: usize, seed: u64) -> ClusterConfig {
         .observability(ObsConfig {
             enabled: true,
             sample_interval_ms: 1_000,
+            tsdb: true,
         })
         .seed(seed)
         .build()
@@ -161,6 +162,136 @@ fn telemetry_outputs_are_byte_identical_for_same_seed() {
     );
     let (trace_c, _) = run(8);
     assert_ne!(trace_a, trace_c, "different seed changes the trace");
+}
+
+/// Row-format cell with a parallel apply pipeline, telemetry on.
+fn row_apply_cfg(workers: usize, tsdb: bool, seed: u64) -> ClusterConfig {
+    use amdb::sql::binlog::BinlogFormat;
+    ClusterConfig::builder()
+        .slaves(2)
+        .mix(MixConfig::RW_50_50)
+        .data_size(DataSize { scale: 100 })
+        .workload(WorkloadConfig::quick(120))
+        .format(BinlogFormat::Row)
+        .apply_workers(workers)
+        .observability(ObsConfig {
+            enabled: true,
+            sample_interval_ms: 1_000,
+            tsdb,
+        })
+        .seed(seed)
+        .build()
+}
+
+/// Waterfall apply legs under row-format binlog with `apply_workers > 1`:
+/// the apply stamp comes from the slave-local commit of the batch (not the
+/// master clock), so every end-to-end sample is non-negative and dominates
+/// its apply-service sample; and adding workers can only shrink (never
+/// grow) the queue and end-to-end legs.
+#[test]
+fn apply_waterfall_legs_shrink_with_workers() {
+    use amdb::core::run_cluster_telemetry;
+    use amdb::metrics::QuantileSketch;
+    let mut queue_p95 = Vec::new();
+    let mut e2e_p95 = Vec::new();
+    let mut applied = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (_, _, _, t) = run_cluster_telemetry(row_apply_cfg(workers, true, 11));
+        let legs = t.waterfall.legs();
+        assert_eq!(legs.len(), 2);
+        for (s, leg) in legs.iter().enumerate() {
+            assert!(
+                leg.applied > 0,
+                "workers={workers}: slave{s} applied nothing"
+            );
+            assert!(
+                leg.apply_ms.count() > 0,
+                "workers={workers}: no apply leg samples"
+            );
+            // Slave-local commit stamp: committed ≤ delivered ≤ apply_start
+            // ≤ applied per writeset, so e2e ≥ apply sample for sample (the
+            // 1% slack absorbs sketch bucketing).
+            assert!(leg.e2e_ms.min().unwrap() >= 0.0);
+            assert!(
+                leg.e2e_ms.max().unwrap() >= leg.apply_ms.max().unwrap() * 0.99,
+                "workers={workers} slave{s}: e2e must dominate the apply leg"
+            );
+        }
+        let queue = QuantileSketch::merged(legs.iter().map(|l| &l.queue_ms));
+        let e2e = QuantileSketch::merged(legs.iter().map(|l| &l.e2e_ms));
+        queue_p95.push(queue.quantile(0.95).unwrap());
+        e2e_p95.push(e2e.quantile(0.95).unwrap());
+        applied.push(legs.iter().map(|l| l.applied).sum::<u64>());
+    }
+    for w in applied.windows(2) {
+        assert_eq!(
+            w[0], w[1],
+            "worker count must not change how many rows apply"
+        );
+    }
+    for (name, xs) in [("queue", &queue_p95), ("e2e", &e2e_p95)] {
+        for w in xs.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.001,
+                "{name} p95 must be monotone non-increasing in workers: {xs:?}"
+            );
+        }
+    }
+}
+
+/// With `apply_workers > 1` the trace carries per-worker apply spans, the
+/// batch flow arrows, the in-order-commit wait sketch, and the batch-bound
+/// counters that attribute why each batch closed.
+#[test]
+fn parallel_apply_traces_carry_worker_spans_and_bounds() {
+    use amdb::core::run_cluster_telemetry;
+    let (_, obs, _, _) = run_cluster_telemetry(row_apply_cfg(4, true, 11));
+    let json = obs.chrome_trace().expect("trace");
+    assert!(
+        json.contains("apply_worker"),
+        "per-worker apply spans present"
+    );
+    let rec = obs.recorder().expect("recorder");
+    let reg = rec.registry();
+    assert!(
+        reg.iter().any(|(k, _)| k.name == "apply_commit_wait_ms"),
+        "in-order-commit wait sketch present"
+    );
+    let bounds: u64 = [
+        "apply_batch_drained",
+        "apply_conflict_bounded",
+        "apply_capacity_bounded",
+        "apply_barrier",
+    ]
+    .iter()
+    .map(|n| reg.counter_value(Component::Repl, 1, n) + reg.counter_value(Component::Repl, 2, n))
+    .sum();
+    assert!(bounds > 0, "every closed batch must name its bound");
+    // Satellite: the waterfall's inflight-map eviction counter is exported.
+    assert!(
+        reg.iter().any(|(k, _)| k.name == "wf_evicted"),
+        "pending-waterfall eviction counter sampled"
+    );
+}
+
+/// The time-series store is config-gated, deterministic, and mergeable:
+/// same seed ⇒ byte-identical CSV; `tsdb: false` detaches it entirely.
+#[test]
+fn tsdb_store_is_deterministic_and_config_gated() {
+    use amdb::core::run_cluster_telemetry;
+    let run = |tsdb: bool| {
+        let (_, mut obs, _, _) = run_cluster_telemetry(row_apply_cfg(4, tsdb, 11));
+        obs.take_tsdb()
+    };
+    let a = run(true).expect("tsdb attached");
+    let b = run(true).expect("tsdb attached");
+    assert!(!a.is_empty(), "the run records time-series tracks");
+    assert_eq!(
+        a.csv(),
+        b.csv(),
+        "same-seed tsdb exports match byte for byte"
+    );
+    assert!(run(false).is_none(), "tsdb: false must detach the store");
 }
 
 /// Flow events (the causal write arrows) appear in the export exactly when
