@@ -80,6 +80,32 @@ for csv in fig2_sharded.csv fig2_sharded_p95.csv \
   cmp "$SMOKE/sh_j1/results/$csv" "$SMOKE/sh_j2/results/$csv" \
     || { echo "$csv differs between --jobs 1 and --jobs 2"; exit 1; }
 done
+# E-SL shared-log extensions: backend grid, per-backend failover, and the
+# log-replica fault grid — rendered tables *and* every results CSV must be
+# byte-identical for any jobs count.
+mkdir -p "$SMOKE/sl_j1" "$SMOKE/sl_j2"
+(cd "$SMOKE/sl_j1" && "$BIN/extensions_shared_log" --jobs 1 >esl.out 2>/dev/null)
+(cd "$SMOKE/sl_j2" && "$BIN/extensions_shared_log" --jobs 2 >esl.out 2>/dev/null)
+cmp "$SMOKE/sl_j1/esl.out" "$SMOKE/sl_j2/esl.out" \
+  || { echo "extensions_shared_log differs between --jobs 1 and --jobs 2"; exit 1; }
+for csv in extensions_shared_log_backends.csv extensions_shared_log_failover.csv \
+           extensions_shared_log_faults.csv; do
+  cmp "$SMOKE/sl_j1/results/$csv" "$SMOKE/sl_j2/results/$csv" \
+    || { echo "$csv differs between --jobs 1 and --jobs 2"; exit 1; }
+done
+# The fault grid's acceptance invariant: no cell loses an acked write.
+awk -F, 'NR>1 && $NF != 0 { print "fault cell " $1 " lost acked writes"; bad=1 } END { exit bad }' \
+  "$SMOKE/sl_j1/results/extensions_shared_log_faults.csv" \
+  || { echo "shared-log fault grid lost acked writes"; exit 1; }
+# The replication-backend knob must be invisible until opted into:
+# `--backend statement` renders byte-identically to the flag-less default
+# (whose fingerprint bench_simcore pins to the pre-backend pipeline).
+(cd "$SMOKE" && "$BIN/fig2" --backend statement --jobs 1 >fig2_stmt.out 2>/dev/null)
+cmp "$SMOKE/fig2_j1.out" "$SMOKE/fig2_stmt.out" \
+  || { echo "fig2 --backend statement differs from the default pipeline"; exit 1; }
+(cd "$SMOKE" && "$BIN/fig5" --backend statement --jobs 1 >fig5_stmt.out 2>/dev/null)
+cmp "$SMOKE/fig5_j1.out" "$SMOKE/fig5_stmt.out" \
+  || { echo "fig5 --backend statement differs from the default pipeline"; exit 1; }
 # fleet_report (the fleet observability plane): per-shard top tables, the
 # fleet alert timeline, and the OpenMetrics dump must all be byte-identical
 # for any jobs count.
@@ -215,6 +241,37 @@ for grid in ("shards1", "shards4"):
 print(f"bench_sharded ok: {b['shards1']['current_s']:.2f}s at 1 shard vs "
       f"{b['shards4']['current_s']:.2f}s at 4 shards "
       f"({b['tree_overhead_x']:.2f}x tree overhead)")
+EOF
+
+echo "== bench_backend: per-backend wall-clock + statement bit-identity =="
+# bench_backend times the quick fig2/fig5 grid under each replication
+# backend (best-of-3, serial), fingerprints the rendered tables, and binds
+# the statement backend to the default pipeline's pinned fingerprint.
+(cd "$SMOKE" && "$BIN/bench_backend" >/dev/null 2>&1)
+[ -s "$SMOKE/BENCH_backend.json" ] || { echo "BENCH_backend.json missing or empty"; exit 1; }
+python3 - "$SMOKE/BENCH_backend.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+for key in ("bench", "host_cores", "default", "statement", "row", "shared_log",
+            "statement_matches_default", "shared_log_overhead_x"):
+    if key not in b:
+        sys.exit(f"BENCH_backend.json missing key: {key}")
+for grid in ("default", "statement", "row", "shared_log"):
+    for key in ("current_s", "fingerprint"):
+        if key not in b[grid]:
+            sys.exit(f"BENCH_backend.json missing key: {grid}.{key}")
+if not b["statement_matches_default"]:
+    sys.exit("BENCH_backend.json: --backend statement diverged from the default grid")
+# Transitive pre-PR pin: the default grid's fingerprint is pinned by
+# bench_simcore, so statement == default == pre-backend pipeline.
+pinned = "55294b98a489afbd"
+if b["statement"]["fingerprint"] != pinned:
+    sys.exit(f"BENCH_backend.json: statement fingerprint "
+             f"{b['statement']['fingerprint']} != pinned {pinned}")
+print(f"bench_backend ok: statement {b['statement']['current_s']:.2f}s == default, "
+      f"shared-log {b['shared_log']['current_s']:.2f}s "
+      f"({b['shared_log_overhead_x']:.2f}x), fingerprint pinned")
 EOF
 
 echo "== bench_obs: disabled probes + tsdb-on telemetry overhead =="

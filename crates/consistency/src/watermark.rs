@@ -39,6 +39,37 @@ impl SlaveWatermark {
     }
 }
 
+/// Where a [`WatermarkTable`]'s master sequence comes from — the LSN source
+/// the consistency plane builds its guarantees on.
+///
+/// * [`SeqSource::MasterHead`]: the binlog backends stamp the master's log
+///   head at ship (= commit) time. The freshest signal, but it can name
+///   writes that die with the master (the §II loss window) — which is why
+///   binlog failover voids the sequence space and resets the table.
+/// * [`SeqSource::QuorumDurable`]: the shared-log backend stamps the log
+///   service's quorum-durable prefix instead. The signal trails the head by
+///   the quorum wait, but every sequence it names survives any fault within
+///   the quorum budget, so a reattach keeps the table — and every session
+///   token — intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeqSource {
+    /// Master binlog head, stamped at ship time (binlog backends).
+    #[default]
+    MasterHead,
+    /// Shared-log quorum-durable prefix, stamped when the quorum forms.
+    QuorumDurable,
+}
+
+impl SeqSource {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeqSource::MasterHead => "master-head",
+            SeqSource::QuorumDurable => "quorum-durable",
+        }
+    }
+}
+
 /// Per-slave apply progress and staleness estimation.
 ///
 /// The master side stamps each committed writeset sequence with its commit
@@ -63,6 +94,8 @@ pub struct WatermarkTable {
     /// Cold-start per-event apply interval (ms) used until a slave has
     /// produced at least one busy-period sample.
     default_interval_ms: f64,
+    /// What the master sequence means (head vs quorum-durable).
+    source: SeqSource,
 }
 
 impl WatermarkTable {
@@ -77,12 +110,25 @@ impl WatermarkTable {
                 .map(|_| SlaveWatermark::at(start_seq))
                 .collect(),
             default_interval_ms: 1.0,
+            source: SeqSource::default(),
         }
     }
 
     /// Override the cold-start apply interval (ms/event).
     pub fn set_default_interval_ms(&mut self, ms: f64) {
         self.default_interval_ms = ms.max(0.0);
+    }
+
+    /// Declare what [`Self::note_master_seq`] is fed with (see [`SeqSource`]).
+    /// Purely descriptive — the estimator math is identical either way; the
+    /// *failover contract* is what differs, and reports surface the label.
+    pub fn set_source(&mut self, source: SeqSource) {
+        self.source = source;
+    }
+
+    /// The declared master-sequence source.
+    pub fn source(&self) -> SeqSource {
+        self.source
     }
 
     /// Number of tracked slaves.
@@ -203,6 +249,15 @@ impl WatermarkTable {
 
     /// Failover: the new master starts a fresh sequence space at
     /// `start_seq`, and every slave was just resynced from its snapshot.
+    ///
+    /// Only valid when the old sequence space actually dies with the old
+    /// master (binlog backends, whose LSNs restart from the promoted
+    /// node's fresh log). A shared-log reattach **must not** call this:
+    /// the log outlives the master, the LSN space continues, and the tail
+    /// may be re-delivered — resetting to 0 would let a `Monotonic` or
+    /// `ReadYourWrites` session token (holding a pre-failover sequence)
+    /// compare against rewound watermarks and route a read to a replica
+    /// that has not actually caught up to what the session already saw.
     pub fn reset_all(&mut self, start_seq: u64) {
         self.master_seq = start_seq;
         self.first_stamped = start_seq + 1;

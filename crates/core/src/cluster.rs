@@ -23,12 +23,12 @@
 //! metric.)
 
 use crate::config::{BalancerKind, ClusterConfig};
-use crate::report::{ConsistencyReport, DelayReport, RunReport};
+use crate::report::{ConsistencyReport, DelayReport, RunReport, SharedLogReport};
 use amdb_clock::WALL_EPOCH_MICROS;
 use amdb_cloud::{Instance, InstanceType, Provider};
 use amdb_cloudstone::{build_template, OpClass, OpGenerator, Operation, Phases, UserSessions};
 use amdb_consistency::{
-    ConsistencyConfig, ConsistencyPolicy, ReadDecision, SessionToken, WatermarkTable,
+    ConsistencyConfig, ConsistencyPolicy, ReadDecision, SeqSource, SessionToken, WatermarkTable,
 };
 use amdb_metrics::{trimmed_mean, OnlineStats, Summary};
 use amdb_net::{NetModel, Proximity, Zone};
@@ -38,13 +38,16 @@ use amdb_proxy::{
     Balancer, LatencyAware, LeastOutstanding, OpClass as ProxyClass, Proxy, RandomPick, RoundRobin,
     Route,
 };
-use amdb_repl::{collect_samples, HeartbeatPlugin, RelayQueue, ReplMode};
+use amdb_repl::{
+    ack_time_us, collect_samples, AckResult, BackendKind, FaultTimeline, HeartbeatPlugin, LogStore,
+    RelayQueue, ReplMode,
+};
 use amdb_sim::{Event, Rng, Sim, SimDuration, SimTime};
 use amdb_sql::binlog::{BinlogEvent, Lsn};
 use amdb_sql::cost::CostModel;
 use amdb_sql::{Engine, ForkRole, Session};
 use amdb_telemetry::{AlertKind, SloSample, Telemetry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 pub type S = Sim<Cluster, ClusterEvent>;
 
@@ -182,6 +185,9 @@ pub enum ClusterEvent {
         routed_slave: Option<usize>,
         trace: u64,
     },
+    /// A shared-log replica's append acknowledgement lands at the master
+    /// (shared-log backend only; instants come from [`ack_time_us`]).
+    LogAck { replica: usize, upto: Lsn },
     /// Cold-path escape hatch: a boxed closure event.
     Closure(ClusterFn),
 }
@@ -242,6 +248,7 @@ impl ClusterEvent {
                 routed_slave,
                 trace,
             } => w.injected_op_done(sim, node_idx, gen, id, class, routed_slave, trace),
+            ClusterEvent::LogAck { replica, upto } => w.log_ack(sim, replica, upto),
             ClusterEvent::Closure(f) => f(w, sim),
         }
     }
@@ -368,6 +375,66 @@ impl ConsistencyLayer {
     }
 }
 
+/// Timed state of the shared-log replication backend. `None` unless
+/// `cfg.backend == SharedLog` — every hot-path probe is a single `Option`
+/// discriminant test and the branch schedules nothing and draws no RNG when
+/// absent, so binlog-backend runs stay bit-identical to pre-backend builds.
+///
+/// The flow (Taurus-style, PAPERS.md arXiv 2412.02792): at each master
+/// commit the new binlog events are *published* — appended to a
+/// quorum-replicated log service whose per-replica ack instants are computed
+/// analytically from precomputed [`FaultTimeline`]s. A batch is *durable*
+/// when the quorum-th replica ack lands ([`Cluster::log_ack`]); only then do
+/// the events deliver to the slaves' relays (slaves tail the durable
+/// prefix), the consistency watermark advance, and the client write ack
+/// fire. Failover is a *reattach*: the log outlives the master, so the LSN
+/// space, the watermarks, and every session token survive promotion.
+struct SharedLogState {
+    /// Untimed quorum protocol state (who persisted what, durable prefix).
+    log: LogStore,
+    /// Per-log-replica fault schedule over the run horizon, drawn once at
+    /// build from `root.derive("logstore")` streams.
+    timelines: Vec<FaultTimeline>,
+    /// Master binlog events published (appended) to the log service.
+    published_upto: Lsn,
+    /// Durable prefix already processed by [`Cluster::log_ack`] (delivered
+    /// to slave relays + stamped into the watermark table).
+    durable_upto: Lsn,
+    /// Published-but-not-yet-durable events awaiting quorum, in LSN order.
+    pending: VecDeque<BinlogEvent>,
+    /// Per-replica FIFO ack clearance: a log replica persists appends in
+    /// order, so a later batch's ack can never land before an earlier one's
+    /// (mirrors `chan_clear` for the shipping channels).
+    ack_clear: Vec<SimTime>,
+    /// Monotone quorum completion across batches (appends are FIFO).
+    last_quorum_at: SimTime,
+    /// Quorum instant of the most recent publish — the write-ack gate
+    /// `client_op_done` reads right after `ship_new`. `None` when the last
+    /// publish appended nothing.
+    last_publish_quorum: Option<SimTime>,
+    stats: SharedLogStats,
+    /// Set by the reattach recovery path: (reattach LSN, events replayed).
+    recovery: Option<(Lsn, u64)>,
+}
+
+#[derive(Default)]
+struct SharedLogStats {
+    /// Publish batches appended to the log.
+    appends: u64,
+    /// Records (binlog events) appended.
+    records: u64,
+    /// Transport-level retry attempts beyond each first try.
+    ack_retries: u64,
+    /// Application-level re-sends after a full attempt sequence gave up
+    /// (sustained partition outlasting the bounded retry budget).
+    ack_resends: u64,
+    /// Publishes whose quorum never formed within the retry budget
+    /// (availability loss; only possible with 2+ replicas partitioned).
+    quorum_failures: u64,
+    /// Client-visible quorum wait per publish (ms).
+    quorum_waits: OnlineStats,
+}
+
 /// Cluster-side telemetry state: the `amdb-telemetry` bundle plus the
 /// differencing baselines that turn the cluster's cumulative counters into
 /// the per-tick series the SLO engine consumes. Pure measurement — reads
@@ -487,6 +554,13 @@ pub struct Cluster {
     /// Telemetry layer; `None` unless `cfg.telemetry.enabled` — every probe
     /// site below is then a single `Option` discriminant test.
     telemetry: Option<TelemetryLayer>,
+    /// Shared-log backend state; `None` unless `cfg.backend == SharedLog`.
+    shared_log: Option<SharedLogState>,
+    /// When the master failed (recovery-time measurement).
+    master_failed_at: Option<SimTime>,
+    /// Master failure → cluster fully recovered (writes accepted and every
+    /// live slave back in rotation), ms. Set by the promotion paths.
+    recovery_ms: Option<f64>,
 }
 
 impl Cluster {
@@ -592,14 +666,62 @@ impl Cluster {
         let phases = cfg.workload.phases;
         let n = cfg.n_slaves;
         let obs = Obs::from_config(&cfg.obs);
-        let consistency = cfg
+        let mut consistency = cfg
             .consistency
             .map(|c| ConsistencyLayer::new(c, n, shipped0.0, cfg.workload.concurrent_users));
         let telemetry = cfg
             .telemetry
             .enabled
             .then(|| TelemetryLayer::new(&cfg.telemetry, n));
+        // Shared-log backend: the fault schedules and the log service exist
+        // only when opted in — this whole block draws no RNG and allocates
+        // nothing otherwise, keeping binlog-backend runs bit-identical.
+        let shared_log = (cfg.backend == BackendKind::SharedLog).then(|| {
+            cfg.log_store.validate();
+            let horizon_us = phases.hard_end().as_micros();
+            let log_rng = root.derive("logstore");
+            let timelines: Vec<FaultTimeline> = (0..cfg.log_store.replicas)
+                .map(|r| match &cfg.log_faults {
+                    None => FaultTimeline::healthy(),
+                    Some(plan) => {
+                        let mut rng = log_rng.derive(&format!("replica{r}"));
+                        plan.timeline(&mut rng, horizon_us)
+                    }
+                })
+                .collect();
+            let mut log = LogStore::new(cfg.log_store);
+            // Pre-loaded data (web10 loader events) is durable before t=0:
+            // align the log's LSN space with the binlog's.
+            if shipped0.0 > 0 {
+                log.append(shipped0.0);
+                for rep in 0..cfg.log_store.replicas {
+                    log.ack(rep, shipped0);
+                }
+            }
+            SharedLogState {
+                log,
+                timelines,
+                published_upto: shipped0,
+                durable_upto: shipped0,
+                pending: VecDeque::new(),
+                ack_clear: vec![SimTime::ZERO; cfg.log_store.replicas],
+                last_quorum_at: SimTime::ZERO,
+                last_publish_quorum: None,
+                stats: SharedLogStats::default(),
+                recovery: None,
+            }
+        });
+        if shared_log.is_some() {
+            if let Some(layer) = consistency.as_mut() {
+                // The consistency plane's master sequence is the log's
+                // quorum-durable prefix, not the binlog head.
+                layer.wm.set_source(SeqSource::QuorumDurable);
+            }
+        }
         Self {
+            shared_log,
+            master_failed_at: None,
+            recovery_ms: None,
             obs,
             consistency,
             telemetry,
@@ -1174,6 +1296,38 @@ impl Cluster {
         );
     }
 
+    /// [`Self::inject_op`] pinned to the master, bypassing the balancer and
+    /// the consistency router — the sharded front's all-legs-filtered
+    /// fallback: when every scatter leg was dropped by the staleness
+    /// filter, the read re-runs against this tree's master, whose copy is
+    /// fresh by definition. Parks like any master-routed op while a
+    /// failover is in progress.
+    pub(crate) fn inject_op_master(&mut self, sim: &mut dyn ClusterHost, id: u64, op: Operation) {
+        if self.nodes[0].failed {
+            self.awaiting_master_injected.push((id, op));
+            return;
+        }
+        self.obs.incr(Component::Proxy, 0, "routed_to_master", 1);
+        let now = sim.now();
+        let trace = match self.telemetry.as_mut() {
+            Some(tl) if op.class == OpClass::Write => tl.t.waterfall.begin_write(now, now),
+            _ => 0,
+        };
+        let delay = self.net.delay(self.client_zone, self.nodes[0].inst.zone());
+        sim.schedule_event_in(
+            delay,
+            ClusterEvent::EnqueueJob {
+                node: 0,
+                job: Job::Injected {
+                    id,
+                    op,
+                    routed_slave: None,
+                    trace,
+                },
+            },
+        );
+    }
+
     // ------------------------------------------------------------------
     // Node job queue
     // ------------------------------------------------------------------
@@ -1435,7 +1589,11 @@ impl Cluster {
                     .execute(&mut node.session, &sql, &params)
                     .unwrap_or_else(|e| panic!("heartbeat insert failed: {e}"));
                 let mut demand_us = self.cost.statement_demand_us(&res, true) + self.cost.commit_us;
-                demand_us += self.cost.ship_demand_us() * self.relays.len() as f64;
+                let fanout = match self.shared_log.as_ref() {
+                    Some(sl) => sl.log.config().replicas,
+                    None => self.relays.len(),
+                };
+                demand_us += self.cost.ship_demand_us() * fanout as f64;
                 let done = node
                     .inst
                     .cpu
@@ -1462,9 +1620,15 @@ impl Cluster {
         if op.class == OpClass::Write {
             demand_us += self.cost.commit_us;
             // Binlog dump threads consume master CPU per slave per event.
-            let new_events = node.engine.binlog().head().0 - self.shipped_upto.0;
-            let live = self.relays.len(); // dump threads, one per attached slave
-            demand_us += self.cost.ship_demand_us() * new_events as f64 * live as f64;
+            // Under the shared log the master appends to the log replicas
+            // instead and slaves tail the log service — its commit cost is
+            // independent of the slave count (the disaggregation offload).
+            let (published, fanout) = match self.shared_log.as_ref() {
+                Some(sl) => (sl.published_upto, sl.log.config().replicas),
+                None => (self.shipped_upto, self.relays.len()),
+            };
+            let new_events = node.engine.binlog().head().0 - published.0;
+            demand_us += self.cost.ship_demand_us() * new_events as f64 * fanout as f64;
         }
         demand_us
     }
@@ -1609,6 +1773,20 @@ impl Cluster {
             }
             // Master job: commit point — ship new binlog events.
             let deliveries = self.ship_new(sim);
+            // Shared-log backend: a write is acknowledged at its quorum
+            // instant, whatever the ReplMode — durability lives in the log
+            // service, not in slave receipt/apply acks.
+            if class == OpClass::Write {
+                if let Some(q_at) = self
+                    .shared_log
+                    .as_ref()
+                    .and_then(|sl| sl.last_publish_quorum)
+                {
+                    self.schedule_response(sim, q_at, user, class, issued, routed_slave);
+                    self.try_start(sim, node_idx);
+                    return;
+                }
+            }
             match (class, self.mode) {
                 (OpClass::Write, ReplMode::SemiSync) if !deliveries.is_empty() => {
                     // Respond when the first receipt ack returns.
@@ -1937,7 +2115,15 @@ impl Cluster {
 
     /// Ship all unshipped binlog events to every slave. Returns the
     /// per-slave delivery times of this batch.
+    ///
+    /// Under the shared-log backend this instead *publishes* the new events
+    /// to the log service and returns no deliveries — slaves receive the
+    /// batch when its quorum forms (see [`Self::log_ack`]).
     fn ship_new(&mut self, sim: &mut dyn ClusterHost) -> Vec<(usize, SimTime)> {
+        if self.shared_log.is_some() {
+            self.publish_to_log(sim);
+            return Vec::new();
+        }
         let head = self.nodes[0].engine.binlog().head();
         // GTID-style watermarks: stamp every newly committed sequence with
         // the commit (= ship-point) time. Monotone no-op when nothing is new.
@@ -2034,6 +2220,201 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Shared-log backend: publish → quorum → tail delivery
+    // ------------------------------------------------------------------
+
+    /// Publish the master's new binlog events to the shared log: append
+    /// them, compute each log replica's ack instant analytically from its
+    /// fault timeline (retry/timeout/backoff, with an application-level
+    /// re-send after the transport budget under a sustained partition), and
+    /// schedule the [`ClusterEvent::LogAck`] stream. The quorum instant —
+    /// the write's durability point and client-ack gate — is the quorum-th
+    /// smallest ack, clamped monotone across batches (FIFO appends).
+    fn publish_to_log(&mut self, sim: &mut dyn ClusterHost) {
+        let head = self.nodes[0].engine.binlog().head();
+        let published = self
+            .shared_log
+            .as_ref()
+            .expect("publish_to_log is gated on the shared-log backend")
+            .published_upto;
+        if head == published {
+            self.shared_log
+                .as_mut()
+                .expect("probed above")
+                .last_publish_quorum = None;
+            return;
+        }
+        let events = self.nodes[0].engine.binlog_from(published).to_vec();
+        let now = sim.now();
+        let now_us = now.as_micros();
+
+        let sl = self.shared_log.as_mut().expect("probed above");
+        sl.published_upto = head;
+        sl.log.append(events.len() as u64);
+        debug_assert_eq!(
+            sl.log.appended_upto(),
+            head,
+            "log and binlog LSN spaces stay aligned"
+        );
+        sl.stats.appends += 1;
+        sl.stats.records += events.len() as u64;
+        sl.pending.extend(events);
+
+        let service_us = sl.log.config().append_service_us;
+        let policy = sl.log.config().retry;
+        let quorum = sl.log.config().quorum;
+        let mut ack_instants: Vec<u64> = Vec::with_capacity(sl.timelines.len());
+        for r in 0..sl.timelines.len() {
+            // Analytic ack with re-send: when the bounded transport retry
+            // sequence gives up (sustained partition), the master buffers
+            // the append and re-sends once the replica heals — durability
+            // needs only the quorum, but the replica is not abandoned.
+            let mut sent_us = now_us;
+            let acked = loop {
+                let ack = ack_time_us(&sl.timelines[r], &policy, sent_us, service_us);
+                sl.stats.ack_retries += u64::from(ack.attempts.saturating_sub(1));
+                match ack.acked_at_us {
+                    Some(t) => break Some(t),
+                    None => {
+                        let give_up = sent_us.saturating_add(policy.give_up_after_us());
+                        match sl.timelines[r].next_up(give_up) {
+                            Some(up) => {
+                                sl.stats.ack_resends += 1;
+                                sent_us = up;
+                            }
+                            None => break None, // down forever (synthetic)
+                        }
+                    }
+                }
+            };
+            let Some(t) = acked else { continue };
+            // FIFO per replica: a log replica persists appends in order.
+            let at = SimTime::from_micros(t).max(sl.ack_clear[r]);
+            sl.ack_clear[r] = at;
+            ack_instants.push(at.as_micros());
+            sim.schedule_event_at(
+                at,
+                ClusterEvent::LogAck {
+                    replica: r,
+                    upto: head,
+                },
+            );
+        }
+        ack_instants.sort_unstable();
+        let quorum_at = if ack_instants.len() >= quorum {
+            SimTime::from_micros(ack_instants[quorum - 1])
+        } else {
+            // A quorum of replicas is partitioned past every retry: the
+            // append cannot become durable now. Bounded give-up — ack the
+            // client at the end of the retry budget and count the failure
+            // (an availability event; durability is at risk only if the
+            // master also dies before the partitions heal).
+            sl.stats.quorum_failures += 1;
+            now + SimDuration::from_micros(policy.give_up_after_us())
+        };
+        let quorum_at = quorum_at.max(sl.last_quorum_at);
+        sl.last_quorum_at = quorum_at;
+        sl.last_publish_quorum = Some(quorum_at);
+        let wait_ms = (quorum_at - now).as_millis_f64();
+        sl.stats.quorum_waits.push(wait_ms);
+        if self.obs.is_enabled() {
+            self.obs
+                .span(Component::Repl, 0, "quorum_wait", now, quorum_at);
+            self.obs
+                .observe_sketch(Component::Repl, 0, "quorum_wait_ms", wait_ms);
+            let lag = head.0
+                - self
+                    .shared_log
+                    .as_ref()
+                    .expect("probed above")
+                    .durable_upto
+                    .0;
+            self.obs
+                .tsdb_observe(Component::Repl, 0, "log_durable_lag", now, lag as f64);
+        }
+    }
+
+    /// A log replica's ack lands: advance the untimed quorum state machine,
+    /// and when the durable prefix moves, release the newly durable events —
+    /// stamp the consistency watermark (quorum durability is the master
+    /// sequence under this backend) and deliver the batch to every live
+    /// slave's relay (the log tail the read replicas follow).
+    fn log_ack(&mut self, sim: &mut dyn ClusterHost, replica: usize, upto: Lsn) {
+        let now = sim.now();
+        let sl = self
+            .shared_log
+            .as_mut()
+            .expect("LogAck events only exist under the shared-log backend");
+        let result = sl.log.ack(replica, upto);
+        let counter = match result {
+            AckResult::Durable(_) => "log_ack_durable",
+            AckResult::Pending => "log_ack_pending",
+            AckResult::DuplicateIgnored => "log_ack_duplicate",
+            AckResult::LateAfterQuorum => "log_ack_late",
+            AckResult::ReplicaDown => "log_ack_lost",
+        };
+        let newly_durable = match result {
+            AckResult::Durable(d) if d > sl.durable_upto => {
+                sl.durable_upto = d;
+                let take = sl.pending.iter().take_while(|ev| ev.lsn < d).count();
+                Some(sl.pending.drain(..take).collect::<Vec<BinlogEvent>>())
+            }
+            _ => None,
+        };
+        self.obs.incr(Component::Repl, replica as u32, counter, 1);
+        if let Some(events) = newly_durable {
+            let durable = self.shared_log.as_ref().expect("probed above").durable_upto;
+            if let Some(layer) = self.consistency.as_mut() {
+                layer.wm.note_master_seq(durable.0, now.as_millis_f64());
+            }
+            if self.obs.is_enabled() {
+                self.obs.tsdb_observe(
+                    Component::Repl,
+                    0,
+                    "log_durable_upto",
+                    now,
+                    durable.0 as f64,
+                );
+            }
+            self.deliver_durable(sim, events);
+        }
+    }
+
+    /// Fan the newly durable log events out to every live slave's relay —
+    /// the slaves' log-tail stream. Reuses the FIFO shipping channels and
+    /// the ordinary [`ClusterEvent::Deliver`] → apply pipeline, so the
+    /// watermark, waterfall, and apply-scheduler planes see exactly the
+    /// events a binlog backend would have sent, just gated on quorum.
+    fn deliver_durable(&mut self, sim: &mut dyn ClusterHost, events: Vec<BinlogEvent>) {
+        if events.is_empty() || self.relays.is_empty() {
+            return;
+        }
+        // The log service lives in the master's zone (the paper's placement
+        // keeps the write path local; cross-zone cost falls on the tails).
+        let log_zone = self.cfg.master_zone;
+        for s in 0..self.relays.len() {
+            if self.nodes[self.slave_node(s)].failed {
+                continue; // no tailer; a replacement reattaches via its relay cursor
+            }
+            let zone = self.nodes[self.slave_node(s)].inst.zone();
+            let mut at = sim.now() + self.net.delay(log_zone, zone);
+            if at < self.chan_clear[s] {
+                at = self.chan_clear[s];
+            }
+            self.chan_clear[s] = at;
+            let epoch = self.repl_epoch;
+            sim.schedule_event_at(
+                at,
+                ClusterEvent::Deliver {
+                    slave: s,
+                    epoch,
+                    events: events.clone(),
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Membership: failures, replacement, autoscaling
     // ------------------------------------------------------------------
 
@@ -2109,6 +2490,7 @@ impl Cluster {
             return;
         }
         self.nodes[0].failed = true;
+        self.master_failed_at = Some(sim.now());
         self.obs
             .instant(Component::Cluster, 0, "master_failed", sim.now());
         self.events_log.push((sim.now(), "master failed".into()));
@@ -2133,6 +2515,12 @@ impl Cluster {
     /// master's snapshot, and release parked writes.
     pub fn promote_best_slave(&mut self, sim: &mut dyn ClusterHost) {
         debug_assert!(self.nodes[0].failed, "promotion without a dead master");
+        if self.shared_log.is_some() {
+            // Shared-log backend: the log — not the master — is the
+            // authority. Recovery is a reattach, not a rebuild.
+            self.reattach_from_log(sim);
+            return;
+        }
         let Some(best) = (0..self.relays.len())
             .filter(|&s| !self.nodes[self.slave_node(s)].failed)
             .max_by_key(|&s| self.relays[s].applied_upto())
@@ -2253,6 +2641,33 @@ impl Cluster {
                 }
             }
         }
+        // Honest rebuild cost: while a slave resyncs from the new master's
+        // snapshot it cannot serve reads. `failover_resync` models the
+        // snapshot-transfer + catch-up window (None keeps the historical
+        // instant-resync behaviour and its committed baselines).
+        let mut recovered_at = sim.now();
+        if let Some(resync) = self.cfg.failover_resync {
+            for s in 0..self.relays.len() {
+                let node = self.slave_node(s);
+                if s != best && !self.nodes[node].failed {
+                    recovered_at = sim.now() + resync;
+                    self.proxy.set_alive(s, false);
+                    self.events_log
+                        .push((sim.now(), format!("slave {s} out of rotation (resync)")));
+                    sim.schedule_in(
+                        resync,
+                        Box::new(move |w: &mut Cluster, sim| {
+                            w.proxy.set_alive(s, true);
+                            w.events_log
+                                .push((sim.now(), format!("slave {s} resynced, in rotation")));
+                        }),
+                    );
+                }
+            }
+        }
+        if let Some(failed_at) = self.master_failed_at.take() {
+            self.recovery_ms = Some((recovered_at - failed_at).as_millis_f64());
+        }
         self.obs
             .instant(Component::Cluster, best as u32, "slave_promoted", sim.now());
         self.events_log.push((
@@ -2264,6 +2679,155 @@ impl Cluster {
         ));
 
         // Release parked writes.
+        for (user, op, issued) in std::mem::take(&mut self.awaiting_master) {
+            self.dispatch(sim, user, op, issued);
+        }
+        for (id, op) in std::mem::take(&mut self.awaiting_master_injected) {
+            self.inject_op(sim, id, op);
+        }
+    }
+
+    /// Shared-log failover: promote the most caught-up live slave and
+    /// *reattach* it to the log at the last durable-quorum LSN. The log —
+    /// not the dead master — is the database: every quorum-acked write
+    /// survives (`lost_writes` counts only the never-acked tail past the
+    /// published/durable frontier), the LSN space continues, and therefore
+    /// the watermark table, session tokens, and replication epoch all
+    /// survive too — no snapshot resync, no `reset_all`.
+    fn reattach_from_log(&mut self, sim: &mut dyn ClusterHost) {
+        let Some(best) = (0..self.relays.len())
+            .filter(|&s| !self.nodes[self.slave_node(s)].failed)
+            .max_by_key(|&s| self.relays[s].applied_upto())
+        else {
+            return; // no live slave to promote; writes stay parked
+        };
+        let now = sim.now();
+        let published = self
+            .shared_log
+            .as_ref()
+            .expect("reattach_from_log is gated on the shared-log backend")
+            .published_upto;
+
+        // Writes the dead master committed locally but never published to
+        // the log are gone — and were never client-acked (the quorum gate
+        // fires only after publish). Everything up to `published` is in the
+        // log or in flight to it; the reattach replays it below.
+        let old_head = self.nodes[0].engine.binlog().head();
+        self.lost_writes += old_head.0.saturating_sub(published.0);
+
+        // Catch the promoted slave up from the log: the tail
+        // [applied_upto(best), published) replays from the corpse's binlog
+        // (same record bytes the log holds — the sim keeps one copy).
+        let applied_best = self.relays[best].applied_upto();
+        let missing: Vec<BinlogEvent> = self.nodes[0]
+            .engine
+            .binlog_from(applied_best)
+            .iter()
+            .filter(|ev| ev.lsn < published)
+            .cloned()
+            .collect();
+
+        let best_node = self.slave_node(best);
+        self.nodes.swap(0, best_node);
+        self.nodes[0].gen += 1;
+        self.nodes[0].failed = false;
+        self.nodes[0].busy = false;
+        self.nodes[best_node].gen += 1;
+        self.nodes[best_node].busy = false;
+
+        // Replay the durable tail functionally, then promote at the
+        // published LSN so the new master's binlog continues the space.
+        let mut replay_demand_us = 0.0;
+        let now_micros = self.nodes[0].inst.clock.read(now).0;
+        for ev in &missing {
+            let res = self.nodes[0]
+                .engine
+                .apply_event(ev, now_micros)
+                .unwrap_or_else(|e| panic!("reattach replay of {:?} failed: {e}", ev.lsn));
+            replay_demand_us += self.cost.apply_demand_us(&res);
+        }
+        self.nodes[0]
+            .engine
+            .promote_to_master_at(self.cfg.format, published);
+        self.relays[best] = RelayQueue::starting_at(published);
+        self.chan_clear[best] = now;
+        self.proxy.set_alive(best, false); // that slot now holds the corpse
+        if let Some(layer) = self.consistency.as_mut() {
+            // The slot now holds the dead node; its watermark restarts when
+            // a replacement attaches. No global reset: the LSN space lives.
+            layer.wm.reset_slave(best, published.0);
+        }
+
+        // Both swapped slots' queued work re-enters dispatch (reads that
+        // were queued on the promoted slave reroute; the corpse's queue
+        // drains the same way the binlog path does it).
+        for node in [0usize, best_node] {
+            let orphans: Vec<Job> = self.nodes[node].queue.drain(..).collect();
+            for job in orphans {
+                match job {
+                    Job::ClientOp {
+                        user,
+                        op,
+                        issued,
+                        routed_slave,
+                        ..
+                    } => {
+                        if let Some(rs) = routed_slave {
+                            self.proxy.read_done(rs, 1.0);
+                        }
+                        self.dispatch(sim, user, op, issued);
+                    }
+                    Job::Injected {
+                        id,
+                        op,
+                        routed_slave,
+                        ..
+                    } => {
+                        if let Some(rs) = routed_slave {
+                            self.proxy.read_done(rs, 1.0);
+                        }
+                        self.inject_op(sim, id, op);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Charge the replay to the new master's CPU: parked writes released
+        // below queue behind it on the FIFO core, exactly the recovery
+        // window the experiments measure.
+        let replay_done = if replay_demand_us > 0.0 {
+            self.nodes[0].inst.cpu.submit(
+                now,
+                SimDuration::from_micros(replay_demand_us.round() as u64),
+            )
+        } else {
+            now
+        };
+        if let Some(failed_at) = self.master_failed_at.take() {
+            self.recovery_ms = Some((replay_done - failed_at).as_millis_f64());
+        }
+        {
+            let sl = self.shared_log.as_mut().expect("probed above");
+            sl.recovery = Some((published, missing.len() as u64));
+            // The new master publishes from `published`; acks already in
+            // flight for ≤ published are still valid (same LSN space).
+            sl.pending.retain(|ev| ev.lsn >= published);
+        }
+
+        self.obs
+            .instant(Component::Cluster, best as u32, "slave_reattached", now);
+        self.events_log.push((
+            now,
+            format!(
+                "slave {best} promoted via log reattach at lsn {} ({} event(s) replayed, {} lost)",
+                published.0,
+                missing.len(),
+                self.lost_writes
+            ),
+        ));
+
+        // Release parked writes; they run after the replay drains.
         for (user, op, issued) in std::mem::take(&mut self.awaiting_master) {
             self.dispatch(sim, user, op, issued);
         }
@@ -2485,6 +3049,27 @@ impl Cluster {
                 served_staleness_max_ms: l.served_staleness.max(),
                 served_staleness_samples: l.served_staleness.count(),
             }),
+            shared_log: self.shared_log.as_ref().map(|sl| {
+                let horizon_us = self.phases.hard_end().as_micros();
+                SharedLogReport {
+                    appends: sl.stats.appends,
+                    records: sl.stats.records,
+                    durable_lsn: sl.durable_upto.0,
+                    published_lsn: sl.published_upto.0,
+                    quorum_wait_mean_ms: sl.stats.quorum_waits.mean(),
+                    quorum_wait_max_ms: sl.stats.quorum_waits.max(),
+                    ack_retries: sl.stats.ack_retries,
+                    ack_resends: sl.stats.ack_resends,
+                    quorum_failures: sl.stats.quorum_failures,
+                    replica_downtime_ms: sl
+                        .timelines
+                        .iter()
+                        .map(|tl| tl.downtime_us(horizon_us) as f64 / 1_000.0)
+                        .collect(),
+                    recovery: sl.recovery.map(|(lsn, replayed)| (lsn.0, replayed)),
+                }
+            }),
+            recovery_ms: self.recovery_ms,
             sim_events,
         }
     }

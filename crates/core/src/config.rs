@@ -5,7 +5,7 @@ use amdb_cloudstone::{DataSize, MixConfig, WorkloadConfig};
 use amdb_consistency::ConsistencyConfig;
 use amdb_net::{NetConfig, Region, Zone};
 use amdb_obs::ObsConfig;
-use amdb_repl::ReplMode;
+use amdb_repl::{BackendKind, FaultTimeline, LogStoreConfig, ReplMode};
 use amdb_sim::SimDuration;
 use amdb_sql::binlog::BinlogFormat;
 use amdb_sql::cost::CostModel;
@@ -115,6 +115,82 @@ pub struct MasterFaultPlan {
     pub detection_delay: SimDuration,
 }
 
+/// Per-log-replica fault injection for the shared-log backend: each of the
+/// log service's replicas gets an independent, seeded schedule of
+/// unreachability windows (crash and network partition look identical to
+/// the appender: no ack) and slow-disk windows (stretched append service
+/// time). Appends ride the backend's retry/timeout/backoff discipline
+/// through the windows; durability needs only the quorum, so a single
+/// faulted replica costs latency, not writes.
+#[derive(Debug, Clone)]
+pub struct LogFaultPlan {
+    /// Mean time between unreachability windows, per replica.
+    pub mtbf: SimDuration,
+    /// Mean unreachability window length (heal time).
+    pub mttr: SimDuration,
+    /// Mean time between slow-disk windows (`None` = no slow-disk faults).
+    pub slow_mtbf: Option<SimDuration>,
+    /// Mean slow-disk window length.
+    pub slow_mttr: SimDuration,
+    /// Append service-time multiplier inside a slow-disk window.
+    pub slow_factor: f64,
+}
+
+impl Default for LogFaultPlan {
+    fn default() -> Self {
+        Self {
+            mtbf: SimDuration::from_secs(60),
+            mttr: SimDuration::from_secs(2),
+            slow_mtbf: None,
+            slow_mttr: SimDuration::from_secs(5),
+            slow_factor: 8.0,
+        }
+    }
+}
+
+impl LogFaultPlan {
+    /// Draw one replica's fault schedule over `[0, horizon_us)`: alternating
+    /// exponential up/down intervals for unreachability, and an independent
+    /// slow-disk schedule when `slow_mtbf` is set. Pure function of the RNG
+    /// stream — the cluster derives one stream per log replica, so schedules
+    /// are independent across replicas and identical across reruns.
+    pub fn timeline(&self, rng: &mut amdb_sim::Rng, horizon_us: u64) -> FaultTimeline {
+        let down = draw_windows(rng, self.mtbf, self.mttr, horizon_us);
+        let slow = match self.slow_mtbf {
+            None => Vec::new(),
+            Some(mtbf) => draw_windows(rng, mtbf, self.slow_mttr, horizon_us)
+                .into_iter()
+                .map(|(s, e)| (s, e, self.slow_factor))
+                .collect(),
+        };
+        FaultTimeline::from_windows(down, slow)
+    }
+}
+
+/// Alternating exp(up)/exp(down) windows until `horizon_us`. Windows are
+/// sorted and disjoint by construction (time only moves forward).
+fn draw_windows(
+    rng: &mut amdb_sim::Rng,
+    mtbf: SimDuration,
+    mttr: SimDuration,
+    horizon_us: u64,
+) -> Vec<(u64, u64)> {
+    let mut windows = Vec::new();
+    let mut t = 0u64;
+    loop {
+        let up_us = (rng.exp(mtbf.as_secs_f64()) * 1e6).max(1.0) as u64;
+        t = t.saturating_add(up_us);
+        if t >= horizon_us {
+            break;
+        }
+        let len_us = (rng.exp(mttr.as_secs_f64()) * 1e6).max(1.0) as u64;
+        let end = t.saturating_add(len_us);
+        windows.push((t, end));
+        t = end;
+    }
+    windows
+}
+
 /// Application-managed autoscaling: monitor replica staleness and launch
 /// additional slaves when it violates the SLO. This implements the
 /// "application can have the full control in dynamically allocating ...
@@ -158,6 +234,24 @@ pub struct ClusterConfig {
     pub workload: WorkloadConfig,
     pub mode: ReplMode,
     pub format: BinlogFormat,
+    /// Replication backend: binlog fan-out (statement/row) or the
+    /// Taurus-style shared log. `Statement` (the default) is the paper's
+    /// pipeline, bit-identical to pre-backend builds; `Row` is fan-out with
+    /// `format = Row`; `SharedLog` routes commits through a quorum-
+    /// replicated log service and gates delivery on durability.
+    pub backend: BackendKind,
+    /// Shape of the shared log service (replica count, quorum, append
+    /// service time, retry policy). Ignored unless `backend == SharedLog`.
+    pub log_store: LogStoreConfig,
+    /// Per-log-replica fault injection. Ignored unless `backend ==
+    /// SharedLog`; `None` runs a healthy log service.
+    pub log_faults: Option<LogFaultPlan>,
+    /// When set, slaves resynchronized from a snapshot after a master
+    /// failover leave the read rotation for this long (the honest rebuild
+    /// cost the binlog backends pay; a shared-log reattach skips it).
+    /// `None` (the default) keeps the historical instantaneous resync —
+    /// and bit-identical behaviour.
+    pub failover_resync: Option<SimDuration>,
     /// Simulated apply workers per slave (1 = the classic serial SQL
     /// thread, the paper's MySQL setup). With more workers, each slave
     /// drains its relay in writeset-dependency batches planned by
@@ -248,6 +342,10 @@ impl Default for ClusterBuilder {
                 workload: WorkloadConfig::paper(50),
                 mode: ReplMode::Async,
                 format: BinlogFormat::Statement,
+                backend: BackendKind::Statement,
+                log_store: LogStoreConfig::default(),
+                log_faults: None,
+                failover_resync: None,
                 apply_workers: 1,
                 balancer: BalancerKind::RoundRobin,
                 balancer_start: 0,
@@ -319,6 +417,39 @@ impl ClusterBuilder {
     /// Binlog format (statement is the paper's setup).
     pub fn format(mut self, f: BinlogFormat) -> Self {
         self.cfg.format = f;
+        self
+    }
+
+    /// Replication backend. `SharedLog` also forces the row binlog format
+    /// (log records are physical); `Row` forces `format = Row`; `Statement`
+    /// leaves the format untouched so existing configs stay bit-identical.
+    pub fn backend(mut self, b: BackendKind) -> Self {
+        self.cfg.backend = b;
+        match b {
+            BackendKind::Statement => {}
+            BackendKind::Row | BackendKind::SharedLog => {
+                self.cfg.format = BinlogFormat::Row;
+            }
+        }
+        self
+    }
+
+    /// Shared-log service shape (replicas, quorum, retry policy).
+    pub fn log_store(mut self, c: LogStoreConfig) -> Self {
+        self.cfg.log_store = c;
+        self
+    }
+
+    /// Per-log-replica fault injection for the shared-log backend.
+    pub fn log_faults(mut self, p: LogFaultPlan) -> Self {
+        self.cfg.log_faults = Some(p);
+        self
+    }
+
+    /// Charge snapshot-resynced slaves this much out-of-rotation time
+    /// after a master failover (binlog backends' rebuild cost).
+    pub fn failover_resync(mut self, d: SimDuration) -> Self {
+        self.cfg.failover_resync = Some(d);
         self
     }
 

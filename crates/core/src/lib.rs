@@ -27,15 +27,16 @@ pub mod config;
 pub mod report;
 pub mod sharded;
 
-pub use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, FallbackPolicy};
+pub use amdb_consistency::{ConsistencyConfig, ConsistencyPolicy, FallbackPolicy, SeqSource};
 pub use amdb_obs::ObsConfig;
+pub use amdb_repl::{BackendKind, FaultTimeline, LogStoreConfig, RetryPolicy};
 pub use amdb_telemetry::{Telemetry, TelemetryConfig};
 pub use cluster::{run_cluster, run_cluster_observed, run_cluster_telemetry, Cluster};
 pub use config::{
-    AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, MasterFaultPlan,
-    Placement, WorkloadKind,
+    AutoscaleConfig, BalancerKind, ClusterBuilder, ClusterConfig, FaultPlan, LogFaultPlan,
+    MasterFaultPlan, Placement, WorkloadKind,
 };
-pub use report::{ConsistencyReport, DelayReport, RunReport};
+pub use report::{ConsistencyReport, DelayReport, RunReport, SharedLogReport};
 pub use sharded::{
     run_sharded_cluster, run_sharded_observed, run_sharded_telemetry, run_sharded_with_template,
     FleetObsBundle, ShardedConfig, ShardedReport,

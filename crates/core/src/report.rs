@@ -60,6 +60,36 @@ impl ConsistencyReport {
     }
 }
 
+/// Shared-log service statistics for one run (present only when the run was
+/// configured with `ClusterConfig::backend(BackendKind::SharedLog)`).
+#[derive(Debug, Clone)]
+pub struct SharedLogReport {
+    /// Append batches the master published to the log service.
+    pub appends: u64,
+    /// Log records (binlog events) published.
+    pub records: u64,
+    /// Quorum-durable prefix at end of run.
+    pub durable_lsn: u64,
+    /// Published (appended) prefix at end of run.
+    pub published_lsn: u64,
+    /// Mean wait from publish to quorum durability (ms).
+    pub quorum_wait_mean_ms: Option<f64>,
+    /// Worst publish→quorum wait (ms).
+    pub quorum_wait_max_ms: Option<f64>,
+    /// Transport-level append retries (timeout + backoff re-attempts).
+    pub ack_retries: u64,
+    /// Application-level re-sends after the transport retry budget gave up
+    /// (sustained partitions; the replica was re-fed after healing).
+    pub ack_resends: u64,
+    /// Appends that could not reach quorum inside the full retry budget.
+    pub quorum_failures: u64,
+    /// Per-log-replica scheduled downtime over the run horizon (ms).
+    pub replica_downtime_ms: Vec<f64>,
+    /// Failover reattach, if one happened: (reattach LSN, events replayed
+    /// on the promoted slave to reach it).
+    pub recovery: Option<(u64, u64)>,
+}
+
 /// The outcome of one full benchmark run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -111,6 +141,13 @@ pub struct RunReport {
     pub pool_stats: (u64, u64),
     /// Consistency-layer statistics (None unless the run opted in).
     pub consistency: Option<ConsistencyReport>,
+    /// Shared-log service statistics (None unless the run used the
+    /// shared-log backend).
+    pub shared_log: Option<SharedLogReport>,
+    /// Failure → fully-recovered window of the (single) master failover, ms.
+    /// Statement backend: promotion + snapshot resync (`failover_resync`).
+    /// Shared-log backend: promotion + durable-tail replay.
+    pub recovery_ms: Option<f64>,
     /// Events executed by the simulation kernel (diagnostics).
     pub sim_events: u64,
 }
@@ -173,6 +210,8 @@ mod tests {
             apply_events: 0,
             pool_stats: (0, 0),
             consistency: None,
+            shared_log: None,
+            recovery_ms: None,
             sim_events: 0,
         };
         assert_eq!(r.avg_relative_delay_ms(), Some(15.0));

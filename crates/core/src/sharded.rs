@@ -214,6 +214,9 @@ struct InFlight {
     all_slave: bool,
     /// Scatter legs only: per-leg consistency filter + staleness tracking.
     gather: Option<Gather<()>>,
+    /// Scatter legs only: the operation, retained so an all-legs-filtered
+    /// gather can re-dispatch it as a master-routed fallback leg.
+    op: Option<Operation>,
 }
 
 #[derive(Default)]
@@ -229,6 +232,9 @@ struct FrontStats {
     scatter_legs: u64,
     /// Scatter legs dropped by the per-leg consistency filter.
     scatter_filtered_legs: u64,
+    /// Scattered reads whose legs were *all* filtered and which therefore
+    /// re-ran as a master-routed fallback leg.
+    scatter_master_fallbacks: u64,
 }
 
 /// The shard-aware front: user loops, connection pool, shard map, and the
@@ -388,6 +394,7 @@ impl ShardedWorld {
                     pending: n as u32,
                     all_slave: true,
                     gather: Some(Gather::new(n, self.front.leg_policy)),
+                    op: Some(op.clone()),
                 },
             );
             for k in 0..n {
@@ -408,6 +415,7 @@ impl ShardedWorld {
                     pending: 1,
                     all_slave: true,
                     gather: None,
+                    op: None,
                 },
             );
             let mut host = TreeHost {
@@ -472,6 +480,52 @@ impl ShardedWorld {
         // standalone respond path does before touching stats.
         if let Some(s) = done.routed_slave {
             self.trees[shard as usize].note_read_done(s, leg_latency_ms);
+        }
+        if pending == 0 {
+            // All-legs-filtered fallback: the consistency filter dropped
+            // every leg, so completing now would hand the user an empty
+            // result that *violates* the staleness bound it was filtered
+            // under. Re-run the read as one master-routed leg on its owning
+            // shard — deterministic (no RNG, no balancer) and fresh by
+            // definition. The entry stays in flight with the gather gone,
+            // so the fallback completion takes the plain single-leg path.
+            let fallback = {
+                let fl = self
+                    .front
+                    .inflight
+                    .get_mut(&done.id)
+                    .expect("entry existed above");
+                if fl.gather.as_ref().is_some_and(|g| g.all_legs_filtered()) {
+                    let g = fl.gather.take().expect("checked above");
+                    fl.pending = 1;
+                    fl.all_slave = false;
+                    Some((g, fl.op.take().expect("scattered ops retain their op")))
+                } else {
+                    None
+                }
+            };
+            if let Some((g, op)) = fallback {
+                self.front.stats.scatter_filtered_legs += u64::from(g.filtered_legs());
+                self.front.stats.scatter_master_fallbacks += 1;
+                let home = self.front.map.shard_of_opt(shard_key_of(&op)) as usize;
+                self.front
+                    .obs
+                    .incr(Component::Proxy, home as u32, "scatter_master_fallback", 1);
+                self.front.obs.flow(
+                    FlowPhase::Step,
+                    Component::Proxy,
+                    home as u32,
+                    "scatter_gather",
+                    now,
+                    done.id,
+                );
+                let mut host = TreeHost {
+                    sim: &mut *sim,
+                    shard: home as u32,
+                };
+                self.trees[home].inject_op_master(&mut host, done.id, op);
+                return;
+            }
         }
         if pending > 0 {
             return;
@@ -603,6 +657,7 @@ impl ShardedWorld {
             scatter_reads_steady: s.scatter_reads_steady,
             scatter_legs: s.scatter_legs,
             scatter_filtered_legs: s.scatter_filtered_legs,
+            scatter_master_fallbacks: s.scatter_master_fallbacks,
             pool_stats: (
                 self.front.pool.total_acquired(),
                 self.front.pool.total_waited(),
@@ -634,6 +689,9 @@ pub struct ShardedReport {
     pub scatter_legs: u64,
     /// Legs dropped by the per-leg consistency filter.
     pub scatter_filtered_legs: u64,
+    /// Scattered reads that re-ran as a master fallback leg because every
+    /// scatter leg was filtered.
+    pub scatter_master_fallbacks: u64,
     /// (total acquired, total waited) at the front's connection pool.
     pub pool_stats: (u64, u64),
     /// Peak pool-waiter count over the steady window.
@@ -826,6 +884,69 @@ mod tests {
             assert!(reads > 0, "shard {k} served no slave reads");
         }
         assert!(r.steady_ops > 0);
+    }
+
+    /// Satellite fix: a scattered read whose legs are *all* dropped by the
+    /// consistency filter must re-run as one master-routed leg and still
+    /// complete — never finish with zero legs. Drives `op_done` directly
+    /// with a gather one over-bound leg away from completion.
+    #[test]
+    fn all_filtered_scatter_falls_back_to_master_leg() {
+        let base = quick_cfg(8, 1, 17);
+        let cfg = ShardedConfig::new(2, base).cross_shard_read_fraction(1.0);
+        let root = Rng::new(cfg.base.seed);
+        let mut load_rng = root.derive("load");
+        let (template, counters) = build_template(cfg.base.data_size, &mut load_rng);
+        let mut sim: ShardedSim = Sim::new();
+        let mut world = ShardedWorld::new(&cfg, &template, counters);
+        // One scattered read in flight, bound 1 ms; shard 0's leg already
+        // arrived 50 ms stale (filtered), shard 1's is about to.
+        let op = world.front.gen.generate_read();
+        // The completion path releases a pool slot; hold one for the
+        // synthetic op like dispatch_front would have.
+        assert!(matches!(
+            world.front.pool.acquire(sim.now()),
+            Acquire::Ready
+        ));
+        let mut g = Gather::new(2, ConsistencyPolicy::BoundedStaleness { max_ms: 1.0 });
+        g.offer(0, 50.0, Vec::new());
+        world.front.inflight.insert(
+            99,
+            InFlight {
+                user: 0,
+                class: OpClass::Read,
+                issued: sim.now(),
+                pending: 1,
+                all_slave: true,
+                gather: Some(g),
+                op: Some(op),
+            },
+        );
+        world.op_done(
+            &mut sim,
+            1,
+            InjectedDone {
+                id: 99,
+                // `None` keeps the balancer's outstanding counts honest —
+                // this synthetic leg was never routed through the proxy.
+                routed_slave: None,
+                staleness_ms: 40.0,
+            },
+        );
+        assert_eq!(world.front.stats.scatter_master_fallbacks, 1);
+        assert_eq!(world.front.stats.scatter_filtered_legs, 2);
+        let fl = world.front.inflight.get(&99).expect("still in flight");
+        assert_eq!(fl.pending, 1, "one fallback leg outstanding");
+        assert!(fl.gather.is_none(), "fallback completes as a plain read");
+        assert!(!fl.all_slave, "fallback leg is master-served");
+        // Drain: the fallback leg must complete the op (the user loop it
+        // hands off to then runs the rest of the workload).
+        sim.run(&mut world);
+        assert!(
+            !world.front.inflight.contains_key(&99),
+            "fallback leg completed the read"
+        );
+        assert_eq!(world.front.stats.scatter_master_fallbacks, 1);
     }
 
     /// Scatter-gather fans a read out to every tree under one id, and the

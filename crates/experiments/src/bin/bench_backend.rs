@@ -1,0 +1,120 @@
+//! Backend benchmark: times the quick fig2/fig5 grid under each replication
+//! backend (best-of-N, serial), fingerprints the rendered tables, and
+//! asserts the statement backend renders byte-identically to the flag-less
+//! default grid — the backend trait must be invisible until opted into.
+//!
+//! ```text
+//! cargo run --release -p amdb-experiments --bin bench_backend
+//! ```
+//!
+//! Writes `BENCH_backend.json` (schema-checked by ci.sh).
+use amdb_core::BackendKind;
+use amdb_experiments::{sweep, Fidelity};
+use std::time::Instant;
+
+/// FNV-1a over the rendered bytes: the output fingerprint pinned across
+/// runs (and across `--jobs` counts, checked separately by ci.sh).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Repetitions per grid; best-of-N is reported (the workload is
+/// deterministic, so the minimum is the least-polluted measurement).
+const REPS: usize = 3;
+
+fn time_grid(backend: Option<BackendKind>) -> (f64, u64) {
+    let mut spec = sweep::SweepSpec::fig2_fig5(Fidelity::Quick);
+    if let Some(b) = backend {
+        spec.backend = b;
+    }
+    let mut best = f64::INFINITY;
+    let mut fp = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let results = sweep::run_sweep(&spec, &sweep::SweepOptions::serial());
+        let secs = t0.elapsed().as_secs_f64();
+        let mut rendered = String::new();
+        for r in &results {
+            rendered.push_str(&r.throughput.render());
+            rendered.push('\n');
+            rendered.push_str(&r.delay.render());
+            rendered.push('\n');
+        }
+        let this_fp = fnv64(rendered.as_bytes());
+        match fp {
+            None => fp = Some(this_fp),
+            Some(prev) => assert_eq!(
+                prev, this_fp,
+                "sweep output changed between repetitions — nondeterminism"
+            ),
+        }
+        best = best.min(secs);
+    }
+    (best, fp.expect("REPS >= 1"))
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (s_default, fp_default) = time_grid(None);
+    eprintln!(
+        "[bench_backend] default grid (best of {REPS}): {s_default:.3}s fp={fp_default:016x}"
+    );
+
+    let mut timed = Vec::new();
+    for b in [
+        BackendKind::Statement,
+        BackendKind::Row,
+        BackendKind::SharedLog,
+    ] {
+        let (s, fp) = time_grid(Some(b));
+        eprintln!(
+            "[bench_backend] {} grid (best of {REPS}): {s:.3}s fp={fp:016x}",
+            b.name()
+        );
+        timed.push((b, s, fp));
+    }
+
+    let (_, s_stmt, fp_stmt) = timed[0];
+    let (_, s_row, fp_row) = timed[1];
+    let (_, s_log, fp_log) = timed[2];
+    assert_eq!(
+        fp_stmt, fp_default,
+        "--backend statement must render byte-identically to the default grid"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fig2/fig5 quick grid per backend, serial best-of-{}\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"default\": {{ \"current_s\": {:.3}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"statement\": {{ \"current_s\": {:.3}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"row\": {{ \"current_s\": {:.3}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"shared_log\": {{ \"current_s\": {:.3}, \"fingerprint\": \"{:016x}\" }},\n",
+            "  \"statement_matches_default\": true,\n",
+            "  \"shared_log_overhead_x\": {:.2}\n",
+            "}}\n"
+        ),
+        REPS,
+        host_cores,
+        s_default,
+        fp_default,
+        s_stmt,
+        fp_stmt,
+        s_row,
+        fp_row,
+        s_log,
+        fp_log,
+        s_log / s_stmt.max(1e-9),
+    );
+    std::fs::write("BENCH_backend.json", &json).expect("write BENCH_backend.json");
+    println!("{json}");
+}

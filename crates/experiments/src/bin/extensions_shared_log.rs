@@ -1,0 +1,25 @@
+//! Run the E-SL shared-log experiments: backend comparison grid, per-backend
+//! master failover, and the log-replica fault (MTBF) grid.
+//! Pass `--full` for the paper-scale grids and `--jobs N` (or `AMDB_JOBS=N`)
+//! to pick the worker count — the output is byte-identical either way.
+use amdb_experiments::{exec, shared_log, write_results_csv, Fidelity};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let jobs = exec::jobs_from_args();
+
+    let grid = shared_log::backends(f, jobs);
+    let t = shared_log::backends_table(&grid);
+    println!("{}", t.render());
+    write_results_csv("extensions_shared_log", "backends", &t);
+
+    let fo = shared_log::failover(f, jobs);
+    let t = shared_log::failover_table(&fo);
+    println!("{}", t.render());
+    write_results_csv("extensions_shared_log", "failover", &t);
+
+    let fg = shared_log::fault_grid(f, jobs);
+    let t = shared_log::fault_grid_table(&fg);
+    println!("{}", t.render());
+    write_results_csv("extensions_shared_log", "faults", &t);
+}

@@ -1,11 +1,16 @@
 //! Regenerate Fig. 2: end-to-end throughput, 50/50 mix, data size 300.
 //! Default runs a thinned quick grid; pass `--full` for the paper grid and
-//! `--jobs N` (or `AMDB_JOBS=N`) to pick the worker count.
+//! `--jobs N` (or `AMDB_JOBS=N`) to pick the worker count; `--backend
+//! statement|row|shared-log` re-runs the grid under that replication
+//! backend (`statement` is byte-identical to the flag-less default).
 use amdb_experiments::{exec, sweep, Fidelity};
 
 fn main() {
     let fidelity = Fidelity::from_args();
-    let spec = sweep::SweepSpec::fig2_fig5(fidelity);
+    let mut spec = sweep::SweepSpec::fig2_fig5(fidelity);
+    if let Some(b) = exec::backend_from_args() {
+        spec.backend = b;
+    }
     let opts = sweep::SweepOptions::with_progress(exec::jobs_from_args(), "[fig2] ");
     let results = sweep::run_sweep(&spec, &opts);
     for r in &results {

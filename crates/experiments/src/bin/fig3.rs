@@ -7,7 +7,10 @@ use amdb_experiments::{exec, sweep, Fidelity};
 
 fn main() {
     let fidelity = Fidelity::from_args();
-    let spec = sweep::SweepSpec::fig3_fig6(fidelity);
+    let mut spec = sweep::SweepSpec::fig3_fig6(fidelity);
+    if let Some(b) = exec::backend_from_args() {
+        spec.backend = b;
+    }
     let opts = sweep::SweepOptions::with_progress(exec::jobs_from_args(), "[fig3] ");
     let results = sweep::run_sweep(&spec, &opts);
     for r in &results {

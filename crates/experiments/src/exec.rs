@@ -69,6 +69,30 @@ pub fn shards_from_args() -> Option<u32> {
     None
 }
 
+/// `--backend statement|row|shared-log` (or `--backend=<name>`) from argv:
+/// binaries that support the replication-backend knob use it to re-run
+/// their grid under a different backend. `None` when absent — the binary's
+/// default (statement) path, byte-identical to pre-knob output.
+pub fn backend_from_args() -> Option<amdb_repl::BackendKind> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            if let Some(b) = args
+                .next()
+                .as_deref()
+                .and_then(amdb_repl::BackendKind::parse)
+            {
+                return Some(b);
+            }
+        } else if let Some(v) = a.strip_prefix("--backend=") {
+            if let Some(b) = amdb_repl::BackendKind::parse(v) {
+                return Some(b);
+            }
+        }
+    }
+    None
+}
+
 /// Where progress lines go.
 #[derive(Debug, Clone)]
 pub enum Progress {

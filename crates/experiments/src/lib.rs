@@ -16,6 +16,7 @@
 //! | [`consistency`] | E-C throughput vs staleness bound (amdb-consistency) |
 //! | [`parallel_apply`] | E-PA staleness vs apply workers (amdb-apply) |
 //! | [`sharded`] | fig2_sharded scale-out past the single-master ceiling (amdb-shard) |
+//! | [`shared_log`] | E-SL backend comparison + fault-injected quorum recovery (amdb-repl) |
 //! | [`calib`]   | calibration constants + their derivation checks |
 //! | [`obs_report`] | observed run + steady-window bottleneck attribution |
 //! | [`obs_slo`] | online SLO/alert sweep with delay-surge attribution |
@@ -35,6 +36,7 @@ pub mod parallel_apply;
 pub mod perfvar;
 pub mod rtt;
 pub mod sharded;
+pub mod shared_log;
 pub mod sweep;
 
 /// Write a results table as CSV under `results/` (best-effort: failures to

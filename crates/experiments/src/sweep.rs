@@ -18,7 +18,7 @@ use crate::calib::paper_cost_model;
 use crate::exec::{parallel_map, Progress};
 use crate::Fidelity;
 use amdb_cloudstone::{build_template, DataCounters, DataSize, MixConfig, Phases, WorkloadConfig};
-use amdb_core::{Cluster, ClusterConfig, Placement, RunReport};
+use amdb_core::{BackendKind, Cluster, ClusterConfig, Placement, RunReport};
 use amdb_metrics::Table;
 use amdb_sim::{Rng, Sim};
 use amdb_sql::Engine;
@@ -35,6 +35,10 @@ pub struct SweepSpec {
     pub placements: Vec<Placement>,
     pub phases: Phases,
     pub seed: u64,
+    /// Replication backend for every cell. `Statement` replays the exact
+    /// default pipeline, so `--backend statement` output is byte-identical
+    /// to a flag-less run (cross-diffed by ci.sh).
+    pub backend: BackendKind,
 }
 
 impl SweepSpec {
@@ -51,6 +55,7 @@ impl SweepSpec {
                 placements: Placement::PAPER_SET.to_vec(),
                 phases: Phases::paper(),
                 seed: 42,
+                backend: BackendKind::Statement,
             },
             Fidelity::Quick => SweepSpec {
                 name: "fig2/fig5 quick (50/50, size 300)",
@@ -61,6 +66,7 @@ impl SweepSpec {
                 placements: vec![Placement::SameZone],
                 phases: Phases::quick(),
                 seed: 42,
+                backend: BackendKind::Statement,
             },
         }
     }
@@ -77,6 +83,7 @@ impl SweepSpec {
                 placements: Placement::PAPER_SET.to_vec(),
                 phases: Phases::paper(),
                 seed: 43,
+                backend: BackendKind::Statement,
             },
             Fidelity::Quick => SweepSpec {
                 name: "fig3/fig6 quick (80/20, size 600)",
@@ -87,6 +94,7 @@ impl SweepSpec {
                 placements: vec![Placement::SameZone],
                 phases: Phases::quick(),
                 seed: 43,
+                backend: BackendKind::Statement,
             },
         }
     }
@@ -112,6 +120,7 @@ impl SweepSpec {
             .data_size(self.data_size)
             .workload(workload)
             .cost(paper_cost_model())
+            .backend(self.backend)
             .seed(self.cell_seed(placement, slaves, users))
             .build()
     }

@@ -18,14 +18,25 @@
 //!   and a microsecond local timestamp; statement-based replication
 //!   re-executes the insert on each slave with the slave's own clock, and
 //!   the delay is the difference of the two timestamps (§III-A);
+//! * [`backend`] — the [`ReplicationBackend`] seam: binlog fan-out
+//!   (statement or row) vs. the Taurus-style shared log, behind one trait so
+//!   the experiments can compare the designs;
+//! * [`logstore`] — the quorum-replicated shared log service with
+//!   per-replica fault timelines and retry/timeout/backoff;
 //! * [`ReplicatedDb`] — an untimed master+slaves bundle for direct library
 //!   use (ship/apply immediately); the *timed* cluster lives in `amdb-core`.
 
+pub mod backend;
 pub mod heartbeat;
+pub mod logstore;
 pub mod relay;
 
+pub use backend::{backend_for, BackendKind, BinlogFanout, ReplicationBackend, SharedLogBackend};
 pub use heartbeat::{
     collect_samples, HeartbeatPlugin, HeartbeatSample, HEARTBEAT_SCHEMA, HEARTBEAT_TABLE,
+};
+pub use logstore::{
+    ack_time_us, AckResult, FaultTimeline, LogStore, LogStoreConfig, ReplicaAck, RetryPolicy,
 };
 pub use relay::RelayQueue;
 
@@ -68,6 +79,8 @@ pub struct ReplicatedDb {
     master: Engine,
     master_session: Session,
     slaves: Vec<(Engine, RelayQueue)>,
+    /// The publish/tail plane between the master's commits and the relays.
+    backend: Box<dyn ReplicationBackend>,
     /// Logical clock fed to `NOW_MICROS()`; bump via [`Self::set_now_micros`].
     now_micros: i64,
     /// Simulated apply workers per slave (1 = the classic serial SQL
@@ -76,17 +89,39 @@ pub struct ReplicatedDb {
 }
 
 impl ReplicatedDb {
-    /// Build a replicated database with `n_slaves` empty slaves.
+    /// Build a replicated database with `n_slaves` empty slaves, on the
+    /// binlog fan-out backend matching `format`.
     pub fn new(format: BinlogFormat, n_slaves: usize) -> Self {
+        let kind = match format {
+            BinlogFormat::Statement => BackendKind::Statement,
+            BinlogFormat::Row => BackendKind::Row,
+        };
+        Self::with_backend(kind, n_slaves)
+    }
+
+    /// Build a replicated database on an explicit backend kind (the binlog
+    /// format follows the backend: shared log ships row images).
+    pub fn with_backend(kind: BackendKind, n_slaves: usize) -> Self {
         Self {
-            master: Engine::new_master(format),
+            master: Engine::new_master(kind.format()),
             master_session: Session::new(),
             slaves: (0..n_slaves)
                 .map(|_| (Engine::new_slave(), RelayQueue::new()))
                 .collect(),
+            backend: backend_for(kind),
             now_micros: 0,
             apply_workers: 1,
         }
+    }
+
+    /// The replication backend in use.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Mutable backend access (tests inject log-replica faults here).
+    pub fn backend_mut(&mut self) -> &mut dyn ReplicationBackend {
+        self.backend.as_mut()
     }
 
     /// Number of slaves.
@@ -138,11 +173,16 @@ impl ReplicatedDb {
     }
 
     /// Ship all new binlog events into every slave's relay queue (the I/O
-    /// threads catching up), without applying.
+    /// threads catching up), without applying: newly committed events are
+    /// published to the backend, and each relay tails the backend's
+    /// *durable* prefix — under binlog fan-out that is everything published
+    /// (pre-trait behaviour, bit for bit); under the shared log a relay
+    /// never sees a record the quorum has not acked.
     pub fn ship(&mut self) {
+        let new = self.master.binlog_from(self.backend.published_upto());
+        self.backend.publish(new);
         for (_, relay) in &mut self.slaves {
-            let new = self.master.binlog_from(relay.received_upto());
-            relay.receive(new.iter().cloned());
+            relay.receive(self.backend.tail_from(relay.received_upto()));
         }
     }
 
@@ -398,6 +438,45 @@ mod tests {
                 "workers={workers} diverged from serial apply"
             );
         }
+    }
+
+    #[test]
+    fn shared_log_backend_gates_delivery_on_quorum() {
+        let mut db = ReplicatedDb::with_backend(BackendKind::SharedLog, 1);
+        assert_eq!(db.backend_kind(), BackendKind::SharedLog);
+        db.execute_master("CREATE TABLE t (id INT PRIMARY KEY)", &[])
+            .unwrap();
+        db.pump().unwrap();
+        fn shared(db: &mut ReplicatedDb) -> &mut SharedLogBackend {
+            db.backend_mut()
+                .as_any_mut()
+                .downcast_mut::<SharedLogBackend>()
+                .expect("shared-log backend")
+        }
+        // Two of three log replicas down: quorum unreachable.
+        {
+            let sl = shared(&mut db);
+            sl.log_mut().crash_replica(1);
+            sl.log_mut().crash_replica(2);
+        }
+        db.execute_master("INSERT INTO t VALUES (1)", &[]).unwrap();
+        db.pump().unwrap();
+        let r = db.execute_slave(0, "SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(
+            r.rows[0][0],
+            Value::Int(0),
+            "non-durable writes must not reach replicas"
+        );
+        // Quorum restored: the suffix becomes durable and ships.
+        {
+            let sl = shared(&mut db);
+            sl.log_mut().heal_replica(1);
+            let upto = sl.log().appended_upto();
+            sl.log_mut().ack(1, upto);
+        }
+        db.pump().unwrap();
+        let r = db.execute_slave(0, "SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1), "durable suffix delivered");
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! The shared log service: a simulated 3-way-replicated, quorum-acked log.
+//!
+//! Taurus-style disaggregation (PAPERS.md, arXiv 2412.02792) replaces
+//! master→slave writeset shipping with "the log is the database": the master
+//! appends LSN-stamped records to a small replicated log service, a record is
+//! *durable* once a write quorum of log replicas has acknowledged it, and
+//! read replicas tail the durable prefix. Failover becomes a *reattach* —
+//! the new master resumes from the last durable quorum LSN instead of
+//! rebuilding peers from a snapshot.
+//!
+//! [`LogStore`] is the untimed protocol state machine: appends assign
+//! positions, per-replica acks advance contiguous persisted prefixes, and
+//! `durable_upto` is the quorum-th highest prefix. The *timed* behaviour
+//! (when each ack lands on the simulated clock) is computed analytically by
+//! [`ack_time_us`] from a per-replica [`FaultTimeline`] and a [`RetryPolicy`]
+//! — no retained event state, so the hot path of a statement-backend run
+//! never touches any of this.
+
+use amdb_sql::Lsn;
+
+/// Shape of the replicated log service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogStoreConfig {
+    /// Log replicas (the paper-typical 3).
+    pub replicas: usize,
+    /// Acks required for durability (2 of 3).
+    pub quorum: usize,
+    /// Base per-replica append service time, µs (network + fsync).
+    pub append_service_us: u64,
+    /// Retry discipline for replica appends that time out.
+    pub retry: RetryPolicy,
+}
+
+impl Default for LogStoreConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 3,
+            quorum: 2,
+            append_service_us: 400,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl LogStoreConfig {
+    /// Panics unless `1 <= quorum <= replicas`.
+    pub fn validate(&self) {
+        assert!(self.replicas >= 1, "log store needs at least one replica");
+        assert!(
+            (1..=self.replicas).contains(&self.quorum),
+            "quorum {} out of range for {} replicas",
+            self.quorum,
+            self.replicas
+        );
+    }
+}
+
+/// Per-attempt timeout plus exponential backoff with a hard ceiling — the
+/// "no unbounded retry" discipline: the *delay* between attempts saturates at
+/// `backoff_max_us`, and a single append gives up on a replica after
+/// `max_attempts` (the replica re-syncs when it heals; durability comes from
+/// the quorum, not from every replica).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-attempt timeout, µs.
+    pub timeout_us: u64,
+    /// First retry delay, µs; doubles each attempt.
+    pub backoff_base_us: u64,
+    /// Backoff ceiling, µs.
+    pub backoff_max_us: u64,
+    /// Attempts before this append abandons the replica.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            timeout_us: 2_000,
+            backoff_base_us: 1_000,
+            backoff_max_us: 64_000,
+            max_attempts: 12,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based: the delay after the
+    /// first failed attempt is `backoff_us(1)`). Exponential, saturating at
+    /// `backoff_max_us`.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        self.backoff_base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_max_us)
+    }
+
+    /// Hard bound on one full attempt sequence: the offset (µs) past the
+    /// send instant at which [`ack_time_us`] gives up. Every inter-attempt
+    /// delay is `timeout + backoff` with the backoff capped, so the sum is
+    /// finite — the no-unbounded-retry guarantee, in closed form.
+    pub fn give_up_after_us(&self) -> u64 {
+        (1..=self.max_attempts)
+            .map(|k| self.timeout_us.saturating_add(self.backoff_us(k)))
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+/// Precomputed fault schedule of one log replica: sorted, disjoint down
+/// windows (crash or network partition — indistinguishable to the appender)
+/// plus slow-disk windows that stretch append service time. Computed once
+/// per run from seeded RNG draws, so fault injection costs nothing when the
+/// shared-log backend is off and stays deterministic when it is on.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTimeline {
+    /// `(start_us, end_us)` half-open windows in which the replica is
+    /// unreachable. Sorted, disjoint.
+    down: Vec<(u64, u64)>,
+    /// `(start_us, end_us, factor)` windows in which append service time is
+    /// multiplied by `factor` (slow disk). Sorted, disjoint.
+    slow: Vec<(u64, u64, f64)>,
+}
+
+impl FaultTimeline {
+    /// A replica that never fails.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit windows (tests, hand-crafted scenarios). Windows
+    /// must be sorted and disjoint; debug-asserted.
+    pub fn from_windows(down: Vec<(u64, u64)>, slow: Vec<(u64, u64, f64)>) -> Self {
+        debug_assert!(down.windows(2).all(|w| w[0].1 <= w[1].0), "down sorted");
+        debug_assert!(slow.windows(2).all(|w| w[0].1 <= w[1].0), "slow sorted");
+        Self { down, slow }
+    }
+
+    /// Whether the replica is unreachable at `t_us`.
+    pub fn is_down(&self, t_us: u64) -> bool {
+        self.down.iter().any(|&(s, e)| (s..e).contains(&t_us))
+    }
+
+    /// Earliest instant `>= t_us` at which the replica is reachable, or
+    /// `None` when it stays down forever (an unbounded final window).
+    pub fn next_up(&self, t_us: u64) -> Option<u64> {
+        for &(s, e) in &self.down {
+            if (s..e).contains(&t_us) {
+                return if e == u64::MAX { None } else { Some(e) };
+            }
+        }
+        Some(t_us)
+    }
+
+    /// Slow-disk service-time multiplier in effect at `t_us` (1.0 = healthy).
+    pub fn disk_factor(&self, t_us: u64) -> f64 {
+        self.slow
+            .iter()
+            .find(|&&(s, e, _)| (s..e).contains(&t_us))
+            .map(|&(_, _, f)| f)
+            .unwrap_or(1.0)
+    }
+
+    /// Total down time within `[0, horizon_us)` — reporting aid.
+    pub fn downtime_us(&self, horizon_us: u64) -> u64 {
+        self.down
+            .iter()
+            .map(|&(s, e)| e.min(horizon_us).saturating_sub(s.min(horizon_us)))
+            .sum()
+    }
+}
+
+/// Outcome of one append attempt sequence against one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaAck {
+    /// Instant the ack lands at the master, µs. `None`: the append abandoned
+    /// this replica (attempt cap under sustained partition).
+    pub acked_at_us: Option<u64>,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Analytically compute when replica `timeline`'s ack for an append issued
+/// at `sent_us` lands, under `policy`. An attempt issued while the replica
+/// is down (or that starts while up but we model the window check at issue
+/// time) burns the full `timeout_us`, then waits the capped backoff; an
+/// attempt issued while up completes in `service_us` stretched by the
+/// slow-disk factor. Pure function of its inputs — determinism for free.
+pub fn ack_time_us(
+    timeline: &FaultTimeline,
+    policy: &RetryPolicy,
+    sent_us: u64,
+    service_us: u64,
+) -> ReplicaAck {
+    let mut t = sent_us;
+    for attempt in 1..=policy.max_attempts {
+        if !timeline.is_down(t) {
+            let service = (service_us as f64 * timeline.disk_factor(t)).round() as u64;
+            let done = t + service.max(1);
+            // The reply must also make it back: if the replica partitions
+            // mid-service the attempt still times out.
+            if !timeline.is_down(done.saturating_sub(1)) {
+                return ReplicaAck {
+                    acked_at_us: Some(done),
+                    attempts: attempt,
+                };
+            }
+        }
+        t = t + policy.timeout_us + policy.backoff_us(attempt);
+    }
+    ReplicaAck {
+        acked_at_us: None,
+        attempts: policy.max_attempts,
+    }
+}
+
+/// Result of [`LogStore::ack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckResult {
+    /// This ack advanced the durable prefix to the carried LSN.
+    Durable(Lsn),
+    /// Accepted, but the quorum for some appended records is still pending.
+    Pending,
+    /// The replica had already acknowledged at or past this position —
+    /// a retransmitted ack, dropped.
+    DuplicateIgnored,
+    /// Accepted, but everything up to this position was already durable
+    /// (the quorum formed without this replica; its late ack only catches
+    /// the replica itself up).
+    LateAfterQuorum,
+    /// The replica is crashed; the ack was lost in flight.
+    ReplicaDown,
+}
+
+/// Per-replica persistence state: a contiguous prefix. Replica logs are
+/// append-only and gap-free, so one cursor is the whole story.
+#[derive(Debug, Clone)]
+struct LogReplicaState {
+    /// Persisted (fsynced + acked) up to this LSN, exclusive.
+    persisted_upto: u64,
+    alive: bool,
+}
+
+/// The untimed quorum state machine: who has what, and what is durable.
+///
+/// The timed cluster drives this with acks whose *instants* come from
+/// [`ack_time_us`]; unit and property tests drive it directly to pin the
+/// protocol edges (duplicate/late acks, death between append and ack,
+/// truncated-replica reattach).
+#[derive(Debug, Clone)]
+pub struct LogStore {
+    cfg: LogStoreConfig,
+    /// Append head: positions `[0, appended_upto)` have been assigned.
+    appended_upto: u64,
+    /// Durable prefix: quorum-acked up to here, exclusive. Monotone.
+    durable_upto: u64,
+    replicas: Vec<LogReplicaState>,
+}
+
+impl LogStore {
+    /// Fresh log service, all replicas alive and empty.
+    pub fn new(cfg: LogStoreConfig) -> Self {
+        cfg.validate();
+        Self {
+            replicas: (0..cfg.replicas)
+                .map(|_| LogReplicaState {
+                    persisted_upto: 0,
+                    alive: true,
+                })
+                .collect(),
+            cfg,
+            appended_upto: 0,
+            durable_upto: 0,
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &LogStoreConfig {
+        &self.cfg
+    }
+
+    /// Assign positions for `count` new records; returns the first LSN of
+    /// the batch. Delivery to replicas is in flight until they ack.
+    pub fn append(&mut self, count: u64) -> Lsn {
+        let first = self.appended_upto;
+        self.appended_upto += count;
+        Lsn(first)
+    }
+
+    /// Append head (next LSN to be assigned).
+    pub fn appended_upto(&self) -> Lsn {
+        Lsn(self.appended_upto)
+    }
+
+    /// Durable prefix: every LSN below this has a write quorum.
+    pub fn durable_upto(&self) -> Lsn {
+        Lsn(self.durable_upto)
+    }
+
+    /// Replica `r`'s persisted prefix (exclusive).
+    pub fn replica_upto(&self, r: usize) -> Lsn {
+        Lsn(self.replicas[r].persisted_upto)
+    }
+
+    /// Is replica `r` alive?
+    pub fn replica_alive(&self, r: usize) -> bool {
+        self.replicas[r].alive
+    }
+
+    /// Count of live replicas.
+    pub fn alive_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.alive).count()
+    }
+
+    /// Replica `r` acknowledges persistence up to `upto` (exclusive).
+    pub fn ack(&mut self, r: usize, upto: Lsn) -> AckResult {
+        let upto = upto.0.min(self.appended_upto);
+        let rep = &mut self.replicas[r];
+        if !rep.alive {
+            return AckResult::ReplicaDown;
+        }
+        if upto <= rep.persisted_upto {
+            return AckResult::DuplicateIgnored;
+        }
+        rep.persisted_upto = upto;
+        let durable = self.quorum_prefix();
+        if durable > self.durable_upto {
+            self.durable_upto = durable;
+            AckResult::Durable(Lsn(durable))
+        } else if upto <= self.durable_upto {
+            AckResult::LateAfterQuorum
+        } else {
+            AckResult::Pending
+        }
+    }
+
+    /// The quorum-th highest persisted prefix over *all* replicas (dead
+    /// replicas keep their durably persisted prefix on disk — a crash does
+    /// not un-fsync; truncation is modelled separately).
+    fn quorum_prefix(&self) -> u64 {
+        let mut tails: Vec<u64> = self.replicas.iter().map(|r| r.persisted_upto).collect();
+        tails.sort_unstable_by(|a, b| b.cmp(a));
+        tails[self.cfg.quorum - 1]
+    }
+
+    /// Crash replica `r`: in-flight acks are lost ([`AckResult::ReplicaDown`])
+    /// until [`Self::heal_replica`]. Its persisted prefix survives on disk.
+    pub fn crash_replica(&mut self, r: usize) {
+        self.replicas[r].alive = false;
+    }
+
+    /// Replica `r` comes back; it still has its persisted prefix and will
+    /// re-sync the rest from its peers (instantaneous in the untimed model).
+    pub fn heal_replica(&mut self, r: usize) {
+        let rep = &mut self.replicas[r];
+        rep.alive = true;
+        rep.persisted_upto = rep.persisted_upto.max(self.durable_upto);
+    }
+
+    /// Truncate replica `r`'s log to `to` (exclusive) — a disk that lied
+    /// about fsync, losing a suffix. At most the quorum guarantee tolerates
+    /// `replicas - quorum` such faults before durable data is at risk.
+    pub fn truncate_replica(&mut self, r: usize, to: Lsn) {
+        let rep = &mut self.replicas[r];
+        rep.persisted_upto = rep.persisted_upto.min(to.0);
+    }
+
+    /// The LSN a recovering master reattaches from: the highest persisted
+    /// prefix among *live* replicas. As long as faults stay within the
+    /// quorum tolerance (`replicas - quorum` truncations/crashes), this is
+    /// `>= durable_upto` — no acked write is lost. Pinned by the
+    /// `prop_logstore` property test.
+    pub fn reattach_lsn(&self) -> Lsn {
+        Lsn(self
+            .replicas
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| r.persisted_upto)
+            .max()
+            .unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> LogStore {
+        LogStore::new(LogStoreConfig::default())
+    }
+
+    #[test]
+    fn quorum_of_two_makes_durable() {
+        let mut s = store();
+        assert_eq!(s.append(3), Lsn(0));
+        assert_eq!(s.appended_upto(), Lsn(3));
+        assert_eq!(s.durable_upto(), Lsn(0), "no acks yet");
+        assert_eq!(s.ack(0, Lsn(3)), AckResult::Pending, "1/2 acks");
+        assert_eq!(s.ack(1, Lsn(3)), AckResult::Durable(Lsn(3)));
+        assert_eq!(s.durable_upto(), Lsn(3));
+    }
+
+    #[test]
+    fn duplicate_and_late_acks_after_quorum() {
+        let mut s = store();
+        s.append(2);
+        s.ack(0, Lsn(2));
+        assert_eq!(s.ack(1, Lsn(2)), AckResult::Durable(Lsn(2)));
+        // Retransmission of an already-counted ack: dropped.
+        assert_eq!(s.ack(0, Lsn(2)), AckResult::DuplicateIgnored);
+        assert_eq!(s.ack(1, Lsn(1)), AckResult::DuplicateIgnored);
+        // The third replica's first ack lands after the quorum formed: it
+        // catches the replica up but moves nothing.
+        assert_eq!(s.ack(2, Lsn(2)), AckResult::LateAfterQuorum);
+        assert_eq!(s.durable_upto(), Lsn(2), "unchanged by late ack");
+    }
+
+    #[test]
+    fn replica_death_between_append_and_ack_loses_the_ack() {
+        let mut s = store();
+        s.append(1);
+        s.crash_replica(2);
+        assert_eq!(s.ack(2, Lsn(1)), AckResult::ReplicaDown);
+        assert_eq!(s.replica_upto(2), Lsn(0), "lost ack advanced nothing");
+        // The surviving pair still reaches quorum.
+        s.ack(0, Lsn(1));
+        assert_eq!(s.ack(1, Lsn(1)), AckResult::Durable(Lsn(1)));
+        // Healing re-syncs the corpse to at least the durable prefix.
+        s.heal_replica(2);
+        assert_eq!(s.replica_upto(2), Lsn(1));
+    }
+
+    #[test]
+    fn reattach_from_truncated_replica_keeps_durable_prefix() {
+        let mut s = store();
+        s.append(10);
+        s.ack(0, Lsn(10));
+        s.ack(1, Lsn(10));
+        s.ack(2, Lsn(4));
+        assert_eq!(s.durable_upto(), Lsn(10));
+        // Replica 1's disk lied: its suffix beyond 6 evaporates. Replica 0
+        // still holds the full durable prefix, so reattach loses nothing.
+        s.truncate_replica(1, Lsn(6));
+        assert_eq!(s.replica_upto(1), Lsn(6));
+        assert!(s.reattach_lsn() >= s.durable_upto());
+        // Even with the truncated replica also crashed, the quorum guarantee
+        // (one fault of each kind tolerated at quorum 2/3) holds via 0.
+        s.crash_replica(1);
+        assert!(s.reattach_lsn() >= s.durable_upto());
+    }
+
+    #[test]
+    fn truncation_never_advances_a_replica() {
+        let mut s = store();
+        s.append(5);
+        s.ack(0, Lsn(3));
+        s.truncate_replica(0, Lsn(9));
+        assert_eq!(s.replica_upto(0), Lsn(3), "truncate only shrinks");
+    }
+
+    #[test]
+    fn ack_past_append_head_is_clamped() {
+        let mut s = store();
+        s.append(2);
+        assert_eq!(s.ack(0, Lsn(99)), AckResult::Pending);
+        assert_eq!(s.replica_upto(0), Lsn(2));
+    }
+
+    #[test]
+    fn backoff_saturates_at_ceiling() {
+        let p = RetryPolicy {
+            timeout_us: 1_000,
+            backoff_base_us: 500,
+            backoff_max_us: 4_000,
+            max_attempts: 40,
+        };
+        assert_eq!(p.backoff_us(1), 500);
+        assert_eq!(p.backoff_us(2), 1_000);
+        assert_eq!(p.backoff_us(4), 4_000, "hits ceiling");
+        assert_eq!(p.backoff_us(39), 4_000, "stays at ceiling, no overflow");
+    }
+
+    #[test]
+    fn ack_time_healthy_is_one_service() {
+        let a = ack_time_us(
+            &FaultTimeline::healthy(),
+            &RetryPolicy::default(),
+            1_000,
+            400,
+        );
+        assert_eq!(
+            a,
+            ReplicaAck {
+                acked_at_us: Some(1_400),
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn ack_time_retries_through_a_partition() {
+        let tl = FaultTimeline::from_windows(vec![(0, 10_000)], vec![]);
+        let p = RetryPolicy {
+            timeout_us: 2_000,
+            backoff_base_us: 1_000,
+            backoff_max_us: 64_000,
+            max_attempts: 12,
+        };
+        let a = ack_time_us(&tl, &p, 0, 400);
+        // Attempts at 0 (down), 3_000 (down), 7_000 (down), 13_000 (up):
+        // each retry waits timeout + doubling backoff.
+        assert_eq!(a.attempts, 4);
+        assert_eq!(a.acked_at_us, Some(13_400));
+    }
+
+    #[test]
+    fn sustained_partition_hits_attempt_cap_with_bounded_delay() {
+        let tl = FaultTimeline::from_windows(vec![(0, u64::MAX)], vec![]);
+        let p = RetryPolicy {
+            timeout_us: 1_000,
+            backoff_base_us: 1_000,
+            backoff_max_us: 8_000,
+            max_attempts: 6,
+        };
+        let a = ack_time_us(&tl, &p, 0, 400);
+        assert_eq!(a.acked_at_us, None, "abandoned after the cap");
+        assert_eq!(a.attempts, 6);
+        // The total wait is bounded: every inter-attempt delay saturates at
+        // timeout + ceiling, so a sustained partition cannot park an append
+        // for an unbounded stretch.
+        let worst: u64 = (1..=6).map(|k| p.timeout_us + p.backoff_us(k)).sum();
+        assert_eq!(p.give_up_after_us(), worst);
+        assert!(worst <= 6 * (p.timeout_us + p.backoff_max_us));
+    }
+
+    #[test]
+    fn slow_disk_stretches_service() {
+        let tl = FaultTimeline::from_windows(vec![], vec![(0, 10_000, 5.0)]);
+        let a = ack_time_us(&tl, &RetryPolicy::default(), 100, 400);
+        assert_eq!(a.acked_at_us, Some(100 + 2_000));
+        assert_eq!(a.attempts, 1);
+    }
+
+    #[test]
+    fn partition_landing_mid_service_times_out_the_attempt() {
+        // Up at issue time, but down before the reply returns.
+        let tl = FaultTimeline::from_windows(vec![(200, 5_000)], vec![]);
+        let p = RetryPolicy {
+            timeout_us: 1_000,
+            backoff_base_us: 500,
+            backoff_max_us: 8_000,
+            max_attempts: 5,
+        };
+        let a = ack_time_us(&tl, &p, 0, 400);
+        // t=0 attempt: service would finish at 400, inside the window →
+        // timeout. Retry at 1_500 (down) → timeout. Retry at 3_500 (down)
+        // → timeout. Retry at 6_500: up, acks at 6_900.
+        assert_eq!(a.attempts, 4);
+        assert_eq!(a.acked_at_us, Some(6_900));
+    }
+
+    #[test]
+    fn downtime_accounting() {
+        let tl = FaultTimeline::from_windows(vec![(100, 200), (300, 1_000)], vec![]);
+        assert!(tl.is_down(150));
+        assert!(!tl.is_down(250));
+        assert_eq!(tl.next_up(150), Some(200));
+        assert_eq!(tl.next_up(250), Some(250));
+        assert_eq!(tl.downtime_us(500), 100 + 200);
+        assert_eq!(tl.downtime_us(2_000), 100 + 700);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property test: the shared log never loses an acked write.
+//!
+//! For any interleaving of appends, per-replica acks, crashes, heals and
+//! truncations — as long as faults stay within the quorum tolerance
+//! (`replicas - quorum` replicas may be crashed or have lied about fsync at
+//! any instant) — the reattach LSN a recovering master reads from the
+//! surviving replicas covers every LSN that ever reached quorum. This is
+//! the backbone of the tentpole's recovery guarantee: a replica crash
+//! mid-append must not lose acked writes.
+
+use amdb_repl::logstore::{LogStore, LogStoreConfig};
+use amdb_sql::Lsn;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Master appends `n` records.
+    Append { n: u64 },
+    /// Replica `r` acks everything it has been sent so far.
+    AckAll { r: usize },
+    /// Replica `r` acks only a prefix (slow fsync mid-batch).
+    AckPartial { r: usize, keep: u64 },
+    /// Replica `r` crashes (in-flight acks lost until heal).
+    Crash { r: usize },
+    /// Replica `r` heals (re-syncs to at least the durable prefix).
+    Heal { r: usize },
+    /// Replica `r`'s disk loses its tail beyond `keep` *of its own log* —
+    /// only applied while the fault budget allows it.
+    Truncate { r: usize, keep: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1..5u64).prop_map(|n| Op::Append { n }),
+        4 => (0..3usize).prop_map(|r| Op::AckAll { r }),
+        2 => (0..3usize, 0..20u64).prop_map(|(r, keep)| Op::AckPartial { r, keep }),
+        2 => (0..3usize).prop_map(|r| Op::Crash { r }),
+        2 => (0..3usize).prop_map(|r| Op::Heal { r }),
+        1 => (0..3usize, 0..20u64).prop_map(|(r, keep)| Op::Truncate { r, keep }),
+    ]
+}
+
+/// Replay `ops` against a 3-replica / quorum-2 log, enforcing the fault
+/// budget: at most `replicas - quorum = 1` replica may be "faulted" (crashed
+/// or ever-truncated) at a time. Returns the high-water durable LSN and the
+/// final store.
+fn run(ops: Vec<Op>) -> (u64, LogStore) {
+    let cfg = LogStoreConfig::default();
+    let tolerance = cfg.replicas - cfg.quorum;
+    let mut s = LogStore::new(cfg);
+    let mut durable_hw = 0u64;
+    // A truncated replica has lied about fsync: it counts against the fault
+    // budget permanently (its disk is untrustworthy).
+    let mut truncated = [false; 3];
+    for op in ops {
+        let faulted = |s: &LogStore, truncated: &[bool; 3]| {
+            (0..3)
+                .filter(|&r| !s.replica_alive(r) || truncated[r])
+                .count()
+        };
+        match op {
+            Op::Append { n } => {
+                s.append(n);
+            }
+            Op::AckAll { r } => {
+                s.ack(r, s.appended_upto());
+            }
+            Op::AckPartial { r, keep } => {
+                s.ack(r, Lsn(keep.min(s.appended_upto().0)));
+            }
+            Op::Crash { r } => {
+                let already = !s.replica_alive(r) || truncated[r];
+                if already || faulted(&s, &truncated) < tolerance {
+                    s.crash_replica(r);
+                }
+            }
+            Op::Heal { r } => {
+                s.heal_replica(r);
+            }
+            Op::Truncate { r, keep } => {
+                let already = !s.replica_alive(r) || truncated[r];
+                if already || faulted(&s, &truncated) < tolerance {
+                    s.truncate_replica(r, Lsn(keep));
+                    truncated[r] = true;
+                }
+            }
+        }
+        durable_hw = durable_hw.max(s.durable_upto().0);
+        // Invariant at every step, not just the end: whenever at least one
+        // replica is reachable, reattach covers the durable high-water.
+        if s.alive_replicas() > 0 {
+            assert!(
+                s.reattach_lsn().0 >= durable_hw,
+                "acked write lost: durable high-water {} > reattach {}",
+                durable_hw,
+                s.reattach_lsn().0
+            );
+        }
+    }
+    (durable_hw, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No interleaving within the fault budget loses a quorum-acked write.
+    #[test]
+    fn acked_writes_survive_any_single_fault(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let (durable_hw, s) = run(ops);
+        prop_assert!(s.reattach_lsn().0 >= durable_hw);
+        // Durability is monotone: the final durable prefix can only have
+        // grown past (never shrunk below) the high-water.
+        prop_assert!(s.durable_upto().0 >= durable_hw);
+    }
+
+    /// The durable prefix never runs ahead of what was appended.
+    #[test]
+    fn durable_never_exceeds_appended(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let (_, s) = run(ops);
+        prop_assert!(s.durable_upto() <= s.appended_upto());
+    }
+}

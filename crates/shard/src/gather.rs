@@ -87,6 +87,22 @@ impl<T> Gather<T> {
         self.filtered
     }
 
+    /// Fan-out of this gather (legs expected).
+    pub fn fanout(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// True when the gather is complete and the consistency filter dropped
+    /// *every* leg — the read has no rows to merge, and completing it would
+    /// silently violate the caller's staleness bound with an empty result.
+    /// The front must treat this as a routing miss and deterministically
+    /// fall back to a master-served read (see `ShardedWorld::op_done`);
+    /// merging is still allowed (it yields the empty set) so existing
+    /// callers without a fallback path keep their behaviour.
+    pub fn all_legs_filtered(&self) -> bool {
+        self.is_complete() && self.filtered as usize == self.legs.len()
+    }
+
     /// The worst (largest) staleness among arrived legs, filtered or not.
     pub fn max_staleness_ms(&self) -> f64 {
         self.legs
@@ -190,6 +206,30 @@ mod tests {
         assert_eq!(g.slowest_leg(), Some((0, 2_000)));
         assert_eq!(g.fastest_leg(), Some((1, 500)), "tie breaks low shard");
         assert_eq!(g.leg_spread_us(), 1_500);
+    }
+
+    #[test]
+    fn all_legs_filtered_flags_the_empty_gather() {
+        let mut g = Gather::new(2, ConsistencyPolicy::BoundedStaleness { max_ms: 10.0 });
+        assert!(!g.all_legs_filtered(), "incomplete gather never flags");
+        g.offer(0, 50.0, vec![1]);
+        assert!(!g.all_legs_filtered(), "still one leg outstanding");
+        assert!(g.offer(1, 99.0, vec![2]));
+        assert!(g.all_legs_filtered());
+        assert_eq!(g.filtered_legs(), 2);
+        assert_eq!(g.fanout(), 2);
+        assert_eq!(g.merge_by(|&v| v), Vec::<i32>::new(), "merge still legal");
+    }
+
+    #[test]
+    fn one_fresh_leg_defuses_the_fallback() {
+        let mut g = Gather::new(3, ConsistencyPolicy::BoundedStaleness { max_ms: 10.0 });
+        g.offer(0, 50.0, vec![1]);
+        g.offer(1, 5.0, vec![2]);
+        assert!(g.offer(2, 60.0, vec![3]));
+        assert!(!g.all_legs_filtered(), "one surviving leg is an answer");
+        assert_eq!(g.filtered_legs(), 2);
+        assert_eq!(g.merge_by(|&v| v), vec![2]);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property tests for the scatter-gather merge buffer, pinning the
+//! all-legs-filtered fallback signal and the filtered-leg counters against
+//! arbitrary leg orders, staleness profiles, and bounds.
+
+use amdb_consistency::ConsistencyPolicy;
+use amdb_shard::Gather;
+use proptest::prelude::*;
+
+/// One scattered read: a staleness bound and per-shard (staleness, rows).
+#[derive(Debug, Clone)]
+struct Scenario {
+    max_ms: f64,
+    legs: Vec<(f64, Vec<u32>)>,
+    /// Permutation deciding leg arrival order.
+    order: Vec<usize>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0.0..500.0f64,
+        prop::collection::vec((0.0..1000.0f64, 0usize..4), 1..8),
+        any::<u64>(),
+    )
+        .prop_map(|(max_ms, raw, order_seed)| {
+            let legs: Vec<(f64, Vec<u32>)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(st, n))| (st, (0..n as u32).map(|j| (i as u32) * 10 + j).collect()))
+                .collect();
+            // Arrival order: a seed-driven Fisher–Yates shuffle (the shim
+            // has no prop_shuffle).
+            let mut order: Vec<usize> = (0..legs.len()).collect();
+            let mut s = order_seed | 1;
+            for i in (1..order.len()).rev() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            Scenario {
+                max_ms,
+                legs,
+                order,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The fallback signal fires iff every leg was filtered, exactly at
+    /// completion, independent of arrival order — and the filtered-leg
+    /// counter always equals the number of over-bound legs.
+    #[test]
+    fn all_legs_filtered_iff_every_leg_is_stale(s in arb_scenario()) {
+        let mut g = Gather::new(
+            s.legs.len(),
+            ConsistencyPolicy::BoundedStaleness { max_ms: s.max_ms },
+        );
+        let expect_filtered =
+            s.legs.iter().filter(|(st, _)| *st > s.max_ms).count();
+        for (i, &shard) in s.order.iter().enumerate() {
+            prop_assert!(!g.all_legs_filtered(), "never fires before completion");
+            let (st, rows) = s.legs[shard].clone();
+            let last = g.offer(shard, st, rows);
+            prop_assert_eq!(last, i + 1 == s.legs.len());
+        }
+        prop_assert!(g.is_complete());
+        prop_assert_eq!(g.filtered_legs() as usize, expect_filtered);
+        prop_assert_eq!(
+            g.all_legs_filtered(),
+            expect_filtered == s.legs.len(),
+            "fallback iff zero surviving legs"
+        );
+        // Merged rows come only from surviving legs.
+        let survivors: usize = s
+            .legs
+            .iter()
+            .filter(|(st, _)| *st <= s.max_ms)
+            .map(|(_, r)| r.len())
+            .sum();
+        prop_assert_eq!(g.merge_by(|&v| v).len(), survivors);
+    }
+
+    /// Under `Eventual` nothing is ever filtered, so the fallback can never
+    /// fire with at least one leg.
+    #[test]
+    fn eventual_never_triggers_fallback(s in arb_scenario()) {
+        let mut g = Gather::new(s.legs.len(), ConsistencyPolicy::Eventual);
+        for &shard in &s.order {
+            let (st, rows) = s.legs[shard].clone();
+            g.offer(shard, st, rows);
+        }
+        prop_assert_eq!(g.filtered_legs(), 0);
+        prop_assert!(!g.all_legs_filtered());
+    }
+}

@@ -274,9 +274,16 @@ fn get_row(buf: &mut Bytes) -> Result<Vec<Value>, SqlError> {
 }
 
 /// The master's append-only binary log.
+///
+/// A log normally starts at LSN 0, but a log opened with
+/// [`Binlog::starting_at`] continues an existing LSN space from `base` —
+/// how a promoted replica under the shared-log backend keeps appending into
+/// the cluster-wide log position instead of restarting from zero.
 #[derive(Debug, Clone, Default)]
 pub struct Binlog {
     events: Vec<BinlogEvent>,
+    /// LSN of the first event this log will hold (0 for a fresh master).
+    base: u64,
 }
 
 impl Binlog {
@@ -285,9 +292,23 @@ impl Binlog {
         Self::default()
     }
 
+    /// Empty log whose first append will be assigned `base` — the LSN-space
+    /// continuation used by shared-log promotion.
+    pub fn starting_at(base: Lsn) -> Self {
+        Self {
+            events: Vec::new(),
+            base: base.0,
+        }
+    }
+
+    /// LSN of the first event this log holds (or would hold).
+    pub fn base(&self) -> Lsn {
+        Lsn(self.base)
+    }
+
     /// Append a payload with the given commit timestamp; returns its LSN.
     pub fn append(&mut self, commit_ts_micros: i64, payload: EventPayload) -> Lsn {
-        let lsn = Lsn(self.events.len() as u64);
+        let lsn = Lsn(self.base + self.events.len() as u64);
         self.events.push(BinlogEvent {
             lsn,
             commit_ts_micros,
@@ -308,17 +329,20 @@ impl Binlog {
 
     /// The next LSN to be assigned.
     pub fn head(&self) -> Lsn {
-        Lsn(self.events.len() as u64)
+        Lsn(self.base + self.events.len() as u64)
     }
 
-    /// Fetch an event by LSN.
+    /// Fetch an event by LSN (`None` below `base` or at/past head).
     pub fn get(&self, lsn: Lsn) -> Option<&BinlogEvent> {
-        self.events.get(lsn.0 as usize)
+        let i = lsn.0.checked_sub(self.base)?;
+        self.events.get(i as usize)
     }
 
-    /// Events at or after `from` (what a slave I/O thread fetches).
+    /// Events at or after `from` (what a slave I/O thread fetches). A `from`
+    /// below `base` returns everything held — truncated history cannot be
+    /// served.
     pub fn read_from(&self, from: Lsn) -> &[BinlogEvent] {
-        let i = (from.0 as usize).min(self.events.len());
+        let i = (from.0.saturating_sub(self.base) as usize).min(self.events.len());
         &self.events[i..]
     }
 }
@@ -455,6 +479,28 @@ mod tests {
         assert_eq!(log.read_from(Lsn(5)).len(), 0, "past-head read is empty");
         assert_eq!(log.get(Lsn(1)).unwrap().commit_ts_micros, 2);
         assert!(log.get(Lsn(9)).is_none());
+    }
+
+    #[test]
+    fn log_starting_at_continues_lsn_space() {
+        let mut log = Binlog::starting_at(Lsn(10));
+        assert_eq!(log.base(), Lsn(10));
+        assert_eq!(log.head(), Lsn(10));
+        let l = log.append(
+            1,
+            EventPayload::Statement {
+                sql: "a".into(),
+                params: vec![],
+            },
+        );
+        assert_eq!(l, Lsn(10));
+        assert_eq!(log.head(), Lsn(11));
+        assert_eq!(log.get(Lsn(10)).unwrap().lsn, Lsn(10));
+        assert!(log.get(Lsn(9)).is_none(), "below base is gone");
+        assert!(log.get(Lsn(11)).is_none());
+        assert_eq!(log.read_from(Lsn(10)).len(), 1);
+        assert_eq!(log.read_from(Lsn(11)).len(), 0);
+        assert_eq!(log.read_from(Lsn(0)).len(), 1, "pre-base reads clamp");
     }
 
     #[test]

@@ -157,9 +157,18 @@ impl Engine {
     /// asynchronous-replication data-loss window of §II ("once the updated
     /// replica goes offline before duplicating data, data loss may occur").
     pub fn promote_to_master(&mut self, format: BinlogFormat) {
+        self.promote_to_master_at(format, Lsn(0));
+    }
+
+    /// [`Self::promote_to_master`], continuing an existing LSN space: the
+    /// fresh binlog's first append is assigned `at`. The shared-log backend
+    /// promotes with `at = ` the log service's published head, so the
+    /// cluster-wide LSN space survives failover and tailing replicas keep
+    /// their positions.
+    pub fn promote_to_master_at(&mut self, format: BinlogFormat, at: Lsn) {
         self.format = format;
         self.log_writes = true;
-        self.binlog = Binlog::new();
+        self.binlog = Binlog::starting_at(at);
     }
 
     /// Whether this engine logs writes (true for masters).
